@@ -1,0 +1,70 @@
+// Ablation A2: sensitivity to the NAT hole timeout (the paper fixes 90 s,
+// "a typical vendor value"). Shorter rule lifetimes stress the reactive
+// chains; longer ones relax them.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/nylon_peer.h"
+#include "metrics/graph_analysis.h"
+#include "runtime/runner.h"
+#include "runtime/scenario.h"
+#include "runtime/table_printer.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+  const bench::sweep_options opt =
+      bench::parse_sweep(argc, argv, "bench_ablation_ttl");
+  bench::print_preamble(
+      "Ablation: hole-timeout sensitivity (Nylon, 80% NAT)", opt);
+
+  runtime::text_table table({"hole timeout (s)", "cluster %", "stale %",
+                             "punch success %", "mean chain"});
+  for (const int ttl_s : {15, 30, 60, 90, 180}) {
+    const auto aggs = runtime::run_seeds_multi(
+        opt.seeds, opt.seed, 4, [&](std::uint64_t seed) {
+          runtime::experiment_config cfg = bench::base_config(opt);
+          cfg.protocol = core::protocol_kind::nylon;
+          cfg.natted_fraction = 0.8;
+          cfg.hole_timeout = sim::seconds(ttl_s);
+          cfg.seed = seed;
+          runtime::scenario world(cfg);
+          world.run_periods(opt.rounds);
+          const auto oracle = world.oracle();
+          const auto clusters = metrics::measure_clusters(
+              world.transport(), world.peers(), oracle);
+          const auto views = metrics::measure_views(world.transport(),
+                                                    world.peers(), oracle);
+          std::uint64_t started = 0;
+          std::uint64_t completed = 0;
+          util::running_stats chains;
+          for (const auto& p : world.peers()) {
+            const auto* np = dynamic_cast<const core::nylon_peer*>(p.get());
+            started += np->nat_stats().punches_started;
+            completed += np->nat_stats().punches_completed;
+            chains.merge(np->nat_stats().punch_chain_hops);
+          }
+          const double success =
+              started > 0 ? 100.0 * static_cast<double>(completed) /
+                                static_cast<double>(started)
+                          : 0.0;
+          return std::vector<double>{clusters.biggest_cluster_pct,
+                                     views.stale_pct, success,
+                                     chains.count() ? chains.mean() : 0.0};
+        });
+    table.add_row({std::to_string(ttl_s), runtime::fmt(aggs[0].stats.mean),
+                   runtime::fmt(aggs[1].stats.mean),
+                   runtime::fmt(aggs[2].stats.mean),
+                   runtime::fmt(aggs[3].stats.mean, 2)});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n# expectation: short timeouts raise staleness and punch "
+               "failures; beyond the\n"
+            << "# paper's 90 s the gains flatten out (chains are refreshed "
+               "reactively anyway).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared command-line handling and helpers for the figure-reproduction
+// benches. Defaults are sized for a single-core box (minutes, not hours);
+// `--full` switches to the paper's scale (10,000 peers, 30 seeds).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "runtime/experiment_config.h"
+#include "util/flags.h"
+
+namespace nylon::bench {
+
+struct sweep_options {
+  std::size_t peers = 600;
+  int seeds = 1;
+  int rounds = 100;       ///< shuffle periods simulated before measuring
+  std::size_t view_a = 8;   ///< small view curve (paper: 15)
+  std::size_t view_b = 15;  ///< large view curve (paper: 27)
+  bool csv = false;
+  bool full = false;
+  std::uint64_t seed = 1;
+};
+
+/// Parses the common flags; on --full, switches every default to the
+/// paper's settings (10,000 peers, 30 seeds, views 15/27, long runs).
+/// Exits the process on --help or bad flags.
+inline sweep_options parse_sweep(int argc, char** argv,
+                                 const std::string& name) {
+  util::flag_set flags;
+  const auto* n = flags.add_int("n", 600, "population size");
+  const auto* seeds = flags.add_int("seeds", 1, "independent seeds per point");
+  const auto* rounds =
+      flags.add_int("rounds", 100, "shuffle periods before measuring");
+  const auto* view_a = flags.add_int(
+      "view-a", 8, "small view size (paper: 15 at n=10000)");
+  const auto* view_b = flags.add_int(
+      "view-b", 15, "large view size (paper: 27 at n=10000)");
+  const auto* seed = flags.add_int("seed", 1, "base seed");
+  const auto* csv = flags.add_bool("csv", false, "emit CSV instead of a table");
+  const auto* full =
+      flags.add_bool("full", false, "paper scale: n=10000, 30 seeds, views 15/27");
+  const auto* help = flags.add_bool("help", false, "print usage");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage(name);
+    std::exit(1);
+  }
+  if (*help) {
+    std::cout << flags.usage(name);
+    std::exit(0);
+  }
+  sweep_options out;
+  out.peers = static_cast<std::size_t>(*n);
+  out.seeds = static_cast<int>(*seeds);
+  out.rounds = static_cast<int>(*rounds);
+  out.view_a = static_cast<std::size_t>(*view_a);
+  out.view_b = static_cast<std::size_t>(*view_b);
+  out.csv = *csv;
+  out.seed = static_cast<std::uint64_t>(*seed);
+  out.full = *full;
+  if (out.full) {
+    out.peers = 10000;
+    out.seeds = 30;
+    out.rounds = 600;
+    out.view_a = 15;
+    out.view_b = 27;
+  }
+  return out;
+}
+
+/// Baseline experiment config from sweep options (§5 defaults otherwise).
+inline runtime::experiment_config base_config(const sweep_options& opt) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = opt.peers;
+  cfg.gossip.view_size = opt.view_a;
+  return cfg;
+}
+
+inline void print_preamble(const std::string& what,
+                           const sweep_options& opt) {
+  std::cout << "# " << what << "\n"
+            << "# n=" << opt.peers << " seeds=" << opt.seeds
+            << " rounds=" << opt.rounds << " views={" << opt.view_a << ","
+            << opt.view_b << "}"
+            << (opt.full ? " (paper scale)" : " (reduced scale; --full for paper scale)")
+            << "\n";
+}
+
+}  // namespace nylon::bench

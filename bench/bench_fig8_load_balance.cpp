@@ -1,0 +1,54 @@
+// Fig. 8: average bytes/s sent+received by public vs natted peers, vs
+// %NAT — Nylon's claim that the relay load is spread evenly.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/bandwidth.h"
+#include "runtime/runner.h"
+#include "runtime/scenario.h"
+#include "runtime/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+  const bench::sweep_options opt =
+      bench::parse_sweep(argc, argv, "bench_fig8_load_balance");
+  bench::print_preamble(
+      "Fig. 8: bytes/s for public vs natted peers (Nylon)", opt);
+
+  runtime::text_table table(
+      {"%NAT", "public B/s", "natted B/s", "public/natted"});
+  for (const int pct : {10, 20, 40, 60, 80, 90}) {
+    const auto aggs = runtime::run_seeds_multi(
+        opt.seeds, opt.seed, 2, [&](std::uint64_t seed) {
+          runtime::experiment_config cfg = bench::base_config(opt);
+          cfg.protocol = core::protocol_kind::nylon;
+          cfg.natted_fraction = pct / 100.0;
+          cfg.seed = seed;
+          runtime::scenario world(cfg);
+          const int warmup = opt.rounds / 2;
+          world.run_periods(warmup);
+          world.transport().reset_traffic();
+          world.run_periods(opt.rounds - warmup);
+          const auto report = metrics::measure_bandwidth(
+              world.transport(), world.peers(),
+              (opt.rounds - warmup) * cfg.gossip.shuffle_period);
+          return std::vector<double>{report.public_bytes_per_s,
+                                     report.natted_bytes_per_s};
+        });
+    const double pub = aggs[0].stats.mean;
+    const double natted = aggs[1].stats.mean;
+    table.add_row({std::to_string(pct), runtime::fmt(pub),
+                   runtime::fmt(natted),
+                   runtime::fmt(natted > 0 ? pub / natted : 0.0, 2)});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n# paper shape: public peers send/receive 10-20% *less* "
+               "than natted peers\n"
+            << "# (they get no OPEN_HOLEs for themselves and send no "
+               "PONGs).\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator:
+// RNG, event queue, view merge, NAT translation/filtering, routing table.
+#include <benchmark/benchmark.h>
+
+#include "core/routing_table.h"
+#include "gossip/view.h"
+#include "nat/nat_device.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace nylon;
+
+void bm_rng_uniform(benchmark::State& state) {
+  util::rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(0, 999));
+  }
+}
+BENCHMARK(bm_rng_uniform);
+
+void bm_event_queue_push_pop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::event_queue q;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.push(static_cast<sim::sim_time>(i % 97), [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(bm_event_queue_push_pop)->Arg(256)->Arg(4096);
+
+void bm_view_merge(benchmark::State& state) {
+  util::rng rng(2);
+  const auto policy = static_cast<gossip::merge_policy>(state.range(0));
+  gossip::view v(15);
+  std::vector<gossip::view_entry> initial;
+  for (net::node_id i = 1; i <= 15; ++i) {
+    initial.push_back(gossip::view_entry{
+        gossip::node_descriptor{i, {net::ip_address{i}, 1}, {}}, i, 0});
+  }
+  v.assign(initial, 0);
+  std::vector<gossip::view_entry> received;
+  for (net::node_id i = 10; i < 26; ++i) {
+    received.push_back(gossip::view_entry{
+        gossip::node_descriptor{i, {net::ip_address{i}, 1}, {}}, 0, 0});
+  }
+  for (auto _ : state) {
+    gossip::view copy = v;
+    copy.merge(received, initial, policy, 0, rng);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(bm_view_merge)
+    ->Arg(static_cast<int>(gossip::merge_policy::blind))
+    ->Arg(static_cast<int>(gossip::merge_policy::healer))
+    ->Arg(static_cast<int>(gossip::merge_policy::swapper));
+
+void bm_nat_translate_and_filter(benchmark::State& state) {
+  const auto type = static_cast<nat::nat_type>(state.range(0));
+  nat::nat_device dev(type, net::ip_address{0x0A000001}, sim::seconds(90));
+  const net::endpoint priv{net::ip_address{0xAC100001}, 5000};
+  sim::sim_time now = 0;
+  for (auto _ : state) {
+    const net::endpoint remote{net::ip_address{0x0A000002},
+                               1000 + static_cast<std::uint32_t>(now % 16)};
+    const net::endpoint pub = dev.translate_outbound(priv, remote, now);
+    benchmark::DoNotOptimize(dev.filter_inbound(pub, remote, now));
+    ++now;
+  }
+}
+BENCHMARK(bm_nat_translate_and_filter)
+    ->Arg(static_cast<int>(nat::nat_type::restricted_cone))
+    ->Arg(static_cast<int>(nat::nat_type::port_restricted_cone))
+    ->Arg(static_cast<int>(nat::nat_type::symmetric));
+
+void bm_routing_table_lookup(benchmark::State& state) {
+  core::routing_table rt(sim::seconds(90));
+  for (net::node_id i = 0; i < 64; ++i) {
+    rt.touch_direct(i, {net::ip_address{i}, 1}, 0);
+  }
+  for (net::node_id i = 64; i < 512; ++i) {
+    rt.learn_route(i, i % 64, sim::seconds(60), 0);
+  }
+  net::node_id dest = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.next_rvp(dest, 10));
+    dest = 64 + (dest + 1) % 448;
+  }
+}
+BENCHMARK(bm_routing_table_lookup);
+
+void bm_rng_sample_indices(benchmark::State& state) {
+  util::rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.sample_indices(10000, 15));
+  }
+}
+BENCHMARK(bm_rng_sample_indices);
+
+}  // namespace
+
+BENCHMARK_MAIN();

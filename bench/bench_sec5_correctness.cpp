@@ -1,0 +1,85 @@
+// §5 "Correctness" for Nylon: no partitions, no stale references, and a
+// statistical randomness battery over the sampled peer ids (our substitute
+// for the diehard suite — see DESIGN.md).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/graph_analysis.h"
+#include "metrics/randomness.h"
+#include "runtime/runner.h"
+#include "runtime/scenario.h"
+#include "runtime/table_printer.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+  const bench::sweep_options opt =
+      bench::parse_sweep(argc, argv, "bench_sec5_correctness");
+  bench::print_preamble("Sec. 5 correctness: partitions, staleness, "
+                        "randomness battery (diehard substitute)",
+                        opt);
+
+  runtime::text_table table({"%NAT", "biggest cluster %", "clusters",
+                             "stale %", "chi2 p", "runs p", "serial",
+                             "in-deg sigma/mean"});
+
+  for (const int pct : {0, 20, 40, 60, 80, 90}) {
+    runtime::experiment_config cfg = bench::base_config(opt);
+    cfg.protocol = core::protocol_kind::nylon;
+    cfg.natted_fraction = pct / 100.0;
+    cfg.seed = opt.seed;
+    runtime::scenario world(cfg);
+    world.run_periods(opt.rounds);
+
+    const auto oracle = world.oracle();
+    const auto clusters =
+        metrics::measure_clusters(world.transport(), world.peers(), oracle);
+    const auto views =
+        metrics::measure_views(world.transport(), world.peers(), oracle);
+
+    // Randomness battery over the ids the sampling service returns, one
+    // sample per peer per pass so consecutive stream elements come from
+    // independent views.
+    std::vector<std::uint32_t> sampled;
+    for (int k = 0; k < 8; ++k) {
+      for (const auto& p : world.peers()) {
+        if (const auto s = p->sample()) sampled.push_back(s->id);
+      }
+    }
+    const auto battery = metrics::run_battery(sampled, cfg.peer_count);
+
+    const auto degrees = metrics::in_degrees(world.transport(), world.peers());
+    util::running_stats degree_stats;
+    for (const std::size_t d : degrees) {
+      degree_stats.add(static_cast<double>(d));
+    }
+    const double dispersion =
+        degree_stats.mean() > 0 ? degree_stats.stddev() / degree_stats.mean()
+                                : 0.0;
+
+    table.add_row({std::to_string(pct),
+                   runtime::fmt(clusters.biggest_cluster_pct),
+                   std::to_string(clusters.cluster_count),
+                   runtime::fmt(views.stale_pct, 2),
+                   runtime::fmt(battery.frequency.p_value, 3),
+                   runtime::fmt(battery.runs.p_value, 3),
+                   runtime::fmt(battery.serial, 4),
+                   runtime::fmt(dispersion, 2)});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout
+      << "\n# paper claims: single cluster, no stale references, diehard "
+         "passed.\n"
+      << "# ours: single cluster, ~0-3% transient staleness; runs/serial "
+         "tests pass.\n"
+      << "# the chi-square frequency test detects the residual "
+         "public-vs-natted composition bias\n"
+      << "# analysed in EXPERIMENTS.md (the paper does not quantify this "
+         "dimension).\n";
+  return 0;
+}

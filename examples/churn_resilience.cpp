@@ -1,0 +1,84 @@
+// Fig. 10 as an interactive experiment: warm a Nylon overlay up, kill a
+// large fraction of the peers at once, and watch the overlay heal.
+//
+//   ./examples/churn_resilience [--peers 500] [--nat-pct 60]
+//                               [--departures 50] [--watch-periods 40]
+//
+// Prints a time series of the biggest cluster, staleness and dead view
+// entries after the massive departure.
+#include <iostream>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+#include "runtime/table_printer.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+
+  util::flag_set flags;
+  const auto* peers = flags.add_int("peers", 500, "population size");
+  const auto* nat_pct = flags.add_double("nat-pct", 60.0, "% natted peers");
+  const auto* departures =
+      flags.add_double("departures", 50.0, "% of peers leaving at once");
+  const auto* warmup = flags.add_int("warmup", 60, "periods before the churn");
+  const auto* watch =
+      flags.add_int("watch-periods", 40, "periods observed after the churn");
+  const auto* seed = flags.add_int("seed", 3, "rng seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage("churn_resilience");
+    return 1;
+  }
+
+  runtime::experiment_config cfg;
+  cfg.peer_count = static_cast<std::size_t>(*peers);
+  cfg.natted_fraction = *nat_pct / 100.0;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.seed = static_cast<std::uint64_t>(*seed);
+  runtime::scenario world(cfg);
+
+  std::cout << "Warming up " << cfg.peer_count << " peers (" << *nat_pct
+            << "% natted) for " << *warmup << " periods...\n";
+  world.run_periods(*warmup);
+
+  const std::size_t removed = world.remove_fraction(*departures / 100.0);
+  std::cout << "Boom: " << removed << " peers left simultaneously ("
+            << *departures << "%). Watching the overlay heal:\n\n";
+
+  runtime::text_table table({"period", "alive", "biggest cluster %",
+                             "clusters", "stale %", "dead refs %"});
+  const auto snapshot = [&](int period) {
+    const auto oracle = world.oracle();
+    const auto clusters =
+        metrics::measure_clusters(world.transport(), world.peers(), oracle);
+    const auto views =
+        metrics::measure_views(world.transport(), world.peers(), oracle);
+    const double dead_pct =
+        views.total_entries > 0
+            ? 100.0 * static_cast<double>(views.dead_entries) /
+                  static_cast<double>(views.total_entries)
+            : 0.0;
+    table.add_row({std::to_string(period), std::to_string(world.alive_count()),
+                   runtime::fmt(clusters.biggest_cluster_pct),
+                   std::to_string(clusters.cluster_count),
+                   runtime::fmt(views.stale_pct),
+                   runtime::fmt(dead_pct)});
+  };
+
+  snapshot(0);
+  const int step = std::max<int>(1, static_cast<int>(*watch / 8));
+  for (int period = step; period <= *watch; period += step) {
+    world.run_periods(step);
+    snapshot(period);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe dead references age out of the views within a few "
+               "periods and the\n"
+            << "survivors re-knit into a single cluster (paper Fig. 10: no "
+               "partition up to 50%\n"
+            << "departures, graceful degradation beyond).\n";
+  return 0;
+}

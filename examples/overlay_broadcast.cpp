@@ -1,0 +1,141 @@
+// An application on top of the peer-sampling service: epidemic rumor
+// dissemination (the paper's §1 motivation for peer sampling — protocols
+// like bimodal multicast assume every peer can talk to its sample).
+//
+//   ./examples/overlay_broadcast [--peers 400] [--nat-pct 80] [--fanout 3]
+//
+// Each infected peer pushes the rumor to `fanout` peers drawn from its
+// sampling service every period. With the NAT-oblivious baseline many of
+// those pushes silently die at NAT boxes; with Nylon the rumor reaches
+// (almost) everyone. The example only uses the public API:
+// peer_sampling_service::sample() plus the transport's dry-run oracle as
+// the "can I actually send this" check an application-level messenger
+// would experience.
+#include <iostream>
+#include <vector>
+
+#include "metrics/reachability.h"
+#include "runtime/scenario.h"
+#include "runtime/table_printer.h"
+#include "util/flags.h"
+
+namespace {
+
+/// Simulates one epidemic push round on top of the overlay: every
+/// infected peer samples `fanout` targets and infects those it could
+/// actually exchange messages with (per the reachability oracle).
+double run_epidemic(nylon::runtime::scenario& world, int fanout,
+                    int max_rounds, std::vector<int>* coverage_curve) {
+  using namespace nylon;
+  const auto oracle = world.oracle();
+  std::vector<bool> infected(world.peers().size(), false);
+  // Patient zero: the first alive peer.
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < world.peers().size(); ++i) {
+    if (world.transport().alive(static_cast<net::node_id>(i))) {
+      infected[i] = true;
+      count = 1;
+      break;
+    }
+  }
+  std::size_t alive = world.alive_count();
+  for (int round = 0; round < max_rounds && count < alive; ++round) {
+    std::vector<std::size_t> newly;
+    for (std::size_t i = 0; i < world.peers().size(); ++i) {
+      if (!infected[i]) continue;
+      auto& peer = world.peer_at(static_cast<net::node_id>(i));
+      for (int f = 0; f < fanout; ++f) {
+        const auto target = peer.sample();
+        if (!target) continue;
+        if (target->id >= world.peers().size()) continue;
+        if (infected[target->id]) continue;
+        // The push only lands if the overlay can actually deliver it.
+        if (!oracle.can_shuffle(static_cast<net::node_id>(i), *target)) {
+          continue;
+        }
+        newly.push_back(target->id);
+      }
+    }
+    for (const std::size_t id : newly) {
+      if (!infected[id]) {
+        infected[id] = true;
+        ++count;
+      }
+    }
+    if (coverage_curve) {
+      coverage_curve->push_back(static_cast<int>(count));
+    }
+  }
+  return 100.0 * static_cast<double>(count) / static_cast<double>(alive);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+
+  util::flag_set flags;
+  const auto* peers = flags.add_int("peers", 400, "population size");
+  const auto* nat_pct = flags.add_double("nat-pct", 80.0, "% natted peers");
+  const auto* fanout = flags.add_int("fanout", 3, "push fanout per round");
+  const auto* rounds = flags.add_int("rounds", 12, "epidemic rounds");
+  const auto* warmup = flags.add_int("warmup", 80, "overlay warm-up periods");
+  const auto* seed = flags.add_int("seed", 5, "rng seed");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage("overlay_broadcast");
+    return 1;
+  }
+
+  std::cout << "Rumor dissemination over a peer-sampling overlay ("
+            << *peers << " peers, " << *nat_pct << "% natted, fanout "
+            << *fanout << "):\n\n";
+
+  runtime::text_table table({"round", "baseline coverage", "nylon coverage"});
+  std::vector<int> baseline_curve;
+  std::vector<int> nylon_curve;
+  double baseline_final = 0.0;
+  double nylon_final = 0.0;
+
+  for (const auto kind :
+       {core::protocol_kind::reference, core::protocol_kind::nylon}) {
+    runtime::experiment_config cfg;
+    cfg.peer_count = static_cast<std::size_t>(*peers);
+    cfg.natted_fraction = *nat_pct / 100.0;
+    cfg.protocol = kind;
+    cfg.seed = static_cast<std::uint64_t>(*seed);
+    runtime::scenario world(cfg);
+    world.run_periods(*warmup);
+    auto* curve = kind == core::protocol_kind::reference ? &baseline_curve
+                                                         : &nylon_curve;
+    const double final_coverage = run_epidemic(
+        world, static_cast<int>(*fanout), static_cast<int>(*rounds), curve);
+    if (kind == core::protocol_kind::reference) {
+      baseline_final = final_coverage;
+    } else {
+      nylon_final = final_coverage;
+    }
+  }
+
+  const std::size_t table_rows =
+      std::max(baseline_curve.size(), nylon_curve.size());
+  for (std::size_t r = 0; r < table_rows; ++r) {
+    const auto cell = [&](const std::vector<int>& curve) {
+      if (r < curve.size()) return std::to_string(curve[r]);
+      return curve.empty() ? std::string("-")
+                           : std::to_string(curve.back());
+    };
+    table.add_row({std::to_string(r + 1), cell(baseline_curve),
+                   cell(nylon_curve)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFinal coverage: baseline "
+            << runtime::fmt(baseline_final) << "% vs Nylon "
+            << runtime::fmt(nylon_final) << "% of alive peers.\n"
+            << "The baseline's pushes die at NAT boxes and its samples "
+               "miss natted peers;\n"
+            << "Nylon delivers the rumor to (nearly) the whole overlay.\n";
+  return 0;
+}

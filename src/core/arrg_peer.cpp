@@ -1,0 +1,105 @@
+#include "core/arrg_peer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace nylon::core {
+
+using gossip::gossip_message;
+using gossip::message_kind;
+using gossip::node_descriptor;
+using gossip::view_entry;
+
+arrg_peer::arrg_peer(net::transport& transport, util::rng& rng,
+                     gossip::protocol_config cfg, std::size_t cache_size)
+    : gossip::peer(transport, rng, cfg), cache_size_(cache_size) {
+  NYLON_EXPECTS(cache_size > 0);
+}
+
+std::vector<node_descriptor> arrg_peer::cache_snapshot() const {
+  return {cache_.begin(), cache_.end()};
+}
+
+void arrg_peer::remember_success(const node_descriptor& peer) {
+  if (peer.id == id()) return;
+  const auto existing = std::find_if(
+      cache_.begin(), cache_.end(),
+      [&](const node_descriptor& d) { return d.id == peer.id; });
+  if (existing != cache_.end()) cache_.erase(existing);
+  cache_.push_front(peer);
+  if (cache_.size() > cache_size_) cache_.pop_back();
+}
+
+void arrg_peer::initiate_shuffle() {
+  if (view_.empty() && cache_.empty()) {
+    ++stats_.empty_view_skips;
+    return;
+  }
+  // Fallback rule: the previous attempt went unanswered -> pick the
+  // target from the cache of previously responsive peers instead.
+  node_descriptor target;
+  const bool previous_failed = awaiting_response_ != net::nil_node;
+  if (previous_failed && !cache_.empty()) {
+    ++cache_fallbacks_;
+    target = cache_[rng_.index(cache_.size())];
+  } else if (!view_.empty()) {
+    target = view_.select(cfg_.selection, rng_).peer;
+  } else {
+    target = cache_[rng_.index(cache_.size())];
+  }
+
+  ++stats_.initiated;
+  std::vector<view_entry> buffer = build_buffer();
+  gossip_message msg;
+  msg.kind = message_kind::request;
+  msg.sender = self();
+  msg.src = self();
+  msg.dest = target;
+  msg.entries = buffer;
+  transport_.send(id(), target.addr, make_message(std::move(msg)));
+  awaiting_response_ = target.id;
+  last_sent_ = std::move(buffer);
+  view_.increase_age();
+}
+
+void arrg_peer::handle_message(const net::datagram& dgram,
+                               const gossip_message& msg) {
+  switch (msg.kind) {
+    case message_kind::request: {
+      ++stats_.requests_received;
+      remember_success(msg.src);
+      std::vector<view_entry> sent;
+      if (cfg_.propagation == gossip::propagation_policy::pushpull) {
+        sent = build_buffer();
+        gossip_message response;
+        response.kind = message_kind::response;
+        response.sender = self();
+        response.src = self();
+        response.dest = msg.src;
+        response.entries = sent;
+        transport_.send(id(), dgram.source, make_message(std::move(response)));
+      }
+      view_.merge(msg.entries, sent, cfg_.merge, id(), rng_);
+      view_.increase_age();
+      return;
+    }
+    case message_kind::response: {
+      ++stats_.responses_received;
+      remember_success(msg.src);
+      if (msg.src.id == awaiting_response_) {
+        awaiting_response_ = net::nil_node;
+      }
+      view_.merge(msg.entries, last_sent_, cfg_.merge, id(), rng_);
+      last_sent_.clear();
+      return;
+    }
+    case message_kind::open_hole:
+    case message_kind::ping:
+    case message_kind::pong:
+      return;  // not part of this baseline
+  }
+}
+
+}  // namespace nylon::core

@@ -1,0 +1,49 @@
+// ARRG-style baseline (Drost et al. [6], the only prior gossip/NAT work
+// the paper cites): a NAT-oblivious peer that additionally keeps a small
+// cache of peers it *successfully* communicated with, and falls back to
+// gossiping with a cache member whenever its previous attempt went
+// unanswered. The paper argues this "cannot ensure that the network will
+// remain connected" — the ablation bench quantifies that claim.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "gossip/peer.h"
+
+namespace nylon::core {
+
+class arrg_peer : public gossip::peer {
+ public:
+  /// `cache_size` is the fallback-cache capacity (ARRG uses a small
+  /// constant; 10 by default).
+  arrg_peer(net::transport& transport, util::rng& rng,
+            gossip::protocol_config cfg, std::size_t cache_size = 10);
+
+  /// Peers currently in the fallback cache (most recent first).
+  [[nodiscard]] std::vector<gossip::node_descriptor> cache_snapshot() const;
+
+  /// Number of shuffles that fell back to the cache.
+  [[nodiscard]] std::uint64_t cache_fallbacks() const noexcept {
+    return cache_fallbacks_;
+  }
+
+ protected:
+  void initiate_shuffle() override;
+  void handle_message(const net::datagram& dgram,
+                      const gossip::gossip_message& msg) override;
+
+ private:
+  void remember_success(const gossip::node_descriptor& peer);
+
+  std::size_t cache_size_;
+  std::deque<gossip::node_descriptor> cache_;  ///< most recent first
+  /// Target of the previous shuffle; if still unanswered when the next
+  /// one fires, the attempt is considered failed (fire-and-forget UDP has
+  /// no better signal) and the cache takes over.
+  net::node_id awaiting_response_ = net::nil_node;
+  std::vector<gossip::view_entry> last_sent_;
+  std::uint64_t cache_fallbacks_ = 0;
+};
+
+}  // namespace nylon::core

@@ -1,0 +1,33 @@
+#include "core/peer_factory.h"
+
+#include "core/arrg_peer.h"
+#include "core/nylon_peer.h"
+#include "gossip/generic_peer.h"
+
+namespace nylon::core {
+
+std::string_view to_string(protocol_kind k) noexcept {
+  switch (k) {
+    case protocol_kind::reference: return "reference";
+    case protocol_kind::nylon: return "nylon";
+    case protocol_kind::arrg: return "arrg";
+  }
+  return "?";
+}
+
+std::unique_ptr<gossip::peer> make_peer(protocol_kind kind,
+                                        net::transport& transport,
+                                        util::rng& rng,
+                                        const gossip::protocol_config& cfg) {
+  switch (kind) {
+    case protocol_kind::reference:
+      return std::make_unique<gossip::generic_peer>(transport, rng, cfg);
+    case protocol_kind::nylon:
+      return std::make_unique<nylon_peer>(transport, rng, cfg);
+    case protocol_kind::arrg:
+      return std::make_unique<arrg_peer>(transport, rng, cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace nylon::core

@@ -1,0 +1,30 @@
+// Uniform construction of the three peer implementations, so scenarios
+// and benches can sweep protocols by name.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "gossip/peer.h"
+#include "gossip/policies.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace nylon::core {
+
+/// Which protocol a peer runs.
+enum class protocol_kind : std::uint8_t {
+  reference,  ///< the NAT-oblivious Fig. 1 baseline
+  nylon,      ///< the paper's contribution (Fig. 6)
+  arrg,       ///< the cache-fallback baseline of Drost et al. [6]
+};
+
+[[nodiscard]] std::string_view to_string(protocol_kind k) noexcept;
+
+/// Creates a peer of the requested kind. The caller wires it up:
+/// transport.add_node -> attach -> bootstrap -> start.
+[[nodiscard]] std::unique_ptr<gossip::peer> make_peer(
+    protocol_kind kind, net::transport& transport, util::rng& rng,
+    const gossip::protocol_config& cfg);
+
+}  // namespace nylon::core

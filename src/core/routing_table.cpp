@@ -1,0 +1,108 @@
+#include "core/routing_table.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace nylon::core {
+
+routing_table::routing_table(sim::sim_time hole_timeout)
+    : hole_timeout_(hole_timeout) {
+  NYLON_EXPECTS(hole_timeout > 0);
+}
+
+void routing_table::touch_direct(net::node_id p, const net::endpoint& addr,
+                                 sim::sim_time now) {
+  direct_contact& contact = direct_[p];
+  contact.address = addr;
+  contact.expires = now + hole_timeout_;
+}
+
+void routing_table::learn_route(net::node_id dest, net::node_id rvp,
+                                sim::sim_time expires, sim::sim_time now,
+                                bool authoritative) {
+  NYLON_EXPECTS(dest != rvp);
+  chained_route& route = routes_[dest];
+  const bool existing_valid =
+      route.rvp != net::nil_node && route.expires >= now;
+  if (!existing_valid || (authoritative && expires > route.expires)) {
+    route.rvp = rvp;
+    route.expires = expires;
+  }
+  // else: first-giver-wins — see the header for why this keeps chains
+  // acyclic.
+}
+
+void routing_table::refresh_routes_via(net::node_id rvp, sim::sim_time now) {
+  for (auto& [dest, route] : routes_) {
+    if (route.rvp == rvp && route.expires >= now) {
+      route.expires = now + hole_timeout_;
+    }
+  }
+}
+
+void routing_table::forget(net::node_id dest) {
+  direct_.erase(dest);
+  routes_.erase(dest);
+}
+
+void routing_table::purge_expired(sim::sim_time now) {
+  std::erase_if(direct_,
+                [now](const auto& kv) { return kv.second.expires < now; });
+  std::erase_if(routes_,
+                [now](const auto& kv) { return kv.second.expires < now; });
+}
+
+bool routing_table::is_direct(net::node_id dest, sim::sim_time now) const {
+  const auto it = direct_.find(dest);
+  return it != direct_.end() && it->second.expires >= now;
+}
+
+std::optional<next_hop> routing_table::next_rvp(net::node_id dest,
+                                                sim::sim_time now) const {
+  const auto direct = direct_.find(dest);
+  if (direct != direct_.end() && direct->second.expires >= now) {
+    return next_hop{dest, direct->second.address};
+  }
+  const auto route = routes_.find(dest);
+  if (route == routes_.end() || route->second.expires < now) {
+    return std::nullopt;
+  }
+  const auto hop = direct_.find(route->second.rvp);
+  if (hop == direct_.end() || hop->second.expires < now) {
+    // The RVP itself is no longer reachable; the chain is broken here.
+    return std::nullopt;
+  }
+  return next_hop{route->second.rvp, hop->second.address};
+}
+
+sim::sim_time routing_table::remaining_ttl(net::node_id dest,
+                                           sim::sim_time now) const {
+  const auto direct = direct_.find(dest);
+  if (direct != direct_.end() && direct->second.expires >= now) {
+    return direct->second.expires - now;
+  }
+  const auto route = routes_.find(dest);
+  if (route == routes_.end() || route->second.expires < now) return 0;
+  const auto hop = direct_.find(route->second.rvp);
+  if (hop == direct_.end() || hop->second.expires < now) return 0;
+  // Minimum along the chain as seen from here: the learnt expiry already
+  // carries the upstream minimum; the local link to the RVP caps it.
+  return std::min(route->second.expires, hop->second.expires) - now;
+}
+
+std::size_t routing_table::direct_count(sim::sim_time now) const {
+  return static_cast<std::size_t>(
+      std::count_if(direct_.begin(), direct_.end(), [now](const auto& kv) {
+        return kv.second.expires >= now;
+      }));
+}
+
+std::size_t routing_table::route_count(sim::sim_time now) const {
+  return static_cast<std::size_t>(
+      std::count_if(routes_.begin(), routes_.end(), [now](const auto& kv) {
+        return kv.second.expires >= now;
+      }));
+}
+
+}  // namespace nylon::core

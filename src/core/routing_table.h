@@ -1,0 +1,125 @@
+// Nylon's per-peer routing state (Fig. 5): for every natted peer we may
+// want to gossip with, the rendez-vous peer (RVP) that can forward our
+// OPEN_HOLE / relayed messages towards it, with a time-to-live.
+//
+// Two layers, mirroring how the protocol actually learns paths:
+//  * direct contacts — peers we exchanged messages with recently; we hold
+//    their observed endpoint and the NAT holes are mutual. Refreshed every
+//    time a message from them arrives (update_next_RVP(p, p, HOLE_TIMEOUT)).
+//  * chained routes — "to reach d, go through rvp r", learnt from a
+//    shuffle (the partner that handed us d's reference becomes the RVP,
+//    §4) or from a forwarded message's reverse path. The advertised TTL
+//    propagates the minimum remaining validity along the chain (Fig. 5's
+//    120/140/170 example).
+//
+// TTLs are stored as absolute expiry times; "decreasing TTLs every period"
+// (Fig. 6 line 14) then reduces to purging expired entries.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.h"
+#include "net/node_id.h"
+#include "sim/time.h"
+
+namespace nylon::core {
+
+/// Resolved next hop for a destination.
+struct next_hop {
+  net::node_id rvp = net::nil_node;  ///< equals dest when direct
+  net::endpoint address;             ///< where to physically send
+};
+
+class routing_table {
+ public:
+  /// `hole_timeout` is the NAT-rule lifetime (the paper's 90 s); direct
+  /// contacts and freshly learnt routes live at most this long.
+  explicit routing_table(sim::sim_time hole_timeout);
+
+  // --- updates ---------------------------------------------------------------
+
+  /// update_next_RVP(p, p, HOLE_TIMEOUT): a message from `p` (observed at
+  /// `addr`) just arrived; `p` is a direct contact for a full timeout.
+  void touch_direct(net::node_id p, const net::endpoint& addr,
+                    sim::sim_time now);
+
+  /// Records "reach `dest` via `rvp`" with an absolute expiry.
+  ///
+  /// First-giver-wins: while an existing route is still valid it is kept
+  /// and the new one ignored. This is what makes RVP chains converge: a
+  /// peer's pointer then always leads to someone who knew the destination
+  /// *earlier*, so pointer chains follow strictly decreasing first-learn
+  /// times — acyclic and terminating at the destination (or at a peer
+  /// that punched with it directly). Last-writer-wins would turn the
+  /// pointer graph into a random functional graph whose walks mostly end
+  /// in cycles, breaking hole punching at scale.
+  ///
+  /// Exception: `authoritative` routes — the giver advertised a full
+  /// hole-timeout TTL, i.e. it holds a *fresh direct hole* to the
+  /// destination — replace whatever is stored. That is distance-1
+  /// information; preferring it is what keeps chains at the paper's 1-3
+  /// hops instead of wandering through stale pointers. (A cycle through
+  /// authoritative pointers would need every hop's direct contact to
+  /// have just expired — vanishingly rare, and the hop-count guard in
+  /// the forwarder bounds the damage.)
+  void learn_route(net::node_id dest, net::node_id rvp, sim::sim_time expires,
+                   sim::sim_time now, bool authoritative = false);
+
+  /// §4: "TTLs are ... updated every time a message from one RVP stored
+  /// in the routing table is received" — refreshes every chained route
+  /// that goes through `rvp`. Chains therefore stay alive per-hop as long
+  /// as traffic keeps flowing along them, which is also what keeps the
+  /// underlying NAT holes open.
+  void refresh_routes_via(net::node_id rvp, sim::sim_time now);
+
+  /// Drops everything known about `dest` (e.g. presumed dead).
+  void forget(net::node_id dest);
+
+  /// Fig. 6 line 14: purge entries whose TTL has run out.
+  void purge_expired(sim::sim_time now);
+
+  // --- queries ---------------------------------------------------------------
+
+  /// next_RVP(dest): the hop to send to for `dest`, or nullopt when no
+  /// live route exists. Direct contact wins over a chained route. A
+  /// chained route is usable only while its RVP is itself a direct
+  /// contact (we must be able to physically reach the next hop).
+  [[nodiscard]] std::optional<next_hop> next_rvp(net::node_id dest,
+                                                 sim::sim_time now) const;
+
+  /// True when `dest` is a live direct contact.
+  [[nodiscard]] bool is_direct(net::node_id dest, sim::sim_time now) const;
+
+  /// Remaining validity (ms) of our route towards `dest` — the minimum
+  /// along the chain, which is what a peer advertises when it hands the
+  /// reference onward ("TTLs are exchanged together with the views").
+  /// 0 when no route.
+  [[nodiscard]] sim::sim_time remaining_ttl(net::node_id dest,
+                                            sim::sim_time now) const;
+
+  // --- introspection ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t direct_count(sim::sim_time now) const;
+  [[nodiscard]] std::size_t route_count(sim::sim_time now) const;
+  [[nodiscard]] sim::sim_time hole_timeout() const noexcept {
+    return hole_timeout_;
+  }
+
+ private:
+  struct direct_contact {
+    net::endpoint address;
+    sim::sim_time expires = 0;
+  };
+  struct chained_route {
+    net::node_id rvp = net::nil_node;
+    sim::sim_time expires = 0;
+  };
+
+  sim::sim_time hole_timeout_;
+  std::unordered_map<net::node_id, direct_contact> direct_;
+  std::unordered_map<net::node_id, chained_route> routes_;
+};
+
+}  // namespace nylon::core

@@ -1,0 +1,39 @@
+#include "gossip/bootstrap.h"
+
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace nylon::gossip {
+
+void bootstrap_with_public_peers(std::span<peer* const> peers,
+                                 util::rng& rng) {
+  std::vector<const peer*> seeds;
+  seeds.reserve(peers.size());
+  for (const peer* p : peers) {
+    NYLON_EXPECTS(p != nullptr);
+    if (!nat::is_natted(p->self().type)) seeds.push_back(p);
+  }
+  const bool no_public = seeds.empty();
+  if (no_public) {
+    seeds.assign(peers.begin(), peers.end());
+  }
+
+  for (peer* p : peers) {
+    const std::size_t want = p->config().view_size;
+    // Sample distinct seed indices, skipping self.
+    std::vector<std::size_t> order = rng.sample_indices(
+        seeds.size(), std::min(seeds.size(), want + 1));
+    std::vector<view_entry> initial;
+    initial.reserve(want);
+    for (const std::size_t idx : order) {
+      if (initial.size() == want) break;
+      if (seeds[idx]->id() == p->id()) continue;
+      initial.push_back(view_entry{seeds[idx]->self(), /*age=*/0,
+                                   /*route_ttl=*/0});
+    }
+    p->set_initial_view(std::move(initial));
+  }
+}
+
+}  // namespace nylon::gossip

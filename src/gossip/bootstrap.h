@@ -1,0 +1,20 @@
+// Bootstrap as in §5: every peer's initial view is filled with randomly
+// chosen *public* peers, so the initial graph is connected and natted
+// peers become known only through gossip itself.
+#pragma once
+
+#include <span>
+
+#include "gossip/peer.h"
+#include "util/rng.h"
+
+namespace nylon::gossip {
+
+/// Seeds each peer's view with up to view_size distinct random public
+/// peers (never itself). Falls back to sampling among all peers if the
+/// population contains no public peer at all (degenerate configurations
+/// used in tests). Also used after churn to re-seed joining peers.
+void bootstrap_with_public_peers(std::span<peer* const> peers,
+                                 util::rng& rng);
+
+}  // namespace nylon::gossip

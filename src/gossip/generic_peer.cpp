@@ -1,0 +1,83 @@
+#include "gossip/generic_peer.h"
+
+#include <utility>
+
+namespace nylon::gossip {
+
+void generic_peer::initiate_shuffle() {
+  // Fig. 1, lines 1-7.
+  if (view_.empty()) {
+    ++stats_.empty_view_skips;
+    return;
+  }
+  ++stats_.initiated;
+  const node_descriptor target = view_.select(cfg_.selection, rng_).peer;
+  std::vector<view_entry> buffer = build_buffer();
+
+  gossip_message msg;
+  msg.kind = message_kind::request;
+  msg.sender = self();
+  msg.src = self();
+  msg.dest = target;
+  msg.entries = buffer;
+  transport_.send(id(), target.addr, make_message(std::move(msg)));
+
+  const sim::sim_time now = transport_.scheduler().now();
+  if (cfg_.propagation == propagation_policy::pushpull) {
+    pending_[target.id] = pending_request{std::move(buffer), now};
+    prune_pending(now);
+  }
+  view_.increase_age();
+}
+
+void generic_peer::handle_message(const net::datagram& dgram,
+                                  const gossip_message& msg) {
+  switch (msg.kind) {
+    case message_kind::request: {
+      // Fig. 1, lines 8-12. The RESPONSE goes back to the datagram's
+      // (post-NAT) source endpoint, like a real UDP reply.
+      ++stats_.requests_received;
+      std::vector<view_entry> sent;
+      if (cfg_.propagation == propagation_policy::pushpull) {
+        sent = build_buffer();
+        gossip_message response;
+        response.kind = message_kind::response;
+        response.sender = self();
+        response.src = self();
+        response.dest = msg.src;
+        response.entries = sent;
+        transport_.send(id(), dgram.source, make_message(std::move(response)));
+      }
+      view_.merge(msg.entries, sent, cfg_.merge, id(), rng_);
+      view_.increase_age();
+      return;
+    }
+    case message_kind::response: {
+      // Fig. 1, lines 5-6 (asynchronous arrival).
+      ++stats_.responses_received;
+      std::vector<view_entry> sent;
+      const auto pending = pending_.find(msg.sender.id);
+      if (pending != pending_.end()) {
+        sent = std::move(pending->second.sent);
+        pending_.erase(pending);
+      }
+      view_.merge(msg.entries, sent, cfg_.merge, id(), rng_);
+      return;
+    }
+    case message_kind::open_hole:
+    case message_kind::ping:
+    case message_kind::pong:
+      // The NAT-oblivious baseline never emits these; ignore.
+      return;
+  }
+}
+
+void generic_peer::prune_pending(sim::sim_time now) {
+  const sim::sim_time horizon =
+      now - pending_ttl_periods * cfg_.shuffle_period;
+  std::erase_if(pending_, [&](const auto& item) {
+    return item.second.sent_at < horizon;
+  });
+}
+
+}  // namespace nylon::gossip

@@ -1,0 +1,38 @@
+// The NAT-oblivious baseline of §3: a literal implementation of Fig. 1.
+// It addresses gossip targets by their advertised endpoint and lets the
+// network do what it will — which is exactly how it degrades behind NATs.
+#pragma once
+
+#include <unordered_map>
+
+#include "gossip/peer.h"
+
+namespace nylon::gossip {
+
+/// Generic peer-sampling peer (Fig. 1), configurable along the three
+/// dimensions of §3 via `protocol_config`.
+class generic_peer : public peer {
+ public:
+  using peer::peer;
+
+ protected:
+  void initiate_shuffle() override;
+  void handle_message(const net::datagram& dgram,
+                      const gossip_message& msg) override;
+
+ private:
+  /// Outstanding REQUEST buffers, so a later RESPONSE can be merged with
+  /// the right `sent` set (swapper policy needs it). Entries are pruned
+  /// once they are `pending_ttl_periods` shuffle periods old.
+  struct pending_request {
+    std::vector<view_entry> sent;
+    sim::sim_time sent_at = 0;
+  };
+  static constexpr int pending_ttl_periods = 10;
+
+  void prune_pending(sim::sim_time now);
+
+  std::unordered_map<net::node_id, pending_request> pending_;
+};
+
+}  // namespace nylon::gossip

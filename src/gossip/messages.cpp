@@ -1,0 +1,30 @@
+#include "gossip/messages.h"
+
+#include <memory>
+
+namespace nylon::gossip {
+
+std::string_view to_string(message_kind k) noexcept {
+  switch (k) {
+    case message_kind::request: return "REQUEST";
+    case message_kind::response: return "RESPONSE";
+    case message_kind::open_hole: return "OPEN_HOLE";
+    case message_kind::ping: return "PING";
+    case message_kind::pong: return "PONG";
+  }
+  return "?";
+}
+
+std::size_t gossip_message::wire_size() const noexcept {
+  return message_header_bytes + entries.size() * entry_wire_bytes;
+}
+
+std::string_view gossip_message::type_name() const noexcept {
+  return to_string(kind);
+}
+
+net::payload_ptr make_message(gossip_message msg) {
+  return std::make_shared<const gossip_message>(std::move(msg));
+}
+
+}  // namespace nylon::gossip

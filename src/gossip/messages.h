@@ -1,0 +1,59 @@
+// Wire messages shared by the baseline protocol (REQUEST/RESPONSE, Fig. 1)
+// and Nylon (plus OPEN_HOLE/PING/PONG, Fig. 6). One concrete payload type
+// keeps dispatch trivial and wire-size accounting in one place.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gossip/node_descriptor.h"
+#include "gossip/view.h"
+#include "net/message.h"
+
+namespace nylon::gossip {
+
+/// Protocol message kinds (Figs. 1 and 6).
+enum class message_kind : std::uint8_t {
+  request,    ///< shuffle request carrying the initiator's buffer
+  response,   ///< shuffle response carrying the target's buffer
+  open_hole,  ///< Nylon: hole-punch trigger, forwarded along the RVP chain
+  ping,       ///< Nylon: opens the sender's own NAT hole towards dest
+  pong,       ///< Nylon: confirms the hole is open
+};
+
+[[nodiscard]] std::string_view to_string(message_kind k) noexcept;
+
+/// The single concrete payload. Fields unused by a kind stay default.
+///
+///  * `sender` — the immediate hop that emitted this datagram (peers use
+///    it to refresh direct routes: update_next_RVP(p, p)).
+///  * `src`    — the logical originator (shuffle initiator / punch
+///    requester); fixed while the message is relayed.
+///  * `dest`   — the logical final destination; relays forward until
+///    dest == self.
+///  * `entries` — the view buffer (REQUEST/RESPONSE only).
+///  * `hops`   — forwarding count, incremented at every RVP; the receiver
+///    of a chained message reads the RVP-chain length off it (Fig. 9).
+class gossip_message final : public net::payload {
+ public:
+  message_kind kind = message_kind::request;
+  node_descriptor sender;
+  node_descriptor src;
+  node_descriptor dest;
+  std::vector<view_entry> entries;
+  std::uint8_t hops = 0;
+
+  /// kind (1) + 3 descriptors + entry count (2) + hops (1) + entries.
+  [[nodiscard]] std::size_t wire_size() const noexcept override;
+  [[nodiscard]] std::string_view type_name() const noexcept override;
+};
+
+/// Fixed per-message overhead (excluding entries and the UDP/IP header).
+inline constexpr std::size_t message_header_bytes =
+    1 + 3 * descriptor_wire_bytes + 2 + 1;
+
+/// Builds a shared immutable payload (what transport::send expects).
+[[nodiscard]] net::payload_ptr make_message(gossip_message msg);
+
+}  // namespace nylon::gossip

@@ -1,0 +1,32 @@
+// A peer descriptor as it travels inside gossip messages: identity, the
+// public endpoint to contact it on, and its NAT type (which peers learn
+// via STUN in deployments — §2.2).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+
+#include "nat/nat_type.h"
+#include "net/address.h"
+#include "net/node_id.h"
+
+namespace nylon::gossip {
+
+/// Identity + contact information for one peer.
+struct node_descriptor {
+  net::node_id id = net::nil_node;
+  net::endpoint addr;       ///< advertised public endpoint (port 0 for SYM)
+  nat::nat_type type = nat::nat_type::open;
+
+  auto operator<=>(const node_descriptor&) const = default;
+};
+
+/// True when the descriptor refers to a real node.
+[[nodiscard]] constexpr bool valid(const node_descriptor& d) noexcept {
+  return d.id != net::nil_node;
+}
+
+/// Serialized size: id (4) + IPv4 (4) + port (2) + NAT type (1) + pad (1).
+inline constexpr std::size_t descriptor_wire_bytes = 12;
+
+}  // namespace nylon::gossip

@@ -1,0 +1,69 @@
+#include "gossip/peer.h"
+
+#include "util/contracts.h"
+
+namespace nylon::gossip {
+
+peer::peer(net::transport& transport, util::rng& rng, protocol_config cfg)
+    : transport_(transport), rng_(rng), cfg_(cfg), view_(cfg.view_size) {
+  NYLON_EXPECTS(cfg.view_size > 0);
+  NYLON_EXPECTS(cfg.shuffle_period > 0);
+}
+
+void peer::attach(net::node_id id) {
+  NYLON_EXPECTS(self_.id == net::nil_node);
+  self_ = node_descriptor{id, transport_.advertised_endpoint(id),
+                          transport_.type_of(id)};
+}
+
+void peer::start(sim::sim_time first_shuffle) {
+  NYLON_EXPECTS(self_.id != net::nil_node);
+  NYLON_EXPECTS(!running_);
+  running_ = true;
+  timer_ = transport_.scheduler().every(first_shuffle, cfg_.shuffle_period,
+                                        [this] { initiate_shuffle(); });
+}
+
+void peer::stop() {
+  timer_.cancel();
+  running_ = false;
+}
+
+void peer::set_initial_view(std::vector<view_entry> seeds) {
+  view_.assign(std::move(seeds), self_.id);
+}
+
+std::optional<node_descriptor> peer::sample() {
+  if (view_.empty()) return std::nullopt;
+  return view_.random(rng_).peer;
+}
+
+std::vector<node_descriptor> peer::known_peers() const {
+  std::vector<node_descriptor> peers;
+  peers.reserve(view_.size());
+  for (const view_entry& e : view_.entries()) peers.push_back(e.peer);
+  return peers;
+}
+
+void peer::on_datagram(const net::datagram& dgram) {
+  const auto* msg = dynamic_cast<const gossip_message*>(dgram.body.get());
+  NYLON_EXPECTS(msg != nullptr);
+  handle_message(dgram, *msg);
+}
+
+std::vector<view_entry> peer::build_buffer() {
+  std::vector<view_entry> buffer;
+  buffer.reserve(view_.size() + 1);
+  buffer.push_back(self_entry());
+  for (const view_entry& e : view_.entries()) buffer.push_back(e);
+  decorate_buffer(buffer);
+  return buffer;
+}
+
+void peer::decorate_buffer(std::vector<view_entry>& /*buffer*/) {}
+
+view_entry peer::self_entry() const {
+  return view_entry{self_, /*age=*/0, /*route_ttl=*/0};
+}
+
+}  // namespace nylon::gossip

@@ -1,0 +1,26 @@
+// The service-level API of a peer-sampling protocol: applications built on
+// top (dissemination, aggregation, overlay construction) only ever ask for
+// random peers — exactly the abstraction of Jelasity et al. [11].
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gossip/node_descriptor.h"
+
+namespace nylon::gossip {
+
+/// What applications see of the protocol underneath.
+class peer_sampling_service {
+ public:
+  virtual ~peer_sampling_service() = default;
+
+  /// A (hopefully uniformly) random peer from the current sample, or
+  /// nullopt when the local view is empty.
+  [[nodiscard]] virtual std::optional<node_descriptor> sample() = 0;
+
+  /// Snapshot of the peers currently known locally.
+  [[nodiscard]] virtual std::vector<node_descriptor> known_peers() const = 0;
+};
+
+}  // namespace nylon::gossip

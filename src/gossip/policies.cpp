@@ -1,0 +1,56 @@
+#include "gossip/policies.h"
+
+#include "util/contracts.h"
+
+namespace nylon::gossip {
+
+std::string_view to_string(selection_policy p) noexcept {
+  switch (p) {
+    case selection_policy::rand: return "rand";
+    case selection_policy::tail: return "tail";
+  }
+  return "?";
+}
+
+std::string_view to_string(propagation_policy p) noexcept {
+  switch (p) {
+    case propagation_policy::push: return "push";
+    case propagation_policy::pushpull: return "pushpull";
+  }
+  return "?";
+}
+
+std::string_view to_string(merge_policy p) noexcept {
+  switch (p) {
+    case merge_policy::blind: return "blind";
+    case merge_policy::healer: return "healer";
+    case merge_policy::swapper: return "swapper";
+  }
+  return "?";
+}
+
+std::string config_label(const protocol_config& cfg) {
+  std::string label;
+  label += to_string(cfg.propagation);
+  label += ",";
+  label += to_string(cfg.selection);
+  label += ",";
+  label += to_string(cfg.merge);
+  return label;
+}
+
+protocol_config baseline_config(std::uint8_t index, std::size_t view_size) {
+  NYLON_EXPECTS(index < baseline_config_count());
+  protocol_config cfg;
+  cfg.view_size = view_size;
+  cfg.propagation = propagation_policy::pushpull;
+  cfg.selection = (index < 3) ? selection_policy::rand : selection_policy::tail;
+  switch (index % 3) {
+    case 0: cfg.merge = merge_policy::healer; break;
+    case 1: cfg.merge = merge_policy::blind; break;
+    default: cfg.merge = merge_policy::swapper; break;
+  }
+  return cfg;
+}
+
+}  // namespace nylon::gossip

@@ -1,0 +1,56 @@
+// The three configuration dimensions of the generic gossip peer-sampling
+// protocol (Fig. 1 and §3), after Jelasity et al. [11].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace nylon::gossip {
+
+/// How the gossip target is picked from the view.
+enum class selection_policy : std::uint8_t {
+  rand,  ///< uniformly random view entry
+  tail,  ///< the oldest view entry
+};
+
+/// Who sends its view during a shuffle.
+enum class propagation_policy : std::uint8_t {
+  push,      ///< only the initiator sends its view
+  pushpull,  ///< both sides exchange views (used throughout the paper)
+};
+
+/// Which entries survive truncation after a merge.
+enum class merge_policy : std::uint8_t {
+  blind,    ///< random survivors
+  healer,   ///< youngest survivors
+  swapper,  ///< entries received from the partner survive
+};
+
+[[nodiscard]] std::string_view to_string(selection_policy p) noexcept;
+[[nodiscard]] std::string_view to_string(propagation_policy p) noexcept;
+[[nodiscard]] std::string_view to_string(merge_policy p) noexcept;
+
+/// Full configuration of a peer-sampling protocol instance.
+struct protocol_config {
+  std::size_t view_size = 15;                         ///< paper default
+  selection_policy selection = selection_policy::rand;
+  propagation_policy propagation = propagation_policy::pushpull;
+  merge_policy merge = merge_policy::healer;
+  sim::sim_time shuffle_period = sim::seconds(5);     ///< paper default
+};
+
+/// "pushpull,rand,healer"-style label used in figures and tables.
+[[nodiscard]] std::string config_label(const protocol_config& cfg);
+
+/// The six §3 baseline configurations (pushpull x {rand,tail} x
+/// {blind,healer,swapper}) with the given view size.
+[[nodiscard]] constexpr std::uint8_t baseline_config_count() noexcept {
+  return 6;
+}
+[[nodiscard]] protocol_config baseline_config(std::uint8_t index,
+                                              std::size_t view_size);
+
+}  // namespace nylon::gossip

@@ -1,0 +1,148 @@
+#include "gossip/view.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.h"
+
+namespace nylon::gossip {
+
+view::view(std::size_t capacity) : capacity_(capacity) {
+  NYLON_EXPECTS(capacity > 0);
+  entries_.reserve(capacity + capacity);  // headroom during merges
+}
+
+bool view::contains(net::node_id id) const noexcept {
+  return find(id) != nullptr;
+}
+
+const view_entry* view::find(net::node_id id) const noexcept {
+  for (const view_entry& e : entries_) {
+    if (e.peer.id == id) return &e;
+  }
+  return nullptr;
+}
+
+bool view::remove(net::node_id id) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].peer.id == id) {
+      remove_at(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void view::remove_at(std::size_t index) {
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void view::increase_age() noexcept {
+  for (view_entry& e : entries_) ++e.age;
+}
+
+const view_entry& view::oldest() const {
+  NYLON_EXPECTS(!entries_.empty());
+  const view_entry* best = &entries_.front();
+  for (const view_entry& e : entries_) {
+    if (e.age > best->age) best = &e;
+  }
+  return *best;
+}
+
+const view_entry& view::random(util::rng& rng) const {
+  NYLON_EXPECTS(!entries_.empty());
+  return entries_[rng.index(entries_.size())];
+}
+
+const view_entry& view::select(selection_policy policy, util::rng& rng) const {
+  return policy == selection_policy::tail ? oldest() : random(rng);
+}
+
+void view::assign(std::vector<view_entry> entries, net::node_id self) {
+  NYLON_EXPECTS(entries.size() <= capacity_);
+  std::unordered_set<net::node_id> seen;
+  for (const view_entry& e : entries) {
+    NYLON_EXPECTS(e.peer.id != self);
+    NYLON_EXPECTS(seen.insert(e.peer.id).second);
+  }
+  entries_ = std::move(entries);
+}
+
+void view::merge(std::span<const view_entry> received,
+                 std::span<const view_entry> sent, merge_policy policy,
+                 net::node_id self, util::rng& rng) {
+  for (const view_entry& r : received) {
+    if (r.peer.id == self) continue;
+    bool found = false;
+    for (view_entry& mine : entries_) {
+      if (mine.peer.id != r.peer.id) continue;
+      // Duplicate: keep the fresher information (lower age). The fresher
+      // copy also carries the more recent address and route TTL.
+      if (r.age < mine.age) mine = r;
+      found = true;
+      break;
+    }
+    if (!found) entries_.push_back(r);
+  }
+  truncate(policy, received, sent, rng);
+  NYLON_ENSURES(entries_.size() <= capacity_);
+}
+
+void view::truncate(merge_policy policy, std::span<const view_entry> received,
+                    std::span<const view_entry> sent, util::rng& rng) {
+  if (entries_.size() <= capacity_) return;
+
+  switch (policy) {
+    case merge_policy::blind:
+      while (entries_.size() > capacity_) {
+        remove_at(rng.index(entries_.size()));
+      }
+      return;
+
+    case merge_policy::healer:
+      while (entries_.size() > capacity_) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+          if (entries_[i].age > entries_[victim].age) victim = i;
+        }
+        remove_at(victim);
+      }
+      return;
+
+    case merge_policy::swapper: {
+      // Survivors are the entries received from the partner: first drop
+      // what we handed over (sent and not received back), then any other
+      // pre-existing entry, at random within each class.
+      std::unordered_set<net::node_id> received_ids;
+      for (const view_entry& r : received) received_ids.insert(r.peer.id);
+      std::unordered_set<net::node_id> sent_ids;
+      for (const view_entry& s : sent) sent_ids.insert(s.peer.id);
+
+      const auto drop_from_class = [&](auto&& in_class) {
+        while (entries_.size() > capacity_) {
+          std::vector<std::size_t> candidates;
+          for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (in_class(entries_[i])) candidates.push_back(i);
+          }
+          if (candidates.empty()) return;
+          remove_at(candidates[rng.index(candidates.size())]);
+        }
+      };
+      drop_from_class([&](const view_entry& e) {
+        return sent_ids.contains(e.peer.id) &&
+               !received_ids.contains(e.peer.id);
+      });
+      drop_from_class([&](const view_entry& e) {
+        return !received_ids.contains(e.peer.id);
+      });
+      // If received alone overflows the capacity, fall back to random.
+      while (entries_.size() > capacity_) {
+        remove_at(rng.index(entries_.size()));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace nylon::gossip

@@ -1,0 +1,83 @@
+// The partial view each peer maintains: a bounded set of descriptors with
+// ages, plus the merge-and-truncate operation at the heart of Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gossip/node_descriptor.h"
+#include "gossip/policies.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace nylon::gossip {
+
+/// One view slot. `route_ttl` is Nylon's advertised route freshness (ms);
+/// the NAT-oblivious baselines carry 0 and ignore it.
+struct view_entry {
+  node_descriptor peer;
+  std::uint32_t age = 0;
+  sim::sim_time route_ttl = 0;
+};
+
+/// Serialized entry: descriptor (12) + age (2) + route TTL (2).
+inline constexpr std::size_t entry_wire_bytes = descriptor_wire_bytes + 4;
+
+/// Bounded partial view. Entries are unique by peer id and never include
+/// the owner. Iteration order is deterministic (insertion order, with
+/// removals compacting), which keeps simulations reproducible.
+class view {
+ public:
+  /// `capacity` > 0 (the paper's c = 15 or 27).
+  explicit view(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const std::vector<view_entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] bool contains(net::node_id id) const noexcept;
+  /// Pointer into the view, or nullptr. Invalidated by mutations.
+  [[nodiscard]] const view_entry* find(net::node_id id) const noexcept;
+
+  /// Removes the entry for `id` if present; returns true if removed.
+  bool remove(net::node_id id);
+
+  /// Ages every entry by one shuffle period (Fig. 1, lines 7/12).
+  void increase_age() noexcept;
+
+  /// The entry with maximal age (ties: first in order). Requires !empty().
+  [[nodiscard]] const view_entry& oldest() const;
+
+  /// A uniformly random entry. Requires !empty().
+  [[nodiscard]] const view_entry& random(util::rng& rng) const;
+
+  /// Target selection per policy (Fig. 1, line 2). Requires !empty().
+  [[nodiscard]] const view_entry& select(selection_policy policy,
+                                         util::rng& rng) const;
+
+  /// Replaces contents (bootstrap). Entries must be unique, not `self`,
+  /// and fit capacity.
+  void assign(std::vector<view_entry> entries, net::node_id self);
+
+  /// Fig. 1's merge-and-truncate: folds `received` into the view (keeping
+  /// the fresher duplicate, never `self`), then truncates to capacity
+  /// according to `policy`. `sent` is the buffer this peer sent in the
+  /// same exchange (used by swapper to discard handed-over entries first).
+  void merge(std::span<const view_entry> received,
+             std::span<const view_entry> sent, merge_policy policy,
+             net::node_id self, util::rng& rng);
+
+ private:
+  void truncate(merge_policy policy, std::span<const view_entry> received,
+                std::span<const view_entry> sent, util::rng& rng);
+  void remove_at(std::size_t index);
+
+  std::size_t capacity_;
+  std::vector<view_entry> entries_;
+};
+
+}  // namespace nylon::gossip

@@ -1,0 +1,56 @@
+#include "metrics/bandwidth.h"
+
+#include "util/contracts.h"
+
+namespace nylon::metrics {
+
+bandwidth_report measure_bandwidth(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers,
+    sim::sim_time window) {
+  NYLON_EXPECTS(window > 0);
+  bandwidth_report out;
+  const double seconds = sim::to_seconds(window);
+
+  double total = 0.0;
+  double total_public = 0.0;
+  double total_natted = 0.0;
+  double total_sent = 0.0;
+  double total_received = 0.0;
+
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    if (!transport.alive(id)) continue;
+    const net::node_traffic& t = transport.traffic(id);
+    const double bytes =
+        static_cast<double>(t.bytes_sent + t.bytes_received);
+    total += bytes;
+    total_sent += static_cast<double>(t.bytes_sent);
+    total_received += static_cast<double>(t.bytes_received);
+    if (nat::is_natted(transport.type_of(id))) {
+      ++out.natted_peers;
+      total_natted += bytes;
+    } else {
+      ++out.public_peers;
+      total_public += bytes;
+    }
+  }
+
+  const std::size_t alive = out.public_peers + out.natted_peers;
+  if (alive == 0) return out;
+  out.all_bytes_per_s = total / static_cast<double>(alive) / seconds;
+  out.sent_bytes_per_s = total_sent / static_cast<double>(alive) / seconds;
+  out.received_bytes_per_s =
+      total_received / static_cast<double>(alive) / seconds;
+  if (out.public_peers > 0) {
+    out.public_bytes_per_s =
+        total_public / static_cast<double>(out.public_peers) / seconds;
+  }
+  if (out.natted_peers > 0) {
+    out.natted_bytes_per_s =
+        total_natted / static_cast<double>(out.natted_peers) / seconds;
+  }
+  return out;
+}
+
+}  // namespace nylon::metrics

@@ -1,0 +1,35 @@
+// Bandwidth accounting over a measurement window (Figs. 7 and 8): mean
+// bytes per second sent + received per peer, split by peer class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "gossip/peer.h"
+#include "net/transport.h"
+#include "sim/time.h"
+
+namespace nylon::metrics {
+
+/// Per-class bandwidth means over a window. "Bytes/s" counts bytes sent
+/// plus bytes received, averaged over alive peers of the class — the
+/// paper's Figs. 7/8 metric.
+struct bandwidth_report {
+  double all_bytes_per_s = 0.0;
+  double public_bytes_per_s = 0.0;
+  double natted_bytes_per_s = 0.0;
+  double sent_bytes_per_s = 0.0;      ///< send-side only, all peers
+  double received_bytes_per_s = 0.0;  ///< receive-side only, all peers
+  std::size_t public_peers = 0;
+  std::size_t natted_peers = 0;
+};
+
+/// Computes the report from the transport's per-node counters accumulated
+/// since the last reset_traffic(), over a window of `window` sim-time.
+[[nodiscard]] bandwidth_report measure_bandwidth(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers,
+    sim::sim_time window);
+
+}  // namespace nylon::metrics

@@ -1,0 +1,100 @@
+#include "metrics/graph_analysis.h"
+
+#include "util/contracts.h"
+#include "util/union_find.h"
+
+namespace nylon::metrics {
+
+cluster_metrics measure_clusters(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers,
+    const reachability_oracle& oracle) {
+  cluster_metrics out;
+  util::union_find components(peers.size());
+  std::vector<bool> alive(peers.size(), false);
+  std::uint64_t usable_edges = 0;
+
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    if (!transport.alive(id)) continue;
+    alive[i] = true;
+    ++out.alive_peers;
+    for (const gossip::view_entry& e : peers[i]->current_view().entries()) {
+      if (e.peer.id >= peers.size()) continue;
+      if (!transport.alive(e.peer.id)) continue;
+      if (!oracle.can_shuffle(id, e.peer)) continue;
+      ++usable_edges;
+      components.unite(i, e.peer.id);
+    }
+  }
+
+  if (out.alive_peers == 0) return out;
+
+  // Components among alive peers only.
+  std::vector<std::size_t> sizes(peers.size(), 0);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (alive[i]) ++sizes[components.find(i)];
+  }
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    ++out.cluster_count;
+    out.biggest_cluster = std::max(out.biggest_cluster, sizes[i]);
+  }
+  out.biggest_cluster_pct = 100.0 * static_cast<double>(out.biggest_cluster) /
+                            static_cast<double>(out.alive_peers);
+  out.mean_usable_out_degree = static_cast<double>(usable_edges) /
+                               static_cast<double>(out.alive_peers);
+  return out;
+}
+
+view_metrics measure_views(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers,
+    const reachability_oracle& oracle) {
+  view_metrics out;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    if (!transport.alive(id)) continue;
+    for (const gossip::view_entry& e : peers[i]->current_view().entries()) {
+      ++out.total_entries;
+      const bool dead =
+          e.peer.id >= peers.size() || !transport.alive(e.peer.id);
+      if (dead) {
+        ++out.dead_entries;
+        ++out.stale_entries;
+        continue;
+      }
+      if (!oracle.can_shuffle(id, e.peer)) {
+        ++out.stale_entries;
+        continue;
+      }
+      ++out.fresh_entries;
+      if (nat::is_natted(e.peer.type)) ++out.fresh_natted_entries;
+    }
+  }
+  if (out.total_entries > 0) {
+    out.stale_pct = 100.0 * static_cast<double>(out.stale_entries) /
+                    static_cast<double>(out.total_entries);
+  }
+  if (out.fresh_entries > 0) {
+    out.fresh_natted_pct = 100.0 *
+                           static_cast<double>(out.fresh_natted_entries) /
+                           static_cast<double>(out.fresh_entries);
+  }
+  return out;
+}
+
+std::vector<std::size_t> in_degrees(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers) {
+  std::vector<std::size_t> degree(peers.size(), 0);
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    if (!transport.alive(static_cast<net::node_id>(i))) continue;
+    for (const gossip::view_entry& e : peers[i]->current_view().entries()) {
+      if (e.peer.id < degree.size()) ++degree[e.peer.id];
+    }
+  }
+  return degree;
+}
+
+}  // namespace nylon::metrics

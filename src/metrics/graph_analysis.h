@@ -1,0 +1,56 @@
+// Overlay-graph metrics: connected components over the feasible-
+// communication graph (Figs. 2 and 10), staleness ratios (Fig. 3), the
+// natted-reference ratio (Fig. 4) and degree statistics.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gossip/peer.h"
+#include "metrics/reachability.h"
+#include "net/transport.h"
+
+namespace nylon::metrics {
+
+/// Connectivity of the overlay (edges = view entries the owner could
+/// actually shuffle with, per the oracle).
+struct cluster_metrics {
+  std::size_t alive_peers = 0;
+  std::size_t biggest_cluster = 0;
+  double biggest_cluster_pct = 0.0;  ///< % of alive peers (Figs. 2, 10)
+  std::size_t cluster_count = 0;
+  double mean_usable_out_degree = 0.0;
+};
+
+/// Staleness and sample-composition metrics over all alive peers' views.
+struct view_metrics {
+  std::uint64_t total_entries = 0;
+  std::uint64_t stale_entries = 0;
+  std::uint64_t dead_entries = 0;        ///< entries pointing at departed peers
+  std::uint64_t fresh_entries = 0;       ///< total - stale
+  std::uint64_t fresh_natted_entries = 0;
+  double stale_pct = 0.0;                ///< Fig. 3
+  double fresh_natted_pct = 0.0;         ///< Fig. 4 (of fresh entries)
+};
+
+/// Weakly-connected components of the feasible-communication graph.
+[[nodiscard]] cluster_metrics measure_clusters(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers,
+    const reachability_oracle& oracle);
+
+/// Stale / natted-reference ratios (oracle-based).
+[[nodiscard]] view_metrics measure_views(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers,
+    const reachability_oracle& oracle);
+
+/// In-degree of every node over alive peers' views (randomness checks:
+/// a healthy sampling protocol keeps this distribution tight).
+[[nodiscard]] std::vector<std::size_t> in_degrees(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers);
+
+}  // namespace nylon::metrics

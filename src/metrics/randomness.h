@@ -1,0 +1,64 @@
+// Statistical randomness battery — the reproduction's substitute for the
+// diehard suite the paper ran on its samples (§5 "Correctness"; see
+// DESIGN.md's substitution table). Applied to the stream of peer ids the
+// sampling service returns:
+//  * chi-square goodness-of-fit of sample frequencies against uniform,
+//  * Wald–Wolfowitz runs test (above/below median) for independence,
+//  * lag-1 serial correlation,
+//  * in-degree dispersion of the overlay views.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nylon::metrics {
+
+/// Regularized upper incomplete gamma Q(a, x); the chi-square survival
+/// function is Q(k/2, x/2). Exposed for tests.
+[[nodiscard]] double gamma_q(double a, double x);
+
+/// Standard normal survival function P(Z > z).
+[[nodiscard]] double normal_sf(double z);
+
+/// Chi-square goodness-of-fit against the uniform distribution.
+struct chi_square_result {
+  double statistic = 0.0;
+  std::size_t dof = 0;
+  double p_value = 1.0;
+};
+/// `counts[i]` = observed occurrences of category i. Requires >= 2
+/// categories and a positive total.
+[[nodiscard]] chi_square_result chi_square_uniform(
+    std::span<const std::uint64_t> counts);
+
+/// Wald–Wolfowitz runs test on a binary projection (value >= median).
+struct runs_test_result {
+  std::uint64_t runs = 0;
+  double expected_runs = 0.0;
+  double z = 0.0;        ///< standardized statistic
+  double p_value = 1.0;  ///< two-sided
+};
+[[nodiscard]] runs_test_result runs_test(std::span<const double> values);
+
+/// Lag-1 serial correlation coefficient in [-1, 1] (0 for iid data).
+[[nodiscard]] double serial_correlation(std::span<const double> values);
+
+/// Combined verdict over a stream of sampled peer ids.
+struct battery_result {
+  chi_square_result frequency;
+  runs_test_result runs;
+  double serial = 0.0;
+  std::size_t samples = 0;
+
+  /// True when every test is consistent with uniform iid sampling at
+  /// significance `alpha` (serial correlation threshold scales with n).
+  [[nodiscard]] bool passed(double alpha = 0.01) const;
+};
+
+/// Runs the battery on sampled ids drawn from a population of
+/// `population` peers (ids must be < population).
+[[nodiscard]] battery_result run_battery(
+    std::span<const std::uint32_t> sampled_ids, std::size_t population);
+
+}  // namespace nylon::metrics

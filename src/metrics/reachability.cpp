@@ -1,0 +1,84 @@
+#include "metrics/reachability.h"
+
+#include "core/nylon_peer.h"
+#include "util/contracts.h"
+
+namespace nylon::metrics {
+
+namespace {
+constexpr int max_chain = 32;
+
+bool directly_addressable(const gossip::node_descriptor& d) noexcept {
+  return d.type == nat::nat_type::open || d.type == nat::nat_type::full_cone;
+}
+}  // namespace
+
+reachability_oracle::reachability_oracle(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers)
+    : transport_(transport), peers_(peers) {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    NYLON_EXPECTS(peers_[i] != nullptr);
+    NYLON_EXPECTS(peers_[i]->id() == static_cast<net::node_id>(i));
+  }
+}
+
+int reachability_oracle::walk_chain(
+    net::node_id from, const gossip::node_descriptor& target) const {
+  // Follow next_RVP pointers across peers, checking that every physical
+  // hop would actually be delivered under current NAT state.
+  net::node_id cur = from;
+  int hops = 0;
+  while (hops <= max_chain) {
+    const auto* nylon = dynamic_cast<const core::nylon_peer*>(
+        peers_[cur].get());
+    if (nylon == nullptr) return -1;  // chain crosses a non-Nylon peer
+    const auto hop = nylon->routes().next_rvp(
+        target.id, transport_.scheduler_now());
+    if (!hop) return -1;
+    if (!transport_.alive(hop->rvp)) return -1;
+    if (!transport_.would_deliver(cur, hop->address).has_value()) return -1;
+    if (hop->rvp == target.id) return hops;  // arrived
+    cur = hop->rvp;
+    ++hops;
+  }
+  return -1;
+}
+
+bool reachability_oracle::can_shuffle(
+    net::node_id from, const gossip::node_descriptor& target) const {
+  return chain_length(from, target) >= 0;
+}
+
+int reachability_oracle::chain_length(
+    net::node_id from, const gossip::node_descriptor& target) const {
+  NYLON_EXPECTS(from < peers_.size());
+  NYLON_EXPECTS(target.id < peers_.size());
+  if (!transport_.alive(from) || !transport_.alive(target.id)) return -1;
+
+  if (directly_addressable(target)) {
+    return transport_.would_deliver(from, target.addr).has_value() ? 0 : -1;
+  }
+
+  const auto* nylon =
+      dynamic_cast<const core::nylon_peer*>(peers_[from].get());
+  if (nylon == nullptr) {
+    // NAT-oblivious baseline: the REQUEST goes to the advertised endpoint
+    // and the RESPONSE retraces the fresh session, so reachability is
+    // exactly request deliverability (analysis in DESIGN.md §3).
+    return transport_.would_deliver(from, target.addr).has_value() ? 0 : -1;
+  }
+
+  // Nylon: a live direct hole, or a walkable RVP chain. For the hole
+  // punching branch the PING/PONG handshake succeeds whenever the chain
+  // delivers the OPEN_HOLE (the relay-only NAT combinations are the ones
+  // Fig. 6 routes through the chain anyway).
+  const auto hop =
+      nylon->routes().next_rvp(target.id, transport_.scheduler_now());
+  if (hop && hop->rvp == target.id) {
+    return transport_.would_deliver(from, hop->address).has_value() ? 0 : -1;
+  }
+  return walk_chain(from, target);
+}
+
+}  // namespace nylon::metrics

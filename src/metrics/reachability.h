@@ -1,0 +1,48 @@
+// The staleness oracle: decides, without mutating any state, whether a
+// peer could complete a shuffle with a view entry *right now*. It walks
+// the exact decision path the protocols use (direct send, Nylon RVP
+// chain, hole punching) against the transport's dry-run queries, so the
+// metric and the mechanics can never drift apart.
+//
+// Definitions (DESIGN.md §3):
+//  * a view entry q of p is STALE when can_shuffle(p, q) is false;
+//  * the overlay graph used for Figs. 2 and 10 has an edge p -> q exactly
+//    when can_shuffle(p, q) is true.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "gossip/node_descriptor.h"
+#include "gossip/peer.h"
+#include "net/transport.h"
+
+namespace nylon::metrics {
+
+class reachability_oracle {
+ public:
+  /// `peers` must be indexed by node id (scenario invariant) and outlive
+  /// the oracle, as must the transport.
+  reachability_oracle(const net::transport& transport,
+                      std::span<const std::unique_ptr<gossip::peer>> peers);
+
+  /// Could peer `from` complete a shuffle with `target` now?
+  [[nodiscard]] bool can_shuffle(net::node_id from,
+                                 const gossip::node_descriptor& target) const;
+
+  /// Length of the RVP chain `from` would use towards `target` (0 when
+  /// direct, -1 when unreachable). Used for chain-length cross-checks.
+  [[nodiscard]] int chain_length(net::node_id from,
+                                 const gossip::node_descriptor& target) const;
+
+ private:
+  /// Walks the RVP chain from `from` to `target`; returns the number of
+  /// intermediate hops, or -1 when the chain is broken.
+  [[nodiscard]] int walk_chain(net::node_id from,
+                               const gossip::node_descriptor& target) const;
+
+  const net::transport& transport_;
+  std::span<const std::unique_ptr<gossip::peer>> peers_;
+};
+
+}  // namespace nylon::metrics

@@ -1,0 +1,34 @@
+// Packet-level verification of the §2.2 traversal table: for a (source
+// NAT type, target NAT type) pair, executes the prescribed technique's
+// exact message sequence — PING, OPEN_HOLE via a public rendez-vous peer,
+// PONG, REQUEST, RESPONSE — through real nat_device instances and reports
+// whether the exchange completed. bench_table1_traversal prints the table
+// and the tests assert every cell.
+#pragma once
+
+#include "nat/nat_type.h"
+#include "nat/traversal.h"
+
+namespace nylon::metrics {
+
+/// Outcome of executing a traversal technique.
+struct traversal_outcome {
+  bool request_delivered = false;   ///< REQUEST reached the target
+  bool response_delivered = false;  ///< RESPONSE made it back
+
+  [[nodiscard]] bool exchange_completed() const noexcept {
+    return request_delivered && response_delivered;
+  }
+};
+
+/// Runs `technique` for a `src`-type peer contacting a `dst`-type peer
+/// (with one public RVP both have registered with), in an isolated
+/// mini-simulation.
+[[nodiscard]] traversal_outcome execute_technique(
+    nat::nat_type src, nat::nat_type dst, nat::traversal_technique technique);
+
+/// Convenience: executes the technique the table prescribes for the pair.
+[[nodiscard]] traversal_outcome execute_prescribed(nat::nat_type src,
+                                                   nat::nat_type dst);
+
+}  // namespace nylon::metrics

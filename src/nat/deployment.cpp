@@ -1,0 +1,67 @@
+#include "nat/deployment.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <span>
+
+#include "util/contracts.h"
+
+namespace nylon::nat {
+
+std::vector<nat_type> assign_types(std::size_t n, double natted_fraction,
+                                   const nat_mix& mix, util::rng& rng) {
+  NYLON_EXPECTS(natted_fraction >= 0.0 && natted_fraction <= 1.0);
+  const double mix_sum = mix.full_cone + mix.restricted_cone +
+                         mix.port_restricted_cone + mix.symmetric;
+  NYLON_EXPECTS(std::abs(mix_sum - 1.0) < 1e-6);
+
+  const auto natted =
+      static_cast<std::size_t>(std::lround(static_cast<double>(n) *
+                                           natted_fraction));
+
+  // Largest-remainder apportionment of the natted population across types,
+  // so percentages are exact (the paper reports exact mixes).
+  const std::array<std::pair<nat_type, double>, 4> shares = {{
+      {nat_type::full_cone, mix.full_cone},
+      {nat_type::restricted_cone, mix.restricted_cone},
+      {nat_type::port_restricted_cone, mix.port_restricted_cone},
+      {nat_type::symmetric, mix.symmetric},
+  }};
+  std::array<std::size_t, 4> counts{};
+  std::array<double, 4> remainders{};
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double quota = static_cast<double>(natted) * shares[i].second;
+    counts[i] = static_cast<std::size_t>(quota);
+    remainders[i] = quota - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  while (assigned < natted) {
+    const std::size_t best =
+        static_cast<std::size_t>(std::distance(
+            remainders.begin(),
+            std::max_element(remainders.begin(), remainders.end())));
+    ++counts[best];
+    remainders[best] = -1.0;
+    ++assigned;
+  }
+
+  std::vector<nat_type> types;
+  types.reserve(n);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    types.insert(types.end(), counts[i], shares[i].first);
+  }
+  types.insert(types.end(), n - natted, nat_type::open);
+  rng.shuffle(std::span<nat_type>(types));
+  NYLON_ENSURES(types.size() == n);
+  return types;
+}
+
+std::size_t natted_count(const std::vector<nat_type>& types) {
+  return static_cast<std::size_t>(
+      std::count_if(types.begin(), types.end(),
+                    [](nat_type t) { return is_natted(t); }));
+}
+
+}  // namespace nylon::nat

@@ -1,0 +1,42 @@
+// Assignment of NAT types to a population of peers, matching the paper's
+// experimental settings (§5): a given fraction of natted peers, split
+// 50% RC / 40% PRC / 10% SYM (or 100% PRC for the §3 baseline figures).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nat/nat_type.h"
+#include "util/rng.h"
+
+namespace nylon::nat {
+
+/// Mix of NAT types among the *natted* peers; fractions must sum to 1.
+struct nat_mix {
+  double full_cone = 0.0;
+  double restricted_cone = 0.5;
+  double port_restricted_cone = 0.4;
+  double symmetric = 0.1;
+};
+
+/// The paper's default mix for the Nylon experiments (§5).
+[[nodiscard]] constexpr nat_mix paper_mix() noexcept { return nat_mix{}; }
+
+/// 100% PRC, used by the §3 baseline experiments.
+[[nodiscard]] constexpr nat_mix prc_only_mix() noexcept {
+  return nat_mix{0.0, 0.0, 1.0, 0.0};
+}
+
+/// Assigns a NAT type to each of `n` peers. Exactly
+/// round(n * natted_fraction) peers are natted (largest-remainder split
+/// across the mix), and positions are shuffled with `rng` so type is
+/// independent of peer id. natted_fraction in [0, 1]; mix sums to ~1.
+[[nodiscard]] std::vector<nat_type> assign_types(std::size_t n,
+                                                 double natted_fraction,
+                                                 const nat_mix& mix,
+                                                 util::rng& rng);
+
+/// Number of entries in `types` that are natted.
+[[nodiscard]] std::size_t natted_count(const std::vector<nat_type>& types);
+
+}  // namespace nylon::nat

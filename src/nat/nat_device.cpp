@@ -1,0 +1,218 @@
+#include "nat/nat_device.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace nylon::nat {
+
+namespace {
+
+/// True when the rule admits a packet from (ip, port) for the given type.
+/// PRC compares ports; RC ignores them. FC never consults rules.
+bool rule_matches(nat_type type, const net::ip_address& src_ip,
+                  std::optional<std::uint32_t> src_port,
+                  net::ip_address rule_ip, std::uint32_t rule_port) {
+  if (src_ip != rule_ip) return false;
+  if (type == nat_type::port_restricted_cone) {
+    return src_port.has_value() && *src_port == rule_port;
+  }
+  return true;  // restricted cone: IP match suffices
+}
+
+}  // namespace
+
+nat_device::nat_device(nat_type type, net::ip_address public_ip,
+                       sim::sim_time hole_timeout)
+    : type_(type), public_ip_(public_ip), hole_timeout_(hole_timeout) {
+  NYLON_EXPECTS(is_natted(type));
+  NYLON_EXPECTS(hole_timeout > 0);
+}
+
+std::uint32_t nat_device::reserve_cone_port(const net::endpoint& private_src) {
+  const auto it = cone_port_.find(private_src);
+  if (it != cone_port_.end()) return it->second;
+  const std::uint32_t port = next_port_++;
+  cone_port_.emplace(private_src, port);
+  port_owner_.emplace(port, private_src);
+  return port;
+}
+
+nat_device::cone_binding& nat_device::cone_bind(
+    const net::endpoint& private_src, sim::sim_time now) {
+  cone_binding& binding = cone_[private_src];
+  if (binding.public_port == 0) {
+    binding.public_port = reserve_cone_port(private_src);
+  }
+  if (binding.expires < now) binding.rules.clear();  // binding had lapsed
+  return binding;
+}
+
+net::endpoint nat_device::translate_outbound(const net::endpoint& private_src,
+                                             const net::endpoint& remote,
+                                             sim::sim_time now) {
+  if (type_ == nat_type::symmetric) {
+    auto& sessions = sym_[private_src];
+    for (sym_session& s : sessions) {
+      if (s.remote == remote && s.expires >= now) {
+        s.expires = now + hole_timeout_;
+        return {public_ip_, s.public_port};
+      }
+    }
+    const std::uint32_t port = next_port_++;
+    sessions.push_back(sym_session{remote, port, now + hole_timeout_});
+    port_owner_.emplace(port, private_src);
+    return {public_ip_, port};
+  }
+
+  cone_binding& binding = cone_bind(private_src, now);
+  binding.expires = now + hole_timeout_;
+  if (type_ != nat_type::full_cone) {
+    // RC keys rules by remote IP; PRC by remote IP:port.
+    const std::uint32_t rule_port =
+        type_ == nat_type::port_restricted_cone ? remote.port : 0;
+    auto rule = std::find_if(
+        binding.rules.begin(), binding.rules.end(), [&](const filter_rule& r) {
+          return r.remote_ip == remote.ip && r.remote_port == rule_port;
+        });
+    if (rule == binding.rules.end()) {
+      binding.rules.push_back(
+          filter_rule{remote.ip, rule_port, now + hole_timeout_});
+    } else {
+      rule->expires = now + hole_timeout_;
+    }
+  }
+  return {public_ip_, binding.public_port};
+}
+
+std::optional<net::endpoint> nat_device::filter_inbound(
+    const net::endpoint& public_dst, const net::endpoint& remote_src,
+    sim::sim_time now) {
+  NYLON_EXPECTS(public_dst.ip == public_ip_);
+  const auto owner = port_owner_.find(public_dst.port);
+  if (owner == port_owner_.end()) return std::nullopt;
+  const net::endpoint private_dst = owner->second;
+
+  if (type_ == nat_type::symmetric) {
+    const auto sessions = sym_.find(private_dst);
+    if (sessions == sym_.end()) return std::nullopt;
+    for (sym_session& s : sessions->second) {
+      if (s.public_port == public_dst.port && s.expires >= now &&
+          s.remote == remote_src) {
+        s.expires = now + hole_timeout_;  // inbound traffic refreshes
+        return private_dst;
+      }
+    }
+    return std::nullopt;
+  }
+
+  const auto binding_it = cone_.find(private_dst);
+  if (binding_it == cone_.end()) return std::nullopt;
+  cone_binding& binding = binding_it->second;
+  if (binding.expires < now) return std::nullopt;
+  if (type_ == nat_type::full_cone) {
+    binding.expires = now + hole_timeout_;
+    return private_dst;
+  }
+  for (filter_rule& rule : binding.rules) {
+    if (rule.expires >= now &&
+        rule_matches(type_, remote_src.ip, remote_src.port, rule.remote_ip,
+                     rule.remote_port)) {
+      rule.expires = now + hole_timeout_;
+      binding.expires = now + hole_timeout_;
+      return private_dst;
+    }
+  }
+  return std::nullopt;
+}
+
+predicted_source nat_device::would_translate(const net::endpoint& private_src,
+                                             const net::endpoint& remote,
+                                             sim::sim_time now) const {
+  if (type_ == nat_type::symmetric) {
+    const auto sessions = sym_.find(private_src);
+    if (sessions != sym_.end()) {
+      for (const sym_session& s : sessions->second) {
+        if (s.remote == remote && s.expires >= now) {
+          return {public_ip_, s.public_port};
+        }
+      }
+    }
+    return {public_ip_, std::nullopt};  // fresh unpredictable port
+  }
+  const auto reserved = cone_port_.find(private_src);
+  if (reserved != cone_port_.end()) return {public_ip_, reserved->second};
+  return {public_ip_, std::nullopt};
+}
+
+std::optional<net::endpoint> nat_device::would_accept(
+    const net::endpoint& public_dst, net::ip_address src_ip,
+    std::optional<std::uint32_t> src_port, sim::sim_time now) const {
+  NYLON_EXPECTS(public_dst.ip == public_ip_);
+  const auto owner = port_owner_.find(public_dst.port);
+  if (owner == port_owner_.end()) return std::nullopt;
+  const net::endpoint private_dst = owner->second;
+
+  if (type_ == nat_type::symmetric) {
+    const auto sessions = sym_.find(private_dst);
+    if (sessions == sym_.end()) return std::nullopt;
+    for (const sym_session& s : sessions->second) {
+      if (s.public_port == public_dst.port && s.expires >= now &&
+          s.remote.ip == src_ip && src_port.has_value() &&
+          s.remote.port == *src_port) {
+        return private_dst;
+      }
+    }
+    return std::nullopt;
+  }
+
+  const auto binding_it = cone_.find(private_dst);
+  if (binding_it == cone_.end()) return std::nullopt;
+  const cone_binding& binding = binding_it->second;
+  if (binding.expires < now) return std::nullopt;
+  if (type_ == nat_type::full_cone) return private_dst;
+  for (const filter_rule& rule : binding.rules) {
+    if (rule.expires >= now && rule_matches(type_, src_ip, src_port,
+                                            rule.remote_ip, rule.remote_port)) {
+      return private_dst;
+    }
+  }
+  return std::nullopt;
+}
+
+net::endpoint nat_device::advertised_endpoint(
+    const net::endpoint& private_src) {
+  if (type_ == nat_type::symmetric) return {public_ip_, 0};
+  return {public_ip_, reserve_cone_port(private_src)};
+}
+
+void nat_device::purge_expired(sim::sim_time now) {
+  for (auto& [private_ep, binding] : cone_) {
+    std::erase_if(binding.rules,
+                  [now](const filter_rule& r) { return r.expires < now; });
+  }
+  for (auto& [private_ep, sessions] : sym_) {
+    std::erase_if(sessions, [&](const sym_session& s) {
+      if (s.expires >= now) return false;
+      port_owner_.erase(s.public_port);
+      return true;
+    });
+  }
+}
+
+std::size_t nat_device::active_rule_count(sim::sim_time now) const {
+  std::size_t count = 0;
+  for (const auto& [private_ep, binding] : cone_) {
+    for (const filter_rule& rule : binding.rules) {
+      if (rule.expires >= now) ++count;
+    }
+  }
+  for (const auto& [private_ep, sessions] : sym_) {
+    for (const sym_session& s : sessions) {
+      if (s.expires >= now) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace nylon::nat

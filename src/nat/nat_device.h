@@ -1,0 +1,144 @@
+// Simulation model of a NAT box, faithful to §2.1 of the paper:
+//
+//  * Full Cone (FC): one public port per private endpoint; forwards every
+//    incoming packet while the binding is alive.
+//  * Restricted Cone (RC): same mapping; forwards only from remote IPs the
+//    private endpoint has previously sent to.
+//  * Port Restricted Cone (PRC): forwards only from remote IP:port pairs
+//    previously sent to.
+//  * Symmetric (SYM): a fresh public port per (private endpoint, remote
+//    endpoint) session; forwards only from that exact remote endpoint.
+//
+// Both the address/port mapping and the filtering rules expire a fixed
+// `hole_timeout` after the last packet sent *or* received on the session
+// (the paper's 90 s "typical vendor value").
+//
+// Two parallel APIs:
+//  * the mutating path (`translate_outbound` / `filter_inbound`) used by
+//    the transport for real packets, and
+//  * a const dry-run path (`would_translate` / `would_accept`) used by the
+//    metrics oracle, so staleness is measured against the exact same
+//    semantics the packets experience, without perturbing NAT state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nat/nat_type.h"
+#include "net/address.h"
+#include "sim/time.h"
+
+namespace nylon::nat {
+
+/// What the source endpoint of a packet would look like after translation.
+/// `port` is empty when the NAT would mint a fresh, unpredictable port
+/// (symmetric NAT, new session) — such a source can only match IP-based
+/// (RC) or allow-all (FC) filters at the destination.
+struct predicted_source {
+  net::ip_address ip;
+  std::optional<std::uint32_t> port;
+};
+
+/// One simulated NAT box. A device can serve several private endpoints
+/// (deployments in this repo use one peer per device).
+class nat_device {
+ public:
+  /// `type` must be a natted type; `hole_timeout` > 0.
+  nat_device(nat_type type, net::ip_address public_ip,
+             sim::sim_time hole_timeout);
+
+  [[nodiscard]] nat_type type() const noexcept { return type_; }
+  [[nodiscard]] net::ip_address public_ip() const noexcept {
+    return public_ip_;
+  }
+  [[nodiscard]] sim::sim_time hole_timeout() const noexcept {
+    return hole_timeout_;
+  }
+
+  // --- mutating packet path ------------------------------------------------
+
+  /// Processes an outbound packet from `private_src` to `remote`:
+  /// creates/refreshes the mapping and the filtering rule, and returns the
+  /// translated public source endpoint.
+  net::endpoint translate_outbound(const net::endpoint& private_src,
+                                   const net::endpoint& remote,
+                                   sim::sim_time now);
+
+  /// Processes an inbound packet addressed to `public_dst` (one of this
+  /// device's public endpoints) arriving from `remote_src`. Returns the
+  /// private destination endpoint when the filtering rule admits the
+  /// packet (refreshing mapping and rule), or nullopt when it is dropped.
+  std::optional<net::endpoint> filter_inbound(const net::endpoint& public_dst,
+                                              const net::endpoint& remote_src,
+                                              sim::sim_time now);
+
+  // --- const dry-run path (metrics oracle) ---------------------------------
+
+  /// Source endpoint a packet from `private_src` to `remote` would carry,
+  /// without creating the session.
+  [[nodiscard]] predicted_source would_translate(
+      const net::endpoint& private_src, const net::endpoint& remote,
+      sim::sim_time now) const;
+
+  /// Whether a packet to `public_dst` from (src_ip, src_port) would be
+  /// forwarded; src_port empty means "fresh unpredictable port".
+  /// Returns the private destination on acceptance. Never mutates.
+  [[nodiscard]] std::optional<net::endpoint> would_accept(
+      const net::endpoint& public_dst, net::ip_address src_ip,
+      std::optional<std::uint32_t> src_port, sim::sim_time now) const;
+
+  // --- STUN-like oracle -----------------------------------------------------
+
+  /// The public endpoint this private endpoint should advertise in peer
+  /// descriptors. Cone types get a stable, pre-reserved port (real NATs
+  /// keep the same mapping while it is in use, and STUN discovers it);
+  /// symmetric NATs return port 0 because no single port is meaningful.
+  net::endpoint advertised_endpoint(const net::endpoint& private_src);
+
+  // --- maintenance / introspection -----------------------------------------
+
+  /// Drops expired rules, bindings and sessions to bound memory use.
+  void purge_expired(sim::sim_time now);
+
+  /// Number of live filtering rules (cone) or sessions (symmetric).
+  [[nodiscard]] std::size_t active_rule_count(sim::sim_time now) const;
+
+ private:
+  struct filter_rule {
+    net::ip_address remote_ip;
+    std::uint32_t remote_port;  // used by PRC only
+    sim::sim_time expires;
+  };
+  /// Cone binding: one per private endpoint, shared across destinations.
+  struct cone_binding {
+    std::uint32_t public_port = 0;
+    sim::sim_time expires = 0;
+    std::vector<filter_rule> rules;
+  };
+  /// Symmetric session: one per (private endpoint, remote endpoint).
+  struct sym_session {
+    net::endpoint remote;
+    std::uint32_t public_port = 0;
+    sim::sim_time expires = 0;
+  };
+
+  std::uint32_t reserve_cone_port(const net::endpoint& private_src);
+  cone_binding& cone_bind(const net::endpoint& private_src, sim::sim_time now);
+
+  nat_type type_;
+  net::ip_address public_ip_;
+  sim::sim_time hole_timeout_;
+  std::uint32_t next_port_ = 1024;
+
+  // Permanent cone port reservations (survive binding expiry so that
+  // advertised endpoints stay valid — see DESIGN.md).
+  std::unordered_map<net::endpoint, std::uint32_t> cone_port_;
+  std::unordered_map<net::endpoint, cone_binding> cone_;
+  std::unordered_map<net::endpoint, std::vector<sym_session>> sym_;
+  // Reverse index: public port -> private endpoint that owns it.
+  std::unordered_map<std::uint32_t, net::endpoint> port_owner_;
+};
+
+}  // namespace nylon::nat

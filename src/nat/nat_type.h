@@ -1,0 +1,41 @@
+// The NAT taxonomy of the paper's §2.1 (RFC 3489 terminology).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace nylon::nat {
+
+/// Kind of NAT a peer sits behind. `open` means a public peer (no NAT).
+enum class nat_type : std::uint8_t {
+  open,                  ///< public peer, directly reachable
+  full_cone,             ///< same mapping for all sessions; forwards everything
+  restricted_cone,       ///< forwards only from previously-contacted IPs
+  port_restricted_cone,  ///< forwards only from previously-contacted IP:port
+  symmetric,             ///< destination-dependent mapping; strictest filter
+};
+
+/// True for every type except `open`.
+[[nodiscard]] constexpr bool is_natted(nat_type t) noexcept {
+  return t != nat_type::open;
+}
+
+/// True for cone types (stable public port across destinations).
+[[nodiscard]] constexpr bool is_cone(nat_type t) noexcept {
+  return t == nat_type::full_cone || t == nat_type::restricted_cone ||
+         t == nat_type::port_restricted_cone;
+}
+
+/// Short display name ("public", "FC", "RC", "PRC", "SYM").
+[[nodiscard]] constexpr std::string_view to_string(nat_type t) noexcept {
+  switch (t) {
+    case nat_type::open: return "public";
+    case nat_type::full_cone: return "FC";
+    case nat_type::restricted_cone: return "RC";
+    case nat_type::port_restricted_cone: return "PRC";
+    case nat_type::symmetric: return "SYM";
+  }
+  return "?";
+}
+
+}  // namespace nylon::nat

@@ -1,0 +1,47 @@
+#include "nat/traversal.h"
+
+namespace nylon::nat {
+
+std::string_view to_string(traversal_technique t) noexcept {
+  switch (t) {
+    case traversal_technique::direct: return "direct";
+    case traversal_technique::hole_punching: return "hole punching";
+    case traversal_technique::modified_hole_punching:
+      return "mod. hole punching";
+    case traversal_technique::relaying: return "relaying";
+  }
+  return "?";
+}
+
+traversal_technique technique_for(nat_type src, nat_type dst) noexcept {
+  using tt = traversal_technique;
+  // Full cone behaves like a public peer on both axes (§2.2).
+  const nat_type s = (src == nat_type::full_cone) ? nat_type::open : src;
+  const nat_type d = (dst == nat_type::full_cone) ? nat_type::open : dst;
+
+  if (d == nat_type::open) return tt::direct;
+
+  switch (s) {
+    case nat_type::open:
+      // public -> RC/PRC: hole punching; public -> SYM: relay.
+      return d == nat_type::symmetric ? tt::relaying : tt::hole_punching;
+    case nat_type::restricted_cone:
+      // RC can hole-punch everything, including SYM targets, because its
+      // filter is IP-based: the PONG from the SYM peer's fresh port still
+      // matches the rule created by the source's PING.
+      return tt::hole_punching;
+    case nat_type::port_restricted_cone:
+      return d == nat_type::symmetric ? tt::relaying : tt::hole_punching;
+    case nat_type::symmetric:
+      // The source's own port is unpredictable: the target can only reply
+      // through the RVP (modified hole punching) for cone targets whose
+      // filter can still be opened; PRC/SYM targets need full relaying.
+      if (d == nat_type::restricted_cone) return tt::modified_hole_punching;
+      return tt::relaying;
+    case nat_type::full_cone:
+      break;  // canonicalised to open above
+  }
+  return tt::direct;
+}
+
+}  // namespace nylon::nat

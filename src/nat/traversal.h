@@ -1,0 +1,40 @@
+// The NAT-traversal decision table of §2.2: which technique a source peer
+// must use to open a message exchange with a target peer, as a function of
+// both NAT types.
+//
+// Nylon's pseudocode (Fig. 6) uses a simplification of this table (any
+// symmetric source always relays); the full table — including the
+// "modified hole punching" of footnote 2 — lives here and is verified
+// cell-by-cell against packet-level dry runs in the tests and in
+// bench_table1_traversal.
+#pragma once
+
+#include <string_view>
+
+#include "nat/nat_type.h"
+
+namespace nylon::nat {
+
+/// How a source can establish a message exchange with a target.
+enum class traversal_technique : std::uint8_t {
+  direct,                   ///< just send; the target accepts unsolicited
+  hole_punching,            ///< PING + OPEN_HOLE via RVP + PONG
+  modified_hole_punching,   ///< as above, PONG routed back via the RVP
+  relaying,                 ///< all traffic through the RVP
+};
+
+/// Display name ("direct", "hole punching", ...).
+[[nodiscard]] std::string_view to_string(traversal_technique t) noexcept;
+
+/// The paper's table: technique for a `src`-type peer contacting a
+/// `dst`-type peer. Full-cone behaves like public on both axes (§2.2),
+/// assuming its binding is kept alive, which periodic gossip guarantees.
+[[nodiscard]] traversal_technique technique_for(nat_type src,
+                                                nat_type dst) noexcept;
+
+/// True when the technique requires a rendez-vous peer.
+[[nodiscard]] constexpr bool needs_rvp(traversal_technique t) noexcept {
+  return t != traversal_technique::direct;
+}
+
+}  // namespace nylon::nat

@@ -1,0 +1,16 @@
+#include "net/address.h"
+
+namespace nylon::net {
+
+std::string to_string(ip_address ip) {
+  return std::to_string((ip.value >> 24) & 0xff) + "." +
+         std::to_string((ip.value >> 16) & 0xff) + "." +
+         std::to_string((ip.value >> 8) & 0xff) + "." +
+         std::to_string(ip.value & 0xff);
+}
+
+std::string to_string(const endpoint& ep) {
+  return to_string(ep.ip) + ":" + std::to_string(ep.port);
+}
+
+}  // namespace nylon::net

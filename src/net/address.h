@@ -1,0 +1,56 @@
+// Network addressing for the simulated internet: IPv4-style addresses and
+// (ip, port) endpoints.
+//
+// Ports are 32-bit in the simulator (real NATs recycle 16-bit ports; a
+// monotonic 32-bit allocator keeps sessions unambiguous over a long run
+// without modelling recycling — documented in DESIGN.md).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nylon::net {
+
+/// IPv4-style address, stored host-order.
+struct ip_address {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const ip_address&) const = default;
+};
+
+/// Renders dotted-quad form, e.g. "10.1.2.3".
+[[nodiscard]] std::string to_string(ip_address ip);
+
+/// A UDP endpoint: address plus port.
+struct endpoint {
+  ip_address ip;
+  std::uint32_t port = 0;
+
+  auto operator<=>(const endpoint&) const = default;
+};
+
+/// Renders "a.b.c.d:port".
+[[nodiscard]] std::string to_string(const endpoint& ep);
+
+/// Sentinel for "no endpoint".
+inline constexpr endpoint nil_endpoint{};
+
+}  // namespace nylon::net
+
+template <>
+struct std::hash<nylon::net::ip_address> {
+  std::size_t operator()(const nylon::net::ip_address& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};
+
+template <>
+struct std::hash<nylon::net::endpoint> {
+  std::size_t operator()(const nylon::net::endpoint& ep) const noexcept {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ep.ip.value) << 32) | ep.port;
+    return std::hash<std::uint64_t>{}(key);
+  }
+};

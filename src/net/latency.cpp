@@ -1,0 +1,28 @@
+#include "net/latency.h"
+
+#include "util/contracts.h"
+
+namespace nylon::net {
+
+fixed_latency::fixed_latency(sim::sim_time delay) : delay_(delay) {
+  NYLON_EXPECTS(delay >= 0);
+}
+
+sim::sim_time fixed_latency::sample(util::rng& /*rng*/) { return delay_; }
+
+uniform_latency::uniform_latency(sim::sim_time lo, sim::sim_time hi)
+    : lo_(lo), hi_(hi) {
+  NYLON_EXPECTS(lo >= 0 && lo <= hi);
+}
+
+sim::sim_time uniform_latency::sample(util::rng& rng) {
+  return static_cast<sim::sim_time>(
+      rng.uniform(static_cast<std::uint64_t>(lo_),
+                  static_cast<std::uint64_t>(hi_)));
+}
+
+std::unique_ptr<latency_model> paper_latency() {
+  return std::make_unique<fixed_latency>(sim::millis(50));
+}
+
+}  // namespace nylon::net

@@ -1,0 +1,46 @@
+// Message latency models. The paper fixes latency at 50 ms; the uniform
+// model exists for sensitivity experiments (hole TTLs assume a latency
+// upper bound, §4 footnote 3).
+#pragma once
+
+#include <memory>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace nylon::net {
+
+/// Strategy for per-message one-way delay.
+class latency_model {
+ public:
+  virtual ~latency_model() = default;
+
+  /// One-way delay for the next message; must be >= 0.
+  [[nodiscard]] virtual sim::sim_time sample(util::rng& rng) = 0;
+};
+
+/// Constant delay (the paper's 50 ms).
+class fixed_latency final : public latency_model {
+ public:
+  explicit fixed_latency(sim::sim_time delay);
+  [[nodiscard]] sim::sim_time sample(util::rng& rng) override;
+
+ private:
+  sim::sim_time delay_;
+};
+
+/// Uniform delay in [lo, hi].
+class uniform_latency final : public latency_model {
+ public:
+  uniform_latency(sim::sim_time lo, sim::sim_time hi);
+  [[nodiscard]] sim::sim_time sample(util::rng& rng) override;
+
+ private:
+  sim::sim_time lo_;
+  sim::sim_time hi_;
+};
+
+/// Convenience factory for the paper's default.
+[[nodiscard]] std::unique_ptr<latency_model> paper_latency();
+
+}  // namespace nylon::net

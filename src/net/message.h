@@ -1,0 +1,42 @@
+// Type-erased datagram payloads. Protocol layers (gossip, nylon) define
+// concrete payloads; the transport only needs a wire size for bandwidth
+// accounting and a type name for per-kind statistics.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "net/address.h"
+
+namespace nylon::net {
+
+/// Base class of everything that can ride inside a simulated UDP datagram.
+class payload {
+ public:
+  virtual ~payload() = default;
+
+  /// Serialized payload size in bytes (excluding the IP/UDP header, which
+  /// the transport adds).
+  [[nodiscard]] virtual std::size_t wire_size() const noexcept = 0;
+
+  /// Stable name used for per-message-type accounting ("REQUEST", ...).
+  [[nodiscard]] virtual std::string_view type_name() const noexcept = 0;
+};
+
+/// Payloads are immutable and shared between the in-flight datagram and
+/// any bookkeeping that wants to inspect them.
+using payload_ptr = std::shared_ptr<const payload>;
+
+/// A delivered datagram, as the receiving socket sees it: the source is
+/// the post-NAT translated endpoint (what a real socket's recvfrom yields).
+struct datagram {
+  endpoint source;
+  endpoint destination;
+  payload_ptr body;
+};
+
+/// Bytes of IP + UDP header added to every datagram (20 + 8).
+inline constexpr std::size_t udp_header_bytes = 28;
+
+}  // namespace nylon::net

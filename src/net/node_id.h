@@ -1,0 +1,16 @@
+// Logical node identifiers. Peers are known protocol-wide by a compact id;
+// the transport maps ids to endpoints and NAT devices.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nylon::net {
+
+/// Dense node identifier, assigned by the transport at add_node() time.
+using node_id = std::uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr node_id nil_node = std::numeric_limits<node_id>::max();
+
+}  // namespace nylon::net

@@ -1,0 +1,208 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace nylon::net {
+
+namespace {
+// Address plan: node i's public-facing IP is 10.0.0.0 + i + 1 (that is the
+// NAT box's IP for natted nodes); its private address is 172.16.0.0 + i + 1.
+// Private IPs are globally unique in the simulation purely to simplify
+// bookkeeping; they are never routed.
+constexpr std::uint32_t public_ip_base = 0x0A000000;
+constexpr std::uint32_t private_ip_base = 0xAC100000;
+constexpr std::uint32_t private_port = 5000;
+constexpr std::uint32_t public_peer_port = 4000;
+}  // namespace
+
+std::string_view to_string(drop_reason r) noexcept {
+  switch (r) {
+    case drop_reason::unknown_destination: return "unknown_destination";
+    case drop_reason::dead_node: return "dead_node";
+    case drop_reason::nat_filtered: return "nat_filtered";
+    case drop_reason::sender_dead: return "sender_dead";
+    case drop_reason::random_loss: return "random_loss";
+    case drop_reason::count_: break;
+  }
+  return "?";
+}
+
+transport::transport(sim::scheduler& sched, util::rng& rng,
+                     std::unique_ptr<latency_model> latency,
+                     transport_config cfg)
+    : sched_(sched), rng_(rng), latency_(std::move(latency)), cfg_(cfg) {
+  NYLON_EXPECTS(latency_ != nullptr);
+  NYLON_EXPECTS(cfg_.hole_timeout > 0);
+  NYLON_EXPECTS(cfg_.loss_rate >= 0.0 && cfg_.loss_rate <= 1.0);
+}
+
+node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
+  const auto id = static_cast<node_id>(nodes_.size());
+  node_record rec;
+  rec.type = type;
+  rec.handler = &handler;
+  const ip_address public_ip{public_ip_base + id + 1};
+  if (nat::is_natted(type)) {
+    rec.private_ep = endpoint{ip_address{private_ip_base + id + 1},
+                              private_port};
+    rec.device =
+        std::make_unique<nat::nat_device>(type, public_ip, cfg_.hole_timeout);
+    rec.advertised = rec.device->advertised_endpoint(rec.private_ep);
+  } else {
+    rec.private_ep = endpoint{public_ip, public_peer_port};
+    rec.advertised = rec.private_ep;
+  }
+  ip_owner_.emplace(public_ip, id);
+  nodes_.push_back(std::move(rec));
+  return id;
+}
+
+void transport::remove_node(node_id id) {
+  NYLON_EXPECTS(id < nodes_.size());
+  nodes_[id].alive = false;
+}
+
+bool transport::alive(node_id id) const {
+  NYLON_EXPECTS(id < nodes_.size());
+  return nodes_[id].alive;
+}
+
+nat::nat_type transport::type_of(node_id id) const {
+  NYLON_EXPECTS(id < nodes_.size());
+  return nodes_[id].type;
+}
+
+endpoint transport::advertised_endpoint(node_id id) const {
+  NYLON_EXPECTS(id < nodes_.size());
+  return nodes_[id].advertised;
+}
+
+const nat::nat_device* transport::device_of(node_id id) const {
+  NYLON_EXPECTS(id < nodes_.size());
+  return nodes_[id].device.get();
+}
+
+void transport::count_drop(drop_reason reason) {
+  ++drop_counts_[static_cast<std::size_t>(reason)];
+}
+
+void transport::send(node_id from, const endpoint& to, payload_ptr body) {
+  NYLON_EXPECTS(from < nodes_.size());
+  NYLON_EXPECTS(body != nullptr);
+  node_record& src = nodes_[from];
+  if (!src.alive) {
+    count_drop(drop_reason::sender_dead);
+    return;
+  }
+  const sim::sim_time now = sched_.now();
+  endpoint source_ep;
+  if (src.device) {
+    source_ep = src.device->translate_outbound(src.private_ep, to, now);
+  } else {
+    source_ep = src.advertised;
+  }
+  const std::size_t bytes = udp_header_bytes + body->wire_size();
+  src.traffic.bytes_sent += bytes;
+  ++src.traffic.msgs_sent;
+  bytes_by_type_[body->type_name()] += bytes;
+
+  if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
+    count_drop(drop_reason::random_loss);
+    return;
+  }
+  const sim::sim_time delay = latency_->sample(rng_);
+  sched_.after(delay, [this, source_ep, to, body = std::move(body), bytes] {
+    deliver(source_ep, to, body, bytes);
+  });
+}
+
+void transport::deliver(endpoint source, endpoint to, const payload_ptr& body,
+                        std::size_t bytes) {
+  const auto owner = ip_owner_.find(to.ip);
+  if (owner == ip_owner_.end()) {
+    count_drop(drop_reason::unknown_destination);
+    return;
+  }
+  node_record& dst = nodes_[owner->second];
+  const sim::sim_time now = sched_.now();
+  if (dst.device) {
+    const auto private_dst = dst.device->filter_inbound(to, source, now);
+    if (!private_dst) {
+      count_drop(drop_reason::nat_filtered);
+      return;
+    }
+    NYLON_ENSURES(*private_dst == dst.private_ep);
+  } else if (to != dst.advertised) {
+    count_drop(drop_reason::unknown_destination);
+    return;
+  }
+  // NAT boxes forward to dead hosts; the packet just dies there. The check
+  // happens after NAT filtering so rule refreshes stay realistic.
+  if (!dst.alive) {
+    count_drop(drop_reason::dead_node);
+    return;
+  }
+  dst.traffic.bytes_received += bytes;
+  ++dst.traffic.msgs_received;
+  dst.handler->on_datagram(datagram{source, to, body});
+}
+
+nat::predicted_source transport::predicted_source(node_id from,
+                                                  const endpoint& to) const {
+  NYLON_EXPECTS(from < nodes_.size());
+  const node_record& src = nodes_[from];
+  if (src.device) {
+    return src.device->would_translate(src.private_ep, to, sched_.now());
+  }
+  return nat::predicted_source{src.advertised.ip, src.advertised.port};
+}
+
+std::optional<node_id> transport::would_deliver(node_id from,
+                                                const endpoint& to) const {
+  NYLON_EXPECTS(from < nodes_.size());
+  if (!nodes_[from].alive) return std::nullopt;
+  const auto owner = ip_owner_.find(to.ip);
+  if (owner == ip_owner_.end()) return std::nullopt;
+  const node_record& dst = nodes_[owner->second];
+  if (!dst.alive) return std::nullopt;
+  const nat::predicted_source src = predicted_source(from, to);
+  if (dst.device) {
+    const auto private_dst =
+        dst.device->would_accept(to, src.ip, src.port, sched_.now());
+    if (!private_dst) return std::nullopt;
+  } else if (to != dst.advertised) {
+    return std::nullopt;
+  }
+  return owner->second;
+}
+
+const node_traffic& transport::traffic(node_id id) const {
+  NYLON_EXPECTS(id < nodes_.size());
+  return nodes_[id].traffic;
+}
+
+void transport::reset_traffic() {
+  for (node_record& rec : nodes_) rec.traffic = node_traffic{};
+  bytes_by_type_.clear();
+}
+
+std::uint64_t transport::drops(drop_reason reason) const {
+  return drop_counts_[static_cast<std::size_t>(reason)];
+}
+
+std::uint64_t transport::total_drops() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : drop_counts_) total += c;
+  return total;
+}
+
+void transport::purge_nat_state() {
+  const sim::sim_time now = sched_.now();
+  for (node_record& rec : nodes_) {
+    if (rec.device) rec.device->purge_expired(now);
+  }
+}
+
+}  // namespace nylon::net

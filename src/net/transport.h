@@ -1,0 +1,168 @@
+// The simulated internet: delivers datagrams between endpoints, pushing
+// every packet of a natted peer through its NAT device on the way out and
+// through the destination's NAT device on the way in.
+//
+// Staleness, partitions and hole-punching behaviour all *emerge* from this
+// code path; the metrics oracle dry-runs the exact same logic through the
+// const `would_deliver` query.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "nat/nat_device.h"
+#include "nat/nat_type.h"
+#include "net/address.h"
+#include "net/latency.h"
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace nylon::net {
+
+/// A bound socket: receives datagrams addressed (post-NAT) to its owner.
+class endpoint_handler {
+ public:
+  virtual ~endpoint_handler() = default;
+  virtual void on_datagram(const datagram& dgram) = 0;
+};
+
+/// Why a datagram was not delivered.
+enum class drop_reason : std::uint8_t {
+  unknown_destination,  ///< no host owns the destination IP / port
+  dead_node,            ///< destination host left the system
+  nat_filtered,         ///< destination NAT dropped the unsolicited packet
+  sender_dead,          ///< source host left before the send fired
+  random_loss,          ///< probabilistic loss (off by default)
+  count_                ///< number of reasons (internal)
+};
+
+/// Display name of a drop reason.
+[[nodiscard]] std::string_view to_string(drop_reason r) noexcept;
+
+/// Transport-wide tunables.
+struct transport_config {
+  /// NAT mapping / filtering-rule lifetime (the paper's 90 s).
+  sim::sim_time hole_timeout = sim::seconds(90);
+  /// Independent per-datagram loss probability (paper: 0).
+  double loss_rate = 0.0;
+};
+
+/// Per-node traffic counters (Figs. 7 and 8 are computed from these).
+struct node_traffic {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+};
+
+class transport {
+ public:
+  /// The scheduler and rng must outlive the transport.
+  transport(sim::scheduler& sched, util::rng& rng,
+            std::unique_ptr<latency_model> latency,
+            transport_config cfg = {});
+
+  // --- topology -------------------------------------------------------------
+
+  /// Registers a node of the given NAT type; allocates its addresses and
+  /// (for natted types) its NAT device. Returns its dense id.
+  node_id add_node(nat::nat_type type, endpoint_handler& handler);
+
+  /// Fail-stop removal: the node silently stops sending and receiving.
+  /// Its NAT box keeps existing (packets die behind it).
+  void remove_node(node_id id);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] bool alive(node_id id) const;
+  [[nodiscard]] nat::nat_type type_of(node_id id) const;
+
+  /// STUN-discovered public endpoint the node advertises in descriptors.
+  /// For symmetric-NAT nodes the port is 0 (no stable port exists).
+  [[nodiscard]] endpoint advertised_endpoint(node_id id) const;
+
+  /// The node's NAT device (nullptr for public nodes). Exposed for tests
+  /// and for the reachability oracle.
+  [[nodiscard]] const nat::nat_device* device_of(node_id id) const;
+
+  // --- data path --------------------------------------------------------------
+
+  /// Sends `body` from node `from` to endpoint `to`. Applies source NAT
+  /// translation, accounts bytes, and schedules delivery after the
+  /// latency model's delay.
+  void send(node_id from, const endpoint& to, payload_ptr body);
+
+  // --- dry-run oracle ---------------------------------------------------------
+
+  /// Which node would receive a packet from `from` addressed to `to`,
+  /// under current NAT state? nullopt when it would be dropped. Const:
+  /// never creates sessions or refreshes rules.
+  [[nodiscard]] std::optional<node_id> would_deliver(node_id from,
+                                                     const endpoint& to) const;
+
+  /// The source endpoint such a packet would carry (port may be unknown
+  /// for a fresh symmetric session).
+  [[nodiscard]] nat::predicted_source predicted_source(
+      node_id from, const endpoint& to) const;
+
+  // --- accounting -------------------------------------------------------------
+
+  [[nodiscard]] const node_traffic& traffic(node_id id) const;
+  /// Zeroes all per-node and per-type counters (used to measure steady
+  /// state after a warm-up phase).
+  void reset_traffic();
+  [[nodiscard]] std::uint64_t drops(drop_reason reason) const;
+  [[nodiscard]] std::uint64_t total_drops() const;
+  /// Bytes by payload type name (REQUEST, OPEN_HOLE, ...).
+  [[nodiscard]] const std::unordered_map<std::string_view, std::uint64_t>&
+  bytes_by_type() const noexcept {
+    return bytes_by_type_;
+  }
+
+  /// Periodically drops expired NAT state to bound memory; call it from a
+  /// maintenance timer (scenario sets one up).
+  void purge_nat_state();
+
+  [[nodiscard]] sim::scheduler& scheduler() noexcept { return sched_; }
+  /// Current simulated time (const path for oracles and metrics).
+  [[nodiscard]] sim::sim_time scheduler_now() const noexcept {
+    return sched_.now();
+  }
+  [[nodiscard]] const transport_config& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct node_record {
+    nat::nat_type type = nat::nat_type::open;
+    bool alive = true;
+    endpoint private_ep;  ///< equals `advertised` for public nodes
+    endpoint advertised;
+    std::unique_ptr<nat::nat_device> device;  ///< null for public nodes
+    endpoint_handler* handler = nullptr;
+    node_traffic traffic;
+  };
+
+  void deliver(endpoint source, endpoint to, const payload_ptr& body,
+               std::size_t bytes);
+  void count_drop(drop_reason reason);
+
+  sim::scheduler& sched_;
+  util::rng& rng_;
+  std::unique_ptr<latency_model> latency_;
+  transport_config cfg_;
+  std::vector<node_record> nodes_;
+  std::unordered_map<ip_address, node_id> ip_owner_;
+  std::uint64_t drop_counts_[static_cast<std::size_t>(drop_reason::count_)] =
+      {};
+  std::unordered_map<std::string_view, std::uint64_t> bytes_by_type_;
+};
+
+}  // namespace nylon::net

@@ -1,0 +1,19 @@
+#include "runtime/experiment_config.h"
+
+#include "util/contracts.h"
+
+namespace nylon::runtime {
+
+void experiment_config::validate() const {
+  NYLON_EXPECTS(peer_count >= 2);
+  NYLON_EXPECTS(natted_fraction >= 0.0 && natted_fraction <= 1.0);
+  NYLON_EXPECTS(gossip.view_size > 0);
+  NYLON_EXPECTS(gossip.view_size < peer_count);
+  NYLON_EXPECTS(gossip.shuffle_period > 0);
+  NYLON_EXPECTS(latency >= 0);
+  NYLON_EXPECTS(latency < gossip.shuffle_period);
+  NYLON_EXPECTS(hole_timeout > 0);
+  NYLON_EXPECTS(loss_rate >= 0.0 && loss_rate <= 1.0);
+}
+
+}  // namespace nylon::runtime

@@ -1,0 +1,40 @@
+// All knobs of one simulated deployment, defaulted to the paper's §5
+// experimental settings.
+#pragma once
+
+#include <cstdint>
+
+#include "core/peer_factory.h"
+#include "gossip/policies.h"
+#include "nat/deployment.h"
+#include "sim/time.h"
+
+namespace nylon::runtime {
+
+/// Configuration of one experiment run (one seed).
+struct experiment_config {
+  /// Population size (paper: 10,000; benches default lower — see flags).
+  std::size_t peer_count = 10000;
+  /// Fraction of peers behind NATs (the x-axis of most figures).
+  double natted_fraction = 0.5;
+  /// NAT-type mix among natted peers (paper: 50/40/10 RC/PRC/SYM for the
+  /// Nylon experiments, 100% PRC for the §3 baselines).
+  nat::nat_mix mix = nat::paper_mix();
+  /// Which protocol the peers run.
+  core::protocol_kind protocol = core::protocol_kind::nylon;
+  /// Gossip dimensions: view size, selection, propagation, merge, period.
+  gossip::protocol_config gossip;
+  /// One-way message latency (paper: 50 ms).
+  sim::sim_time latency = sim::millis(50);
+  /// NAT mapping / rule lifetime (paper: 90 s).
+  sim::sim_time hole_timeout = sim::seconds(90);
+  /// Optional packet loss (paper: 0).
+  double loss_rate = 0.0;
+  /// Master seed of this run.
+  std::uint64_t seed = 1;
+
+  /// Throws nylon::contract_error on invalid combinations.
+  void validate() const;
+};
+
+}  // namespace nylon::runtime

@@ -1,0 +1,40 @@
+#include "runtime/runner.h"
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace nylon::runtime {
+
+seed_aggregate run_seeds(
+    int seed_count, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment) {
+  NYLON_EXPECTS(seed_count > 0);
+  seed_aggregate out;
+  out.values.reserve(static_cast<std::size_t>(seed_count));
+  for (int i = 0; i < seed_count; ++i) {
+    out.values.push_back(
+        experiment(util::derive_seed(base_seed, static_cast<std::uint64_t>(i))));
+  }
+  out.stats = util::summarize(out.values);
+  return out;
+}
+
+std::vector<seed_aggregate> run_seeds_multi(
+    int seed_count, std::uint64_t base_seed, std::size_t metric_count,
+    const std::function<std::vector<double>(std::uint64_t seed)>& experiment) {
+  NYLON_EXPECTS(seed_count > 0);
+  NYLON_EXPECTS(metric_count > 0);
+  std::vector<seed_aggregate> out(metric_count);
+  for (int i = 0; i < seed_count; ++i) {
+    const std::vector<double> metrics =
+        experiment(util::derive_seed(base_seed, static_cast<std::uint64_t>(i)));
+    NYLON_EXPECTS(metrics.size() == metric_count);
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      out[m].values.push_back(metrics[m]);
+    }
+  }
+  for (seed_aggregate& agg : out) agg.stats = util::summarize(agg.values);
+  return out;
+}
+
+}  // namespace nylon::runtime

@@ -1,0 +1,31 @@
+// Multi-seed experiment driver: runs a measurement across independent
+// seeds (the paper averages 30) and aggregates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace nylon::runtime {
+
+/// Aggregate of one scalar metric across seeds.
+struct seed_aggregate {
+  std::vector<double> values;  ///< per-seed results, in seed order
+  util::summary stats;         ///< summary over `values`
+};
+
+/// Runs `experiment` once per seed (seeds derived deterministically from
+/// `base_seed`) and aggregates the returned metric.
+[[nodiscard]] seed_aggregate run_seeds(
+    int seed_count, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment);
+
+/// Variant for experiments that produce several named metrics at once:
+/// returns one aggregate per metric index.
+[[nodiscard]] std::vector<seed_aggregate> run_seeds_multi(
+    int seed_count, std::uint64_t base_seed, std::size_t metric_count,
+    const std::function<std::vector<double>(std::uint64_t seed)>& experiment);
+
+}  // namespace nylon::runtime

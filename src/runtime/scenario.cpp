@@ -1,0 +1,151 @@
+#include "runtime/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gossip/bootstrap.h"
+#include "net/latency.h"
+#include "util/contracts.h"
+
+namespace nylon::runtime {
+
+scenario::scenario(const experiment_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  cfg_.validate();
+
+  net::transport_config tcfg;
+  tcfg.hole_timeout = cfg_.hole_timeout;
+  tcfg.loss_rate = cfg_.loss_rate;
+  transport_ = std::make_unique<net::transport>(
+      sched_, rng_, std::make_unique<net::fixed_latency>(cfg_.latency), tcfg);
+
+  const std::vector<nat::nat_type> types =
+      nat::assign_types(cfg_.peer_count, cfg_.natted_fraction, cfg_.mix, rng_);
+
+  peers_.reserve(cfg_.peer_count);
+  for (std::size_t i = 0; i < cfg_.peer_count; ++i) {
+    auto p = core::make_peer(cfg_.protocol, *transport_, rng_, cfg_.gossip);
+    const net::node_id id = transport_->add_node(types[i], *p);
+    NYLON_ENSURES(id == static_cast<net::node_id>(i));
+    p->attach(id);
+    peers_.push_back(std::move(p));
+  }
+
+  std::vector<gossip::peer*> raw;
+  raw.reserve(peers_.size());
+  for (const auto& p : peers_) raw.push_back(p.get());
+  gossip::bootstrap_with_public_peers(raw, rng_);
+
+  // Random phase within the first period so peers do not fire in
+  // lockstep; afterwards every peer gossips exactly once per period.
+  for (const auto& p : peers_) {
+    const auto phase = static_cast<sim::sim_time>(rng_.uniform(
+        0, static_cast<std::uint64_t>(cfg_.gossip.shuffle_period - 1)));
+    p->start(phase);
+  }
+
+  // Periodic NAT garbage collection keeps device tables bounded.
+  sched_.every(sim::seconds(30), sim::seconds(30),
+               [this] { transport_->purge_nat_state(); });
+}
+
+void scenario::run_periods(std::int64_t periods) {
+  NYLON_EXPECTS(periods >= 0);
+  sched_.run_for(periods * cfg_.gossip.shuffle_period);
+}
+
+void scenario::run_until(sim::sim_time deadline) { sched_.run_until(deadline); }
+
+gossip::peer& scenario::peer_at(net::node_id id) {
+  NYLON_EXPECTS(id < peers_.size());
+  return *peers_[id];
+}
+
+std::size_t scenario::alive_count() const {
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (transport_->alive(static_cast<net::node_id>(i))) ++alive;
+  }
+  return alive;
+}
+
+void scenario::remove_peer(net::node_id id) {
+  NYLON_EXPECTS(id < peers_.size());
+  peers_[id]->stop();
+  transport_->remove_node(id);
+}
+
+net::node_id scenario::add_peer(std::optional<nat::nat_type> type) {
+  const nat::nat_type chosen = type.has_value()
+                                   ? *type
+                                   : nat::assign_types(1, cfg_.natted_fraction,
+                                                       cfg_.mix, rng_)[0];
+  auto p = core::make_peer(cfg_.protocol, *transport_, rng_, cfg_.gossip);
+  const net::node_id id = transport_->add_node(chosen, *p);
+  p->attach(id);
+
+  // Bootstrap with up to view_size alive public peers (fallback: any
+  // alive peer), like the initial §5 bootstrap but against the current
+  // population.
+  std::vector<gossip::view_entry> seeds;
+  std::vector<net::node_id> candidates;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const auto other = static_cast<net::node_id>(i);
+    if (!transport_->alive(other)) continue;
+    if (nat::is_natted(transport_->type_of(other))) continue;
+    candidates.push_back(other);
+  }
+  if (candidates.empty()) {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      const auto other = static_cast<net::node_id>(i);
+      if (transport_->alive(other)) candidates.push_back(other);
+    }
+  }
+  const std::vector<std::size_t> picks = rng_.sample_indices(
+      candidates.size(),
+      std::min(candidates.size(), cfg_.gossip.view_size));
+  for (const std::size_t k : picks) {
+    seeds.push_back(
+        gossip::view_entry{peers_[candidates[k]]->self(), 0, 0});
+  }
+  p->set_initial_view(std::move(seeds));
+
+  const auto phase = static_cast<sim::sim_time>(rng_.uniform(
+      0, static_cast<std::uint64_t>(cfg_.gossip.shuffle_period - 1)));
+  p->start(sched_.now() + phase);
+  peers_.push_back(std::move(p));
+  return id;
+}
+
+std::size_t scenario::remove_fraction(double fraction) {
+  NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<net::node_id> alive_public;
+  std::vector<net::node_id> alive_natted;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    if (!transport_->alive(id)) continue;
+    if (nat::is_natted(transport_->type_of(id))) {
+      alive_natted.push_back(id);
+    } else {
+      alive_public.push_back(id);
+    }
+  }
+  // Proportional removal across the two classes (Fig. 10's setup).
+  std::size_t removed = 0;
+  for (auto* group : {&alive_public, &alive_natted}) {
+    const auto take = static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(group->size())));
+    const std::vector<std::size_t> picks =
+        rng_.sample_indices(group->size(), take);
+    for (const std::size_t k : picks) {
+      remove_peer((*group)[k]);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+metrics::reachability_oracle scenario::oracle() const {
+  return metrics::reachability_oracle(*transport_, peers_);
+}
+
+}  // namespace nylon::runtime

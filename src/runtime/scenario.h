@@ -1,0 +1,80 @@
+// A fully wired simulation: scheduler + rng + transport + peers, built
+// from an experiment_config, with churn injection and metric access.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gossip/peer.h"
+#include "metrics/reachability.h"
+#include "net/transport.h"
+#include "runtime/experiment_config.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace nylon::runtime {
+
+class scenario {
+ public:
+  /// Builds the whole system: assigns NAT types, creates peers, seeds
+  /// views with random public peers (§5 bootstrap) and schedules every
+  /// peer's shuffle timer with a random phase within the first period.
+  explicit scenario(const experiment_config& cfg);
+
+  /// Advances the simulation by `periods` shuffle periods.
+  void run_periods(std::int64_t periods);
+
+  /// Advances to an absolute simulated time.
+  void run_until(sim::sim_time deadline);
+
+  // --- churn -----------------------------------------------------------------
+
+  /// Fail-stop removal of `fraction` of the alive peers, public and
+  /// natted peers removed proportionally to their share (Fig. 10).
+  /// Returns the number of peers removed.
+  std::size_t remove_fraction(double fraction);
+
+  /// Removes one specific peer (fail-stop).
+  void remove_peer(net::node_id id);
+
+  /// A new peer joins mid-run: it is created with the scenario's protocol
+  /// and NAT type drawn from the configured distribution (or forced via
+  /// `type`), bootstrapped with alive public peers, and starts gossiping
+  /// within one period. Returns its id. (Arrival-side churn — the paper's
+  /// motivation mentions arrivals, its evaluation only departures.)
+  net::node_id add_peer(std::optional<nat::nat_type> type = std::nullopt);
+
+  /// Number of peers still alive.
+  [[nodiscard]] std::size_t alive_count() const;
+
+  // --- access ----------------------------------------------------------------
+
+  [[nodiscard]] net::transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const net::transport& transport() const noexcept {
+    return *transport_;
+  }
+  [[nodiscard]] std::span<const std::unique_ptr<gossip::peer>> peers()
+      const noexcept {
+    return peers_;
+  }
+  [[nodiscard]] gossip::peer& peer_at(net::node_id id);
+  [[nodiscard]] sim::scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] util::rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const experiment_config& config() const noexcept {
+    return cfg_;
+  }
+
+  /// Builds a fresh staleness/connectivity oracle over the current state.
+  [[nodiscard]] metrics::reachability_oracle oracle() const;
+
+ private:
+  experiment_config cfg_;
+  sim::scheduler sched_;
+  util::rng rng_;
+  std::unique_ptr<net::transport> transport_;
+  std::vector<std::unique_ptr<gossip::peer>> peers_;
+};
+
+}  // namespace nylon::runtime

@@ -1,0 +1,35 @@
+// Aligned text tables (and CSV) for the bench harnesses, so every bench
+// prints the same rows/series the paper's figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nylon::runtime {
+
+/// Simple column-aligned table builder.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (comma-separated, no quoting — cells must be plain).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 1 decimal).
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+}  // namespace nylon::runtime

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include "util/contracts.h"
+
+namespace nylon::sim {
+
+event_handle event_queue::push(sim_time at, std::function<void()> fn) {
+  NYLON_EXPECTS(fn != nullptr);
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(entry{at, next_seq_++, std::move(fn), flag});
+  return event_handle(std::move(flag));
+}
+
+void event_queue::skip_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool event_queue::empty() const noexcept {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+sim_time event_queue::next_time() const noexcept {
+  skip_cancelled();
+  return heap_.empty() ? time_never : heap_.top().at;
+}
+
+sim_time event_queue::pop_and_run() {
+  skip_cancelled();
+  NYLON_EXPECTS(!heap_.empty());
+  // std::priority_queue::top() is const; the entry must be moved out via
+  // const_cast, which is safe because pop() immediately follows.
+  entry e = std::move(const_cast<entry&>(heap_.top()));
+  heap_.pop();
+  ++executed_;
+  e.fn();
+  return e.at;
+}
+
+}  // namespace nylon::sim

@@ -1,0 +1,85 @@
+// A stable min-heap of timed events. Stability (FIFO among events with the
+// same timestamp) is what makes whole simulations reproducible bit-for-bit
+// from a seed, so it is guaranteed here rather than left to chance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace nylon::sim {
+
+/// Handle to a scheduled event; allows O(1) logical cancellation.
+class event_handle {
+ public:
+  event_handle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly
+  /// and safe after the queue itself is gone.
+  void cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  /// True if this handle refers to a scheduled (possibly fired) event.
+  [[nodiscard]] bool valid() const noexcept { return cancelled_ != nullptr; }
+
+ protected:
+  // Protected so that the scheduler's periodic-task wrapper can adapt a
+  // shared cancellation flag into a handle.
+  friend class event_queue;
+  explicit event_handle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Priority queue of `void()` callbacks ordered by (time, insertion seq).
+class event_queue {
+ public:
+  /// Schedules `fn` at absolute time `at`; returns a cancellation handle.
+  event_handle push(sim_time at, std::function<void()> fn);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Number of queued entries, including logically cancelled ones.
+  [[nodiscard]] std::size_t raw_size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest live event, or `time_never` when empty.
+  [[nodiscard]] sim_time next_time() const noexcept;
+
+  /// Pops and runs the earliest live event; returns its time.
+  /// Requires !empty().
+  sim_time pop_and_run();
+
+  /// Total number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct entry {
+    sim_time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the front of the heap.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<entry, std::vector<entry>, later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace nylon::sim

@@ -1,0 +1,71 @@
+#include "sim/scheduler.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace nylon::sim {
+
+event_handle scheduler::at(sim_time when, std::function<void()> fn) {
+  NYLON_EXPECTS(when >= now_);
+  return queue_.push(when, std::move(fn));
+}
+
+event_handle scheduler::after(sim_time delay, std::function<void()> fn) {
+  NYLON_EXPECTS(delay >= 0);
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+struct scheduler::periodic_state {
+  scheduler* owner;
+  sim_time period;
+  std::function<void()> fn;
+  // The externally visible cancellation flag; shared with the returned
+  // handle. Each hop of the chain checks it before rescheduling.
+  std::shared_ptr<bool> cancelled = std::make_shared<bool>(false);
+
+  void fire(const std::shared_ptr<periodic_state>& self) {
+    if (*cancelled) return;
+    fn();
+    if (*cancelled) return;
+    owner->queue_.push(owner->now() + period,
+                       [self] { self->fire(self); });
+  }
+};
+
+event_handle scheduler::every(sim_time first, sim_time period,
+                              std::function<void()> fn) {
+  NYLON_EXPECTS(first >= now_);
+  NYLON_EXPECTS(period > 0);
+  auto state = std::make_shared<periodic_state>();
+  state->owner = this;
+  state->period = period;
+  state->fn = std::move(fn);
+  queue_.push(first, [state] { state->fire(state); });
+  // Wrap the shared cancellation flag in a handle compatible with the
+  // single-shot API.
+  struct access : event_handle {
+    explicit access(std::shared_ptr<bool> f)
+        : event_handle(std::move(f)) {}
+  };
+  return access(state->cancelled);
+}
+
+void scheduler::run_until(sim_time deadline) {
+  NYLON_EXPECTS(deadline >= now_);
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+  now_ = deadline;
+}
+
+bool scheduler::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  return true;
+}
+
+}  // namespace nylon::sim

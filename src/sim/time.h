@@ -1,0 +1,30 @@
+// Simulated time. Integral milliseconds avoid floating-point drift and make
+// event ordering exact; helpers keep call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace nylon::sim {
+
+/// Simulated time point / duration, in milliseconds since simulation start.
+using sim_time = std::int64_t;
+
+/// An unreachable time point, used as "never".
+inline constexpr sim_time time_never = INT64_MAX;
+
+/// Converts whole seconds to sim_time.
+[[nodiscard]] constexpr sim_time seconds(std::int64_t s) noexcept {
+  return s * 1000;
+}
+
+/// Converts milliseconds to sim_time (identity; documents intent).
+[[nodiscard]] constexpr sim_time millis(std::int64_t ms) noexcept {
+  return ms;
+}
+
+/// Converts sim_time to fractional seconds (for reporting only).
+[[nodiscard]] constexpr double to_seconds(sim_time t) noexcept {
+  return static_cast<double>(t) / 1000.0;
+}
+
+}  // namespace nylon::sim

@@ -1,0 +1,38 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw `nylon::contract_error` so
+// that tests can assert on them and simulations fail loudly instead of
+// silently corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nylon {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw contract_error(std::string(kind) + " failed: (" + expr + ") at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace nylon
+
+/// Precondition check: use at function entry to validate arguments/state.
+#define NYLON_EXPECTS(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::nylon::detail::contract_fail("precondition", #expr,        \
+                                           __FILE__, __LINE__))
+
+/// Postcondition / invariant check.
+#define NYLON_ENSURES(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::nylon::detail::contract_fail("postcondition", #expr,       \
+                                           __FILE__, __LINE__))

@@ -1,0 +1,153 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace nylon::util {
+
+namespace {
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  std::int64_t out = 0;
+  const auto* begin = value.data();
+  const auto* end = begin + value.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::invalid_argument("flag --" + name + ": bad integer '" + value +
+                                "'");
+  }
+  return out;
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": bad number '" + value +
+                                "'");
+  }
+}
+
+bool parse_bool(const std::string& name, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": bad boolean '" + value +
+                              "'");
+}
+
+}  // namespace
+
+void flag_set::add(std::string name, entry e) {
+  if (!entries_.emplace(std::move(name), std::move(e)).second) {
+    throw std::invalid_argument("duplicate flag registration");
+  }
+}
+
+std::int64_t* flag_set::add_int(std::string name, std::int64_t default_value,
+                                std::string help) {
+  ints_.push_back(std::make_unique<std::int64_t>(default_value));
+  auto* target = ints_.back().get();
+  add(std::move(name), entry{kind::integer, target,
+                             std::to_string(default_value), std::move(help)});
+  return target;
+}
+
+double* flag_set::add_double(std::string name, double default_value,
+                             std::string help) {
+  doubles_.push_back(std::make_unique<double>(default_value));
+  auto* target = doubles_.back().get();
+  std::ostringstream repr;
+  repr << default_value;
+  add(std::move(name),
+      entry{kind::real, target, repr.str(), std::move(help)});
+  return target;
+}
+
+std::string* flag_set::add_string(std::string name, std::string default_value,
+                                  std::string help) {
+  strings_.push_back(std::make_unique<std::string>(std::move(default_value)));
+  auto* target = strings_.back().get();
+  add(std::move(name), entry{kind::text, target, *target, std::move(help)});
+  return target;
+}
+
+bool* flag_set::add_bool(std::string name, bool default_value,
+                         std::string help) {
+  bools_.push_back(std::make_unique<bool>(default_value));
+  auto* target = bools_.back().get();
+  add(std::move(name), entry{kind::boolean, target,
+                             default_value ? "true" : "false",
+                             std::move(help)});
+  return target;
+}
+
+void flag_set::assign(const std::string& name, const std::string& value) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown flag --" + name);
+  }
+  entry& e = it->second;
+  switch (e.type) {
+    case kind::integer:
+      *static_cast<std::int64_t*>(e.target) = parse_int(name, value);
+      break;
+    case kind::real:
+      *static_cast<double*>(e.target) = parse_double(name, value);
+      break;
+    case kind::text:
+      *static_cast<std::string*>(e.target) = value;
+      break;
+    case kind::boolean:
+      *static_cast<bool*>(e.target) = parse_bool(name, value);
+      break;
+  }
+}
+
+std::vector<std::string> flag_set::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      assign(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    const auto it = entries_.find(arg);
+    if (it == entries_.end()) {
+      throw std::invalid_argument("unknown flag --" + arg);
+    }
+    if (it->second.type == kind::boolean) {
+      // Bare boolean: `--name`. A following token that parses as a boolean
+      // is *not* consumed; booleans use `--name=false` to disable.
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("flag --" + arg + ": missing value");
+    }
+    assign(arg, argv[++i]);
+  }
+  return positional;
+}
+
+std::string flag_set::usage(std::string_view program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, e] : entries_) {
+    out << "  --" << name << " (default " << e.default_repr << ")  " << e.help
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace nylon::util

@@ -1,0 +1,60 @@
+// Minimal command-line flag parser for benches and examples.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error (typos in sweep scripts should fail fast).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nylon::util {
+
+/// Registry of typed flags with defaults; call parse() once with argv.
+class flag_set {
+ public:
+  /// Registers an integer flag. Returns a stable pointer to the value.
+  std::int64_t* add_int(std::string name, std::int64_t default_value,
+                        std::string help);
+
+  /// Registers a floating-point flag.
+  double* add_double(std::string name, double default_value, std::string help);
+
+  /// Registers a string flag.
+  std::string* add_string(std::string name, std::string default_value,
+                          std::string help);
+
+  /// Registers a boolean flag (`--name`, `--name=true/false/1/0`).
+  bool* add_bool(std::string name, bool default_value, std::string help);
+
+  /// Parses argv; throws std::invalid_argument on unknown flags or bad
+  /// values. Returns positional (non-flag) arguments in order.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  /// Human-readable usage text listing all flags, defaults and help.
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  enum class kind { integer, real, text, boolean };
+  struct entry {
+    kind type;
+    void* target;
+    std::string default_repr;
+    std::string help;
+  };
+
+  void add(std::string name, entry e);
+  void assign(const std::string& name, const std::string& value);
+
+  std::map<std::string, entry> entries_;
+  // Owning storage for registered values (stable addresses).
+  std::vector<std::unique_ptr<std::int64_t>> ints_;
+  std::vector<std::unique_ptr<double>> doubles_;
+  std::vector<std::unique_ptr<std::string>> strings_;
+  std::vector<std::unique_ptr<bool>> bools_;
+};
+
+}  // namespace nylon::util

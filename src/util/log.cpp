@@ -1,0 +1,41 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace nylon::util {
+
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+
+constexpr const char* level_name(log_level level) noexcept {
+  switch (level) {
+    case log_level::trace: return "TRACE";
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) noexcept { g_level.store(level); }
+
+log_level current_log_level() noexcept { return g_level.load(); }
+
+void log_line(log_level level, std::string_view message) {
+  if (level < g_level.load() || level == log_level::off) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace nylon::util

@@ -1,0 +1,51 @@
+// Tiny leveled logger. Simulations are silent by default; examples raise
+// the level to `info` to narrate what is happening.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace nylon::util {
+
+/// Severity, lowest to highest.
+enum class log_level { trace, debug, info, warn, error, off };
+
+/// Sets the global minimum level that is emitted (default: warn).
+void set_log_level(log_level level) noexcept;
+
+/// Current global level.
+[[nodiscard]] log_level current_log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the global threshold.
+void log_line(log_level level, std::string_view message);
+
+namespace detail {
+/// Stream-style helper: collects a message and emits it on destruction.
+class log_stream {
+ public:
+  explicit log_stream(log_level level) : level_(level) {}
+  ~log_stream() { log_line(level_, stream_.str()); }
+  log_stream(const log_stream&) = delete;
+  log_stream& operator=(const log_stream&) = delete;
+
+  template <typename T>
+  log_stream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nylon::util
+
+#define NYLON_LOG(level)                                        \
+  if (::nylon::util::current_log_level() <= (level))            \
+  ::nylon::util::detail::log_stream(level)
+
+#define NYLON_LOG_INFO NYLON_LOG(::nylon::util::log_level::info)
+#define NYLON_LOG_WARN NYLON_LOG(::nylon::util::log_level::warn)
+#define NYLON_LOG_DEBUG NYLON_LOG(::nylon::util::log_level::debug)

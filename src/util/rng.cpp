@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+namespace nylon::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) noexcept {
+  // Mix the stream id into the parent with one splitmix64 round each; the
+  // constant separates the (parent, stream) lattice from plain increments.
+  std::uint64_t s = parent ^ (0xa0761d6478bd642fULL * (stream + 1));
+  return splitmix64(s);
+}
+
+void rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+rng::result_type rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  NYLON_EXPECTS(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == max()) return (*this)();
+  // Lemire's method with rejection for exact uniformity.
+  const std::uint64_t n = span + 1;
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+std::size_t rng::index(std::size_t n) {
+  NYLON_EXPECTS(n > 0);
+  return static_cast<std::size_t>(uniform(0, n - 1));
+}
+
+double rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::vector<std::size_t> rng::sample_indices(std::size_t n, std::size_t k) {
+  NYLON_EXPECTS(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, exact sampling.
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform(0, n - 1 - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace nylon::util

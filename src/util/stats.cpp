@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace nylon::util {
+
+void running_stats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double running_stats::mean() const noexcept { return count_ ? mean_ : 0.0; }
+
+double running_stats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double running_stats::min() const noexcept { return count_ ? min_ : 0.0; }
+
+double running_stats::max() const noexcept { return count_ ? max_ : 0.0; }
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  NYLON_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+summary summarize(std::span<const double> values) {
+  summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  running_stats acc;
+  for (double v : sorted) acc.add(v);
+  s.count = sorted.size();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 0.5);
+  s.p90 = percentile_sorted(sorted, 0.9);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+double mean_of(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace nylon::util

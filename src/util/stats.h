@@ -1,0 +1,62 @@
+// Streaming and batch descriptive statistics used by the metrics layer and
+// by the experiment runner when aggregating across seeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nylon::util {
+
+/// Numerically stable streaming accumulator (Welford) for count / mean /
+/// variance / min / max. Cheap enough to keep one per metric per peer.
+class running_stats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const running_stats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a batch of values.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a full summary of `values` (copies and sorts internally).
+/// An empty input yields an all-zero summary.
+[[nodiscard]] summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile of a *sorted* span; `q` in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// Sample mean of a span (0 for an empty span).
+[[nodiscard]] double mean_of(std::span<const double> values) noexcept;
+
+}  // namespace nylon::util

@@ -1,0 +1,48 @@
+#include "util/union_find.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace nylon::util {
+
+union_find::union_find(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::size_t union_find::find(std::size_t x) {
+  NYLON_EXPECTS(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool union_find::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --sets_;
+  return true;
+}
+
+bool union_find::connected(std::size_t a, std::size_t b) {
+  return find(a) == find(b);
+}
+
+std::size_t union_find::size_of(std::size_t x) { return size_[find(x)]; }
+
+std::size_t union_find::largest_set() {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    if (parent_[i] == i) best = std::max(best, size_[i]);
+  }
+  return best;
+}
+
+}  // namespace nylon::util

@@ -1,0 +1,43 @@
+// Disjoint-set forest with union by size and path halving. Used by the
+// graph-analysis metrics to compute connected components of the overlay.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nylon::util {
+
+/// Disjoint-set over elements 0..n-1.
+class union_find {
+ public:
+  /// Creates n singleton sets.
+  explicit union_find(std::size_t n);
+
+  /// Representative of x's set (with path halving).
+  [[nodiscard]] std::size_t find(std::size_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(std::size_t a, std::size_t b);
+
+  /// True when a and b are in the same set.
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b);
+
+  /// Number of elements in x's set.
+  [[nodiscard]] std::size_t size_of(std::size_t x);
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] std::size_t set_count() const noexcept { return sets_; }
+
+  /// Size of the largest set (0 for an empty structure).
+  [[nodiscard]] std::size_t largest_set();
+
+  /// Total number of elements.
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace nylon::util

@@ -1,0 +1,125 @@
+#include "core/arrg_peer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/peer_factory.h"
+#include "gossip/bootstrap.h"
+#include "net/latency.h"
+#include "net/transport.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace nylon::core {
+namespace {
+
+using gossip::protocol_config;
+
+struct arrg_world {
+  arrg_world() : rng(1), transport(sched, rng, net::paper_latency()) {}
+
+  arrg_peer& add(nat::nat_type type) {
+    protocol_config cfg;
+    cfg.view_size = 4;
+    auto p = std::make_unique<arrg_peer>(transport, rng, cfg);
+    p->attach(transport.add_node(type, *p));
+    peers.push_back(std::move(p));
+    return *peers.back();
+  }
+
+  void bootstrap_and_start() {
+    std::vector<gossip::peer*> raw;
+    for (const auto& p : peers) raw.push_back(p.get());
+    gossip::bootstrap_with_public_peers(raw, rng);
+    for (const auto& p : peers) p->start(0);
+  }
+
+  void run_periods(int n) { sched.run_for(n * sim::seconds(5)); }
+
+  sim::scheduler sched;
+  util::rng rng;
+  net::transport transport;
+  std::vector<std::unique_ptr<arrg_peer>> peers;
+};
+
+TEST(arrg_peer, rejects_zero_cache) {
+  arrg_world w;
+  protocol_config cfg;
+  EXPECT_THROW(arrg_peer(w.transport, w.rng, cfg, 0), nylon::contract_error);
+}
+
+TEST(arrg_peer, caches_successful_partners) {
+  arrg_world w;
+  arrg_peer& a = w.add(nat::nat_type::open);
+  arrg_peer& b = w.add(nat::nat_type::open);
+  w.bootstrap_and_start();
+  w.run_periods(2);
+  const auto cache_a = a.cache_snapshot();
+  ASSERT_FALSE(cache_a.empty());
+  EXPECT_EQ(cache_a.front().id, b.id());
+}
+
+TEST(arrg_peer, cache_is_bounded_and_lru) {
+  arrg_world w;
+  arrg_peer& hub = w.add(nat::nat_type::open);
+  for (int i = 0; i < 14; ++i) w.add(nat::nat_type::open);
+  w.bootstrap_and_start();
+  w.run_periods(20);
+  EXPECT_LE(hub.cache_snapshot().size(), 10u);
+}
+
+TEST(arrg_peer, falls_back_to_cache_after_silent_failure) {
+  arrg_world w;
+  arrg_peer& a = w.add(nat::nat_type::open);
+  arrg_peer& b = w.add(nat::nat_type::open);
+  // A third peer that will die: its entry goes stale in a's view.
+  arrg_peer& doomed = w.add(nat::nat_type::open);
+  w.bootstrap_and_start();
+  w.run_periods(5);
+  (void)b;
+  doomed.stop();
+  w.transport.remove_node(doomed.id());
+  w.run_periods(20);
+  // At least one shuffle must have fallen back to the cache.
+  std::uint64_t fallbacks = 0;
+  for (const auto& p : w.peers) fallbacks += p->cache_fallbacks();
+  EXPECT_GT(fallbacks, 0u);
+  EXPECT_GT(a.stats().responses_received, 0u);
+}
+
+TEST(arrg_peer, ignores_nylon_control_messages) {
+  arrg_world w;
+  arrg_peer& a = w.add(nat::nat_type::open);
+  arrg_peer& b = w.add(nat::nat_type::open);
+  gossip::gossip_message ping;
+  ping.kind = gossip::message_kind::ping;
+  ping.sender = a.self();
+  ping.src = a.self();
+  ping.dest = b.self();
+  w.transport.send(a.id(), w.transport.advertised_endpoint(b.id()),
+                   make_message(std::move(ping)));
+  w.sched.run_for(sim::millis(200));
+  EXPECT_EQ(b.stats().requests_received, 0u);
+  EXPECT_EQ(w.transport.traffic(b.id()).msgs_sent, 0u);  // no PONG
+}
+
+TEST(peer_factory, builds_all_kinds) {
+  arrg_world w;
+  protocol_config cfg;
+  for (const protocol_kind kind :
+       {protocol_kind::reference, protocol_kind::nylon, protocol_kind::arrg}) {
+    const auto p = make_peer(kind, w.transport, w.rng, cfg);
+    ASSERT_NE(p, nullptr) << to_string(kind);
+  }
+}
+
+TEST(peer_factory, kind_names) {
+  EXPECT_EQ(to_string(protocol_kind::reference), "reference");
+  EXPECT_EQ(to_string(protocol_kind::nylon), "nylon");
+  EXPECT_EQ(to_string(protocol_kind::arrg), "arrg");
+}
+
+}  // namespace
+}  // namespace nylon::core

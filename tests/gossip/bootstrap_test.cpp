@@ -1,0 +1,132 @@
+#include "gossip/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gossip/generic_peer.h"
+#include "net/latency.h"
+#include "net/transport.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace nylon::gossip {
+namespace {
+
+struct fixture {
+  fixture() : rng(1), transport(sched, rng, net::paper_latency()) {}
+
+  generic_peer& add(nat::nat_type type, std::size_t view_size = 3) {
+    protocol_config cfg;
+    cfg.view_size = view_size;
+    auto p = std::make_unique<generic_peer>(transport, rng, cfg);
+    p->attach(transport.add_node(type, *p));
+    peers.push_back(std::move(p));
+    return *peers.back();
+  }
+
+  std::vector<peer*> raw() {
+    std::vector<peer*> out;
+    for (const auto& p : peers) out.push_back(p.get());
+    return out;
+  }
+
+  sim::scheduler sched;
+  util::rng rng;
+  net::transport transport;
+  std::vector<std::unique_ptr<generic_peer>> peers;
+};
+
+TEST(bootstrap, views_filled_with_public_peers_only) {
+  fixture f;
+  for (int i = 0; i < 5; ++i) f.add(nat::nat_type::open);
+  for (int i = 0; i < 10; ++i) f.add(nat::nat_type::port_restricted_cone);
+  auto raw = f.raw();
+  bootstrap_with_public_peers(raw, f.rng);
+  for (const auto& p : f.peers) {
+    EXPECT_EQ(p->current_view().size(), 3u);
+    for (const view_entry& e : p->current_view().entries()) {
+      EXPECT_EQ(e.peer.type, nat::nat_type::open);
+      EXPECT_EQ(e.age, 0u);
+      EXPECT_NE(e.peer.id, p->id());
+    }
+  }
+}
+
+TEST(bootstrap, entries_are_distinct) {
+  fixture f;
+  for (int i = 0; i < 8; ++i) f.add(nat::nat_type::open);
+  auto raw = f.raw();
+  bootstrap_with_public_peers(raw, f.rng);
+  for (const auto& p : f.peers) {
+    std::set<net::node_id> ids;
+    for (const view_entry& e : p->current_view().entries()) {
+      EXPECT_TRUE(ids.insert(e.peer.id).second);
+    }
+  }
+}
+
+TEST(bootstrap, fewer_publics_than_view_size) {
+  fixture f;
+  f.add(nat::nat_type::open);
+  f.add(nat::nat_type::open);
+  f.add(nat::nat_type::port_restricted_cone);
+  auto raw = f.raw();
+  bootstrap_with_public_peers(raw, f.rng);
+  // Natted peer can use both publics; publics can only use each other.
+  EXPECT_EQ(f.peers[2]->current_view().size(), 2u);
+  EXPECT_EQ(f.peers[0]->current_view().size(), 1u);
+}
+
+TEST(bootstrap, all_natted_falls_back_to_everyone) {
+  fixture f;
+  for (int i = 0; i < 4; ++i) f.add(nat::nat_type::restricted_cone);
+  auto raw = f.raw();
+  bootstrap_with_public_peers(raw, f.rng);
+  for (const auto& p : f.peers) {
+    EXPECT_EQ(p->current_view().size(), 3u);
+  }
+}
+
+TEST(bootstrap, deterministic_given_seed) {
+  auto run = [] {
+    fixture f;
+    for (int i = 0; i < 6; ++i) f.add(nat::nat_type::open);
+    auto raw = f.raw();
+    bootstrap_with_public_peers(raw, f.rng);
+    std::vector<std::vector<net::node_id>> views;
+    for (const auto& p : f.peers) {
+      std::vector<net::node_id> ids;
+      for (const view_entry& e : p->current_view().entries()) {
+        ids.push_back(e.peer.id);
+      }
+      views.push_back(ids);
+    }
+    return views;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(messages, wire_sizes) {
+  gossip_message m;
+  m.kind = message_kind::ping;
+  EXPECT_EQ(m.wire_size(), message_header_bytes);
+  m.kind = message_kind::request;
+  m.entries.resize(16);
+  EXPECT_EQ(m.wire_size(), message_header_bytes + 16 * entry_wire_bytes);
+}
+
+TEST(messages, type_names) {
+  gossip_message m;
+  m.kind = message_kind::request;
+  EXPECT_EQ(m.type_name(), "REQUEST");
+  m.kind = message_kind::open_hole;
+  EXPECT_EQ(m.type_name(), "OPEN_HOLE");
+  m.kind = message_kind::pong;
+  EXPECT_EQ(m.type_name(), "PONG");
+}
+
+}  // namespace
+}  // namespace nylon::gossip

@@ -1,0 +1,63 @@
+#include "gossip/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/contracts.h"
+
+namespace nylon::gossip {
+namespace {
+
+TEST(policies, names) {
+  EXPECT_EQ(to_string(selection_policy::rand), "rand");
+  EXPECT_EQ(to_string(selection_policy::tail), "tail");
+  EXPECT_EQ(to_string(propagation_policy::push), "push");
+  EXPECT_EQ(to_string(propagation_policy::pushpull), "pushpull");
+  EXPECT_EQ(to_string(merge_policy::blind), "blind");
+  EXPECT_EQ(to_string(merge_policy::healer), "healer");
+  EXPECT_EQ(to_string(merge_policy::swapper), "swapper");
+}
+
+TEST(policies, config_label_format) {
+  protocol_config cfg;
+  EXPECT_EQ(config_label(cfg), "pushpull,rand,healer");
+  cfg.selection = selection_policy::tail;
+  cfg.merge = merge_policy::swapper;
+  EXPECT_EQ(config_label(cfg), "pushpull,tail,swapper");
+}
+
+TEST(policies, defaults_match_paper) {
+  const protocol_config cfg;
+  EXPECT_EQ(cfg.view_size, 15u);
+  EXPECT_EQ(cfg.shuffle_period, sim::seconds(5));
+  EXPECT_EQ(cfg.propagation, propagation_policy::pushpull);
+}
+
+TEST(policies, six_baseline_configs_are_distinct_and_pushpull) {
+  std::set<std::string> labels;
+  for (std::uint8_t i = 0; i < baseline_config_count(); ++i) {
+    const protocol_config cfg = baseline_config(i, 15);
+    EXPECT_EQ(cfg.propagation, propagation_policy::pushpull);
+    EXPECT_EQ(cfg.view_size, 15u);
+    labels.insert(config_label(cfg));
+  }
+  EXPECT_EQ(labels.size(), 6u);
+}
+
+TEST(policies, baseline_config_covers_both_selections) {
+  int rand_count = 0;
+  for (std::uint8_t i = 0; i < baseline_config_count(); ++i) {
+    if (baseline_config(i, 15).selection == selection_policy::rand) {
+      ++rand_count;
+    }
+  }
+  EXPECT_EQ(rand_count, 3);
+}
+
+TEST(policies, baseline_config_out_of_range_throws) {
+  EXPECT_THROW((void)baseline_config(6, 15), nylon::contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::gossip

@@ -1,0 +1,231 @@
+#include "gossip/view.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/contracts.h"
+
+namespace nylon::gossip {
+namespace {
+
+node_descriptor desc(net::node_id id) {
+  return node_descriptor{id, net::endpoint{net::ip_address{id + 1}, 4000},
+                         nat::nat_type::open};
+}
+
+view_entry entry(net::node_id id, std::uint32_t age = 0) {
+  return view_entry{desc(id), age, 0};
+}
+
+std::set<net::node_id> ids_of(const view& v) {
+  std::set<net::node_id> ids;
+  for (const view_entry& e : v.entries()) ids.insert(e.peer.id);
+  return ids;
+}
+
+TEST(view, starts_empty) {
+  view v(5);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 5u);
+}
+
+TEST(view, zero_capacity_rejected) {
+  EXPECT_THROW(view(0), nylon::contract_error);
+}
+
+TEST(view, assign_and_lookup) {
+  view v(5);
+  v.assign({entry(1), entry(2, 7)}, 99);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_FALSE(v.contains(3));
+  ASSERT_NE(v.find(2), nullptr);
+  EXPECT_EQ(v.find(2)->age, 7u);
+  EXPECT_EQ(v.find(3), nullptr);
+}
+
+TEST(view, assign_rejects_self) {
+  view v(5);
+  EXPECT_THROW(v.assign({entry(1)}, 1), nylon::contract_error);
+}
+
+TEST(view, assign_rejects_duplicates) {
+  view v(5);
+  EXPECT_THROW(v.assign({entry(1), entry(1)}, 99), nylon::contract_error);
+}
+
+TEST(view, assign_rejects_overflow) {
+  view v(2);
+  EXPECT_THROW(v.assign({entry(1), entry(2), entry(3)}, 99),
+               nylon::contract_error);
+}
+
+TEST(view, remove_entry) {
+  view v(5);
+  v.assign({entry(1), entry(2)}, 99);
+  EXPECT_TRUE(v.remove(1));
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_FALSE(v.remove(1));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(view, increase_age_ages_everything) {
+  view v(5);
+  v.assign({entry(1, 0), entry(2, 5)}, 99);
+  v.increase_age();
+  EXPECT_EQ(v.find(1)->age, 1u);
+  EXPECT_EQ(v.find(2)->age, 6u);
+}
+
+TEST(view, oldest_picks_max_age_first_on_tie) {
+  view v(5);
+  v.assign({entry(1, 3), entry(2, 9), entry(3, 9)}, 99);
+  EXPECT_EQ(v.oldest().peer.id, 2u);  // first of the two age-9 entries
+}
+
+TEST(view, oldest_on_empty_throws) {
+  view v(5);
+  EXPECT_THROW((void)v.oldest(), nylon::contract_error);
+}
+
+TEST(view, random_selection_uniform_over_entries) {
+  view v(5);
+  v.assign({entry(1), entry(2), entry(3)}, 99);
+  util::rng rng(1);
+  std::map<net::node_id, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[v.random(rng).peer.id];
+  for (const auto& [id, count] : counts) EXPECT_GT(count, 800);
+}
+
+TEST(view, select_respects_policy) {
+  view v(5);
+  v.assign({entry(1, 0), entry(2, 10)}, 99);
+  util::rng rng(1);
+  EXPECT_EQ(v.select(selection_policy::tail, rng).peer.id, 2u);
+}
+
+// --- merge ------------------------------------------------------------------
+
+TEST(view, merge_skips_self) {
+  view v(5);
+  v.assign({entry(1)}, 99);
+  util::rng rng(1);
+  v.merge(std::vector<view_entry>{entry(99), entry(2)}, {},
+          merge_policy::healer, 99, rng);
+  EXPECT_FALSE(v.contains(99));
+  EXPECT_TRUE(v.contains(2));
+}
+
+TEST(view, merge_deduplicates_keeping_fresher) {
+  view v(5);
+  v.assign({entry(1, 8)}, 99);
+  util::rng rng(1);
+  // Received copy is younger: it must replace the stored one (and carry
+  // its payload: address, ttl).
+  view_entry fresh = entry(1, 2);
+  fresh.route_ttl = 1234;
+  v.merge(std::vector<view_entry>{fresh}, {}, merge_policy::healer, 99, rng);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.find(1)->age, 2u);
+  EXPECT_EQ(v.find(1)->route_ttl, 1234);
+}
+
+TEST(view, merge_deduplicates_keeping_existing_when_fresher) {
+  view v(5);
+  v.assign({entry(1, 2)}, 99);
+  util::rng rng(1);
+  v.merge(std::vector<view_entry>{entry(1, 8)}, {}, merge_policy::healer, 99,
+          rng);
+  EXPECT_EQ(v.find(1)->age, 2u);
+}
+
+TEST(view, merge_healer_keeps_youngest) {
+  view v(3);
+  v.assign({entry(1, 9), entry(2, 1), entry(3, 5)}, 99);
+  util::rng rng(1);
+  v.merge(std::vector<view_entry>{entry(4, 0), entry(5, 2)}, {},
+          merge_policy::healer, 99, rng);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(ids_of(v), (std::set<net::node_id>{2, 4, 5}));
+}
+
+TEST(view, merge_swapper_keeps_received) {
+  view v(3);
+  v.assign({entry(1, 0), entry(2, 0), entry(3, 0)}, 99);
+  util::rng rng(1);
+  const std::vector<view_entry> sent{entry(1), entry(2), entry(3)};
+  const std::vector<view_entry> received{entry(4, 9), entry(5, 9),
+                                         entry(6, 9)};
+  v.merge(received, sent, merge_policy::swapper, 99, rng);
+  // All received survive even though they are older: swapper prefers the
+  // partner's entries, dropping what we handed over.
+  EXPECT_EQ(ids_of(v), (std::set<net::node_id>{4, 5, 6}));
+}
+
+TEST(view, merge_swapper_drops_sent_before_other_entries) {
+  view v(4);
+  v.assign({entry(1), entry(2), entry(3), entry(7)}, 99);
+  util::rng rng(1);
+  const std::vector<view_entry> sent{entry(1), entry(2)};
+  const std::vector<view_entry> received{entry(4), entry(5)};
+  v.merge(received, sent, merge_policy::swapper, 99, rng);
+  EXPECT_EQ(v.size(), 4u);
+  // The two sent-and-not-received entries (1, 2) must be the casualties.
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_FALSE(v.contains(2));
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_TRUE(v.contains(5));
+}
+
+TEST(view, merge_blind_respects_capacity) {
+  view v(3);
+  v.assign({entry(1), entry(2), entry(3)}, 99);
+  util::rng rng(1);
+  v.merge(std::vector<view_entry>{entry(4), entry(5)}, {},
+          merge_policy::blind, 99, rng);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+class merge_policy_test : public ::testing::TestWithParam<merge_policy> {};
+
+TEST_P(merge_policy_test, never_exceeds_capacity) {
+  util::rng rng(7);
+  view v(4);
+  v.assign({entry(1), entry(2), entry(3), entry(4)}, 99);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<view_entry> received;
+    for (int k = 0; k < 6; ++k) {
+      received.push_back(
+          entry(static_cast<net::node_id>(rng.uniform(1, 30)),
+                static_cast<std::uint32_t>(rng.uniform(0, 10))));
+    }
+    v.merge(received, {}, GetParam(), 99, rng);
+    EXPECT_LE(v.size(), 4u);
+    // No duplicates, never self.
+    EXPECT_EQ(ids_of(v).size(), v.size());
+    EXPECT_FALSE(v.contains(99));
+  }
+}
+
+TEST_P(merge_policy_test, merge_into_empty_view_adopts_received) {
+  util::rng rng(7);
+  view v(4);
+  v.merge(std::vector<view_entry>{entry(1), entry(2)}, {}, GetParam(), 99,
+          rng);
+  EXPECT_EQ(ids_of(v), (std::set<net::node_id>{1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(policies, merge_policy_test,
+                         ::testing::Values(merge_policy::blind,
+                                           merge_policy::healer,
+                                           merge_policy::swapper),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace nylon::gossip

@@ -1,0 +1,129 @@
+// System-level reproduction of §3's qualitative findings at small scale:
+// the NAT-oblivious baselines accumulate stale references, under-sample
+// natted peers, and partition at high NAT percentages — while Nylon does
+// not, under identical conditions.
+#include <gtest/gtest.h>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+
+namespace nylon {
+namespace {
+
+runtime::experiment_config baseline_config(double natted, std::uint64_t seed,
+                                           core::protocol_kind kind =
+                                               core::protocol_kind::reference) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 250;
+  cfg.natted_fraction = natted;
+  cfg.mix = nat::prc_only_mix();  // §3 uses PRC-only NATs
+  cfg.protocol = kind;
+  cfg.gossip.view_size = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(baseline_system, stale_references_grow_with_nat_percentage) {
+  double previous = -1.0;
+  for (const double natted : {0.2, 0.5, 0.8}) {
+    runtime::scenario world(baseline_config(natted, 31));
+    world.run_periods(60);
+    const auto oracle = world.oracle();
+    const auto views =
+        metrics::measure_views(world.transport(), world.peers(), oracle);
+    EXPECT_GT(views.stale_pct, previous)
+        << "staleness should grow with NAT% (Fig. 3)";
+    previous = views.stale_pct;
+  }
+  EXPECT_GT(previous, 25.0);  // at 80% NATs a large share is stale
+}
+
+TEST(baseline_system, natted_peers_are_undersampled) {
+  // Fig. 4: at 40% natted peers the baseline's usable references contain
+  // far fewer than 40% natted entries.
+  runtime::scenario world(baseline_config(0.4, 37));
+  world.run_periods(60);
+  const auto oracle = world.oracle();
+  const auto views =
+      metrics::measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_LT(views.fresh_natted_pct, 25.0);
+}
+
+TEST(baseline_system, partitions_at_high_nat_percentage) {
+  // Fig. 2: with small views and ~90% NATs the baseline overlay shatters.
+  runtime::experiment_config cfg = baseline_config(0.9, 41);
+  cfg.gossip.view_size = 5;
+  runtime::scenario world(cfg);
+  world.run_periods(80);
+  const auto oracle = world.oracle();
+  const auto clusters =
+      metrics::measure_clusters(world.transport(), world.peers(), oracle);
+  EXPECT_LT(clusters.biggest_cluster_pct, 75.0);
+  EXPECT_GT(clusters.cluster_count, 1u);
+}
+
+TEST(baseline_system, nylon_beats_baseline_under_identical_conditions) {
+  const double natted = 0.85;
+  double baseline_cluster = 0.0;
+  double nylon_cluster = 0.0;
+  double baseline_stale = 0.0;
+  double nylon_stale = 0.0;
+  for (const auto kind :
+       {core::protocol_kind::reference, core::protocol_kind::nylon}) {
+    runtime::experiment_config cfg = baseline_config(natted, 43, kind);
+    cfg.gossip.view_size = 5;
+    runtime::scenario world(cfg);
+    world.run_periods(80);
+    const auto oracle = world.oracle();
+    const auto clusters =
+        metrics::measure_clusters(world.transport(), world.peers(), oracle);
+    const auto views =
+        metrics::measure_views(world.transport(), world.peers(), oracle);
+    if (kind == core::protocol_kind::reference) {
+      baseline_cluster = clusters.biggest_cluster_pct;
+      baseline_stale = views.stale_pct;
+    } else {
+      nylon_cluster = clusters.biggest_cluster_pct;
+      nylon_stale = views.stale_pct;
+    }
+  }
+  EXPECT_GT(nylon_cluster, baseline_cluster + 10.0);
+  EXPECT_LT(nylon_stale, baseline_stale / 4.0);
+}
+
+TEST(baseline_system, arrg_cache_does_not_fix_sampling_quality) {
+  // The paper's related-work argument: a fallback cache keeps individual
+  // peers talking (at this scale it even preserves weak connectivity by
+  // leaning on the public hubs) but it cannot repair the *sampling*: the
+  // views stay full of stale entries and natted peers stay invisible.
+  runtime::experiment_config cfg =
+      baseline_config(0.9, 47, core::protocol_kind::arrg);
+  cfg.gossip.view_size = 5;
+  runtime::scenario world(cfg);
+  world.run_periods(80);
+  const auto oracle = world.oracle();
+  const auto views =
+      metrics::measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_GT(views.stale_pct, 20.0);
+  // 90% of peers are natted, yet they make up a minority of the usable
+  // references.
+  EXPECT_LT(views.fresh_natted_pct, 55.0);
+}
+
+TEST(baseline_system, increasing_view_size_delays_partition) {
+  // Fig. 2 top vs bottom: larger views keep the biggest cluster larger.
+  auto cluster_at = [](std::size_t view_size) {
+    runtime::experiment_config cfg = baseline_config(0.9, 53);
+    cfg.gossip.view_size = view_size;
+    runtime::scenario world(cfg);
+    world.run_periods(60);
+    const auto oracle = world.oracle();
+    return metrics::measure_clusters(world.transport(), world.peers(),
+                                     oracle)
+        .biggest_cluster_pct;
+  };
+  EXPECT_GE(cluster_at(12) + 5.0, cluster_at(4));
+}
+
+}  // namespace
+}  // namespace nylon

@@ -1,0 +1,90 @@
+// Fig. 10 in miniature: Nylon tolerates massive simultaneous departures.
+#include <gtest/gtest.h>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+
+namespace nylon {
+namespace {
+
+runtime::experiment_config churn_config(double natted, std::uint64_t seed) {
+  runtime::experiment_config cfg;
+  // Churn is the most scale-sensitive experiment: a momentary split at
+  // departure time can never re-merge (no rendezvous survives a clean
+  // partition, in the paper's protocol as much as here), and the split
+  // probability vanishes with population size. 500 peers keeps single
+  // seeds stable.
+  cfg.peer_count = 500;
+  cfg.natted_fraction = natted;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class churn_sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(churn_sweep, survives_mass_departure) {
+  const double departures = GetParam() / 100.0;
+  runtime::scenario world(churn_config(0.6, 61));
+  world.run_periods(40);  // warm up
+  const std::size_t removed = world.remove_fraction(departures);
+  EXPECT_GT(removed, 0u);
+  world.run_periods(120);  // heal (paper: 1500 shuffles)
+  const auto oracle = world.oracle();
+  const auto clusters =
+      metrics::measure_clusters(world.transport(), world.peers(), oracle);
+  // Paper Fig. 10 (at 10k peers): no partition up to 50% departures,
+  // graceful degradation beyond. At this test's 500-peer scale the
+  // >=70% cases genuinely fragment sometimes (see EXPERIMENTS.md), so
+  // beyond 50% only survival-with-degradation is asserted.
+  const double expectation = departures <= 0.5 ? 85.0 : 20.0;
+  EXPECT_GT(clusters.biggest_cluster_pct, expectation)
+      << "departures=" << departures;
+}
+
+INSTANTIATE_TEST_SUITE_P(departure_fractions, churn_sweep,
+                         ::testing::Values(30, 50, 70));
+
+TEST(churn, dead_references_age_out_of_views) {
+  runtime::scenario world(churn_config(0.5, 67));
+  world.run_periods(30);
+  world.remove_fraction(0.5);
+  world.run_periods(60);
+  const auto oracle = world.oracle();
+  const auto views =
+      metrics::measure_views(world.transport(), world.peers(), oracle);
+  // After healing, references to departed peers are mostly gone.
+  EXPECT_LT(100.0 * static_cast<double>(views.dead_entries) /
+                static_cast<double>(views.total_entries),
+            10.0);
+}
+
+TEST(churn, survivors_keep_gossiping) {
+  runtime::scenario world(churn_config(0.7, 71));
+  world.run_periods(30);
+  world.remove_fraction(0.6);
+  std::vector<std::uint64_t> before;
+  for (const auto& p : world.peers()) before.push_back(p->stats().initiated);
+  world.run_periods(20);
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < world.peers().size(); ++i) {
+    if (!world.transport().alive(static_cast<net::node_id>(i))) continue;
+    if (world.peers()[i]->stats().initiated > before[i]) ++active;
+  }
+  EXPECT_EQ(active, world.alive_count());
+}
+
+TEST(churn, natted_survivors_remain_reachable) {
+  runtime::scenario world(churn_config(0.8, 73));
+  world.run_periods(40);
+  world.remove_fraction(0.5);
+  world.run_periods(60);
+  const auto oracle = world.oracle();
+  const auto views =
+      metrics::measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_GT(views.fresh_natted_pct, 20.0);
+}
+
+}  // namespace
+}  // namespace nylon

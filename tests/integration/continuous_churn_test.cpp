@@ -1,0 +1,111 @@
+// Arrival-side and continuous churn: peers keep joining and leaving while
+// the overlay must keep providing a usable sample (the paper's §1 setting
+// of "high rate of peers arrivals, departures and failures"; its
+// evaluation covers only departures — this extends it).
+#include <gtest/gtest.h>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+
+namespace nylon {
+namespace {
+
+runtime::experiment_config base(double natted, std::uint64_t seed) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 200;
+  cfg.natted_fraction = natted;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(joins, new_peer_integrates_into_overlay) {
+  runtime::scenario world(base(0.6, 3));
+  world.run_periods(20);
+  const net::node_id rookie = world.add_peer();
+  EXPECT_EQ(rookie, 200u);
+  EXPECT_EQ(world.alive_count(), 201u);
+  world.run_periods(15);
+  // The rookie gossips...
+  EXPECT_GT(world.peer_at(rookie).stats().initiated, 0u);
+  EXPECT_GT(world.peer_at(rookie).stats().responses_received, 0u);
+  // ...and becomes known to others.
+  std::size_t appearances = 0;
+  for (const auto& p : world.peers()) {
+    if (p->id() != rookie && p->current_view().contains(rookie)) {
+      ++appearances;
+    }
+  }
+  EXPECT_GT(appearances, 0u);
+  // And it is reachable despite (possibly) being natted.
+  const auto oracle = world.oracle();
+  const gossip::node_descriptor rookie_desc =
+      world.peer_at(rookie).self();
+  std::size_t reachable_from = 0;
+  for (const auto& p : world.peers()) {
+    if (p->id() == rookie) continue;
+    if (p->current_view().contains(rookie) &&
+        oracle.can_shuffle(p->id(), rookie_desc)) {
+      ++reachable_from;
+    }
+  }
+  EXPECT_GT(reachable_from, 0u);
+}
+
+TEST(joins, natted_join_works_without_any_public_contact_in_view) {
+  runtime::scenario world(base(0.5, 5));
+  world.run_periods(10);
+  const net::node_id rookie =
+      world.add_peer(nat::nat_type::port_restricted_cone);
+  world.run_periods(15);
+  EXPECT_GT(world.peer_at(rookie).stats().responses_received, 0u);
+}
+
+TEST(joins, forced_type_is_respected) {
+  runtime::scenario world(base(0.0, 7));
+  const net::node_id a = world.add_peer(nat::nat_type::symmetric);
+  const net::node_id b = world.add_peer(nat::nat_type::open);
+  EXPECT_EQ(world.transport().type_of(a), nat::nat_type::symmetric);
+  EXPECT_EQ(world.transport().type_of(b), nat::nat_type::open);
+}
+
+TEST(continuous_churn, overlay_survives_steady_turnover) {
+  runtime::scenario world(base(0.6, 11));
+  world.run_periods(20);
+  // 5% of the population replaced every period for 30 periods — an
+  // aggressive, Gnutella-like session turnover.
+  util::rng pick(99);
+  for (int period = 0; period < 30; ++period) {
+    std::vector<net::node_id> alive;
+    for (std::size_t i = 0; i < world.peers().size(); ++i) {
+      const auto id = static_cast<net::node_id>(i);
+      if (world.transport().alive(id)) alive.push_back(id);
+    }
+    for (int k = 0; k < 10; ++k) {
+      world.remove_peer(alive[pick.index(alive.size())]);
+    }
+    for (int k = 0; k < 10; ++k) world.add_peer();
+    world.run_periods(1);
+  }
+  world.run_periods(20);  // settle
+
+  const auto oracle = world.oracle();
+  const auto clusters =
+      metrics::measure_clusters(world.transport(), world.peers(), oracle);
+  EXPECT_GT(clusters.biggest_cluster_pct, 90.0);
+  const auto views =
+      metrics::measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_LT(views.stale_pct, 12.0);
+}
+
+TEST(continuous_churn, duplicate_removals_are_harmless) {
+  runtime::scenario world(base(0.5, 13));
+  world.run_periods(5);
+  world.remove_peer(3);
+  world.remove_peer(3);  // removing a dead peer again must be a no-op
+  EXPECT_EQ(world.alive_count(), 199u);
+}
+
+}  // namespace
+}  // namespace nylon

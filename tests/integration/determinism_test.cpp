@@ -1,0 +1,89 @@
+// Bit-level reproducibility: identical seeds give identical simulations;
+// different seeds give different ones.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+
+namespace nylon {
+namespace {
+
+struct snapshot {
+  std::vector<std::vector<net::node_id>> views;
+  std::uint64_t events;
+  std::uint64_t drops;
+
+  bool operator==(const snapshot&) const = default;
+};
+
+snapshot run(core::protocol_kind kind, std::uint64_t seed) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 120;
+  cfg.natted_fraction = 0.7;
+  cfg.protocol = kind;
+  cfg.gossip.view_size = 6;
+  cfg.seed = seed;
+  runtime::scenario world(cfg);
+  world.run_periods(25);
+  snapshot s;
+  for (const auto& p : world.peers()) {
+    std::vector<net::node_id> ids;
+    for (const auto& e : p->current_view().entries()) ids.push_back(e.peer.id);
+    s.views.push_back(std::move(ids));
+  }
+  s.events = world.scheduler().events_executed();
+  s.drops = world.transport().total_drops();
+  return s;
+}
+
+class determinism_test
+    : public ::testing::TestWithParam<core::protocol_kind> {};
+
+TEST_P(determinism_test, same_seed_bit_identical) {
+  EXPECT_EQ(run(GetParam(), 5), run(GetParam(), 5));
+}
+
+TEST_P(determinism_test, different_seed_differs) {
+  EXPECT_NE(run(GetParam(), 5), run(GetParam(), 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(protocols, determinism_test,
+                         ::testing::Values(core::protocol_kind::reference,
+                                           core::protocol_kind::nylon,
+                                           core::protocol_kind::arrg),
+                         [](const auto& info) {
+                           return std::string(core::to_string(info.param));
+                         });
+
+TEST(determinism, metric_oracle_does_not_perturb_the_run) {
+  // Interleaving oracle queries with the simulation must not change its
+  // trajectory (the oracle is strictly const).
+  runtime::experiment_config cfg;
+  cfg.peer_count = 80;
+  cfg.natted_fraction = 0.8;
+  cfg.gossip.view_size = 6;
+  cfg.seed = 9;
+
+  runtime::scenario plain(cfg);
+  plain.run_periods(20);
+
+  runtime::scenario probed(cfg);
+  for (int i = 0; i < 20; ++i) {
+    probed.run_periods(1);
+    const auto oracle = probed.oracle();
+    (void)metrics::measure_views(probed.transport(), probed.peers(), oracle);
+  }
+
+  EXPECT_EQ(plain.scheduler().events_executed(),
+            probed.scheduler().events_executed());
+  EXPECT_EQ(plain.transport().total_drops(), probed.transport().total_drops());
+  for (std::size_t i = 0; i < plain.peers().size(); ++i) {
+    EXPECT_EQ(plain.peers()[i]->stats().responses_received,
+              probed.peers()[i]->stats().responses_received);
+  }
+}
+
+}  // namespace
+}  // namespace nylon

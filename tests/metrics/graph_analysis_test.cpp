@@ -1,0 +1,89 @@
+#include "metrics/graph_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/scenario.h"
+
+namespace nylon::metrics {
+namespace {
+
+runtime::experiment_config tiny(core::protocol_kind kind, double natted) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 60;
+  cfg.natted_fraction = natted;
+  cfg.protocol = kind;
+  cfg.gossip.view_size = 6;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(graph_analysis, fully_public_world_is_one_cluster) {
+  runtime::scenario world(tiny(core::protocol_kind::reference, 0.0));
+  world.run_periods(20);
+  const auto oracle = world.oracle();
+  const auto clusters =
+      measure_clusters(world.transport(), world.peers(), oracle);
+  EXPECT_EQ(clusters.alive_peers, 60u);
+  EXPECT_EQ(clusters.biggest_cluster, 60u);
+  EXPECT_DOUBLE_EQ(clusters.biggest_cluster_pct, 100.0);
+  EXPECT_EQ(clusters.cluster_count, 1u);
+  EXPECT_GT(clusters.mean_usable_out_degree, 3.0);
+}
+
+TEST(graph_analysis, fully_public_world_has_no_stale_entries) {
+  runtime::scenario world(tiny(core::protocol_kind::reference, 0.0));
+  world.run_periods(20);
+  const auto oracle = world.oracle();
+  const auto views = measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_GT(views.total_entries, 0u);
+  EXPECT_EQ(views.stale_entries, 0u);
+  EXPECT_EQ(views.fresh_natted_pct, 0.0);
+}
+
+TEST(graph_analysis, baseline_behind_nats_accumulates_stale_entries) {
+  runtime::scenario world(tiny(core::protocol_kind::reference, 0.7));
+  world.run_periods(30);
+  const auto oracle = world.oracle();
+  const auto views = measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_GT(views.stale_pct, 10.0);
+}
+
+TEST(graph_analysis, nylon_behind_nats_stays_clean) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.7));
+  world.run_periods(30);
+  const auto oracle = world.oracle();
+  const auto views = measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_LT(views.stale_pct, 8.0);
+  const auto clusters =
+      measure_clusters(world.transport(), world.peers(), oracle);
+  EXPECT_GT(clusters.biggest_cluster_pct, 95.0);
+}
+
+TEST(graph_analysis, dead_peers_counted_as_stale_and_excluded) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.5));
+  world.run_periods(10);
+  world.remove_peer(3);
+  world.remove_peer(4);
+  const auto oracle = world.oracle();
+  const auto clusters =
+      measure_clusters(world.transport(), world.peers(), oracle);
+  EXPECT_EQ(clusters.alive_peers, 58u);
+  const auto views = measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_EQ(views.stale_entries >= views.dead_entries, true);
+}
+
+TEST(graph_analysis, in_degrees_cover_population) {
+  runtime::scenario world(tiny(core::protocol_kind::reference, 0.0));
+  world.run_periods(20);
+  const auto degrees = in_degrees(world.transport(), world.peers());
+  ASSERT_EQ(degrees.size(), 60u);
+  std::size_t total = 0;
+  for (const std::size_t d : degrees) total += d;
+  // Total in-degree equals total view entries.
+  const auto oracle = world.oracle();
+  const auto views = measure_views(world.transport(), world.peers(), oracle);
+  EXPECT_EQ(total, views.total_entries);
+}
+
+}  // namespace
+}  // namespace nylon::metrics

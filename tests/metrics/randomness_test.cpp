@@ -1,0 +1,166 @@
+#include "metrics/randomness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace nylon::metrics {
+namespace {
+
+TEST(gamma_q, known_values) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(gamma_q(1.0, 0.5), std::exp(-0.5), 1e-10);
+  EXPECT_NEAR(gamma_q(1.0, 3.0), std::exp(-3.0), 1e-10);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(gamma_q(0.5, 1.0), std::erfc(1.0), 1e-10);
+  // Chi-square with 2 dof: survival at its mean ~ 0.3679.
+  EXPECT_NEAR(gamma_q(1.0, 1.0), 0.36787944117, 1e-8);
+}
+
+TEST(gamma_q, boundaries) {
+  EXPECT_DOUBLE_EQ(gamma_q(2.0, 0.0), 1.0);
+  EXPECT_LT(gamma_q(2.0, 100.0), 1e-30);
+  EXPECT_THROW((void)gamma_q(0.0, 1.0), nylon::contract_error);
+  EXPECT_THROW((void)gamma_q(1.0, -1.0), nylon::contract_error);
+}
+
+TEST(normal_sf, known_values) {
+  EXPECT_NEAR(normal_sf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_sf(1.96), 0.0249979, 1e-5);
+  EXPECT_NEAR(normal_sf(-1.96), 0.9750021, 1e-5);
+}
+
+TEST(chi_square, uniform_counts_pass) {
+  const std::vector<std::uint64_t> counts(20, 100);
+  const auto result = chi_square_uniform(counts);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_EQ(result.dof, 19u);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+}
+
+TEST(chi_square, skewed_counts_fail) {
+  std::vector<std::uint64_t> counts(20, 100);
+  counts[0] = 1000;
+  const auto result = chi_square_uniform(counts);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(chi_square, mild_noise_passes) {
+  util::rng rng(3);
+  std::vector<std::uint64_t> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.index(50)];
+  const auto result = chi_square_uniform(counts);
+  EXPECT_GT(result.p_value, 0.001);
+}
+
+TEST(chi_square, requires_two_categories_and_data) {
+  EXPECT_THROW((void)chi_square_uniform(std::vector<std::uint64_t>{5}),
+               nylon::contract_error);
+  EXPECT_THROW((void)chi_square_uniform(std::vector<std::uint64_t>{0, 0}),
+               nylon::contract_error);
+}
+
+TEST(runs_test, alternating_sequence_has_too_many_runs) {
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(i % 2 == 0 ? 1.0 : 0.0);
+  const auto result = runs_test(values);
+  EXPECT_GT(result.z, 5.0);  // far more runs than expected
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(runs_test, sorted_sequence_has_too_few_runs) {
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(i);
+  const auto result = runs_test(values);
+  EXPECT_LT(result.z, -5.0);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(runs_test, random_sequence_passes) {
+  util::rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.uniform01());
+  const auto result = runs_test(values);
+  EXPECT_GT(result.p_value, 0.001);
+}
+
+TEST(runs_test, degenerate_inputs) {
+  EXPECT_EQ(runs_test({}).runs, 0u);
+  const std::vector<double> constant(10, 3.0);
+  const auto result = runs_test(constant);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);  // all on one side: inconclusive
+}
+
+TEST(serial_correlation, iid_is_near_zero) {
+  util::rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.uniform01());
+  EXPECT_LT(std::abs(serial_correlation(values)), 0.03);
+}
+
+TEST(serial_correlation, trend_is_near_one) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  EXPECT_GT(serial_correlation(values), 0.99);
+}
+
+TEST(serial_correlation, alternation_is_negative) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(serial_correlation(values), -0.99);
+}
+
+TEST(serial_correlation, degenerate_inputs) {
+  EXPECT_DOUBLE_EQ(serial_correlation({}), 0.0);
+  EXPECT_DOUBLE_EQ(serial_correlation(std::vector<double>{1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(serial_correlation(std::vector<double>(10, 5.0)), 0.0);
+}
+
+TEST(battery, uniform_rng_stream_passes) {
+  util::rng rng(11);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 30000; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(rng.index(1000)));
+  }
+  const auto result = run_battery(ids, 1000);
+  EXPECT_TRUE(result.passed()) << "chi2 p=" << result.frequency.p_value
+                               << " runs p=" << result.runs.p_value
+                               << " serial=" << result.serial;
+}
+
+TEST(battery, biased_stream_fails) {
+  util::rng rng(11);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 30000; ++i) {
+    // Heavy bias towards low ids.
+    ids.push_back(static_cast<std::uint32_t>(rng.index(i % 4 == 0 ? 1000 : 100)));
+  }
+  EXPECT_FALSE(run_battery(ids, 1000).passed());
+}
+
+TEST(battery, correlated_stream_fails) {
+  std::vector<std::uint32_t> ids;
+  util::rng rng(13);
+  std::uint32_t current = 0;
+  for (int i = 0; i < 30000; ++i) {
+    current = (current + static_cast<std::uint32_t>(rng.index(3))) % 1000;
+    ids.push_back(current);  // strong lag-1 correlation
+  }
+  EXPECT_FALSE(run_battery(ids, 1000).passed());
+}
+
+TEST(battery, empty_stream_fails_closed) {
+  EXPECT_FALSE(run_battery({}, 10).passed());
+}
+
+TEST(battery, rejects_out_of_range_ids) {
+  const std::vector<std::uint32_t> ids{5};
+  EXPECT_THROW((void)run_battery(ids, 5), nylon::contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::metrics

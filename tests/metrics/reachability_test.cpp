@@ -1,0 +1,106 @@
+#include "metrics/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/nylon_peer.h"
+#include "runtime/scenario.h"
+
+namespace nylon::metrics {
+namespace {
+
+runtime::experiment_config tiny(core::protocol_kind kind, double natted,
+                                std::uint64_t seed = 7) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 40;
+  cfg.natted_fraction = natted;
+  cfg.protocol = kind;
+  cfg.gossip.view_size = 5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(reachability, public_targets_always_reachable) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.5));
+  world.run_periods(10);
+  const auto oracle = world.oracle();
+  for (const auto& p : world.peers()) {
+    for (const auto& e : p->current_view().entries()) {
+      if (e.peer.type == nat::nat_type::open) {
+        EXPECT_TRUE(oracle.can_shuffle(p->id(), e.peer));
+        EXPECT_EQ(oracle.chain_length(p->id(), e.peer), 0);
+      }
+    }
+  }
+}
+
+TEST(reachability, dead_targets_unreachable) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.5));
+  world.run_periods(10);
+  world.remove_peer(1);
+  const auto oracle = world.oracle();
+  const gossip::node_descriptor dead{
+      1, world.transport().advertised_endpoint(1),
+      world.transport().type_of(1)};
+  EXPECT_FALSE(oracle.can_shuffle(0, dead));
+  EXPECT_EQ(oracle.chain_length(0, dead), -1);
+}
+
+TEST(reachability, dead_sources_cannot_shuffle) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.0));
+  world.run_periods(5);
+  world.remove_peer(0);
+  const auto oracle = world.oracle();
+  const gossip::node_descriptor target{
+      1, world.transport().advertised_endpoint(1),
+      world.transport().type_of(1)};
+  EXPECT_FALSE(oracle.can_shuffle(0, target));
+}
+
+TEST(reachability, oracle_is_side_effect_free) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.8));
+  world.run_periods(10);
+  const auto oracle = world.oracle();
+  // Repeating every query must give identical answers (no NAT state is
+  // created by the dry-run).
+  std::vector<bool> first;
+  std::vector<bool> second;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& p : world.peers()) {
+      for (const auto& e : p->current_view().entries()) {
+        (round == 0 ? first : second)
+            .push_back(oracle.can_shuffle(p->id(), e.peer));
+      }
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(reachability, chain_length_bounded_in_steady_state) {
+  runtime::scenario world(tiny(core::protocol_kind::nylon, 0.8, 21));
+  world.run_periods(25);
+  const auto oracle = world.oracle();
+  for (const auto& p : world.peers()) {
+    for (const auto& e : p->current_view().entries()) {
+      const int chain = oracle.chain_length(p->id(), e.peer);
+      if (chain >= 0) {
+        EXPECT_LE(chain, 32);
+      }
+    }
+  }
+}
+
+TEST(reachability, baseline_oracle_matches_transport_dry_run) {
+  runtime::scenario world(tiny(core::protocol_kind::reference, 0.6));
+  world.run_periods(15);
+  const auto oracle = world.oracle();
+  for (const auto& p : world.peers()) {
+    for (const auto& e : p->current_view().entries()) {
+      const bool deliverable =
+          world.transport().would_deliver(p->id(), e.peer.addr).has_value();
+      EXPECT_EQ(oracle.can_shuffle(p->id(), e.peer), deliverable);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nylon::metrics

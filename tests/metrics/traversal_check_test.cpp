@@ -1,0 +1,117 @@
+#include "metrics/traversal_check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nylon::metrics {
+namespace {
+
+using nat::nat_type;
+using nat::traversal_technique;
+
+// Every cell of the §2.2 table must complete when executed with its
+// prescribed technique, packet-by-packet through real NAT devices.
+struct cell {
+  nat_type src;
+  nat_type dst;
+};
+
+class prescribed_technique_test : public ::testing::TestWithParam<cell> {};
+
+TEST_P(prescribed_technique_test, exchange_completes) {
+  const auto [src, dst] = GetParam();
+  const traversal_outcome outcome = execute_prescribed(src, dst);
+  EXPECT_TRUE(outcome.request_delivered)
+      << to_string(src) << " -> " << to_string(dst);
+  EXPECT_TRUE(outcome.response_delivered)
+      << to_string(src) << " -> " << to_string(dst);
+}
+
+std::vector<cell> all_cells() {
+  std::vector<cell> cells;
+  for (const nat_type src :
+       {nat_type::open, nat_type::full_cone, nat_type::restricted_cone,
+        nat_type::port_restricted_cone, nat_type::symmetric}) {
+    for (const nat_type dst :
+         {nat_type::open, nat_type::full_cone, nat_type::restricted_cone,
+          nat_type::port_restricted_cone, nat_type::symmetric}) {
+      cells.push_back(cell{src, dst});
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_pairs, prescribed_technique_test, ::testing::ValuesIn(all_cells()),
+    [](const ::testing::TestParamInfo<cell>& info) {
+      return std::string(to_string(info.param.src)) + "_to_" +
+             std::string(to_string(info.param.dst));
+    });
+
+// Negative controls: the *wrong* (cheaper) technique must fail exactly
+// where the table says it is insufficient — this validates that the NAT
+// models are restrictive enough, not just permissive enough.
+
+TEST(traversal_check, direct_fails_against_restricted_cone) {
+  const auto outcome = execute_technique(nat_type::open,
+                                         nat_type::restricted_cone,
+                                         traversal_technique::direct);
+  EXPECT_FALSE(outcome.request_delivered);
+}
+
+TEST(traversal_check, direct_fails_against_port_restricted_cone) {
+  const auto outcome =
+      execute_technique(nat_type::open, nat_type::port_restricted_cone,
+                        traversal_technique::direct);
+  EXPECT_FALSE(outcome.request_delivered);
+}
+
+TEST(traversal_check, direct_fails_against_symmetric) {
+  const auto outcome = execute_technique(
+      nat_type::open, nat_type::symmetric, traversal_technique::direct);
+  EXPECT_FALSE(outcome.request_delivered);
+}
+
+TEST(traversal_check, hole_punching_fails_prc_to_symmetric) {
+  // The PONG from the SYM target's fresh port cannot match the PRC
+  // source's port-specific rule: this is why the table says "relaying".
+  const auto outcome =
+      execute_technique(nat_type::port_restricted_cone, nat_type::symmetric,
+                        traversal_technique::hole_punching);
+  EXPECT_FALSE(outcome.exchange_completed());
+}
+
+TEST(traversal_check, hole_punching_fails_sym_to_prc) {
+  const auto outcome =
+      execute_technique(nat_type::symmetric, nat_type::port_restricted_cone,
+                        traversal_technique::hole_punching);
+  EXPECT_FALSE(outcome.exchange_completed());
+}
+
+TEST(traversal_check, hole_punching_succeeds_rc_to_symmetric) {
+  // The table's interesting cell: an RC source CAN hole-punch a SYM
+  // target because its filter is IP-based.
+  const auto outcome = execute_technique(nat_type::restricted_cone,
+                                         nat_type::symmetric,
+                                         traversal_technique::hole_punching);
+  EXPECT_TRUE(outcome.exchange_completed());
+}
+
+TEST(traversal_check, relaying_always_works) {
+  for (const nat_type src :
+       {nat_type::open, nat_type::restricted_cone,
+        nat_type::port_restricted_cone, nat_type::symmetric}) {
+    for (const nat_type dst :
+         {nat_type::open, nat_type::restricted_cone,
+          nat_type::port_restricted_cone, nat_type::symmetric}) {
+      const auto outcome =
+          execute_technique(src, dst, traversal_technique::relaying);
+      EXPECT_TRUE(outcome.exchange_completed())
+          << to_string(src) << " -> " << to_string(dst);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nylon::metrics

@@ -1,0 +1,113 @@
+#include "nat/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/contracts.h"
+
+namespace nylon::nat {
+namespace {
+
+std::map<nat_type, std::size_t> histogram(const std::vector<nat_type>& types) {
+  std::map<nat_type, std::size_t> h;
+  for (const nat_type t : types) ++h[t];
+  return h;
+}
+
+TEST(deployment, exact_natted_count) {
+  util::rng rng(1);
+  for (const double fraction : {0.0, 0.1, 0.5, 0.77, 1.0}) {
+    const auto types = assign_types(1000, fraction, paper_mix(), rng);
+    EXPECT_EQ(natted_count(types),
+              static_cast<std::size_t>(std::lround(1000 * fraction)));
+  }
+}
+
+TEST(deployment, paper_mix_proportions) {
+  util::rng rng(2);
+  const auto types = assign_types(10000, 1.0, paper_mix(), rng);
+  const auto h = histogram(types);
+  EXPECT_EQ(h.at(nat_type::restricted_cone), 5000u);
+  EXPECT_EQ(h.at(nat_type::port_restricted_cone), 4000u);
+  EXPECT_EQ(h.at(nat_type::symmetric), 1000u);
+  EXPECT_EQ(h.count(nat_type::open), 0u);
+  EXPECT_EQ(h.count(nat_type::full_cone), 0u);
+}
+
+TEST(deployment, prc_only_mix) {
+  util::rng rng(3);
+  const auto types = assign_types(500, 0.6, prc_only_mix(), rng);
+  const auto h = histogram(types);
+  EXPECT_EQ(h.at(nat_type::port_restricted_cone), 300u);
+  EXPECT_EQ(h.at(nat_type::open), 200u);
+  EXPECT_EQ(h.count(nat_type::restricted_cone), 0u);
+  EXPECT_EQ(h.count(nat_type::symmetric), 0u);
+}
+
+TEST(deployment, largest_remainder_handles_rounding) {
+  util::rng rng(4);
+  // 7 natted peers split 50/40/10 cannot be exact; totals must still add up.
+  const auto types = assign_types(7, 1.0, paper_mix(), rng);
+  EXPECT_EQ(types.size(), 7u);
+  EXPECT_EQ(natted_count(types), 7u);
+}
+
+TEST(deployment, positions_are_shuffled) {
+  util::rng rng(5);
+  const auto types = assign_types(1000, 0.5, paper_mix(), rng);
+  // If unshuffled, the first half would be all natted. Count natted peers
+  // in the first half; it should be near 250, certainly not 500 or 0.
+  std::size_t first_half = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    if (is_natted(types[i])) ++first_half;
+  }
+  EXPECT_GT(first_half, 180u);
+  EXPECT_LT(first_half, 320u);
+}
+
+TEST(deployment, deterministic_under_seed) {
+  util::rng a(7);
+  util::rng b(7);
+  EXPECT_EQ(assign_types(300, 0.7, paper_mix(), a),
+            assign_types(300, 0.7, paper_mix(), b));
+}
+
+TEST(deployment, invalid_fraction_throws) {
+  util::rng rng(1);
+  EXPECT_THROW(assign_types(10, -0.1, paper_mix(), rng),
+               nylon::contract_error);
+  EXPECT_THROW(assign_types(10, 1.1, paper_mix(), rng),
+               nylon::contract_error);
+}
+
+TEST(deployment, mix_must_sum_to_one) {
+  util::rng rng(1);
+  nat_mix bad;
+  bad.symmetric = 0.5;  // now sums to 1.4
+  EXPECT_THROW(assign_types(10, 0.5, bad, rng), nylon::contract_error);
+}
+
+TEST(nat_type, predicates) {
+  EXPECT_FALSE(is_natted(nat_type::open));
+  EXPECT_TRUE(is_natted(nat_type::full_cone));
+  EXPECT_TRUE(is_natted(nat_type::symmetric));
+  EXPECT_TRUE(is_cone(nat_type::full_cone));
+  EXPECT_TRUE(is_cone(nat_type::restricted_cone));
+  EXPECT_TRUE(is_cone(nat_type::port_restricted_cone));
+  EXPECT_FALSE(is_cone(nat_type::symmetric));
+  EXPECT_FALSE(is_cone(nat_type::open));
+}
+
+TEST(nat_type, names) {
+  EXPECT_EQ(to_string(nat_type::open), "public");
+  EXPECT_EQ(to_string(nat_type::full_cone), "FC");
+  EXPECT_EQ(to_string(nat_type::restricted_cone), "RC");
+  EXPECT_EQ(to_string(nat_type::port_restricted_cone), "PRC");
+  EXPECT_EQ(to_string(nat_type::symmetric), "SYM");
+}
+
+}  // namespace
+}  // namespace nylon::nat

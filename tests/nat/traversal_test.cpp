@@ -1,0 +1,94 @@
+#include "nat/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace nylon::nat {
+namespace {
+
+using tt = traversal_technique;
+
+// The exact table of §2.2 (rows: source; columns: target).
+struct table_case {
+  nat_type src;
+  nat_type dst;
+  tt expected;
+};
+
+const table_case paper_table[] = {
+    // public source row
+    {nat_type::open, nat_type::open, tt::direct},
+    {nat_type::open, nat_type::restricted_cone, tt::hole_punching},
+    {nat_type::open, nat_type::port_restricted_cone, tt::hole_punching},
+    {nat_type::open, nat_type::symmetric, tt::relaying},
+    // RC source row
+    {nat_type::restricted_cone, nat_type::open, tt::direct},
+    {nat_type::restricted_cone, nat_type::restricted_cone,
+     tt::hole_punching},
+    {nat_type::restricted_cone, nat_type::port_restricted_cone,
+     tt::hole_punching},
+    {nat_type::restricted_cone, nat_type::symmetric, tt::hole_punching},
+    // PRC source row
+    {nat_type::port_restricted_cone, nat_type::open, tt::direct},
+    {nat_type::port_restricted_cone, nat_type::restricted_cone,
+     tt::hole_punching},
+    {nat_type::port_restricted_cone, nat_type::port_restricted_cone,
+     tt::hole_punching},
+    {nat_type::port_restricted_cone, nat_type::symmetric, tt::relaying},
+    // SYM source row
+    {nat_type::symmetric, nat_type::open, tt::direct},
+    {nat_type::symmetric, nat_type::restricted_cone,
+     tt::modified_hole_punching},
+    {nat_type::symmetric, nat_type::port_restricted_cone, tt::relaying},
+    {nat_type::symmetric, nat_type::symmetric, tt::relaying},
+};
+
+class traversal_table_test : public ::testing::TestWithParam<table_case> {};
+
+TEST_P(traversal_table_test, matches_paper_cell) {
+  const table_case& c = GetParam();
+  EXPECT_EQ(technique_for(c.src, c.dst), c.expected)
+      << to_string(c.src) << " -> " << to_string(c.dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    paper_table, traversal_table_test, ::testing::ValuesIn(paper_table),
+    [](const ::testing::TestParamInfo<table_case>& info) {
+      return std::string(to_string(info.param.src)) + "_to_" +
+             std::string(to_string(info.param.dst));
+    });
+
+TEST(traversal, full_cone_behaves_like_public_as_target) {
+  for (const nat_type src :
+       {nat_type::open, nat_type::full_cone, nat_type::restricted_cone,
+        nat_type::port_restricted_cone, nat_type::symmetric}) {
+    EXPECT_EQ(technique_for(src, nat_type::full_cone), tt::direct);
+  }
+}
+
+TEST(traversal, full_cone_behaves_like_public_as_source) {
+  for (const nat_type dst :
+       {nat_type::open, nat_type::full_cone, nat_type::restricted_cone,
+        nat_type::port_restricted_cone, nat_type::symmetric}) {
+    EXPECT_EQ(technique_for(nat_type::full_cone, dst),
+              technique_for(nat_type::open, dst));
+  }
+}
+
+TEST(traversal, only_direct_needs_no_rvp) {
+  EXPECT_FALSE(needs_rvp(tt::direct));
+  EXPECT_TRUE(needs_rvp(tt::hole_punching));
+  EXPECT_TRUE(needs_rvp(tt::modified_hole_punching));
+  EXPECT_TRUE(needs_rvp(tt::relaying));
+}
+
+TEST(traversal, names_are_stable) {
+  EXPECT_EQ(to_string(tt::direct), "direct");
+  EXPECT_EQ(to_string(tt::hole_punching), "hole punching");
+  EXPECT_EQ(to_string(tt::modified_hole_punching), "mod. hole punching");
+  EXPECT_EQ(to_string(tt::relaying), "relaying");
+}
+
+}  // namespace
+}  // namespace nylon::nat

@@ -1,0 +1,50 @@
+#include "net/address.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace nylon::net {
+namespace {
+
+TEST(address, dotted_quad_formatting) {
+  EXPECT_EQ(to_string(ip_address{0}), "0.0.0.0");
+  EXPECT_EQ(to_string(ip_address{0x0A000001}), "10.0.0.1");
+  EXPECT_EQ(to_string(ip_address{0xFFFFFFFF}), "255.255.255.255");
+  EXPECT_EQ(to_string(ip_address{0xC0A80164}), "192.168.1.100");
+}
+
+TEST(address, endpoint_formatting) {
+  EXPECT_EQ(to_string(endpoint{ip_address{0x0A000001}, 8080}),
+            "10.0.0.1:8080");
+}
+
+TEST(address, ordering_and_equality) {
+  const ip_address a{1};
+  const ip_address b{2};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, ip_address{1});
+  const endpoint e1{a, 5};
+  const endpoint e2{a, 6};
+  const endpoint e3{b, 0};
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);  // IP dominates port
+  EXPECT_EQ(e1, (endpoint{ip_address{1}, 5}));
+}
+
+TEST(address, nil_endpoint_is_falsy_sentinel) {
+  EXPECT_EQ(nil_endpoint, (endpoint{ip_address{0}, 0}));
+}
+
+TEST(address, hashing_distinguishes_ports_and_ips) {
+  std::unordered_set<endpoint> set;
+  for (std::uint32_t ip = 0; ip < 10; ++ip) {
+    for (std::uint32_t port = 0; port < 10; ++port) {
+      set.insert(endpoint{ip_address{ip}, port});
+    }
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+}  // namespace
+}  // namespace nylon::net

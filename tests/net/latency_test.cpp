@@ -1,0 +1,54 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace nylon::net {
+namespace {
+
+TEST(latency, fixed_returns_constant) {
+  util::rng rng(1);
+  fixed_latency model(sim::millis(50));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), 50);
+}
+
+TEST(latency, fixed_rejects_negative) {
+  EXPECT_THROW(fixed_latency(-1), nylon::contract_error);
+}
+
+TEST(latency, uniform_within_bounds) {
+  util::rng rng(2);
+  uniform_latency model(10, 90);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::sim_time d = model.sample(rng);
+    EXPECT_GE(d, 10);
+    EXPECT_LE(d, 90);
+    saw_low = saw_low || d < 30;
+    saw_high = saw_high || d > 70;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(latency, uniform_validates_range) {
+  EXPECT_THROW(uniform_latency(-1, 5), nylon::contract_error);
+  EXPECT_THROW(uniform_latency(10, 5), nylon::contract_error);
+}
+
+TEST(latency, uniform_degenerate_range) {
+  util::rng rng(3);
+  uniform_latency model(25, 25);
+  EXPECT_EQ(model.sample(rng), 25);
+}
+
+TEST(latency, paper_latency_is_50ms) {
+  util::rng rng(4);
+  const auto model = paper_latency();
+  EXPECT_EQ(model->sample(rng), sim::millis(50));
+}
+
+}  // namespace
+}  // namespace nylon::net

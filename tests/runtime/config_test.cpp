@@ -1,0 +1,58 @@
+#include "runtime/experiment_config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace nylon::runtime {
+namespace {
+
+TEST(experiment_config, defaults_match_paper) {
+  const experiment_config cfg;
+  EXPECT_EQ(cfg.peer_count, 10000u);
+  EXPECT_EQ(cfg.gossip.view_size, 15u);
+  EXPECT_EQ(cfg.gossip.shuffle_period, sim::seconds(5));
+  EXPECT_EQ(cfg.latency, sim::millis(50));
+  EXPECT_EQ(cfg.hole_timeout, sim::seconds(90));
+  EXPECT_EQ(cfg.loss_rate, 0.0);
+  EXPECT_EQ(cfg.protocol, core::protocol_kind::nylon);
+  // Paper mix: 50% RC, 40% PRC, 10% SYM among natted peers.
+  EXPECT_DOUBLE_EQ(cfg.mix.restricted_cone, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.mix.port_restricted_cone, 0.4);
+  EXPECT_DOUBLE_EQ(cfg.mix.symmetric, 0.1);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(experiment_config, rejects_tiny_population) {
+  experiment_config cfg;
+  cfg.peer_count = 1;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+}
+
+TEST(experiment_config, rejects_bad_fraction) {
+  experiment_config cfg;
+  cfg.natted_fraction = 1.5;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+}
+
+TEST(experiment_config, rejects_view_larger_than_population) {
+  experiment_config cfg;
+  cfg.peer_count = 10;
+  cfg.gossip.view_size = 10;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+}
+
+TEST(experiment_config, rejects_latency_beyond_period) {
+  experiment_config cfg;
+  cfg.latency = cfg.gossip.shuffle_period;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+}
+
+TEST(experiment_config, rejects_bad_loss) {
+  experiment_config cfg;
+  cfg.loss_rate = -0.1;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::runtime

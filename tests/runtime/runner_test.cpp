@@ -1,0 +1,73 @@
+#include "runtime/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/contracts.h"
+
+namespace nylon::runtime {
+namespace {
+
+TEST(runner, runs_requested_seed_count) {
+  int calls = 0;
+  const auto agg = run_seeds(5, 42, [&](std::uint64_t) {
+    ++calls;
+    return 1.0;
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(agg.values.size(), 5u);
+  EXPECT_DOUBLE_EQ(agg.stats.mean, 1.0);
+  EXPECT_DOUBLE_EQ(agg.stats.stddev, 0.0);
+}
+
+TEST(runner, seeds_are_distinct_and_deterministic) {
+  std::vector<std::uint64_t> seen1;
+  run_seeds(4, 7, [&](std::uint64_t seed) {
+    seen1.push_back(seed);
+    return 0.0;
+  });
+  std::vector<std::uint64_t> seen2;
+  run_seeds(4, 7, [&](std::uint64_t seed) {
+    seen2.push_back(seed);
+    return 0.0;
+  });
+  EXPECT_EQ(seen1, seen2);
+  EXPECT_EQ(std::set<std::uint64_t>(seen1.begin(), seen1.end()).size(), 4u);
+}
+
+TEST(runner, aggregates_values_in_seed_order) {
+  int i = 0;
+  const auto agg = run_seeds(3, 1, [&](std::uint64_t) {
+    return static_cast<double>(i++);
+  });
+  EXPECT_EQ(agg.values, (std::vector<double>{0.0, 1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(agg.stats.mean, 1.0);
+  EXPECT_EQ(agg.stats.min, 0.0);
+  EXPECT_EQ(agg.stats.max, 2.0);
+}
+
+TEST(runner, rejects_nonpositive_seed_count) {
+  EXPECT_THROW(run_seeds(0, 1, [](std::uint64_t) { return 0.0; }),
+               nylon::contract_error);
+}
+
+TEST(runner, multi_metric_aggregation) {
+  const auto aggs = run_seeds_multi(3, 9, 2, [](std::uint64_t) {
+    return std::vector<double>{1.0, 10.0};
+  });
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_DOUBLE_EQ(aggs[0].stats.mean, 1.0);
+  EXPECT_DOUBLE_EQ(aggs[1].stats.mean, 10.0);
+  EXPECT_EQ(aggs[0].values.size(), 3u);
+}
+
+TEST(runner, multi_rejects_wrong_metric_count) {
+  EXPECT_THROW(run_seeds_multi(
+                   2, 1, 3,
+                   [](std::uint64_t) { return std::vector<double>{1.0}; }),
+               nylon::contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::runtime

@@ -1,0 +1,69 @@
+#include "runtime/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace nylon::runtime {
+namespace {
+
+TEST(text_table, renders_header_and_rows) {
+  text_table t({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bbbb"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(text_table, aligns_columns) {
+  text_table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  std::ostringstream os;
+  t.print(os);
+  // The y column of the header starts after the widest x cell.
+  const std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.find('y'), std::string("longvalue").size());
+}
+
+TEST(text_table, csv_output) {
+  text_table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(text_table, rejects_mismatched_row) {
+  text_table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), nylon::contract_error);
+}
+
+TEST(text_table, rejects_empty_header) {
+  EXPECT_THROW(text_table({}), nylon::contract_error);
+}
+
+TEST(text_table, row_count) {
+  text_table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(fmt, fixed_precision) {
+  EXPECT_EQ(fmt(3.14159), "3.1");
+  EXPECT_EQ(fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(fmt(100.0, 0), "100");
+  EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace nylon::runtime

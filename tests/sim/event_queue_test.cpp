@@ -1,0 +1,107 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace nylon::sim {
+namespace {
+
+TEST(event_queue, empty_initially) {
+  event_queue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), time_never);
+}
+
+TEST(event_queue, runs_in_time_order) {
+  event_queue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(event_queue, fifo_among_equal_times) {
+  event_queue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(event_queue, pop_returns_event_time) {
+  event_queue q;
+  q.push(17, [] {});
+  EXPECT_EQ(q.pop_and_run(), 17);
+}
+
+TEST(event_queue, cancel_prevents_execution) {
+  event_queue q;
+  bool ran = false;
+  auto handle = q.push(1, [&] { ran = true; });
+  handle.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(event_queue, cancel_is_idempotent) {
+  event_queue q;
+  auto handle = q.push(1, [] {});
+  handle.cancel();
+  handle.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(event_queue, cancelled_events_skipped_in_next_time) {
+  event_queue q;
+  auto early = q.push(1, [] {});
+  q.push(9, [] {});
+  early.cancel();
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(event_queue, executed_counter) {
+  event_queue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  auto cancelled = q.push(3, [] {});
+  cancelled.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(event_queue, events_scheduled_during_execution) {
+  event_queue q;
+  std::vector<int> order;
+  q.push(10, [&] {
+    order.push_back(1);
+    q.push(20, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(event_queue, pop_on_empty_throws) {
+  event_queue q;
+  EXPECT_THROW(q.pop_and_run(), nylon::contract_error);
+}
+
+TEST(event_queue, null_callback_rejected) {
+  event_queue q;
+  EXPECT_THROW(q.push(1, nullptr), nylon::contract_error);
+}
+
+TEST(event_handle, default_is_invalid) {
+  event_handle h;
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // must be safe
+}
+
+}  // namespace
+}  // namespace nylon::sim

@@ -1,0 +1,132 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace nylon::sim {
+namespace {
+
+TEST(scheduler, clock_starts_at_zero) {
+  scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(scheduler, run_until_advances_clock_even_when_idle) {
+  scheduler s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(scheduler, events_see_their_own_time) {
+  scheduler s;
+  sim_time seen = -1;
+  s.at(120, [&] { seen = s.now(); });
+  s.run_until(1000);
+  EXPECT_EQ(seen, 120);
+  EXPECT_EQ(s.now(), 1000);
+}
+
+TEST(scheduler, after_is_relative) {
+  scheduler s;
+  s.run_until(100);
+  sim_time seen = -1;
+  s.after(50, [&] { seen = s.now(); });
+  s.run_until(1000);
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(scheduler, deadline_inclusive) {
+  scheduler s;
+  bool ran = false;
+  s.at(100, [&] { ran = true; });
+  s.run_until(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(scheduler, events_beyond_deadline_stay_queued) {
+  scheduler s;
+  bool ran = false;
+  s.at(101, [&] { ran = true; });
+  s.run_until(100);
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(s.idle());
+  s.run_until(101);
+  EXPECT_TRUE(ran);
+}
+
+TEST(scheduler, scheduling_in_past_throws) {
+  scheduler s;
+  s.run_until(10);
+  EXPECT_THROW(s.at(5, [] {}), nylon::contract_error);
+  EXPECT_THROW(s.after(-1, [] {}), nylon::contract_error);
+}
+
+TEST(scheduler, periodic_fires_on_schedule) {
+  scheduler s;
+  std::vector<sim_time> fires;
+  s.every(10, 25, [&] { fires.push_back(s.now()); });
+  s.run_until(100);
+  EXPECT_EQ(fires, (std::vector<sim_time>{10, 35, 60, 85}));
+}
+
+TEST(scheduler, periodic_cancel_stops_chain) {
+  scheduler s;
+  int count = 0;
+  auto handle = s.every(0, 10, [&] { ++count; });
+  s.run_until(35);
+  EXPECT_EQ(count, 4);  // 0, 10, 20, 30
+  handle.cancel();
+  s.run_until(100);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(scheduler, periodic_cancel_from_inside_callback) {
+  scheduler s;
+  int count = 0;
+  sim::event_handle handle = s.every(0, 10, [&] {
+    if (++count == 3) handle.cancel();
+  });
+  s.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(scheduler, periodic_rejects_nonpositive_period) {
+  scheduler s;
+  EXPECT_THROW(s.every(0, 0, [] {}), nylon::contract_error);
+}
+
+TEST(scheduler, step_executes_single_event) {
+  scheduler s;
+  int count = 0;
+  s.at(1, [&] { ++count; });
+  s.at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(scheduler, events_executed_counter) {
+  scheduler s;
+  for (int i = 0; i < 5; ++i) s.at(i, [] {});
+  s.run_until(10);
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(scheduler, interleaved_periodic_tasks_deterministic) {
+  scheduler s;
+  std::vector<int> order;
+  s.every(0, 10, [&] { order.push_back(1); });
+  s.every(0, 10, [&] { order.push_back(2); });
+  s.run_until(25);
+  // Same timestamps -> FIFO by insertion: 1 before 2 at every firing.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace nylon::sim

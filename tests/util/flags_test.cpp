@@ -1,0 +1,122 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nylon::util {
+namespace {
+
+std::vector<std::string> parse(flag_set& flags,
+                               std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(flags, defaults_without_args) {
+  flag_set flags;
+  const auto* n = flags.add_int("n", 42, "count");
+  const auto* rate = flags.add_double("rate", 0.5, "rate");
+  const auto* name = flags.add_string("name", "x", "name");
+  const auto* full = flags.add_bool("full", false, "full scale");
+  parse(flags, {});
+  EXPECT_EQ(*n, 42);
+  EXPECT_EQ(*rate, 0.5);
+  EXPECT_EQ(*name, "x");
+  EXPECT_FALSE(*full);
+}
+
+TEST(flags, equals_syntax) {
+  flag_set flags;
+  const auto* n = flags.add_int("n", 0, "");
+  const auto* rate = flags.add_double("rate", 0.0, "");
+  parse(flags, {"--n=7", "--rate=1.25"});
+  EXPECT_EQ(*n, 7);
+  EXPECT_EQ(*rate, 1.25);
+}
+
+TEST(flags, space_syntax) {
+  flag_set flags;
+  const auto* n = flags.add_int("n", 0, "");
+  parse(flags, {"--n", "13"});
+  EXPECT_EQ(*n, 13);
+}
+
+TEST(flags, bare_bool_sets_true) {
+  flag_set flags;
+  const auto* full = flags.add_bool("full", false, "");
+  parse(flags, {"--full"});
+  EXPECT_TRUE(*full);
+}
+
+TEST(flags, bool_equals_false) {
+  flag_set flags;
+  const auto* full = flags.add_bool("full", true, "");
+  parse(flags, {"--full=false"});
+  EXPECT_FALSE(*full);
+}
+
+TEST(flags, negative_int) {
+  flag_set flags;
+  const auto* n = flags.add_int("n", 0, "");
+  parse(flags, {"--n=-5"});
+  EXPECT_EQ(*n, -5);
+}
+
+TEST(flags, positional_arguments_pass_through) {
+  flag_set flags;
+  flags.add_int("n", 0, "");
+  const auto positional = parse(flags, {"alpha", "--n=1", "beta"});
+  ASSERT_EQ(positional.size(), 2u);
+  EXPECT_EQ(positional[0], "alpha");
+  EXPECT_EQ(positional[1], "beta");
+}
+
+TEST(flags, unknown_flag_throws) {
+  flag_set flags;
+  EXPECT_THROW(parse(flags, {"--nope=1"}), std::invalid_argument);
+}
+
+TEST(flags, bad_int_throws) {
+  flag_set flags;
+  flags.add_int("n", 0, "");
+  EXPECT_THROW(parse(flags, {"--n=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse(flags, {"--n=12x"}), std::invalid_argument);
+}
+
+TEST(flags, bad_double_throws) {
+  flag_set flags;
+  flags.add_double("r", 0.0, "");
+  EXPECT_THROW(parse(flags, {"--r=zz"}), std::invalid_argument);
+}
+
+TEST(flags, bad_bool_throws) {
+  flag_set flags;
+  flags.add_bool("b", false, "");
+  EXPECT_THROW(parse(flags, {"--b=maybe"}), std::invalid_argument);
+}
+
+TEST(flags, missing_value_throws) {
+  flag_set flags;
+  flags.add_int("n", 0, "");
+  EXPECT_THROW(parse(flags, {"--n"}), std::invalid_argument);
+}
+
+TEST(flags, duplicate_registration_throws) {
+  flag_set flags;
+  flags.add_int("n", 0, "");
+  EXPECT_THROW(flags.add_double("n", 0.0, ""), std::invalid_argument);
+}
+
+TEST(flags, usage_mentions_flags_and_defaults) {
+  flag_set flags;
+  flags.add_int("peers", 1000, "population");
+  const std::string usage = flags.usage("bench");
+  EXPECT_NE(usage.find("--peers"), std::string::npos);
+  EXPECT_NE(usage.find("1000"), std::string::npos);
+  EXPECT_NE(usage.find("population"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nylon::util

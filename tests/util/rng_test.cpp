@@ -1,0 +1,200 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace nylon::util {
+namespace {
+
+TEST(rng, same_seed_same_stream) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(rng, different_seeds_different_streams) {
+  rng a(1);
+  rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(rng, zero_seed_is_well_mixed) {
+  rng r(0);
+  // splitmix expansion means even seed 0 must not produce degenerate output.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(r());
+  EXPECT_EQ(values.size(), 100u);
+}
+
+TEST(rng, reseed_restarts_stream) {
+  rng r(7);
+  const auto first = r();
+  r();
+  r.reseed(7);
+  EXPECT_EQ(r(), first);
+}
+
+TEST(rng, uniform_respects_bounds) {
+  rng r(42);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(rng, uniform_single_point_range) {
+  rng r(42);
+  EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(rng, uniform_rejects_inverted_range) {
+  rng r(42);
+  EXPECT_THROW(r.uniform(6, 5), contract_error);
+}
+
+TEST(rng, uniform_covers_range) {
+  rng r(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(rng, uniform_is_roughly_balanced) {
+  rng r(42);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform(0, 7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(rng, uniform01_in_unit_interval) {
+  rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(rng, bernoulli_edges) {
+  rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(rng, bernoulli_rate) {
+  rng r(1);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, 0.3 * n, 0.02 * n);
+}
+
+TEST(rng, index_requires_positive) {
+  rng r(1);
+  EXPECT_THROW(r.index(0), contract_error);
+}
+
+TEST(rng, shuffle_is_permutation) {
+  rng r(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  r.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(rng, shuffle_actually_moves_elements) {
+  rng r(5);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  r.shuffle(std::span<int>(v));
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += v[i] != i ? 1 : 0;
+  EXPECT_GT(moved, 80);
+}
+
+TEST(rng, sample_indices_distinct_and_bounded) {
+  rng r(11);
+  const auto sample = r.sample_indices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(rng, sample_indices_full_population) {
+  rng r(11);
+  const auto sample = r.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(rng, sample_indices_rejects_oversample) {
+  rng r(11);
+  EXPECT_THROW(r.sample_indices(5, 6), contract_error);
+}
+
+TEST(rng, pick_returns_member) {
+  rng r(3);
+  std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int x = r.pick(std::span<int>(v));
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(splitmix, deterministic_and_advances_state) {
+  std::uint64_t s1 = 99;
+  std::uint64_t s2 = 99;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, 99u);
+}
+
+TEST(derive_seed, child_streams_are_distinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 100; ++stream) {
+    seeds.insert(derive_seed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(derive_seed, depends_on_parent) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+// Property sweep: uniform(lo, hi) stays in bounds across many ranges.
+class rng_range_test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(rng_range_test, uniform_in_bounds) {
+  rng r(GetParam());
+  const std::uint64_t lo = GetParam() * 3;
+  const std::uint64_t hi = lo + GetParam() + 1;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.uniform(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ranges, rng_range_test,
+                         ::testing::Values(1, 2, 3, 5, 17, 255, 1000, 65535,
+                                           1u << 20));
+
+}  // namespace
+}  // namespace nylon::util

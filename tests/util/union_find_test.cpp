@@ -1,0 +1,79 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace nylon::util {
+namespace {
+
+TEST(union_find, starts_as_singletons) {
+  union_find uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.size_of(i), 1u);
+  }
+}
+
+TEST(union_find, unite_merges) {
+  union_find uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_EQ(uf.size_of(0), 2u);
+}
+
+TEST(union_find, unite_same_set_returns_false) {
+  union_find uf(3);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(union_find, transitive_connectivity) {
+  union_find uf(6);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_TRUE(uf.connected(3, 4));
+  EXPECT_FALSE(uf.connected(2, 3));
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.connected(0, 4));
+  EXPECT_FALSE(uf.connected(0, 5));
+}
+
+TEST(union_find, largest_set_tracks_merges) {
+  union_find uf(10);
+  EXPECT_EQ(uf.largest_set(), 1u);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(0, 2);
+  EXPECT_EQ(uf.largest_set(), 4u);
+  uf.unite(5, 6);
+  EXPECT_EQ(uf.largest_set(), 4u);
+}
+
+TEST(union_find, chain_of_all) {
+  union_find uf(100);
+  for (std::size_t i = 1; i < 100; ++i) uf.unite(i - 1, i);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_EQ(uf.largest_set(), 100u);
+  EXPECT_TRUE(uf.connected(0, 99));
+}
+
+TEST(union_find, out_of_range_throws) {
+  union_find uf(3);
+  EXPECT_THROW((void)uf.find(3), contract_error);
+}
+
+TEST(union_find, empty_structure) {
+  union_find uf(0);
+  EXPECT_EQ(uf.set_count(), 0u);
+  EXPECT_EQ(uf.largest_set(), 0u);
+}
+
+}  // namespace
+}  // namespace nylon::util
