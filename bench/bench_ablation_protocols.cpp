@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
             return std::vector<double>{clusters.biggest_cluster_pct,
                                        views.stale_pct,
                                        views.fresh_natted_pct, success};
-          });
+          },
+          opt.run());
       table.add_row({std::to_string(pct),
                      std::string(core::to_string(kind)),
                      runtime::fmt(aggs[0].stats.mean),
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "ablation_protocols", table);
   std::cout << "\n# expected ordering: nylon > arrg > reference on every "
                "health metric;\n"
             << "# the cache baseline survives but samples badly (the "

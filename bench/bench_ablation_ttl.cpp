@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
           return std::vector<double>{clusters.biggest_cluster_pct,
                                      views.stale_pct, success,
                                      chains.count() ? chains.mean() : 0.0};
-        });
+        },
+          opt.run());
     table.add_row({std::to_string(ttl_s), runtime::fmt(aggs[0].stats.mean),
                    runtime::fmt(aggs[1].stats.mean),
                    runtime::fmt(aggs[2].stats.mean),
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "ablation_ttl", table);
   std::cout << "\n# expectation: short timeouts raise staleness and punch "
                "failures; beyond the\n"
             << "# paper's 90 s the gains flatten out (chains are refreshed "

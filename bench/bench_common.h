@@ -8,7 +8,10 @@
 #include <string>
 
 #include "runtime/experiment_config.h"
+#include "runtime/runner.h"
+#include "runtime/table_printer.h"
 #include "util/flags.h"
+#include "workload/report.h"
 
 namespace nylon::bench {
 
@@ -21,6 +24,13 @@ struct sweep_options {
   bool csv = false;
   bool full = false;
   std::uint64_t seed = 1;
+  int threads = 0;          ///< seed-level parallelism (0 = all cores)
+  std::string json;         ///< write BENCH_*.json here ("" = off)
+
+  /// The runner options matching these flags.
+  [[nodiscard]] runtime::run_options run() const {
+    return runtime::run_options{threads};
+  }
 };
 
 /// Parses the common flags; on --full, switches every default to the
@@ -41,6 +51,10 @@ inline sweep_options parse_sweep(int argc, char** argv,
   const auto* csv = flags.add_bool("csv", false, "emit CSV instead of a table");
   const auto* full =
       flags.add_bool("full", false, "paper scale: n=10000, 30 seeds, views 15/27");
+  const auto* threads = flags.add_int(
+      "threads", 0, "worker threads across seeds (0 = all cores, 1 = serial)");
+  const auto* json = flags.add_string(
+      "json", "", "also write machine-readable results to this file");
   const auto* help = flags.add_bool("help", false, "print usage");
   try {
     flags.parse(argc, argv);
@@ -52,6 +66,11 @@ inline sweep_options parse_sweep(int argc, char** argv,
     std::cout << flags.usage(name);
     std::exit(0);
   }
+  if (*threads < 0) {
+    std::cerr << "--threads must be >= 0 (0 = all cores)\n"
+              << flags.usage(name);
+    std::exit(1);
+  }
   sweep_options out;
   out.peers = static_cast<std::size_t>(*n);
   out.seeds = static_cast<int>(*seeds);
@@ -61,6 +80,8 @@ inline sweep_options parse_sweep(int argc, char** argv,
   out.csv = *csv;
   out.seed = static_cast<std::uint64_t>(*seed);
   out.full = *full;
+  out.threads = static_cast<int>(*threads);
+  out.json = *json;
   if (out.full) {
     out.peers = 10000;
     out.seeds = 30;
@@ -77,6 +98,14 @@ inline runtime::experiment_config base_config(const sweep_options& opt) {
   cfg.peer_count = opt.peers;
   cfg.gossip.view_size = opt.view_a;
   return cfg;
+}
+
+/// Writes the bench's table as BENCH JSON when --json was given.
+inline void emit_table_json(const sweep_options& opt, const std::string& name,
+                            const runtime::text_table& table) {
+  workload::bench_report report(name);
+  report.add("table", workload::to_json(table));
+  report.save(opt.json);
 }
 
 inline void print_preamble(const std::string& what,

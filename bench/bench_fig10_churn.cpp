@@ -2,13 +2,19 @@
 // peers leaves simultaneously after a warm-up (the paper: after 500
 // shuffles); the cluster is measured after a healing phase (the paper:
 // 1500 shuffles later). Rows: departure percentage; columns: %NAT.
+//
+// The churn itself is a workload::program — warm up, mass departure,
+// heal — executed by the workload engine; seeds run in parallel
+// (--threads) and --json captures the table plus the per-seed values
+// for every (departure, %NAT) cell.
 #include <iostream>
 
 #include "bench_common.h"
-#include "metrics/graph_analysis.h"
 #include "runtime/runner.h"
 #include "runtime/scenario.h"
 #include "runtime/table_printer.h"
+#include "workload/engine.h"
+#include "workload/report.h"
 
 int main(int argc, char** argv) {
   using namespace nylon;
@@ -27,25 +33,40 @@ int main(int argc, char** argv) {
   for (const int pct : nat_percents) headers.push_back(std::to_string(pct));
   runtime::text_table table(std::move(headers));
 
+  workload::bench_report report("fig10_churn");
+  report.param("peers", opt.peers);
+  report.param("seeds", opt.seeds);
+  report.param("warmup_periods", warmup);
+  report.param("heal_periods", heal);
+  util::json cells = util::json::array();
+
   for (const int departures : {50, 60, 70, 75, 80}) {
     std::vector<std::string> row{std::to_string(departures) + "%"};
     for (const int pct : nat_percents) {
       const auto agg = runtime::run_seeds(
-          opt.seeds, opt.seed, [&](std::uint64_t seed) {
+          opt.seeds, opt.seed,
+          [&](std::uint64_t seed) {
             runtime::experiment_config cfg = bench::base_config(opt);
             cfg.protocol = core::protocol_kind::nylon;
             cfg.natted_fraction = pct / 100.0;
             cfg.seed = seed;
             runtime::scenario world(cfg);
-            world.run_periods(warmup);
-            world.remove_fraction(departures / 100.0);
-            world.run_periods(heal);
-            const auto oracle = world.oracle();
-            return metrics::measure_clusters(world.transport(),
-                                             world.peers(), oracle)
-                .biggest_cluster_pct;
-          });
+
+            const sim::sim_time period = cfg.gossip.shuffle_period;
+            auto prog = workload::program{}
+                            .then(workload::steady(warmup * period))
+                            .then(workload::mass_departure(departures / 100.0))
+                            .then(workload::steady(heal * period));
+            workload::engine eng(world, std::move(prog));
+            eng.run();
+            return eng.final().clusters.biggest_cluster_pct;
+          },
+          opt.run());
       row.push_back(runtime::fmt(agg.stats.mean));
+      util::json& cell = cells.push_back(util::json::object());
+      cell["departures_pct"] = departures;
+      cell["nat_pct"] = pct;
+      cell["biggest_cluster_pct"] = workload::to_json(agg);
     }
     table.add_row(std::move(row));
   }
@@ -54,6 +75,9 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  report.add("table", workload::to_json(table));
+  report.add("cells", std::move(cells));
+  report.save(opt.json);
   std::cout << "\n# paper shape: no partition up to 50% departures; >80% of "
                "the survivors stay in\n"
             << "# the biggest cluster even at 80% departures.\n";

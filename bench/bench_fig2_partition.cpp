@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
               return metrics::measure_clusters(world.transport(),
                                                world.peers(), oracle)
                   .biggest_cluster_pct;
-            });
+            },
+          opt.run());
         row.push_back(runtime::fmt(agg.stats.mean));
       }
       table.add_row(std::move(row));

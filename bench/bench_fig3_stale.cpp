@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
             return metrics::measure_views(world.transport(), world.peers(),
                                           oracle)
                 .stale_pct;
-          });
+          },
+          opt.run());
       row.push_back(runtime::fmt(agg.stats.mean));
     }
     table.add_row(std::move(row));
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "fig3_stale", table);
   std::cout << "\n# paper shape: staleness grows ~linearly with %NAT and is "
                "higher for the larger view.\n";
   return 0;

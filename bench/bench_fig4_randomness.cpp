@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
                  return metrics::measure_views(world.transport(),
                                                world.peers(), oracle)
                      .fresh_natted_pct;
-               })
+               },
+          opt.run())
         .stats.mean;
   };
 
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "fig4_randomness", table);
   std::cout << "\n# paper shape: the baseline sits far below the diagonal "
                "(natted peers undersampled);\n"
             << "# Nylon tracks the diagonal much more closely.\n";

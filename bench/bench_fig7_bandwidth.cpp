@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
                             (opt.rounds - warmup) *
                                 cfg.gossip.shuffle_period)
                      .all_bytes_per_s;
-               })
+               },
+          opt.run())
         .stats.mean;
   };
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "fig7_bandwidth", table);
   std::cout << "\n# paper shape: Nylon stays within a small factor of the "
                "reference (<350 B/s at\n"
             << "# paper scale) and grows sub-linearly with %NAT.\n";

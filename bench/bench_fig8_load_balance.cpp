@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
               (opt.rounds - warmup) * cfg.gossip.shuffle_period);
           return std::vector<double>{report.public_bytes_per_s,
                                      report.natted_bytes_per_s};
-        });
+        },
+          opt.run());
     const double pub = aggs[0].stats.mean;
     const double natted = aggs[1].stats.mean;
     table.add_row({std::to_string(pct), runtime::fmt(pub),
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "fig8_load_balance", table);
   std::cout << "\n# paper shape: public peers send/receive 10-20% *less* "
                "than natted peers\n"
             << "# (they get no OPEN_HOLEs for themselves and send no "

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
                    chains.merge(np->nat_stats().relay_chain_hops);
                  }
                  return chains.count() > 0 ? chains.mean() : 0.0;
-               })
+               },
+          opt.run())
         .stats.mean;
   };
 
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   } else {
     table.print(std::cout);
   }
+  bench::emit_table_json(opt, "fig9_rvp_chain", table);
   std::cout << "\n# paper shape: 1 to ~3 RVPs, growing sub-linearly with "
                "%NAT; the larger view\n"
             << "# yields *shorter* chains (random-graph distance shrinks "

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Runs every figure/ablation bench and collects machine-readable results.
+#
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR] [extra bench flags...]
+#
+# Defaults: BUILD_DIR=build, OUT_DIR=bench_results. Extra flags are passed
+# to every bench (e.g. --full, --threads 0, --n 2000).
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "build dir '$BUILD_DIR' not found — run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+# Benches that take the common sweep flags (--threads/--json/...).
+SWEEP_BENCHES="bench_fig2_partition bench_fig3_stale bench_fig4_randomness \
+bench_fig7_bandwidth bench_fig8_load_balance bench_fig9_rvp_chain \
+bench_fig10_churn bench_ablation_protocols bench_ablation_ttl"
+# Benches with their own CLI (no JSON emitter yet).
+PLAIN_BENCHES="bench_table1_traversal bench_sec5_correctness"
+
+status=0
+for bench in $SWEEP_BENCHES; do
+  exe="$BUILD_DIR/$bench"
+  if [ ! -x "$exe" ]; then
+    echo "== skip $bench (not built) =="
+    continue
+  fi
+  echo "== $bench =="
+  if "$exe" --json "$OUT_DIR/BENCH_${bench#bench_}.json" "$@" \
+      > "$OUT_DIR/${bench}.txt" 2>&1; then
+    tail -n +1 "$OUT_DIR/${bench}.txt" | head -5
+  else
+    echo "FAILED — see $OUT_DIR/${bench}.txt" >&2
+    status=1
+  fi
+done
+
+for bench in $PLAIN_BENCHES; do
+  exe="$BUILD_DIR/$bench"
+  if [ ! -x "$exe" ]; then
+    echo "== skip $bench (not built) =="
+    continue
+  fi
+  echo "== $bench =="
+  if ! "$exe" > "$OUT_DIR/${bench}.txt" 2>&1; then
+    echo "FAILED — see $OUT_DIR/${bench}.txt" >&2
+    status=1
+  fi
+done
+
+echo
+echo "Results in $OUT_DIR:"
+ls -1 "$OUT_DIR"
+exit $status

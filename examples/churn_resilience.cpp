@@ -3,15 +3,20 @@
 //
 //   ./examples/churn_resilience [--peers 500] [--nat-pct 60]
 //                               [--departures 50] [--watch-periods 40]
+//                               [--json heal.json]
 //
-// Prints a time series of the biggest cluster, staleness and dead view
-// entries after the massive departure.
+// The whole experiment is one workload::program (steady → mass departure
+// → steady) whose engine samples a time series of the biggest cluster,
+// staleness and dead view entries after the massive departure.
+#include <algorithm>
 #include <iostream>
 
 #include "metrics/graph_analysis.h"
 #include "runtime/scenario.h"
 #include "runtime/table_printer.h"
 #include "util/flags.h"
+#include "workload/engine.h"
+#include "workload/report.h"
 
 int main(int argc, char** argv) {
   using namespace nylon;
@@ -25,10 +30,18 @@ int main(int argc, char** argv) {
   const auto* watch =
       flags.add_int("watch-periods", 40, "periods observed after the churn");
   const auto* seed = flags.add_int("seed", 3, "rng seed");
+  const auto* json_path =
+      flags.add_string("json", "", "also write the trajectory to this file");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n" << flags.usage("churn_resilience");
+    return 1;
+  }
+  if (*watch <= 0 || *warmup < 0 || *peers <= 0 || *departures < 0.0 ||
+      *departures > 100.0) {
+    std::cerr << "need --watch-periods > 0, --warmup >= 0, --peers > 0 and "
+                 "--departures in [0, 100]\n";
     return 1;
   }
 
@@ -41,39 +54,53 @@ int main(int argc, char** argv) {
 
   std::cout << "Warming up " << cfg.peer_count << " peers (" << *nat_pct
             << "% natted) for " << *warmup << " periods...\n";
+  const sim::sim_time period = cfg.gossip.shuffle_period;
   world.run_periods(*warmup);
 
-  const std::size_t removed = world.remove_fraction(*departures / 100.0);
-  std::cout << "Boom: " << removed << " peers left simultaneously ("
-            << *departures << "%). Watching the overlay heal:\n\n";
+  auto prog = workload::program{}
+                  .then(workload::mass_departure(*departures / 100.0))
+                  .then(workload::steady(*watch * period));
 
   runtime::text_table table({"period", "alive", "biggest cluster %",
                              "clusters", "stale %", "dead refs %"});
-  const auto snapshot = [&](int period) {
-    const auto oracle = world.oracle();
-    const auto clusters =
-        metrics::measure_clusters(world.transport(), world.peers(), oracle);
-    const auto views =
-        metrics::measure_views(world.transport(), world.peers(), oracle);
+  const sim::sim_time t0 = world.scheduler().now();
+  const auto add_row = [&](const workload::snapshot& s) {
     const double dead_pct =
-        views.total_entries > 0
-            ? 100.0 * static_cast<double>(views.dead_entries) /
-                  static_cast<double>(views.total_entries)
+        s.views.total_entries > 0
+            ? 100.0 * static_cast<double>(s.views.dead_entries) /
+                  static_cast<double>(s.views.total_entries)
             : 0.0;
-    table.add_row({std::to_string(period), std::to_string(world.alive_count()),
-                   runtime::fmt(clusters.biggest_cluster_pct),
-                   std::to_string(clusters.cluster_count),
-                   runtime::fmt(views.stale_pct),
-                   runtime::fmt(dead_pct)});
+    table.add_row({std::to_string((s.at - t0) / period), std::to_string(s.alive),
+                   runtime::fmt(s.clusters.biggest_cluster_pct),
+                   std::to_string(s.clusters.cluster_count),
+                   runtime::fmt(s.views.stale_pct), runtime::fmt(dead_pct)});
   };
 
-  snapshot(0);
   const int step = std::max<int>(1, static_cast<int>(*watch / 8));
-  for (int period = step; period <= *watch; period += step) {
-    world.run_periods(step);
-    snapshot(period);
+  workload::engine_options opts;
+  opts.sample_interval = step * period;  // plus phase-end snapshots
+  workload::engine eng(world, std::move(prog), opts);
+  eng.run();
+
+  std::cout << "Boom: " << eng.departed() << " peers left simultaneously ("
+            << *departures << "%). Watching the overlay heal:\n\n";
+  sim::sim_time last_at = -1;  // phase boundaries duplicate sample times
+  for (const workload::snapshot& s : eng.trajectory()) {
+    if (s.at == last_at) continue;
+    last_at = s.at;
+    add_row(s);
   }
   table.print(std::cout);
+
+  if (!json_path->empty()) {
+    workload::bench_report report("churn_resilience");
+    report.param("peers", *peers);
+    report.param("nat_pct", *nat_pct);
+    report.param("departures_pct", *departures);
+    report.add("trajectory", workload::to_json(eng.trajectory()));
+    report.save(*json_path);
+    std::cout << "\nTrajectory written to " << *json_path << "\n";
+  }
 
   std::cout << "\nThe dead references age out of the views within a few "
                "periods and the\n"

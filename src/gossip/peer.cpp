@@ -29,6 +29,11 @@ void peer::stop() {
   running_ = false;
 }
 
+void peer::refresh_self() {
+  NYLON_EXPECTS(self_.id != net::nil_node);
+  self_.addr = transport_.advertised_endpoint(self_.id);
+}
+
 void peer::set_initial_view(std::vector<view_entry> seeds) {
   view_.assign(std::move(seeds), self_.id);
 }

@@ -49,6 +49,12 @@ class peer : public net::endpoint_handler, public peer_sampling_service {
   /// Cancels the shuffle timer (peer departure).
   void stop();
 
+  /// Re-reads the advertised endpoint from the transport — the deployment
+  /// equivalent of re-running STUN after the peer's NAT re-bound. Future
+  /// self-descriptors carry the new endpoint; copies already gossiped
+  /// stay stale until they age out.
+  void refresh_self();
+
   [[nodiscard]] bool running() const noexcept { return running_; }
   [[nodiscard]] net::node_id id() const noexcept { return self_.id; }
   [[nodiscard]] const node_descriptor& self() const noexcept { return self_; }

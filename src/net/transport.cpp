@@ -15,6 +15,9 @@ constexpr std::uint32_t public_ip_base = 0x0A000000;
 constexpr std::uint32_t private_ip_base = 0xAC100000;
 constexpr std::uint32_t private_port = 5000;
 constexpr std::uint32_t public_peer_port = 4000;
+// Rebound NAT boxes draw fresh public IPs from a disjoint block (11.0.0.0)
+// so they can never collide with the per-node 10.x addresses.
+constexpr std::uint32_t rebind_ip_base = 0x0B000000;
 }  // namespace
 
 std::string_view to_string(drop_reason r) noexcept {
@@ -24,6 +27,7 @@ std::string_view to_string(drop_reason r) noexcept {
     case drop_reason::nat_filtered: return "nat_filtered";
     case drop_reason::sender_dead: return "sender_dead";
     case drop_reason::random_loss: return "random_loss";
+    case drop_reason::partitioned: return "partitioned";
     case drop_reason::count_: break;
   }
   return "?";
@@ -84,6 +88,26 @@ const nat::nat_device* transport::device_of(node_id id) const {
   return nodes_[id].device.get();
 }
 
+endpoint transport::rebind_nat(node_id id) {
+  NYLON_EXPECTS(id < nodes_.size());
+  node_record& rec = nodes_[id];
+  NYLON_EXPECTS(rec.alive);
+  NYLON_EXPECTS(rec.device != nullptr);
+  const ip_address old_ip = rec.device->public_ip();
+  const ip_address new_ip{rebind_ip_base + ++rebind_count_};
+  ip_owner_.erase(old_ip);
+  ip_owner_.emplace(new_ip, id);
+  rec.device =
+      std::make_unique<nat::nat_device>(rec.type, new_ip, cfg_.hole_timeout);
+  rec.advertised = rec.device->advertised_endpoint(rec.private_ep);
+  return rec.advertised;
+}
+
+void transport::set_partition(std::vector<std::uint8_t> side) {
+  NYLON_EXPECTS(side.size() <= nodes_.size());
+  partition_side_ = std::move(side);
+}
+
 void transport::count_drop(drop_reason reason) {
   ++drop_counts_[static_cast<std::size_t>(reason)];
 }
@@ -113,16 +137,21 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
     return;
   }
   const sim::sim_time delay = latency_->sample(rng_);
-  sched_.after(delay, [this, source_ep, to, body = std::move(body), bytes] {
-    deliver(source_ep, to, body, bytes);
-  });
+  sched_.after(delay, [this, from, source_ep, to, body = std::move(body),
+                       bytes] { deliver(from, source_ep, to, body, bytes); });
 }
 
-void transport::deliver(endpoint source, endpoint to, const payload_ptr& body,
-                        std::size_t bytes) {
+void transport::deliver(node_id from, endpoint source, endpoint to,
+                        const payload_ptr& body, std::size_t bytes) {
   const auto owner = ip_owner_.find(to.ip);
   if (owner == ip_owner_.end()) {
     count_drop(drop_reason::unknown_destination);
+    return;
+  }
+  // A partition severs the path before the destination NAT ever sees the
+  // packet (no rule refresh on the far side).
+  if (partitioned() && side_of(from) != side_of(owner->second)) {
+    count_drop(drop_reason::partitioned);
     return;
   }
   node_record& dst = nodes_[owner->second];
@@ -165,6 +194,9 @@ std::optional<node_id> transport::would_deliver(node_id from,
   if (!nodes_[from].alive) return std::nullopt;
   const auto owner = ip_owner_.find(to.ip);
   if (owner == ip_owner_.end()) return std::nullopt;
+  if (partitioned() && side_of(from) != side_of(owner->second)) {
+    return std::nullopt;
+  }
   const node_record& dst = nodes_[owner->second];
   if (!dst.alive) return std::nullopt;
   const nat::predicted_source src = predicted_source(from, to);

@@ -39,6 +39,7 @@ enum class drop_reason : std::uint8_t {
   nat_filtered,         ///< destination NAT dropped the unsolicited packet
   sender_dead,          ///< source host left before the send fired
   random_loss,          ///< probabilistic loss (off by default)
+  partitioned,          ///< source and destination are in different partitions
   count_                ///< number of reasons (internal)
 };
 
@@ -87,6 +88,37 @@ class transport {
   /// STUN-discovered public endpoint the node advertises in descriptors.
   /// For symmetric-NAT nodes the port is 0 (no stable port exists).
   [[nodiscard]] endpoint advertised_endpoint(node_id id) const;
+
+  /// The natted node's lease expired and its NAT re-bound: the device is
+  /// replaced by a fresh one on a brand-new public IP, dropping every
+  /// mapping and filtering rule. Packets addressed to the old public
+  /// endpoint no longer route anywhere (`unknown_destination`). Returns
+  /// the new advertised endpoint; the peer must re-learn it (STUN) via
+  /// `advertised_endpoint` before gossiping fresh self-descriptors.
+  /// Requires a natted, alive node.
+  endpoint rebind_nat(node_id id);
+
+  // --- partitions -------------------------------------------------------------
+
+  /// Installs a network partition: `side[i]` is node i's side; nodes
+  /// beyond the vector (added later) are on side 0. Cross-side packets
+  /// are dropped (`drop_reason::partitioned`) at *delivery* time, so a
+  /// packet still in flight when the split happens is dropped too — and
+  /// conversely, one in flight when the partition heals gets through.
+  void set_partition(std::vector<std::uint8_t> side);
+
+  /// Heals the partition: all traffic flows again.
+  void clear_partition() noexcept { partition_side_.clear(); }
+
+  /// True while a partition is installed.
+  [[nodiscard]] bool partitioned() const noexcept {
+    return !partition_side_.empty();
+  }
+
+  /// The node's partition side (0 when no partition is installed).
+  [[nodiscard]] std::uint8_t side_of(node_id id) const noexcept {
+    return id < partition_side_.size() ? partition_side_[id] : 0;
+  }
 
   /// The node's NAT device (nullptr for public nodes). Exposed for tests
   /// and for the reachability oracle.
@@ -150,8 +182,8 @@ class transport {
     node_traffic traffic;
   };
 
-  void deliver(endpoint source, endpoint to, const payload_ptr& body,
-               std::size_t bytes);
+  void deliver(node_id from, endpoint source, endpoint to,
+               const payload_ptr& body, std::size_t bytes);
   void count_drop(drop_reason reason);
 
   sim::scheduler& sched_;
@@ -160,6 +192,8 @@ class transport {
   transport_config cfg_;
   std::vector<node_record> nodes_;
   std::unordered_map<ip_address, node_id> ip_owner_;
+  std::vector<std::uint8_t> partition_side_;  ///< empty = no partition
+  std::uint32_t rebind_count_ = 0;  ///< rebound public IPs allocated so far
   std::uint64_t drop_counts_[static_cast<std::size_t>(drop_reason::count_)] =
       {};
   std::unordered_map<std::string_view, std::uint64_t> bytes_by_type_;

@@ -1,5 +1,6 @@
 // Multi-seed experiment driver: runs a measurement across independent
-// seeds (the paper averages 30) and aggregates.
+// seeds (the paper averages 30) and aggregates — serially or on a thread
+// pool, with bit-identical results either way.
 #pragma once
 
 #include <cstdint>
@@ -16,16 +17,32 @@ struct seed_aggregate {
   util::summary stats;         ///< summary over `values`
 };
 
+/// Execution knobs for the multi-seed drivers.
+struct run_options {
+  /// Worker threads: 1 = serial (default), 0 = one per hardware core,
+  /// n > 1 = exactly n. Each seed runs in its own fully independent
+  /// universe (scheduler + transport + rng), and results are stored by
+  /// seed index, so the aggregate is bit-identical to a serial run
+  /// regardless of scheduling. The experiment callback must not touch
+  /// shared mutable state.
+  int threads = 1;
+};
+
+/// Resolved worker count for `opt` (clamped to `seed_count`).
+[[nodiscard]] int resolve_threads(const run_options& opt, int seed_count);
+
 /// Runs `experiment` once per seed (seeds derived deterministically from
 /// `base_seed`) and aggregates the returned metric.
 [[nodiscard]] seed_aggregate run_seeds(
     int seed_count, std::uint64_t base_seed,
-    const std::function<double(std::uint64_t seed)>& experiment);
+    const std::function<double(std::uint64_t seed)>& experiment,
+    run_options opt = {});
 
 /// Variant for experiments that produce several named metrics at once:
 /// returns one aggregate per metric index.
 [[nodiscard]] std::vector<seed_aggregate> run_seeds_multi(
     int seed_count, std::uint64_t base_seed, std::size_t metric_count,
-    const std::function<std::vector<double>(std::uint64_t seed)>& experiment);
+    const std::function<std::vector<double>(std::uint64_t seed)>& experiment,
+    run_options opt = {});
 
 }  // namespace nylon::runtime

@@ -68,6 +68,55 @@ std::size_t scenario::alive_count() const {
   return alive;
 }
 
+std::vector<net::node_id> scenario::alive_ids() const {
+  std::vector<net::node_id> out;
+  out.reserve(peers_.size());
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    if (transport_->alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+void scenario::set_nat_distribution(double natted_fraction,
+                                    const nat::nat_mix& mix) {
+  NYLON_EXPECTS(natted_fraction >= 0.0 && natted_fraction <= 1.0);
+  cfg_.natted_fraction = natted_fraction;
+  cfg_.mix = mix;
+}
+
+std::size_t scenario::partition_fraction(double fraction) {
+  NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  const std::vector<net::node_id> alive = alive_ids();
+  const auto take = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(alive.size())));
+  std::vector<std::uint8_t> side(peers_.size(), 0);
+  const std::vector<std::size_t> picks = rng_.sample_indices(alive.size(), take);
+  for (const std::size_t k : picks) side[alive[k]] = 1;
+  transport_->set_partition(std::move(side));
+  return take;
+}
+
+void scenario::heal_partition() { transport_->clear_partition(); }
+
+std::size_t scenario::rebind_fraction(double fraction) {
+  NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<net::node_id> natted;
+  for (const net::node_id id : alive_ids()) {
+    if (nat::is_natted(transport_->type_of(id))) natted.push_back(id);
+  }
+  const auto take = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(natted.size())));
+  const std::vector<std::size_t> picks =
+      rng_.sample_indices(natted.size(), take);
+  for (const std::size_t k : picks) {
+    const net::node_id id = natted[k];
+    transport_->rebind_nat(id);
+    peers_[id]->refresh_self();
+  }
+  return take;
+}
+
 void scenario::remove_peer(net::node_id id) {
   NYLON_EXPECTS(id < peers_.size());
   peers_[id]->stop();

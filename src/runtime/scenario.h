@@ -49,6 +49,29 @@ class scenario {
   /// Number of peers still alive.
   [[nodiscard]] std::size_t alive_count() const;
 
+  /// All alive node ids, in id order.
+  [[nodiscard]] std::vector<net::node_id> alive_ids() const;
+
+  // --- dynamics beyond plain churn (driven by workload::engine) --------------
+
+  /// Changes the NAT distribution that future `add_peer` draws use —
+  /// models a population whose newcomers differ from the incumbents
+  /// (e.g. an ISP rolling out CGNAT). Does not touch existing peers.
+  void set_nat_distribution(double natted_fraction, const nat::nat_mix& mix);
+
+  /// Splits the network: round(fraction * alive) random peers land on
+  /// side 1, everyone else stays on side 0, and cross-side packets drop.
+  /// Returns the side-1 population. Replaces any existing partition.
+  std::size_t partition_fraction(double fraction);
+
+  /// Heals any installed partition.
+  void heal_partition();
+
+  /// Re-binds the NAT of round(fraction * alive natted peers) random
+  /// natted peers (lease expiry: new public IP, all state lost) and
+  /// refreshes their self-descriptors. Returns how many were re-bound.
+  std::size_t rebind_fraction(double fraction);
+
   // --- access ----------------------------------------------------------------
 
   [[nodiscard]] net::transport& transport() noexcept { return *transport_; }

@@ -24,6 +24,15 @@ class text_table {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for machine-readable emitters (workload::to_json).
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,142 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.h"
+
+namespace nylon::util {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the convention
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  NYLON_ENSURES(ec == std::errc{});
+  os.write(buf, end - buf);
+}
+
+void write_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+json json::array() {
+  json j;
+  j.value_ = array_t{};
+  return j;
+}
+
+json json::object() {
+  json j;
+  j.value_ = object_t{};
+  return j;
+}
+
+json& json::push_back(json v) {
+  if (is_null()) value_ = array_t{};
+  auto* arr = std::get_if<array_t>(&value_);
+  NYLON_EXPECTS(arr != nullptr);
+  arr->push_back(std::move(v));
+  return arr->back();
+}
+
+json& json::operator[](const std::string& key) {
+  if (is_null()) value_ = object_t{};
+  auto* obj = std::get_if<object_t>(&value_);
+  NYLON_EXPECTS(obj != nullptr);
+  for (auto& [k, v] : *obj) {
+    if (k == key) return v;
+  }
+  obj->emplace_back(key, json{});
+  return obj->back().second;
+}
+
+void json::write(std::ostream& os, int indent, int depth) const {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          os << "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          os << (v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, double>) {
+          write_double(os, v);
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          os << v;
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          write_escaped(os, v);
+        } else if constexpr (std::is_same_v<T, array_t>) {
+          os << '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i > 0) os << ',';
+            write_newline_indent(os, indent, depth + 1);
+            v[i].write(os, indent, depth + 1);
+          }
+          if (!v.empty()) write_newline_indent(os, indent, depth);
+          os << ']';
+        } else if constexpr (std::is_same_v<T, object_t>) {
+          os << '{';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i > 0) os << ',';
+            write_newline_indent(os, indent, depth + 1);
+            write_escaped(os, v[i].first);
+            os << (indent > 0 ? ": " : ":");
+            v[i].second.write(os, indent, depth + 1);
+          }
+          if (!v.empty()) write_newline_indent(os, indent, depth);
+          os << '}';
+        }
+      },
+      value_);
+}
+
+void json::dump(std::ostream& os, int indent) const { write(os, indent, 0); }
+
+std::string json::dump_string(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+void write_json_file(const std::string& path, const json& doc) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  doc.dump(out);
+  out << '\n';
+}
+
+}  // namespace nylon::util

@@ -1,0 +1,64 @@
+// Minimal JSON document builder for machine-readable bench output
+// (BENCH_*.json). Write-only by design: the repo needs to *emit* results
+// for external tooling, never to parse them, so there is no parser and no
+// dependency. Object keys keep insertion order so emitted files diff
+// cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nylon::util {
+
+/// One JSON value: null, bool, number, string, array or object.
+class json {
+ public:
+  json() = default;  ///< null
+  json(bool b) : value_(b) {}
+  json(double d) : value_(d) {}
+  json(std::int64_t i) : value_(i) {}
+  json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  json(std::string s) : value_(std::move(s)) {}
+  json(const char* s) : value_(std::string(s)) {}
+
+  /// An empty array / object (distinct from null).
+  static json array();
+  static json object();
+
+  /// Appends to an array (null promotes to array).
+  json& push_back(json v);
+
+  /// Object member access; inserts a null member on first use (null
+  /// promotes to object). Keys keep insertion order.
+  json& operator[](const std::string& key);
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(value_);
+  }
+
+  /// Serializes the document. `indent` = 0 gives compact one-line output;
+  /// > 0 pretty-prints with that many spaces per level.
+  void dump(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump_string(int indent = 2) const;
+
+ private:
+  using array_t = std::vector<json>;
+  using object_t = std::vector<std::pair<std::string, json>>;
+
+  void write(std::ostream& os, int indent, int depth) const;
+
+  std::variant<std::monostate, bool, double, std::int64_t, std::string,
+               array_t, object_t>
+      value_;
+};
+
+/// Writes `doc` to `path` (trailing newline included). Throws
+/// std::runtime_error when the file cannot be written.
+void write_json_file(const std::string& path, const json& doc);
+
+}  // namespace nylon::util

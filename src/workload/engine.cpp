@@ -1,0 +1,202 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace nylon::workload {
+
+engine::engine(runtime::scenario& world, program prog, engine_options opt)
+    : world_(world), program_(std::move(prog)), opt_(opt) {
+  NYLON_EXPECTS(!program_.empty());
+  phase_rngs_.resize(program_.phases().size());
+}
+
+const snapshot& engine::final() const {
+  NYLON_EXPECTS(!trajectory_.empty());
+  return trajectory_.back();
+}
+
+void engine::push_action(sim::sim_time at, std::function<void()> fn) {
+  actions_.push(action{at, next_seq_++, std::move(fn)});
+}
+
+util::rng& engine::phase_rng(std::size_t index, const phase& p) {
+  auto& slot = phase_rngs_[index];
+  if (!slot) {
+    const std::uint64_t seed =
+        p.rng_seed.has_value()
+            ? *p.rng_seed
+            : util::derive_seed(world_.config().seed, 0xD1CE0000u + index);
+    slot = std::make_unique<util::rng>(seed);
+  }
+  return *slot;
+}
+
+void engine::do_join() {
+  world_.add_peer();
+  ++joined_;
+}
+
+void engine::do_depart(net::node_id id) {
+  if (!world_.transport().alive(id)) return;  // already gone (e.g. mass dep.)
+  world_.remove_peer(id);
+  ++departed_;
+}
+
+void engine::compile_phase(std::size_t index, const phase& p,
+                           sim::sim_time start, sim::sim_time end) {
+  switch (p.kind) {
+    case phase_kind::steady:
+      break;
+
+    case phase_kind::grow: {
+      // Evenly spaced joins across the window, first at phase start.
+      const sim::sim_time step =
+          p.duration / static_cast<sim::sim_time>(p.count);
+      for (std::size_t i = 0; i < p.count; ++i) {
+        push_action(start + static_cast<sim::sim_time>(i) * step,
+                    [this] { do_join(); });
+      }
+      break;
+    }
+
+    case phase_kind::flash_crowd:
+      for (std::size_t i = 0; i < p.count; ++i) {
+        push_action(start, [this] { do_join(); });
+      }
+      break;
+
+    case phase_kind::mass_departure:
+      push_action(start, [this, fraction = p.fraction] {
+        departed_ += world_.remove_fraction(fraction);
+      });
+      break;
+
+    case phase_kind::poisson_churn: {
+      util::rng& rng = phase_rng(index, p);
+      // Self-perpetuating arrival chain: each arrival schedules the next
+      // one (while inside the window) plus its own departure, which may
+      // fire in a later phase.
+      const double mean_gap_ms = 1000.0 / p.arrivals_per_sec;
+      // The chain closure is owned by the engine (not by its own capture
+      // list — that would be a shared_ptr cycle); raw pointers into
+      // `poisson_chains_` stay valid for the whole run.
+      auto arrive = std::make_unique<std::function<void(sim::sim_time)>>();
+      auto* fn = arrive.get();
+      *fn = [this, &rng, session = p.session, mean_gap_ms, end,
+             fn](sim::sim_time at) {
+        const net::node_id id = world_.add_peer();
+        ++joined_;
+        push_action(at + session.sample(rng), [this, id] { do_depart(id); });
+        const auto gap = std::max<sim::sim_time>(
+            1, std::llround(-mean_gap_ms * std::log(1.0 - rng.uniform01())));
+        if (at + gap < end) {
+          push_action(at + gap, [fn, next = at + gap] { (*fn)(next); });
+        }
+      };
+      const auto first_gap = std::max<sim::sim_time>(
+          1, std::llround(-mean_gap_ms * std::log(1.0 - rng.uniform01())));
+      if (start + first_gap < end) {
+        push_action(start + first_gap,
+                    [fn, at = start + first_gap] { (*fn)(at); });
+      }
+      poisson_chains_.push_back(std::move(arrive));
+      break;
+    }
+
+    case phase_kind::turnover: {
+      util::rng& rng = phase_rng(index, p);
+      for (sim::sim_time t = start; t < end; t += p.tick) {
+        push_action(t, [this, &rng, per_tick = p.count] {
+          // Draw victims with replacement from one alive-list snapshot
+          // (duplicate removals are harmless no-ops), then refill.
+          const std::vector<net::node_id> alive = world_.alive_ids();
+          if (alive.empty()) return;
+          for (std::size_t k = 0; k < per_tick; ++k) {
+            do_depart(alive[rng.index(alive.size())]);
+          }
+          for (std::size_t k = 0; k < per_tick; ++k) do_join();
+        });
+      }
+      break;
+    }
+
+    case phase_kind::partition:
+      push_action(start, [this, fraction = p.fraction] {
+        world_.partition_fraction(fraction);
+      });
+      break;
+
+    case phase_kind::heal:
+      push_action(start, [this] { world_.heal_partition(); });
+      break;
+
+    case phase_kind::nat_redistribution:
+      push_action(start, [this, natted = p.natted_fraction, mix = *p.mix] {
+        world_.set_nat_distribution(natted, mix);
+      });
+      break;
+
+    case phase_kind::nat_rebind:
+      push_action(start, [this, fraction = p.fraction] {
+        world_.rebind_fraction(fraction);
+      });
+      break;
+  }
+}
+
+void engine::drain_until(sim::sim_time until) {
+  while (!actions_.empty() && actions_.top().at <= until) {
+    // priority_queue::top is const; the action is copied out so fn can
+    // push further actions while it runs.
+    action next = actions_.top();
+    actions_.pop();
+    NYLON_ENSURES(next.at >= world_.scheduler().now());
+    world_.run_until(next.at);
+    next.fn();
+  }
+  world_.run_until(until);
+}
+
+void engine::take_snapshot(std::size_t phase_index, const std::string& label) {
+  snapshot s;
+  s.phase_index = phase_index;
+  s.phase = label;
+  s.at = world_.scheduler().now();
+  s.alive = world_.alive_count();
+  s.joined = joined_;
+  s.departed = departed_;
+  if (opt_.measure) {
+    const metrics::reachability_oracle oracle = world_.oracle();
+    s.clusters =
+        metrics::measure_clusters(world_.transport(), world_.peers(), oracle);
+    s.views =
+        metrics::measure_views(world_.transport(), world_.peers(), oracle);
+  }
+  trajectory_.push_back(s);
+  if (observer_) observer_(trajectory_.back());
+}
+
+void engine::run() {
+  sim::sim_time t = world_.scheduler().now();
+  for (std::size_t i = 0; i < program_.phases().size(); ++i) {
+    const phase& p = program_.phases()[i];
+    const sim::sim_time start = t;
+    const sim::sim_time end = start + p.duration;
+    compile_phase(i, p, start, end);
+
+    if (opt_.sample_interval > 0 && p.duration > 0) {
+      for (sim::sim_time s = start; s < end; s += opt_.sample_interval) {
+        drain_until(s);
+        take_snapshot(i, p.label);
+      }
+    }
+    drain_until(end);
+    if (opt_.snapshot_phase_end) take_snapshot(i, p.label);
+    t = end;
+  }
+}
+
+}  // namespace nylon::workload

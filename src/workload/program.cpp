@@ -1,0 +1,172 @@
+#include "workload/program.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace nylon::workload {
+
+std::string_view to_string(phase_kind k) noexcept {
+  switch (k) {
+    case phase_kind::grow: return "grow";
+    case phase_kind::steady: return "steady";
+    case phase_kind::poisson_churn: return "poisson_churn";
+    case phase_kind::flash_crowd: return "flash_crowd";
+    case phase_kind::mass_departure: return "mass_departure";
+    case phase_kind::turnover: return "turnover";
+    case phase_kind::partition: return "partition";
+    case phase_kind::heal: return "heal";
+    case phase_kind::nat_redistribution: return "nat_redistribution";
+    case phase_kind::nat_rebind: return "nat_rebind";
+  }
+  return "?";
+}
+
+sim::sim_time session_distribution::sample(util::rng& rng) const {
+  NYLON_EXPECTS(mean > 0);
+  double length = 0.0;
+  switch (k) {
+    case kind::fixed:
+      return mean;
+    case kind::exponential:
+      // Inverse CDF; 1 - u in (0, 1] keeps the log finite.
+      length = -static_cast<double>(mean) * std::log(1.0 - rng.uniform01());
+      break;
+    case kind::pareto: {
+      NYLON_EXPECTS(pareto_shape > 1.0);
+      // Lomax form scaled so the mean equals `mean`:
+      //   X = x_m * ((1-u)^(-1/shape) - 1),  x_m = mean * (shape - 1).
+      const double x_m = static_cast<double>(mean) * (pareto_shape - 1.0);
+      length =
+          x_m * (std::pow(1.0 - rng.uniform01(), -1.0 / pareto_shape) - 1.0);
+      break;
+    }
+  }
+  return std::max<sim::sim_time>(1, std::llround(length));
+}
+
+void phase::validate() const {
+  NYLON_EXPECTS(duration >= 0);
+  switch (kind) {
+    case phase_kind::grow:
+      NYLON_EXPECTS(count > 0);
+      NYLON_EXPECTS(duration > 0);
+      break;
+    case phase_kind::steady:
+      NYLON_EXPECTS(duration > 0);
+      break;
+    case phase_kind::poisson_churn:
+      NYLON_EXPECTS(duration > 0);
+      NYLON_EXPECTS(arrivals_per_sec > 0.0);
+      NYLON_EXPECTS(session.mean > 0);
+      break;
+    case phase_kind::flash_crowd:
+      NYLON_EXPECTS(count > 0);
+      break;
+    case phase_kind::mass_departure:
+    case phase_kind::partition:
+    case phase_kind::nat_rebind:
+      NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+      break;
+    case phase_kind::turnover:
+      NYLON_EXPECTS(duration > 0);
+      NYLON_EXPECTS(count > 0);
+      NYLON_EXPECTS(tick > 0);
+      break;
+    case phase_kind::heal:
+      break;
+    case phase_kind::nat_redistribution:
+      NYLON_EXPECTS(natted_fraction >= 0.0 && natted_fraction <= 1.0);
+      NYLON_EXPECTS(mix.has_value());
+      break;
+  }
+}
+
+namespace {
+phase make(phase_kind kind) {
+  phase p;
+  p.kind = kind;
+  p.label = std::string(to_string(kind));
+  return p;
+}
+}  // namespace
+
+phase grow(std::size_t count, sim::sim_time duration) {
+  phase p = make(phase_kind::grow);
+  p.count = count;
+  p.duration = duration;
+  return p;
+}
+
+phase steady(sim::sim_time duration) {
+  phase p = make(phase_kind::steady);
+  p.duration = duration;
+  return p;
+}
+
+phase poisson_churn(sim::sim_time duration, double arrivals_per_sec,
+                    session_distribution session) {
+  phase p = make(phase_kind::poisson_churn);
+  p.duration = duration;
+  p.arrivals_per_sec = arrivals_per_sec;
+  p.session = session;
+  return p;
+}
+
+phase flash_crowd(std::size_t count) {
+  phase p = make(phase_kind::flash_crowd);
+  p.count = count;
+  return p;
+}
+
+phase mass_departure(double fraction) {
+  phase p = make(phase_kind::mass_departure);
+  p.fraction = fraction;
+  return p;
+}
+
+phase turnover(sim::sim_time duration, std::size_t per_tick, sim::sim_time tick,
+               std::optional<std::uint64_t> rng_seed) {
+  phase p = make(phase_kind::turnover);
+  p.duration = duration;
+  p.count = per_tick;
+  p.tick = tick;
+  p.rng_seed = rng_seed;
+  return p;
+}
+
+phase partition(double fraction) {
+  phase p = make(phase_kind::partition);
+  p.fraction = fraction;
+  return p;
+}
+
+phase heal() { return make(phase_kind::heal); }
+
+phase nat_redistribution(double natted_fraction, nat::nat_mix mix) {
+  phase p = make(phase_kind::nat_redistribution);
+  p.natted_fraction = natted_fraction;
+  p.mix = mix;
+  return p;
+}
+
+phase nat_rebind(double fraction) {
+  phase p = make(phase_kind::nat_rebind);
+  p.fraction = fraction;
+  return p;
+}
+
+program& program::then(phase p) {
+  p.validate();
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+sim::sim_time program::total_duration() const noexcept {
+  sim::sim_time total = 0;
+  for (const phase& p : phases_) total += p.duration;
+  return total;
+}
+
+}  // namespace nylon::workload

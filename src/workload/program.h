@@ -1,0 +1,151 @@
+// Declarative network-dynamics programs: a workload::program is the
+// scripted life of a deployment — growth, steady state, churn regimes,
+// partitions, NAT-state upheaval — expressed as a sequence of phases that
+// workload::engine executes against a runtime::scenario.
+//
+// Phases with a duration occupy a half-open window [start, start + duration);
+// instantaneous phases (flash_crowd, mass_departure, partition, heal,
+// nat_redistribution, nat_rebind) act at their start time and take no
+// simulated time of their own — follow them with steady() to watch the
+// system react.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nat/deployment.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace nylon::workload {
+
+/// What a phase does to the deployment while it is active.
+enum class phase_kind : std::uint8_t {
+  grow,                ///< add `count` peers, evenly spaced over the window
+  steady,              ///< no dynamics; the overlay just gossips
+  poisson_churn,       ///< Poisson arrivals; each session ends per a
+                       ///< configurable session-length distribution
+  flash_crowd,         ///< `count` peers join at once
+  mass_departure,      ///< `fraction` of the alive peers fail-stop at once
+  turnover,            ///< replace `count` random peers every `tick`
+  partition,           ///< split the network (cross-side packets drop)
+  heal,                ///< remove the partition
+  nat_redistribution,  ///< future joiners draw a different NAT mix
+  nat_rebind,          ///< `fraction` of natted peers get fresh NAT state
+};
+
+[[nodiscard]] std::string_view to_string(phase_kind k) noexcept;
+
+/// Session-length distribution for poisson_churn arrivals. Heavy-tailed
+/// session lengths (pareto) are the empirically observed shape for P2P
+/// deployments; exponential gives the memoryless textbook model.
+struct session_distribution {
+  enum class kind : std::uint8_t { fixed, exponential, pareto };
+
+  kind k = kind::exponential;
+  sim::sim_time mean = sim::seconds(300);
+  double pareto_shape = 2.0;  ///< > 1 so the mean exists
+
+  /// Draws one session length (>= 1 ms) from the distribution.
+  [[nodiscard]] sim::sim_time sample(util::rng& rng) const;
+};
+
+/// One phase of a program. Build through the factory functions below;
+/// the flat struct keeps the engine's compiler trivial.
+struct phase {
+  phase_kind kind = phase_kind::steady;
+  std::string label;                     ///< defaults to to_string(kind)
+  sim::sim_time duration = 0;            ///< 0 for instantaneous kinds
+  std::size_t count = 0;                 ///< grow/flash_crowd: total peers;
+                                         ///< turnover: peers per tick
+  double fraction = 0.0;                 ///< mass_departure/partition/rebind
+  double arrivals_per_sec = 0.0;         ///< poisson_churn
+  session_distribution session;          ///< poisson_churn
+  sim::sim_time tick = sim::seconds(5);  ///< turnover cadence
+  /// Dedicated rng stream for the phase's own draws (turnover picks,
+  /// Poisson arrival times). Unset: derived from the scenario seed and
+  /// the phase index, so programs stay deterministic per seed.
+  std::optional<std::uint64_t> rng_seed;
+  double natted_fraction = -1.0;         ///< nat_redistribution (< 0: keep)
+  std::optional<nat::nat_mix> mix;       ///< nat_redistribution
+
+  /// Throws nylon::contract_error on invalid parameters.
+  void validate() const;
+};
+
+// --- phase factories ---------------------------------------------------------
+
+/// `count` peers join, evenly spaced across `duration`.
+[[nodiscard]] phase grow(std::size_t count, sim::sim_time duration);
+
+/// Nothing changes for `duration` (warm-up, healing, observation).
+[[nodiscard]] phase steady(sim::sim_time duration);
+
+/// Poisson arrivals at `arrivals_per_sec`; every arrival's departure is
+/// scheduled `session` later (it may fall in a later phase).
+[[nodiscard]] phase poisson_churn(sim::sim_time duration,
+                                  double arrivals_per_sec,
+                                  session_distribution session = {});
+
+/// `count` peers join simultaneously.
+[[nodiscard]] phase flash_crowd(std::size_t count);
+
+/// `fraction` of the alive peers leave at once, public/natted removed
+/// proportionally (the Fig. 10 catastrophe).
+[[nodiscard]] phase mass_departure(double fraction);
+
+/// Every `tick`, `per_tick` random alive peers (drawn with replacement)
+/// fail-stop and `per_tick` fresh peers join — Gnutella-style sustained
+/// session turnover.
+[[nodiscard]] phase turnover(sim::sim_time duration, std::size_t per_tick,
+                             sim::sim_time tick,
+                             std::optional<std::uint64_t> rng_seed =
+                                 std::nullopt);
+
+/// Splits `fraction` of the alive peers onto an isolated side. Lasts
+/// until a heal() phase.
+[[nodiscard]] phase partition(double fraction);
+
+/// Heals the current partition.
+[[nodiscard]] phase heal();
+
+/// Future joiners draw NAT types from (natted_fraction, mix) instead of
+/// the scenario's original distribution.
+[[nodiscard]] phase nat_redistribution(double natted_fraction,
+                                       nat::nat_mix mix);
+
+/// `fraction` of the alive natted peers lose their NAT lease: new public
+/// IP, all mappings and filtering rules gone, self-descriptor refreshed.
+[[nodiscard]] phase nat_rebind(double fraction);
+
+// --- program -----------------------------------------------------------------
+
+/// An ordered list of phases. Chain with `then`:
+///
+///   auto prog = workload::program{}
+///       .then(workload::steady(warmup))
+///       .then(workload::mass_departure(0.7))
+///       .then(workload::steady(heal_time));
+class program {
+ public:
+  program() = default;
+
+  /// Appends a phase (validates it) and returns *this for chaining.
+  program& then(phase p);
+
+  [[nodiscard]] const std::vector<phase>& phases() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+
+  /// Sum of all phase durations.
+  [[nodiscard]] sim::sim_time total_duration() const noexcept;
+
+ private:
+  std::vector<phase> phases_;
+};
+
+}  // namespace nylon::workload

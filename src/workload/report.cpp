@@ -1,0 +1,85 @@
+#include "workload/report.h"
+
+#include <iostream>
+#include <utility>
+
+namespace nylon::workload {
+
+util::json to_json(const snapshot& s) {
+  util::json j = util::json::object();
+  j["phase"] = s.phase;
+  j["phase_index"] = s.phase_index;
+  j["t_s"] = sim::to_seconds(s.at);
+  j["alive"] = s.alive;
+  j["joined"] = s.joined;
+  j["departed"] = s.departed;
+  j["biggest_cluster_pct"] = s.clusters.biggest_cluster_pct;
+  j["cluster_count"] = s.clusters.cluster_count;
+  j["mean_usable_out_degree"] = s.clusters.mean_usable_out_degree;
+  j["stale_pct"] = s.views.stale_pct;
+  j["fresh_natted_pct"] = s.views.fresh_natted_pct;
+  j["dead_entries"] = s.views.dead_entries;
+  j["total_entries"] = s.views.total_entries;
+  return j;
+}
+
+util::json to_json(const std::vector<snapshot>& trajectory) {
+  util::json arr = util::json::array();
+  for (const snapshot& s : trajectory) arr.push_back(to_json(s));
+  return arr;
+}
+
+util::json to_json(const runtime::seed_aggregate& agg) {
+  util::json j = util::json::object();
+  j["mean"] = agg.stats.mean;
+  j["stddev"] = agg.stats.stddev;
+  j["min"] = agg.stats.min;
+  j["max"] = agg.stats.max;
+  j["median"] = agg.stats.median;
+  util::json values = util::json::array();
+  for (const double v : agg.values) values.push_back(v);
+  j["values"] = std::move(values);
+  return j;
+}
+
+util::json to_json(const runtime::text_table& table) {
+  util::json j = util::json::object();
+  util::json headers = util::json::array();
+  for (const std::string& h : table.headers()) headers.push_back(h);
+  j["headers"] = std::move(headers);
+  util::json rows = util::json::array();
+  for (const std::vector<std::string>& row : table.row_data()) {
+    util::json cells = util::json::array();
+    for (const std::string& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  j["rows"] = std::move(rows);
+  return j;
+}
+
+bench_report::bench_report(std::string name) {
+  doc_ = util::json::object();
+  doc_["bench"] = std::move(name);
+  doc_["params"] = util::json::object();
+}
+
+void bench_report::param(const std::string& key, util::json value) {
+  doc_["params"][key] = std::move(value);
+}
+
+void bench_report::add(const std::string& key, util::json value) {
+  doc_[key] = std::move(value);
+}
+
+bool bench_report::save(const std::string& path) const {
+  if (path.empty()) return true;
+  try {
+    util::write_json_file(path, doc_);
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_report: " << e.what() << "\n";
+    return false;
+  }
+}
+
+}  // namespace nylon::workload

@@ -1,0 +1,57 @@
+// Machine-readable results: serializes workload trajectories, multi-seed
+// aggregates and bench tables into the BENCH_*.json files that
+// bench/run_all.sh collects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/runner.h"
+#include "runtime/table_printer.h"
+#include "util/json.h"
+#include "workload/engine.h"
+
+namespace nylon::workload {
+
+/// One snapshot as a JSON object (times in simulated seconds).
+[[nodiscard]] util::json to_json(const snapshot& s);
+
+/// A whole trajectory as a JSON array of snapshot objects.
+[[nodiscard]] util::json to_json(const std::vector<snapshot>& trajectory);
+
+/// A per-seed aggregate: {"mean": ..., "stddev": ..., ..., "values": [...]}.
+[[nodiscard]] util::json to_json(const runtime::seed_aggregate& agg);
+
+/// A bench table as {"headers": [...], "rows": [[...], ...]} (cells stay
+/// strings, exactly as printed).
+[[nodiscard]] util::json to_json(const runtime::text_table& table);
+
+/// Accumulates one bench's machine-readable output and writes it as a
+/// single JSON document:
+///
+///   workload::bench_report report("fig10_churn");
+///   report.param("peers", opt.peers);
+///   report.add("table", workload::to_json(table));
+///   report.save(opt.json);   // no-op when the path is empty
+class bench_report {
+ public:
+  explicit bench_report(std::string name);
+
+  /// Records one run parameter under "params".
+  void param(const std::string& key, util::json value);
+
+  /// Attaches an arbitrary JSON subtree under `key`.
+  void add(const std::string& key, util::json value);
+
+  /// Writes the document to `path`; empty path = disabled (no-op).
+  /// Returns false (after logging to stderr) when the file cannot be
+  /// written — a broken emitter must not abort a finished bench run.
+  bool save(const std::string& path) const;
+
+  [[nodiscard]] const util::json& doc() const noexcept { return doc_; }
+
+ private:
+  util::json doc_;
+};
+
+}  // namespace nylon::workload

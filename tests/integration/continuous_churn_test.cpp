@@ -6,6 +6,7 @@
 
 #include "metrics/graph_analysis.h"
 #include "runtime/scenario.h"
+#include "workload/engine.h"
 
 namespace nylon {
 namespace {
@@ -72,31 +73,25 @@ TEST(joins, forced_type_is_respected) {
 
 TEST(continuous_churn, overlay_survives_steady_turnover) {
   runtime::scenario world(base(0.6, 11));
-  world.run_periods(20);
+  const sim::sim_time period = world.config().gossip.shuffle_period;
   // 5% of the population replaced every period for 30 periods — an
-  // aggressive, Gnutella-like session turnover.
-  util::rng pick(99);
-  for (int period = 0; period < 30; ++period) {
-    std::vector<net::node_id> alive;
-    for (std::size_t i = 0; i < world.peers().size(); ++i) {
-      const auto id = static_cast<net::node_id>(i);
-      if (world.transport().alive(id)) alive.push_back(id);
-    }
-    for (int k = 0; k < 10; ++k) {
-      world.remove_peer(alive[pick.index(alive.size())]);
-    }
-    for (int k = 0; k < 10; ++k) world.add_peer();
-    world.run_periods(1);
-  }
-  world.run_periods(20);  // settle
+  // aggressive, Gnutella-like session turnover — then 20 periods to
+  // settle, all as one workload program.
+  auto prog = workload::program{}
+                  .then(workload::steady(20 * period))
+                  .then(workload::turnover(30 * period, 10, period,
+                                           /*rng_seed=*/99))
+                  .then(workload::steady(20 * period));
+  workload::engine eng(world, std::move(prog));
+  eng.run();
 
-  const auto oracle = world.oracle();
-  const auto clusters =
-      metrics::measure_clusters(world.transport(), world.peers(), oracle);
-  EXPECT_GT(clusters.biggest_cluster_pct, 90.0);
-  const auto views =
-      metrics::measure_views(world.transport(), world.peers(), oracle);
-  EXPECT_LT(views.stale_pct, 12.0);
+  // Victims are drawn with replacement, so a tick can remove fewer than
+  // it adds — never more.
+  EXPECT_LE(eng.departed(), eng.joined());
+  EXPECT_EQ(eng.joined(), 300u);
+  const workload::snapshot& end = eng.final();
+  EXPECT_GT(end.clusters.biggest_cluster_pct, 90.0);
+  EXPECT_LT(end.views.stale_pct, 12.0);
 }
 
 TEST(continuous_churn, duplicate_removals_are_harmless) {

@@ -1,0 +1,242 @@
+// Drop accounting, partitions and NAT re-binding: every drop_reason is
+// provoked by a concrete scenario, purge_nat_state() keeps live state,
+// and the partition / rebind hooks behave as the workload engine assumes.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace nylon::net {
+namespace {
+
+class test_payload final : public payload {
+ public:
+  [[nodiscard]] std::size_t wire_size() const noexcept override { return 64; }
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return "TEST";
+  }
+};
+
+class recorder final : public endpoint_handler {
+ public:
+  void on_datagram(const datagram& dgram) override {
+    received.push_back(dgram);
+  }
+  std::vector<datagram> received;
+};
+
+payload_ptr body() { return std::make_shared<const test_payload>(); }
+
+class transport_dynamics_test : public ::testing::Test {
+ protected:
+  transport_dynamics_test()
+      : rng_(7),
+        transport_(sched_, rng_,
+                   std::make_unique<fixed_latency>(sim::millis(50))) {}
+
+  sim::scheduler sched_;
+  util::rng rng_;
+  transport transport_;
+};
+
+// --- every drop reason has a name and a provoking scenario -------------------
+
+TEST(drop_reasons, every_reason_has_a_name) {
+  for (std::size_t r = 0; r < static_cast<std::size_t>(drop_reason::count_);
+       ++r) {
+    EXPECT_NE(to_string(static_cast<drop_reason>(r)), "?")
+        << "unnamed drop_reason #" << r;
+  }
+}
+
+TEST_F(transport_dynamics_test, all_reasons_countable) {
+  recorder pub_a;
+  recorder pub_b;
+  recorder natted;
+  const node_id a = transport_.add_node(nat::nat_type::open, pub_a);
+  const node_id b = transport_.add_node(nat::nat_type::open, pub_b);
+  const node_id n =
+      transport_.add_node(nat::nat_type::port_restricted_cone, natted);
+
+  // unknown_destination: nobody owns that IP.
+  transport_.send(a, endpoint{ip_address{0xDEADBEEF}, 9}, body());
+  // nat_filtered: unsolicited packet at a PRC NAT.
+  transport_.send(a, transport_.advertised_endpoint(n), body());
+  // dead_node: the public destination left (its address still routes).
+  transport_.remove_node(b);
+  transport_.send(a, transport_.advertised_endpoint(b), body());
+  // sender_dead: the departed node tries to speak.
+  transport_.send(b, transport_.advertised_endpoint(a), body());
+  sched_.run_for(sim::millis(100));  // flush before splitting the network
+  // partitioned: split a and n across sides.
+  transport_.set_partition({0, 0, 1});
+  transport_.send(n, transport_.advertised_endpoint(a), body());
+  sched_.run_for(sim::millis(100));
+
+  EXPECT_EQ(transport_.drops(drop_reason::unknown_destination), 1u);
+  EXPECT_EQ(transport_.drops(drop_reason::nat_filtered), 1u);
+  EXPECT_EQ(transport_.drops(drop_reason::dead_node), 1u);
+  EXPECT_EQ(transport_.drops(drop_reason::sender_dead), 1u);
+  EXPECT_EQ(transport_.drops(drop_reason::partitioned), 1u);
+  EXPECT_EQ(transport_.drops(drop_reason::random_loss), 0u);
+  EXPECT_EQ(transport_.total_drops(), 5u);
+
+  // random_loss needs its own lossy transport.
+  sim::scheduler sched;
+  util::rng rng(3);
+  transport_config cfg;
+  cfg.loss_rate = 1.0;
+  transport lossy(sched, rng, std::make_unique<fixed_latency>(1), cfg);
+  recorder x;
+  recorder y;
+  const node_id ix = lossy.add_node(nat::nat_type::open, x);
+  const node_id iy = lossy.add_node(nat::nat_type::open, y);
+  lossy.send(ix, lossy.advertised_endpoint(iy), body());
+  sched.run_for(sim::millis(10));
+  EXPECT_EQ(lossy.drops(drop_reason::random_loss), 1u);
+}
+
+// --- purge_nat_state ---------------------------------------------------------
+
+TEST_F(transport_dynamics_test, purge_keeps_live_mappings) {
+  recorder pub;
+  recorder natted;
+  const node_id p = transport_.add_node(nat::nat_type::open, pub);
+  const node_id n =
+      transport_.add_node(nat::nat_type::port_restricted_cone, natted);
+  // Open a hole towards the public peer.
+  transport_.send(n, transport_.advertised_endpoint(p), body());
+  sched_.run_for(sim::millis(100));
+  ASSERT_EQ(pub.received.size(), 1u);
+  const endpoint hole = pub.received[0].source;
+
+  // Well inside the 90 s lifetime: purge must not evict the live rule.
+  sched_.run_for(sim::seconds(60));
+  transport_.purge_nat_state();
+  EXPECT_EQ(transport_.device_of(n)->active_rule_count(sched_.now()), 1u);
+  transport_.send(p, hole, body());
+  sched_.run_for(sim::millis(100));
+  ASSERT_EQ(natted.received.size(), 1u);  // reply passed after the purge
+
+  // The reply refreshed the rule; only after a full quiet lifetime does
+  // the purge drop it.
+  sched_.run_for(transport_.config().hole_timeout + sim::seconds(1));
+  transport_.purge_nat_state();
+  EXPECT_EQ(transport_.device_of(n)->active_rule_count(sched_.now()), 0u);
+  transport_.send(p, hole, body());
+  sched_.run_for(sim::millis(100));
+  EXPECT_EQ(natted.received.size(), 1u);  // no new delivery
+  EXPECT_EQ(transport_.drops(drop_reason::nat_filtered), 1u);
+}
+
+// --- partitions --------------------------------------------------------------
+
+TEST_F(transport_dynamics_test, partition_blocks_cross_side_only) {
+  recorder a;
+  recorder b;
+  recorder c;
+  const node_id ia = transport_.add_node(nat::nat_type::open, a);
+  const node_id ib = transport_.add_node(nat::nat_type::open, b);
+  const node_id ic = transport_.add_node(nat::nat_type::open, c);
+  transport_.set_partition({0, 0, 1});
+  EXPECT_TRUE(transport_.partitioned());
+
+  transport_.send(ia, transport_.advertised_endpoint(ib), body());  // same side
+  transport_.send(ia, transport_.advertised_endpoint(ic), body());  // across
+  sched_.run_for(sim::millis(100));
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+  EXPECT_EQ(transport_.drops(drop_reason::partitioned), 1u);
+
+  // The oracle agrees with the data path.
+  EXPECT_EQ(transport_.would_deliver(ia, transport_.advertised_endpoint(ib)),
+            ib);
+  EXPECT_EQ(transport_.would_deliver(ia, transport_.advertised_endpoint(ic)),
+            std::nullopt);
+
+  transport_.clear_partition();
+  transport_.send(ia, transport_.advertised_endpoint(ic), body());
+  sched_.run_for(sim::millis(100));
+  EXPECT_EQ(c.received.size(), 1u);  // healed
+}
+
+TEST_F(transport_dynamics_test, partition_onset_drops_packet_in_flight) {
+  recorder a;
+  recorder b;
+  const node_id ia = transport_.add_node(nat::nat_type::open, a);
+  const node_id ib = transport_.add_node(nat::nat_type::open, b);
+  transport_.send(ia, transport_.advertised_endpoint(ib), body());
+  sched_.run_for(sim::millis(10));  // packet is in the air
+  transport_.set_partition({0, 1});
+  sched_.run_for(sim::millis(100));
+  // The contract is delivery-time filtering: the split swallows even
+  // packets launched before it happened.
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(transport_.drops(drop_reason::partitioned), 1u);
+}
+
+TEST_F(transport_dynamics_test, nodes_added_after_partition_default_side0) {
+  recorder a;
+  recorder b;
+  const node_id ia = transport_.add_node(nat::nat_type::open, a);
+  transport_.set_partition({1});
+  const node_id ib = transport_.add_node(nat::nat_type::open, b);
+  EXPECT_EQ(transport_.side_of(ia), 1);
+  EXPECT_EQ(transport_.side_of(ib), 0);
+}
+
+// --- NAT re-binding ----------------------------------------------------------
+
+TEST_F(transport_dynamics_test, rebind_moves_public_ip_and_drops_state) {
+  recorder pub;
+  recorder natted;
+  const node_id p = transport_.add_node(nat::nat_type::open, pub);
+  const node_id n =
+      transport_.add_node(nat::nat_type::port_restricted_cone, natted);
+  transport_.send(n, transport_.advertised_endpoint(p), body());
+  sched_.run_for(sim::millis(100));
+  ASSERT_EQ(pub.received.size(), 1u);
+  const endpoint old_hole = pub.received[0].source;
+  const endpoint old_adv = transport_.advertised_endpoint(n);
+
+  const endpoint new_adv = transport_.rebind_nat(n);
+  EXPECT_NE(new_adv.ip, old_adv.ip);
+  EXPECT_EQ(transport_.advertised_endpoint(n), new_adv);
+  // All previous NAT state is gone with the old box.
+  EXPECT_EQ(transport_.device_of(n)->active_rule_count(sched_.now()), 0u);
+
+  // Packets to the old endpoint now route nowhere.
+  transport_.send(p, old_hole, body());
+  sched_.run_for(sim::millis(100));
+  EXPECT_EQ(natted.received.size(), 0u);
+  EXPECT_EQ(transport_.drops(drop_reason::unknown_destination), 1u);
+
+  // The node can still initiate from behind the fresh NAT and be replied
+  // to at the newly observed source.
+  transport_.send(n, transport_.advertised_endpoint(p), body());
+  sched_.run_for(sim::millis(100));
+  ASSERT_EQ(pub.received.size(), 2u);
+  EXPECT_EQ(pub.received[1].source.ip, new_adv.ip);
+  transport_.send(p, pub.received[1].source, body());
+  sched_.run_for(sim::millis(100));
+  EXPECT_EQ(natted.received.size(), 1u);
+}
+
+TEST_F(transport_dynamics_test, rebind_requires_natted_alive_node) {
+  recorder pub;
+  const node_id p = transport_.add_node(nat::nat_type::open, pub);
+  EXPECT_THROW(transport_.rebind_nat(p), nylon::contract_error);
+  recorder natted;
+  const node_id n = transport_.add_node(nat::nat_type::symmetric, natted);
+  transport_.remove_node(n);
+  EXPECT_THROW(transport_.rebind_nat(n), nylon::contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::net

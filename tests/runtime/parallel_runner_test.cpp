@@ -1,0 +1,133 @@
+// The parallel multi-seed executor must be invisible in the results:
+// bit-identical per-seed values and aggregates, any thread count.
+#include "runtime/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+#include "util/rng.h"
+
+namespace nylon::runtime {
+namespace {
+
+// A real (small) simulation per seed: proves each worker gets a fully
+// independent scheduler + transport + rng universe.
+double sim_experiment(std::uint64_t seed) {
+  experiment_config cfg;
+  cfg.peer_count = 60;
+  cfg.natted_fraction = 0.6;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = seed;
+  scenario world(cfg);
+  world.run_periods(12);
+  const auto oracle = world.oracle();
+  return metrics::measure_views(world.transport(), world.peers(), oracle)
+      .stale_pct;
+}
+
+TEST(parallel_runner, bit_identical_to_serial) {
+  const int seeds = 12;
+  const seed_aggregate serial =
+      run_seeds(seeds, 1, sim_experiment, run_options{1});
+  for (const int threads : {2, 4, 8}) {
+    const seed_aggregate parallel =
+        run_seeds(seeds, 1, sim_experiment, run_options{threads});
+    ASSERT_EQ(serial.values.size(), parallel.values.size());
+    for (int i = 0; i < seeds; ++i) {
+      EXPECT_EQ(serial.values[i], parallel.values[i])
+          << "seed index " << i << " with " << threads << " threads";
+    }
+    EXPECT_EQ(serial.stats.mean, parallel.stats.mean);
+    EXPECT_EQ(serial.stats.stddev, parallel.stats.stddev);
+    EXPECT_EQ(serial.stats.median, parallel.stats.median);
+  }
+}
+
+TEST(parallel_runner, multi_metric_bit_identical_to_serial) {
+  const auto experiment = [](std::uint64_t seed) {
+    experiment_config cfg;
+    cfg.peer_count = 50;
+    cfg.natted_fraction = 0.5;
+    cfg.protocol = core::protocol_kind::nylon;
+    cfg.gossip.view_size = 8;
+    cfg.seed = seed;
+    scenario world(cfg);
+    world.run_periods(8);
+    const auto oracle = world.oracle();
+    const auto views =
+        metrics::measure_views(world.transport(), world.peers(), oracle);
+    const auto clusters =
+        metrics::measure_clusters(world.transport(), world.peers(), oracle);
+    return std::vector<double>{views.stale_pct,
+                               clusters.biggest_cluster_pct};
+  };
+  const auto serial = run_seeds_multi(10, 5, 2, experiment, run_options{1});
+  const auto parallel = run_seeds_multi(10, 5, 2, experiment, run_options{4});
+  ASSERT_EQ(serial.size(), 2u);
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_EQ(serial[m].values, parallel[m].values);
+    EXPECT_EQ(serial[m].stats.mean, parallel[m].stats.mean);
+  }
+}
+
+TEST(parallel_runner, values_stay_in_seed_order) {
+  // The experiment returns its own seed, so results index == stream id.
+  const auto experiment = [](std::uint64_t seed) {
+    return static_cast<double>(seed);
+  };
+  const seed_aggregate agg = run_seeds(16, 3, experiment, run_options{8});
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(agg.values[static_cast<std::size_t>(i)],
+              static_cast<double>(
+                  util::derive_seed(3, static_cast<std::uint64_t>(i))));
+  }
+}
+
+TEST(parallel_runner, worker_exception_propagates) {
+  const auto experiment = [](std::uint64_t seed) -> double {
+    if (seed == util::derive_seed(1, 5)) {
+      throw std::runtime_error("seed 5 exploded");
+    }
+    return 0.0;
+  };
+  EXPECT_THROW(run_seeds(8, 1, experiment, run_options{4}),
+               std::runtime_error);
+  EXPECT_THROW(run_seeds(8, 1, experiment, run_options{1}),
+               std::runtime_error);
+}
+
+TEST(parallel_runner, multicore_speedup) {
+  if (std::thread::hardware_concurrency() < 2) {
+    GTEST_SKIP() << "single-core box: nothing to overlap";
+  }
+  const int seeds = 8;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto serial = run_seeds(seeds, 2, sim_experiment, run_options{1});
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto parallel = run_seeds(seeds, 2, sim_experiment, run_options{0});
+  const auto t2 = std::chrono::steady_clock::now();
+  EXPECT_EQ(serial.values, parallel.values);
+  // Lenient bound (thread startup, small per-seed work): parallel must
+  // at least not be slower than serial by more than 10%.
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  EXPECT_LT(parallel_ms, serial_ms * 1.1)
+      << "serial " << serial_ms << " ms vs parallel " << parallel_ms << " ms";
+}
+
+TEST(parallel_runner, resolve_threads_clamps) {
+  EXPECT_EQ(resolve_threads(run_options{1}, 30), 1);
+  EXPECT_EQ(resolve_threads(run_options{64}, 30), 30);  // never > seeds
+  EXPECT_GE(resolve_threads(run_options{0}, 30), 1);    // auto >= 1
+}
+
+}  // namespace
+}  // namespace nylon::runtime

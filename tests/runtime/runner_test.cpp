@@ -23,12 +23,12 @@ TEST(runner, runs_requested_seed_count) {
 
 TEST(runner, seeds_are_distinct_and_deterministic) {
   std::vector<std::uint64_t> seen1;
-  run_seeds(4, 7, [&](std::uint64_t seed) {
+  (void)run_seeds(4, 7, [&](std::uint64_t seed) {
     seen1.push_back(seed);
     return 0.0;
   });
   std::vector<std::uint64_t> seen2;
-  run_seeds(4, 7, [&](std::uint64_t seed) {
+  (void)run_seeds(4, 7, [&](std::uint64_t seed) {
     seen2.push_back(seed);
     return 0.0;
   });

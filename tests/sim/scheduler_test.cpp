@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "util/contracts.h"
@@ -92,6 +93,54 @@ TEST(scheduler, periodic_cancel_from_inside_callback) {
   });
   s.run_until(1000);
   EXPECT_EQ(count, 3);
+}
+
+// Regression: cancelling an every() handle from inside its own callback
+// and then *destroying the handle* while the chain's state is still on
+// the scheduler stack must not use-after-free. The periodic state is kept
+// alive by the chain's own shared_ptr, not by the handle.
+TEST(scheduler, periodic_cancel_and_destroy_handle_inside_callback) {
+  scheduler s;
+  int count = 0;
+  auto handle = std::make_unique<event_handle>();
+  *handle = s.every(0, 10, [&] {
+    if (++count == 2) {
+      handle->cancel();
+      handle.reset();  // the only external owner of the flag dies here
+    }
+  });
+  s.run_until(1000);
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(s.idle());  // the chain really stopped rescheduling
+}
+
+// Cancelling after the scheduler (and its queue) are gone is documented
+// as safe; the handle only flips its shared flag.
+TEST(scheduler, cancel_outlives_scheduler) {
+  event_handle handle;
+  {
+    scheduler s;
+    handle = s.every(0, 10, [] {});
+    s.run_until(25);
+  }
+  handle.cancel();  // must not touch freed queue memory
+  EXPECT_TRUE(handle.valid());
+}
+
+// A cancelled chain must not leave a live hop in the queue: after the
+// in-callback cancel, the queue drains completely.
+TEST(scheduler, periodic_cancel_inside_callback_leaves_no_pending_hop) {
+  scheduler s;
+  int count = 0;
+  event_handle handle = s.every(5, 10, [&] {
+    ++count;
+    handle.cancel();
+  });
+  s.run_until(5);  // exactly the first firing
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.idle());
+  s.run_until(1000);
+  EXPECT_EQ(count, 1);
 }
 
 TEST(scheduler, periodic_rejects_nonpositive_period) {

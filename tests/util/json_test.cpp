@@ -1,0 +1,83 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nylon::util {
+namespace {
+
+TEST(json, scalars_render) {
+  EXPECT_EQ(json{}.dump_string(0), "null");
+  EXPECT_EQ(json(true).dump_string(0), "true");
+  EXPECT_EQ(json(false).dump_string(0), "false");
+  EXPECT_EQ(json(42).dump_string(0), "42");
+  EXPECT_EQ(json(-7).dump_string(0), "-7");
+  EXPECT_EQ(json(2.5).dump_string(0), "2.5");
+  EXPECT_EQ(json("hi").dump_string(0), "\"hi\"");
+}
+
+TEST(json, doubles_round_trip_shortest) {
+  EXPECT_EQ(json(0.1).dump_string(0), "0.1");
+  EXPECT_EQ(json(1e300).dump_string(0), "1e+300");
+}
+
+TEST(json, non_finite_becomes_null) {
+  EXPECT_EQ(json(std::numeric_limits<double>::infinity()).dump_string(0),
+            "null");
+  EXPECT_EQ(json(std::numeric_limits<double>::quiet_NaN()).dump_string(0),
+            "null");
+}
+
+TEST(json, strings_escape) {
+  EXPECT_EQ(json("a\"b\\c\nd").dump_string(0), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json(std::string("\x01", 1)).dump_string(0), "\"\\u0001\"");
+}
+
+TEST(json, object_preserves_insertion_order) {
+  json j = json::object();
+  j["zebra"] = 1;
+  j["apple"] = 2;
+  j["mid"] = 3;
+  EXPECT_EQ(j.dump_string(0), "{\"zebra\":1,\"apple\":2,\"mid\":3}");
+  j["zebra"] = 9;  // update in place, no reorder
+  EXPECT_EQ(j.dump_string(0), "{\"zebra\":9,\"apple\":2,\"mid\":3}");
+}
+
+TEST(json, arrays_and_nesting) {
+  json j = json::object();
+  j["rows"].push_back(1);
+  j["rows"].push_back("two");
+  json& nested = j["rows"].push_back(json::object());
+  nested["k"] = true;
+  EXPECT_EQ(j.dump_string(0), "{\"rows\":[1,\"two\",{\"k\":true}]}");
+}
+
+TEST(json, empty_containers_render) {
+  EXPECT_EQ(json::array().dump_string(0), "[]");
+  EXPECT_EQ(json::object().dump_string(0), "{}");
+}
+
+TEST(json, pretty_print_indents) {
+  json j = json::object();
+  j["a"] = 1;
+  EXPECT_EQ(j.dump_string(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(json, write_json_file_round_trips) {
+  const std::string path = ::testing::TempDir() + "nylon_json_test.json";
+  json j = json::object();
+  j["name"] = "bench";
+  j["values"].push_back(1.5);
+  write_json_file(path, j);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "{\n  \"name\": \"bench\",\n  \"values\": [\n    1.5\n  ]\n}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nylon::util

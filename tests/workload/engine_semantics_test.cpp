@@ -1,0 +1,101 @@
+// The engine's ordering contract: programs measure *bit-identical*
+// numbers to the hand-rolled run/mutate/run loops they replaced in
+// bench_fig10_churn and continuous_churn_test.
+#include <gtest/gtest.h>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/scenario.h"
+#include "workload/engine.h"
+
+namespace nylon::workload {
+namespace {
+
+runtime::experiment_config cfg_for(std::uint64_t seed, double natted) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 150;
+  cfg.natted_fraction = natted;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(engine_semantics, fig10_program_equals_handrolled_loop) {
+  const int warmup = 12;
+  const int heal = 25;
+  const double departures = 0.6;
+
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    // Reference: the loop bench_fig10_churn used before the engine.
+    double reference = 0.0;
+    {
+      runtime::scenario world(cfg_for(seed, 0.6));
+      world.run_periods(warmup);
+      world.remove_fraction(departures);
+      world.run_periods(heal);
+      const auto oracle = world.oracle();
+      reference = metrics::measure_clusters(world.transport(), world.peers(),
+                                            oracle)
+                      .biggest_cluster_pct;
+    }
+    // Same experiment as a workload program.
+    double engine_result = 0.0;
+    {
+      runtime::scenario world(cfg_for(seed, 0.6));
+      const sim::sim_time P = world.config().gossip.shuffle_period;
+      engine eng(world, program{}
+                            .then(steady(warmup * P))
+                            .then(mass_departure(departures))
+                            .then(steady(heal * P)));
+      eng.run();
+      engine_result = eng.final().clusters.biggest_cluster_pct;
+    }
+    EXPECT_DOUBLE_EQ(reference, engine_result) << "seed " << seed;
+  }
+}
+
+TEST(engine_semantics, turnover_program_equals_handrolled_loop) {
+  const std::uint64_t seed = 11;
+
+  // Reference: the loop continuous_churn_test used before the engine.
+  double ref_cluster = 0.0;
+  double ref_stale = 0.0;
+  {
+    runtime::scenario world(cfg_for(seed, 0.6));
+    world.run_periods(10);
+    util::rng pick(99);
+    for (int p = 0; p < 15; ++p) {
+      std::vector<net::node_id> alive;
+      for (std::size_t i = 0; i < world.peers().size(); ++i) {
+        const auto id = static_cast<net::node_id>(i);
+        if (world.transport().alive(id)) alive.push_back(id);
+      }
+      for (int k = 0; k < 5; ++k) {
+        world.remove_peer(alive[pick.index(alive.size())]);
+      }
+      for (int k = 0; k < 5; ++k) world.add_peer();
+      world.run_periods(1);
+    }
+    world.run_periods(10);
+    const auto oracle = world.oracle();
+    ref_cluster = metrics::measure_clusters(world.transport(), world.peers(),
+                                            oracle)
+                      .biggest_cluster_pct;
+    ref_stale =
+        metrics::measure_views(world.transport(), world.peers(), oracle)
+            .stale_pct;
+  }
+
+  runtime::scenario world(cfg_for(seed, 0.6));
+  const sim::sim_time P = world.config().gossip.shuffle_period;
+  engine eng(world, program{}
+                        .then(steady(10 * P))
+                        .then(turnover(15 * P, 5, P, /*rng_seed=*/99))
+                        .then(steady(10 * P)));
+  eng.run();
+  EXPECT_DOUBLE_EQ(ref_cluster, eng.final().clusters.biggest_cluster_pct);
+  EXPECT_DOUBLE_EQ(ref_stale, eng.final().views.stale_pct);
+}
+
+}  // namespace
+}  // namespace nylon::workload

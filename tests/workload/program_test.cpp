@@ -1,0 +1,107 @@
+#include "workload/program.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace nylon::workload {
+namespace {
+
+TEST(program, factories_set_kind_and_label) {
+  EXPECT_EQ(grow(10, 100).kind, phase_kind::grow);
+  EXPECT_EQ(grow(10, 100).label, "grow");
+  EXPECT_EQ(steady(100).kind, phase_kind::steady);
+  EXPECT_EQ(poisson_churn(100, 2.0).kind, phase_kind::poisson_churn);
+  EXPECT_EQ(flash_crowd(5).kind, phase_kind::flash_crowd);
+  EXPECT_EQ(mass_departure(0.5).kind, phase_kind::mass_departure);
+  EXPECT_EQ(turnover(100, 3, 10).kind, phase_kind::turnover);
+  EXPECT_EQ(partition(0.5).kind, phase_kind::partition);
+  EXPECT_EQ(heal().kind, phase_kind::heal);
+  EXPECT_EQ(nat_redistribution(0.8, nat::paper_mix()).kind,
+            phase_kind::nat_redistribution);
+  EXPECT_EQ(nat_rebind(0.3).kind, phase_kind::nat_rebind);
+}
+
+TEST(program, every_kind_has_a_name) {
+  for (int k = 0; k <= static_cast<int>(phase_kind::nat_rebind); ++k) {
+    EXPECT_NE(to_string(static_cast<phase_kind>(k)), "?");
+  }
+}
+
+TEST(program, then_validates_and_chains) {
+  auto prog = program{}
+                  .then(steady(100))
+                  .then(mass_departure(0.5))
+                  .then(steady(200));
+  EXPECT_EQ(prog.phases().size(), 3u);
+  EXPECT_EQ(prog.total_duration(), 300);
+}
+
+TEST(program, invalid_phases_throw) {
+  EXPECT_THROW(program{}.then(grow(0, 100)), nylon::contract_error);
+  EXPECT_THROW(program{}.then(steady(0)), nylon::contract_error);
+  EXPECT_THROW(program{}.then(poisson_churn(100, 0.0)),
+               nylon::contract_error);
+  EXPECT_THROW(program{}.then(flash_crowd(0)), nylon::contract_error);
+  EXPECT_THROW(program{}.then(mass_departure(1.5)), nylon::contract_error);
+  EXPECT_THROW(program{}.then(turnover(100, 3, 0)), nylon::contract_error);
+  EXPECT_THROW(program{}.then(partition(-0.1)), nylon::contract_error);
+  EXPECT_THROW(program{}.then(nat_rebind(2.0)), nylon::contract_error);
+  phase bad_redistribution;
+  bad_redistribution.kind = phase_kind::nat_redistribution;
+  bad_redistribution.natted_fraction = 0.5;  // but no mix
+  EXPECT_THROW(program{}.then(bad_redistribution), nylon::contract_error);
+}
+
+TEST(session_distribution, fixed_is_exact) {
+  session_distribution d;
+  d.k = session_distribution::kind::fixed;
+  d.mean = sim::seconds(120);
+  util::rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), sim::seconds(120));
+}
+
+TEST(session_distribution, exponential_matches_mean) {
+  session_distribution d;
+  d.mean = sim::seconds(100);
+  util::rng rng(42);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const sim::sim_time s = d.sample(rng);
+    EXPECT_GE(s, 1);
+    sum += static_cast<double>(s);
+  }
+  EXPECT_NEAR(sum / n, static_cast<double>(d.mean), 0.03 * d.mean);
+}
+
+TEST(session_distribution, pareto_matches_mean_and_is_heavy_tailed) {
+  session_distribution d;
+  d.k = session_distribution::kind::pareto;
+  d.mean = sim::seconds(100);
+  d.pareto_shape = 3.0;
+  util::rng rng(7);
+  double sum = 0.0;
+  sim::sim_time longest = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const sim::sim_time s = d.sample(rng);
+    EXPECT_GE(s, 1);
+    sum += static_cast<double>(s);
+    longest = std::max(longest, s);
+  }
+  EXPECT_NEAR(sum / n, static_cast<double>(d.mean), 0.05 * d.mean);
+  // Heavy tail: some session far beyond the mean shows up.
+  EXPECT_GT(longest, 5 * d.mean);
+}
+
+TEST(session_distribution, deterministic_per_seed) {
+  session_distribution d;
+  util::rng a(9);
+  util::rng b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(a), d.sample(b));
+}
+
+}  // namespace
+}  // namespace nylon::workload
