@@ -26,6 +26,10 @@ struct sweep_options {
   std::uint64_t seed = 1;
   int threads = 0;          ///< seed-level parallelism (0 = all cores)
   std::string json;         ///< write BENCH_*.json here ("" = off)
+  std::string latency_model = "fixed";  ///< fixed | uniform | lognormal
+  std::int64_t latency_ms = 50;      ///< fixed value / uniform lo / median
+  std::int64_t latency_max_ms = 50;  ///< uniform upper bound
+  double latency_sigma = 0.25;       ///< lognormal log-space sigma
 
   /// The runner options matching these flags.
   [[nodiscard]] runtime::run_options run() const {
@@ -55,6 +59,17 @@ inline sweep_options parse_sweep(int argc, char** argv,
       "threads", 0, "worker threads across seeds (0 = all cores, 1 = serial)");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
+  const auto* latency_model = flags.add_string(
+      "latency-model", "fixed",
+      "one-way delay distribution: fixed | uniform | lognormal");
+  const auto* latency_ms = flags.add_int(
+      "latency-ms", 50,
+      "latency parameter: fixed value / uniform lower bound / "
+      "lognormal median");
+  const auto* latency_max_ms = flags.add_int(
+      "latency-max-ms", 50, "uniform model upper bound");
+  const auto* latency_sigma = flags.add_double(
+      "latency-sigma", 0.25, "lognormal log-space sigma");
   const auto* help = flags.add_bool("help", false, "print usage");
   try {
     flags.parse(argc, argv);
@@ -82,6 +97,16 @@ inline sweep_options parse_sweep(int argc, char** argv,
   out.full = *full;
   out.threads = static_cast<int>(*threads);
   out.json = *json;
+  out.latency_model = *latency_model;
+  if (out.latency_model != "fixed" && out.latency_model != "uniform" &&
+      out.latency_model != "lognormal") {
+    std::cerr << "--latency-model must be fixed, uniform or lognormal\n"
+              << flags.usage(name);
+    std::exit(1);
+  }
+  out.latency_ms = *latency_ms;
+  out.latency_max_ms = *latency_max_ms;
+  out.latency_sigma = *latency_sigma;
   if (out.full) {
     out.peers = 10000;
     out.seeds = 30;
@@ -97,6 +122,15 @@ inline runtime::experiment_config base_config(const sweep_options& opt) {
   runtime::experiment_config cfg;
   cfg.peer_count = opt.peers;
   cfg.gossip.view_size = opt.view_a;
+  using latency_kind = runtime::experiment_config::latency_kind;
+  if (opt.latency_model == "uniform") {
+    cfg.latency_model = latency_kind::uniform;
+  } else if (opt.latency_model == "lognormal") {
+    cfg.latency_model = latency_kind::lognormal;
+  }
+  cfg.latency = sim::millis(opt.latency_ms);
+  cfg.latency_max = sim::millis(opt.latency_max_ms);
+  cfg.latency_sigma = opt.latency_sigma;
   return cfg;
 }
 

@@ -8,6 +8,7 @@
 #include "runtime/runner.h"
 #include "runtime/scenario.h"
 #include "runtime/table_printer.h"
+#include "workload/report.h"
 
 int main(int argc, char** argv) {
   using namespace nylon;
@@ -17,6 +18,11 @@ int main(int argc, char** argv) {
       "Fig. 2: biggest cluster (%) vs %NAT, 6 generic configs", opt);
 
   const int nat_percents[] = {40, 50, 60, 70, 80, 90, 100};
+
+  workload::bench_report report("fig2_partition");
+  report.param("peers", opt.peers);
+  report.param("seeds", opt.seeds);
+  report.param("rounds", opt.rounds);
 
   for (const std::size_t view_size : {opt.view_a, opt.view_b}) {
     std::cout << "\n== view size " << view_size << " ==\n";
@@ -56,7 +62,9 @@ int main(int argc, char** argv) {
     } else {
       table.print(std::cout);
     }
+    report.add_table("view_" + std::to_string(view_size), table);
   }
+  report.save(opt.json);
   std::cout << "\n# paper shape: partitions below 100% appear once %NAT "
                "crosses a threshold;\n"
             << "# the larger view size pushes the threshold right.\n";

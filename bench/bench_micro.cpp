@@ -6,6 +6,7 @@
 #include "gossip/view.h"
 #include "nat/nat_device.h"
 #include "sim/event_queue.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 
 namespace {
@@ -101,6 +102,21 @@ void bm_rng_sample_indices(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_rng_sample_indices);
+
+void bm_flat_hash_find(benchmark::State& state) {
+  const auto population = static_cast<std::uint32_t>(state.range(0));
+  util::flat_hash_map<std::uint32_t, std::uint64_t> m;
+  for (std::uint32_t i = 0; i < population; ++i) {
+    m.insert_or_get(i * 7) = i;
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    // Alternates hits and misses, like routing-table lookups do.
+    benchmark::DoNotOptimize(m.find(probe));
+    probe = (probe + 3) % (population * 14);
+  }
+}
+BENCHMARK(bm_flat_hash_find)->Arg(64)->Arg(4096);
 
 }  // namespace
 

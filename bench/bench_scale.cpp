@@ -1,0 +1,133 @@
+// Macro-scale throughput bench: one big universe (default 100,000 peers)
+// under workload-engine churn, reporting wall-clock and events/second so
+// the hot-path optimizations (pooled events, O(1) routing, flat NAT and
+// routing tables) are tracked as numbers, not anecdotes.
+//
+//   bench_scale                         # 100k peers, ~a few minutes
+//   bench_scale --n 2000 --warmup 10    # CI-sized smoke run
+//
+// Unlike the figure benches this one measures the *simulator*, not the
+// paper: metrics collection is off during the run (snapshots are
+// population counters only) and connectivity is measured once at the end.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "metrics/graph_analysis.h"
+#include "runtime/experiment_config.h"
+#include "runtime/scenario.h"
+#include "util/flags.h"
+#include "workload/engine.h"
+#include "workload/report.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+
+  util::flag_set flags;
+  const auto* n = flags.add_int("n", 100000, "population size");
+  const auto* warmup = flags.add_int("warmup", 30, "warm-up shuffle periods");
+  const auto* churn_rounds =
+      flags.add_int("churn-rounds", 60, "periods of Poisson churn");
+  const auto* arrivals = flags.add_double(
+      "arrivals", 50.0, "Poisson arrivals per second during churn");
+  const auto* rebind = flags.add_double(
+      "rebind-frac", 0.1, "fraction of natted peers re-bound mid-run");
+  const auto* seed = flags.add_int("seed", 1, "seed");
+  const auto* json = flags.add_string(
+      "json", "", "also write machine-readable results to this file");
+  const auto* help = flags.add_bool("help", false, "print usage");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage("bench_scale");
+    return 1;
+  }
+  if (*help) {
+    std::cout << flags.usage("bench_scale");
+    return 0;
+  }
+
+  runtime::experiment_config cfg;
+  cfg.peer_count = static_cast<std::size_t>(*n);
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 15;
+  cfg.seed = static_cast<std::uint64_t>(*seed);
+
+  std::cout << "# bench_scale: n=" << cfg.peer_count << " warmup=" << *warmup
+            << " churn_rounds=" << *churn_rounds << " arrivals=" << *arrivals
+            << "/s rebind=" << *rebind << " seed=" << cfg.seed << "\n";
+
+  const auto t_build = std::chrono::steady_clock::now();
+  runtime::scenario world(cfg);
+  const double build_s = seconds_since(t_build);
+  std::cout << "# built universe in " << build_s << " s\n";
+
+  const sim::sim_time period = cfg.gossip.shuffle_period;
+  workload::session_distribution sessions;
+  sessions.k = workload::session_distribution::kind::pareto;
+  sessions.mean = 20 * period;
+
+  auto prog = workload::program{}
+                  .then(workload::steady(*warmup * period))
+                  .then(workload::nat_rebind(*rebind))
+                  .then(workload::poisson_churn(*churn_rounds * period,
+                                                *arrivals, sessions))
+                  .then(workload::steady(5 * period));
+
+  workload::engine_options opt;
+  opt.measure = false;  // population-counter snapshots only
+  workload::engine eng(world, std::move(prog), opt);
+
+  const auto t_run = std::chrono::steady_clock::now();
+  eng.run();
+  const double run_s = seconds_since(t_run);
+  const std::uint64_t events = world.scheduler().events_executed();
+  const double events_per_sec =
+      run_s > 0 ? static_cast<double>(events) / run_s : 0.0;
+
+  const auto t_measure = std::chrono::steady_clock::now();
+  const auto oracle = world.oracle();
+  const metrics::cluster_metrics clusters =
+      metrics::measure_clusters(world.transport(), world.peers(), oracle);
+  const double measure_s = seconds_since(t_measure);
+
+  std::cout << "run_wall_s            " << run_s << "\n"
+            << "events_executed       " << events << "\n"
+            << "events_per_sec        " << events_per_sec << "\n"
+            << "alive_peers           " << world.alive_count() << "\n"
+            << "joined                " << eng.joined() << "\n"
+            << "departed              " << eng.departed() << "\n"
+            << "biggest_cluster_pct   " << clusters.biggest_cluster_pct << "\n"
+            << "final_measure_s       " << measure_s << "\n";
+
+  workload::bench_report report("scale");
+  report.param("n", static_cast<std::int64_t>(cfg.peer_count));
+  report.param("warmup_periods", *warmup);
+  report.param("churn_periods", *churn_rounds);
+  report.param("arrivals_per_sec", *arrivals);
+  report.param("rebind_frac", *rebind);
+  report.param("seed", static_cast<std::int64_t>(cfg.seed));
+  util::json results = util::json::object();
+  results["build_wall_s"] = build_s;
+  results["run_wall_s"] = run_s;
+  results["events_executed"] = events;
+  results["events_per_sec"] = events_per_sec;
+  results["alive_peers"] = static_cast<std::int64_t>(world.alive_count());
+  results["joined"] = static_cast<std::int64_t>(eng.joined());
+  results["departed"] = static_cast<std::int64_t>(eng.departed());
+  results["biggest_cluster_pct"] = clusters.biggest_cluster_pct;
+  results["final_measure_s"] = measure_s;
+  report.add("results", std::move(results));
+  report.save(*json);
+  return 0;
+}

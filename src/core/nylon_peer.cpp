@@ -66,19 +66,20 @@ void nylon_peer::initiate_shuffle() {
     // Line 3: target public or next_RVP(target) == target.
     ++stats_.initiated;
     ++nylon_stats_.direct_shuffles;
-    std::vector<view_entry> buffer = build_buffer();
     gossip_message msg;
     msg.kind = message_kind::request;
     msg.sender = self();
     msg.src = self();
     msg.dest = target;
-    msg.entries = buffer;
+    msg.entries = build_buffer();
+    std::shared_ptr<const gossip_message> body =
+        make_message(std::move(msg));
     if (hop && hop->rvp == target.id) {
-      send_via_hop(*hop, std::move(msg));
+      send_via_hop(*hop, body);
     } else {
-      transport_.send(id(), target.addr, make_message(std::move(msg)));
+      transport_.send(id(), target.addr, body);
     }
-    remember_request(target.id, std::move(buffer));
+    remember_request(target.id, std::move(body));
   } else if (must_relay_request(target)) {
     // Lines 5-7: relay the REQUEST through the chain.
     if (!hop) {
@@ -86,15 +87,16 @@ void nylon_peer::initiate_shuffle() {
     } else {
       ++stats_.initiated;
       ++nylon_stats_.relayed_shuffles;
-      std::vector<view_entry> buffer = build_buffer();
       gossip_message msg;
       msg.kind = message_kind::request;
       msg.sender = self();
       msg.src = self();
       msg.dest = target;
-      msg.entries = buffer;
-      send_via_hop(*hop, std::move(msg));
-      remember_request(target.id, std::move(buffer));
+      msg.entries = build_buffer();
+      std::shared_ptr<const gossip_message> body =
+          make_message(std::move(msg));
+      send_via_hop(*hop, body);
+      remember_request(target.id, std::move(body));
     }
   } else {
     // Lines 8-12: reactive hole punching.
@@ -120,20 +122,31 @@ void nylon_peer::initiate_shuffle() {
         ping.dest = target;
         transport_.send(id(), target.addr, make_message(std::move(ping)));
       }
-      pending_punches_.emplace(target.id, now);
+      // Keep the first punch's timestamp if one is already outstanding
+      // (emplace semantics). Times are stored +1 so the table's
+      // default-constructed 0 means "fresh entry" even at sim time 0.
+      sim::sim_time& started = pending_punches_.insert_or_get(target.id);
+      if (started == 0) started = now + 1;
     }
   }
+  // The scratch is only meaningful within this call (the punch path may
+  // not have consumed it; a REQUEST handled later must not see it).
+  ttl_scratch_valid_ = false;
   view_.increase_age();  // line 13
 }
 
-void nylon_peer::send_via_hop(const next_hop& hop, gossip_message msg) {
+void nylon_peer::send_via_hop(const next_hop& hop, net::payload_ptr body) {
   // Sending refreshes the hop's NAT rule for us, so the link bookkeeping
   // may be refreshed too. Chained-route TTLs are NOT refreshed here: a
   // pointer's downstream chain can die invisibly, so pointers must expire
   // at their learnt TTL (first-giver discipline, see routing_table.h).
   const sim::sim_time now = transport_.scheduler().now();
   routing_.touch_direct(hop.rvp, hop.address, now);
-  transport_.send(id(), hop.address, make_message(std::move(msg)));
+  transport_.send(id(), hop.address, std::move(body));
+}
+
+void nylon_peer::send_via_hop(const next_hop& hop, gossip_message msg) {
+  send_via_hop(hop, make_message(std::move(msg)));
 }
 
 void nylon_peer::forward(const gossip_message& msg) {
@@ -181,24 +194,25 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       if (msg.hops > 0) {
         nylon_stats_.relay_chain_hops.add(static_cast<double>(msg.hops));
       }
-      std::vector<view_entry> sent = build_buffer();
       gossip_message response;
       response.kind = message_kind::response;
       response.sender = self();
       response.src = self();
       response.dest = msg.src;
-      response.entries = sent;
+      response.entries = build_buffer();
+      const std::shared_ptr<const gossip_message> reply =
+          make_message(std::move(response));
       if (must_relay_response(msg.src)) {  // lines 20-22
         const auto hop = routing_.next_rvp(msg.src.id, now);
         if (hop) {
-          send_via_hop(*hop, std::move(response));
+          send_via_hop(*hop, reply);
         } else {
           ++nylon_stats_.response_route_drops;
         }
       } else {  // lines 23-24: direct reply to the observed endpoint
-        transport_.send(id(), dgram.source, make_message(std::move(response)));
+        transport_.send(id(), dgram.source, reply);
       }
-      merge_and_learn(msg, std::move(sent));  // lines 25-26
+      merge_and_learn(msg, reply->entries);  // lines 25-26
       return;
     }
 
@@ -208,13 +222,14 @@ void nylon_peer::handle_message(const net::datagram& dgram,
         return;
       }
       ++stats_.responses_received;
-      std::vector<view_entry> sent;
-      const auto pending = pending_requests_.find(msg.src.id);
-      if (pending != pending_requests_.end()) {
-        sent = std::move(pending->second.sent);
-        pending_requests_.erase(pending);
+      std::span<const view_entry> sent;
+      std::shared_ptr<const gossip_message> request;  // keeps `sent` alive
+      if (pending_request* pending = pending_requests_.find(msg.src.id)) {
+        request = std::move(pending->sent_msg);
+        pending_requests_.erase(msg.src.id);
+        if (request) sent = request->entries;
       }
-      merge_and_learn(msg, std::move(sent));  // lines 33-34
+      merge_and_learn(msg, sent);  // lines 33-34
       return;
     }
 
@@ -250,24 +265,25 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       // Lines 44-46: the hole is open — run the deferred shuffle. Answer
       // only the first PONG per outstanding punch (a PING that slipped
       // through can produce a second one).
-      if (pending_punches_.erase(msg.sender.id) == 0) return;
+      if (!pending_punches_.erase(msg.sender.id)) return;
       ++nylon_stats_.punches_completed;
-      std::vector<view_entry> buffer = build_buffer();
       gossip_message request;
       request.kind = message_kind::request;
       request.sender = self();
       request.src = self();
       request.dest = msg.sender;
-      request.entries = buffer;
-      transport_.send(id(), dgram.source, make_message(std::move(request)));
-      remember_request(msg.sender.id, std::move(buffer));
+      request.entries = build_buffer();
+      std::shared_ptr<const gossip_message> body =
+          make_message(std::move(request));
+      transport_.send(id(), dgram.source, body);
+      remember_request(msg.sender.id, std::move(body));
       return;
     }
   }
 }
 
 void nylon_peer::merge_and_learn(const gossip_message& msg,
-                                 std::vector<view_entry> sent) {
+                                 std::span<const view_entry> sent) {
   const sim::sim_time now = transport_.scheduler().now();
   // update_routing_table (Fig. 6 line 26, prose of §4): the shuffle
   // partner becomes the RVP for every entry it handed over — usable only
@@ -309,11 +325,24 @@ void nylon_peer::merge_and_learn(const gossip_message& msg,
 
 void nylon_peer::decorate_buffer(std::vector<view_entry>& buffer) {
   const sim::sim_time now = transport_.scheduler().now();
-  for (view_entry& e : buffer) {
-    if (e.peer.id == id() || directly_addressable(e.peer)) {
-      e.route_ttl = routing_.hole_timeout();
-    } else {
-      e.route_ttl = routing_.remaining_ttl(e.peer.id, now);
+  if (ttl_scratch_valid_ && buffer.size() == ttl_scratch_.size() + 1 &&
+      buffer.front().peer.id == id()) {
+    // Fast path for initiate_shuffle: drop_unroutable_entries just
+    // resolved every view entry; reuse those TTLs instead of probing the
+    // routing table a second time.
+    ttl_scratch_valid_ = false;
+    buffer.front().route_ttl = routing_.hole_timeout();
+    for (std::size_t i = 1; i < buffer.size(); ++i) {
+      buffer[i].route_ttl = ttl_scratch_[i - 1];
+    }
+  } else {
+    ttl_scratch_valid_ = false;
+    for (view_entry& e : buffer) {
+      if (e.peer.id == id() || directly_addressable(e.peer)) {
+        e.route_ttl = routing_.hole_timeout();
+      } else {
+        e.route_ttl = routing_.remaining_ttl(e.peer.id, now);
+      }
     }
   }
   // Never hand out a natted reference we cannot route to ourselves: the
@@ -332,30 +361,41 @@ void nylon_peer::drop_unroutable_entries(sim::sim_time now) {
   // entry whose route has expired is unusable for gossip, so Nylon drops
   // it and lets the next merge refill the slot.
   std::vector<net::node_id> unroutable;
+  ttl_scratch_.clear();
   for (const view_entry& e : view_.entries()) {
-    if (directly_addressable(e.peer)) continue;
-    if (!routing_.next_rvp(e.peer.id, now)) unroutable.push_back(e.peer.id);
+    if (directly_addressable(e.peer)) {
+      ttl_scratch_.push_back(routing_.hole_timeout());
+      continue;
+    }
+    const routing_table::route_status status =
+        routing_.resolve(e.peer.id, now);
+    if (status.reachable) {
+      ttl_scratch_.push_back(status.ttl);
+    } else {
+      unroutable.push_back(e.peer.id);
+    }
   }
+  ttl_scratch_valid_ = true;
   for (const net::node_id dead : unroutable) {
     view_.remove(dead);
     ++nylon_stats_.unroutable_entries_dropped;
   }
 }
 
-void nylon_peer::remember_request(net::node_id target,
-                                  std::vector<view_entry> sent) {
-  pending_requests_[target] =
+void nylon_peer::remember_request(
+    net::node_id target, std::shared_ptr<const gossip_message> sent) {
+  pending_requests_.insert_or_get(target) =
       pending_request{std::move(sent), transport_.scheduler().now()};
 }
 
 void nylon_peer::prune_pending() {
   const sim::sim_time horizon = transport_.scheduler().now() -
                                 pending_ttl_periods * cfg_.shuffle_period;
-  std::erase_if(pending_requests_, [&](const auto& item) {
-    return item.second.sent_at < horizon;
+  pending_requests_.erase_if([&](net::node_id, const pending_request& item) {
+    return item.sent_at < horizon;
   });
-  std::erase_if(pending_punches_, [&](const auto& item) {
-    if (item.second >= horizon) return false;
+  pending_punches_.erase_if([&](net::node_id, sim::sim_time started) {
+    if (started - 1 >= horizon) return false;  // stored +1; see header
     ++nylon_stats_.punches_expired;
     return true;
   });

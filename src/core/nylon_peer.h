@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <span>
 
 #include "core/routing_table.h"
 #include "gossip/peer.h"
+#include "util/flat_hash.h"
 #include "util/stats.h"
 
 namespace nylon::core {
@@ -85,20 +87,24 @@ class nylon_peer : public gossip::peer {
   /// as long as traffic flows — the send-side half of §4's TTL-update
   /// rule, without which chains decay while still carrying traffic.
   void send_via_hop(const next_hop& hop, gossip::gossip_message msg);
+  void send_via_hop(const next_hop& hop, net::payload_ptr body);
 
   /// Fig. 6 lines 25-26: merge the received buffer into the view, then
   /// bind each received entry to the shuffle partner as its RVP with the
-  /// advertised (chain-minimum) TTL.
+  /// advertised (chain-minimum) TTL. `sent` must stay alive for the call.
   void merge_and_learn(const gossip::gossip_message& msg,
-                       std::vector<gossip::view_entry> sent);
+                       std::span<const gossip::view_entry> sent);
 
   void remember_request(net::node_id target,
-                        std::vector<gossip::view_entry> sent);
+                        std::shared_ptr<const gossip::gossip_message> sent);
   void prune_pending();
 
   /// Drops natted view entries with no live route (the paper's views
   /// contain "no stale references"; a routeless entry cannot be gossiped
-  /// with, so keeping it would only distort the sample).
+  /// with, so keeping it would only distort the sample). As a side
+  /// effect fills `ttl_scratch_` with each surviving entry's remaining
+  /// TTL, which the immediately following decorate_buffer consumes
+  /// instead of re-probing the routing table.
   void drop_unroutable_entries(sim::sim_time now);
 
   static constexpr int pending_ttl_periods = 10;
@@ -107,12 +113,20 @@ class nylon_peer : public gossip::peer {
   routing_table routing_;
   nylon_stats nylon_stats_;
 
+  /// The sent buffer is shared with the wire message instead of copied.
   struct pending_request {
-    std::vector<gossip::view_entry> sent;
+    std::shared_ptr<const gossip::gossip_message> sent_msg;
     sim::sim_time sent_at = 0;
   };
-  std::unordered_map<net::node_id, pending_request> pending_requests_;
-  std::unordered_map<net::node_id, sim::sim_time> pending_punches_;
+  util::flat_hash_map<net::node_id, pending_request> pending_requests_;
+  /// target -> punch start time + 1 (0 is the table's "fresh" default).
+  util::flat_hash_map<net::node_id, sim::sim_time> pending_punches_;
+  /// Per-view-entry TTLs computed by drop_unroutable_entries, consumed
+  /// (and invalidated) by the next decorate_buffer in the same
+  /// initiate_shuffle call — the two walk the same entries and would
+  /// otherwise duplicate every routing-table probe.
+  std::vector<sim::sim_time> ttl_scratch_;
+  bool ttl_scratch_valid_ = false;
 };
 
 }  // namespace nylon::core

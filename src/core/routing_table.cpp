@@ -13,32 +13,34 @@ routing_table::routing_table(sim::sim_time hole_timeout)
 
 void routing_table::touch_direct(net::node_id p, const net::endpoint& addr,
                                  sim::sim_time now) {
-  direct_contact& contact = direct_[p];
+  direct_contact& contact = direct_.insert_or_get(p);
   contact.address = addr;
   contact.expires = now + hole_timeout_;
+  note_expiry(contact.expires);
 }
 
 void routing_table::learn_route(net::node_id dest, net::node_id rvp,
                                 sim::sim_time expires, sim::sim_time now,
                                 bool authoritative) {
   NYLON_EXPECTS(dest != rvp);
-  chained_route& route = routes_[dest];
+  chained_route& route = routes_.insert_or_get(dest);
   const bool existing_valid =
       route.rvp != net::nil_node && route.expires >= now;
   if (!existing_valid || (authoritative && expires > route.expires)) {
     route.rvp = rvp;
     route.expires = expires;
+    note_expiry(expires);
   }
   // else: first-giver-wins — see the header for why this keeps chains
   // acyclic.
 }
 
 void routing_table::refresh_routes_via(net::node_id rvp, sim::sim_time now) {
-  for (auto& [dest, route] : routes_) {
+  routes_.for_each([&](net::node_id, chained_route& route) {
     if (route.rvp == rvp && route.expires >= now) {
       route.expires = now + hole_timeout_;
     }
-  }
+  });
 }
 
 void routing_table::forget(net::node_id dest) {
@@ -47,62 +49,94 @@ void routing_table::forget(net::node_id dest) {
 }
 
 void routing_table::purge_expired(sim::sim_time now) {
-  std::erase_if(direct_,
-                [now](const auto& kv) { return kv.second.expires < now; });
-  std::erase_if(routes_,
-                [now](const auto& kv) { return kv.second.expires < now; });
+  if (now <= next_expiry_) return;  // nothing can have expired yet
+  // Queries reject expired entries themselves, so the sweep is pure
+  // garbage collection — run it at most once per hole timeout. Lingering
+  // expired entries are invisible (every read re-checks expiry) and
+  // bounded by one timeout's worth of learns.
+  if (now < last_sweep_ + hole_timeout_) return;
+  last_sweep_ = now;
+  sim::sim_time next = sim::time_never;
+  direct_.erase_if([&](net::node_id, direct_contact& contact) {
+    if (contact.expires >= now) {
+      next = std::min(next, contact.expires);
+      return false;
+    }
+    return true;
+  });
+  routes_.erase_if([&](net::node_id, chained_route& route) {
+    if (route.expires >= now) {
+      next = std::min(next, route.expires);
+      return false;
+    }
+    return true;
+  });
+  next_expiry_ = next;
 }
 
 bool routing_table::is_direct(net::node_id dest, sim::sim_time now) const {
-  const auto it = direct_.find(dest);
-  return it != direct_.end() && it->second.expires >= now;
+  const direct_contact* contact = direct_.find(dest);
+  return contact != nullptr && contact->expires >= now;
 }
 
 std::optional<next_hop> routing_table::next_rvp(net::node_id dest,
                                                 sim::sim_time now) const {
-  const auto direct = direct_.find(dest);
-  if (direct != direct_.end() && direct->second.expires >= now) {
-    return next_hop{dest, direct->second.address};
+  const direct_contact* direct = direct_.find(dest);
+  if (direct != nullptr && direct->expires >= now) {
+    return next_hop{dest, direct->address};
   }
-  const auto route = routes_.find(dest);
-  if (route == routes_.end() || route->second.expires < now) {
-    return std::nullopt;
-  }
-  const auto hop = direct_.find(route->second.rvp);
-  if (hop == direct_.end() || hop->second.expires < now) {
+  const chained_route* route = routes_.find(dest);
+  if (route == nullptr || route->expires < now) return std::nullopt;
+  const direct_contact* hop = direct_.find(route->rvp);
+  if (hop == nullptr || hop->expires < now) {
     // The RVP itself is no longer reachable; the chain is broken here.
     return std::nullopt;
   }
-  return next_hop{route->second.rvp, hop->second.address};
+  return next_hop{route->rvp, hop->address};
 }
 
 sim::sim_time routing_table::remaining_ttl(net::node_id dest,
                                            sim::sim_time now) const {
-  const auto direct = direct_.find(dest);
-  if (direct != direct_.end() && direct->second.expires >= now) {
-    return direct->second.expires - now;
+  const direct_contact* direct = direct_.find(dest);
+  if (direct != nullptr && direct->expires >= now) {
+    return direct->expires - now;
   }
-  const auto route = routes_.find(dest);
-  if (route == routes_.end() || route->second.expires < now) return 0;
-  const auto hop = direct_.find(route->second.rvp);
-  if (hop == direct_.end() || hop->second.expires < now) return 0;
+  const chained_route* route = routes_.find(dest);
+  if (route == nullptr || route->expires < now) return 0;
+  const direct_contact* hop = direct_.find(route->rvp);
+  if (hop == nullptr || hop->expires < now) return 0;
   // Minimum along the chain as seen from here: the learnt expiry already
   // carries the upstream minimum; the local link to the RVP caps it.
-  return std::min(route->second.expires, hop->second.expires) - now;
+  return std::min(route->expires, hop->expires) - now;
+}
+
+routing_table::route_status routing_table::resolve(net::node_id dest,
+                                                   sim::sim_time now) const {
+  const direct_contact* direct = direct_.find(dest);
+  if (direct != nullptr && direct->expires >= now) {
+    return {true, direct->expires - now};
+  }
+  const chained_route* route = routes_.find(dest);
+  if (route == nullptr || route->expires < now) return {};
+  const direct_contact* hop = direct_.find(route->rvp);
+  if (hop == nullptr || hop->expires < now) return {};
+  return {true, std::min(route->expires, hop->expires) - now};
 }
 
 std::size_t routing_table::direct_count(sim::sim_time now) const {
-  return static_cast<std::size_t>(
-      std::count_if(direct_.begin(), direct_.end(), [now](const auto& kv) {
-        return kv.second.expires >= now;
-      }));
+  std::size_t count = 0;
+  direct_.for_each([&](net::node_id, const direct_contact& contact) {
+    if (contact.expires >= now) ++count;
+  });
+  return count;
 }
 
 std::size_t routing_table::route_count(sim::sim_time now) const {
-  return static_cast<std::size_t>(
-      std::count_if(routes_.begin(), routes_.end(), [now](const auto& kv) {
-        return kv.second.expires >= now;
-      }));
+  std::size_t count = 0;
+  routes_.for_each([&](net::node_id, const chained_route& route) {
+    if (route.expires >= now) ++count;
+  });
+  return count;
 }
 
 }  // namespace nylon::core

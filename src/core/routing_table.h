@@ -18,11 +18,11 @@
 
 #include <cstddef>
 #include <optional>
-#include <unordered_map>
 
 #include "net/address.h"
 #include "net/node_id.h"
 #include "sim/time.h"
+#include "util/flat_hash.h"
 
 namespace nylon::core {
 
@@ -77,7 +77,9 @@ class routing_table {
   /// Drops everything known about `dest` (e.g. presumed dead).
   void forget(net::node_id dest);
 
-  /// Fig. 6 line 14: purge entries whose TTL has run out.
+  /// Fig. 6 line 14: purge entries whose TTL has run out. Runs once per
+  /// shuffle, so it is guarded by a next-expiry watermark: one compare
+  /// while nothing can have expired, a flat sweep otherwise.
   void purge_expired(sim::sim_time now);
 
   // --- queries ---------------------------------------------------------------
@@ -99,6 +101,17 @@ class routing_table {
   [[nodiscard]] sim::sim_time remaining_ttl(net::node_id dest,
                                             sim::sim_time now) const;
 
+  /// next_rvp and remaining_ttl answered by one probe sequence, for
+  /// callers that need both (`reachable` matches next_rvp's has_value;
+  /// `ttl` matches remaining_ttl, and can be 0 for a route expiring at
+  /// `now` exactly).
+  struct route_status {
+    bool reachable = false;
+    sim::sim_time ttl = 0;
+  };
+  [[nodiscard]] route_status resolve(net::node_id dest,
+                                     sim::sim_time now) const;
+
   // --- introspection ----------------------------------------------------------
 
   [[nodiscard]] std::size_t direct_count(sim::sim_time now) const;
@@ -117,9 +130,17 @@ class routing_table {
     sim::sim_time expires = 0;
   };
 
+  /// Lowers the purge watermark to cover a newly set expiry.
+  void note_expiry(sim::sim_time expires) noexcept {
+    if (expires < next_expiry_) next_expiry_ = expires;
+  }
+
   sim::sim_time hole_timeout_;
-  std::unordered_map<net::node_id, direct_contact> direct_;
-  std::unordered_map<net::node_id, chained_route> routes_;
+  util::flat_hash_map<net::node_id, direct_contact> direct_;
+  util::flat_hash_map<net::node_id, chained_route> routes_;
+  /// No entry expires before this; purge is a no-op until then.
+  sim::sim_time next_expiry_ = sim::time_never;
+  sim::sim_time last_sweep_ = 0;  ///< GC throttle (see purge_expired)
 };
 
 }  // namespace nylon::core

@@ -12,19 +12,20 @@ void generic_peer::initiate_shuffle() {
   }
   ++stats_.initiated;
   const node_descriptor target = view_.select(cfg_.selection, rng_).peer;
-  std::vector<view_entry> buffer = build_buffer();
 
   gossip_message msg;
   msg.kind = message_kind::request;
   msg.sender = self();
   msg.src = self();
   msg.dest = target;
-  msg.entries = buffer;
-  transport_.send(id(), target.addr, make_message(std::move(msg)));
+  msg.entries = build_buffer();
+  std::shared_ptr<const gossip_message> body = make_message(std::move(msg));
+  transport_.send(id(), target.addr, body);
 
   const sim::sim_time now = transport_.scheduler().now();
   if (cfg_.propagation == propagation_policy::pushpull) {
-    pending_[target.id] = pending_request{std::move(buffer), now};
+    pending_.insert_or_get(target.id) =
+        pending_request{std::move(body), now};
     prune_pending(now);
   }
   view_.increase_age();
@@ -37,16 +38,18 @@ void generic_peer::handle_message(const net::datagram& dgram,
       // Fig. 1, lines 8-12. The RESPONSE goes back to the datagram's
       // (post-NAT) source endpoint, like a real UDP reply.
       ++stats_.requests_received;
-      std::vector<view_entry> sent;
+      std::span<const view_entry> sent;
+      std::shared_ptr<const gossip_message> reply;  // keeps `sent` alive
       if (cfg_.propagation == propagation_policy::pushpull) {
-        sent = build_buffer();
         gossip_message response;
         response.kind = message_kind::response;
         response.sender = self();
         response.src = self();
         response.dest = msg.src;
-        response.entries = sent;
-        transport_.send(id(), dgram.source, make_message(std::move(response)));
+        response.entries = build_buffer();
+        reply = make_message(std::move(response));
+        transport_.send(id(), dgram.source, reply);
+        sent = reply->entries;
       }
       view_.merge(msg.entries, sent, cfg_.merge, id(), rng_);
       view_.increase_age();
@@ -55,11 +58,12 @@ void generic_peer::handle_message(const net::datagram& dgram,
     case message_kind::response: {
       // Fig. 1, lines 5-6 (asynchronous arrival).
       ++stats_.responses_received;
-      std::vector<view_entry> sent;
-      const auto pending = pending_.find(msg.sender.id);
-      if (pending != pending_.end()) {
-        sent = std::move(pending->second.sent);
-        pending_.erase(pending);
+      std::span<const view_entry> sent;
+      std::shared_ptr<const gossip_message> request;  // keeps `sent` alive
+      if (pending_request* pending = pending_.find(msg.sender.id)) {
+        request = std::move(pending->sent_msg);
+        pending_.erase(msg.sender.id);
+        if (request) sent = request->entries;
       }
       view_.merge(msg.entries, sent, cfg_.merge, id(), rng_);
       return;
@@ -75,8 +79,8 @@ void generic_peer::handle_message(const net::datagram& dgram,
 void generic_peer::prune_pending(sim::sim_time now) {
   const sim::sim_time horizon =
       now - pending_ttl_periods * cfg_.shuffle_period;
-  std::erase_if(pending_, [&](const auto& item) {
-    return item.second.sent_at < horizon;
+  pending_.erase_if([&](net::node_id, const pending_request& item) {
+    return item.sent_at < horizon;
   });
 }
 

@@ -3,9 +3,8 @@
 // network do what it will — which is exactly how it degrades behind NATs.
 #pragma once
 
-#include <unordered_map>
-
 #include "gossip/peer.h"
+#include "util/flat_hash.h"
 
 namespace nylon::gossip {
 
@@ -21,18 +20,19 @@ class generic_peer : public peer {
                       const gossip_message& msg) override;
 
  private:
-  /// Outstanding REQUEST buffers, so a later RESPONSE can be merged with
-  /// the right `sent` set (swapper policy needs it). Entries are pruned
+  /// Outstanding REQUESTs, so a later RESPONSE can be merged with the
+  /// right `sent` set (swapper policy needs it). The sent buffer is
+  /// shared with the wire message instead of copied. Entries are pruned
   /// once they are `pending_ttl_periods` shuffle periods old.
   struct pending_request {
-    std::vector<view_entry> sent;
+    std::shared_ptr<const gossip_message> sent_msg;
     sim::sim_time sent_at = 0;
   };
   static constexpr int pending_ttl_periods = 10;
 
   void prune_pending(sim::sim_time now);
 
-  std::unordered_map<net::node_id, pending_request> pending_;
+  util::flat_hash_map<net::node_id, pending_request> pending_;
 };
 
 }  // namespace nylon::gossip

@@ -1,8 +1,64 @@
 #include "gossip/messages.h"
 
 #include <memory>
+#include <vector>
 
 namespace nylon::gossip {
+
+namespace {
+
+/// Freelist allocator for message control blocks: every simulated packet
+/// allocates one payload, so recycling the (single-size) blocks that
+/// `allocate_shared` requests takes malloc/free off the send path. The
+/// freelist is thread-local because each universe runs on one thread
+/// (parallel runner: one universe per worker).
+template <typename T>
+struct message_pool_allocator {
+  using value_type = T;
+
+  message_pool_allocator() noexcept = default;
+  template <typename U>
+  message_pool_allocator(const message_pool_allocator<U>&) noexcept {}
+
+  /// Blocks are all sizeof(T); freed ones are kept for reuse until
+  /// thread exit.
+  struct freelist {
+    std::vector<void*> blocks;
+    ~freelist() {
+      for (void* b : blocks) ::operator delete(b);
+    }
+  };
+  static freelist& pool() {
+    static thread_local freelist list;
+    return list;
+  }
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      freelist& list = pool();
+      if (!list.blocks.empty()) {
+        void* block = list.blocks.back();
+        list.blocks.pop_back();
+        return static_cast<T*>(block);
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      pool().blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const message_pool_allocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace
 
 std::string_view to_string(message_kind k) noexcept {
   switch (k) {
@@ -23,8 +79,26 @@ std::string_view gossip_message::type_name() const noexcept {
   return to_string(kind);
 }
 
-net::payload_ptr make_message(gossip_message msg) {
-  return std::make_shared<const gossip_message>(std::move(msg));
+// The gossip protocol enum is value-aligned with the transport's
+// accounting enum, so classification is a cast, not a mapping table.
+static_assert(static_cast<int>(message_kind::request) ==
+              static_cast<int>(net::message_kind::request));
+static_assert(static_cast<int>(message_kind::response) ==
+              static_cast<int>(net::message_kind::response));
+static_assert(static_cast<int>(message_kind::open_hole) ==
+              static_cast<int>(net::message_kind::open_hole));
+static_assert(static_cast<int>(message_kind::ping) ==
+              static_cast<int>(net::message_kind::ping));
+static_assert(static_cast<int>(message_kind::pong) ==
+              static_cast<int>(net::message_kind::pong));
+
+net::message_kind gossip_message::wire_kind() const noexcept {
+  return static_cast<net::message_kind>(kind);
+}
+
+std::shared_ptr<const gossip_message> make_message(gossip_message msg) {
+  return std::allocate_shared<const gossip_message>(
+      message_pool_allocator<gossip_message>{}, std::move(msg));
 }
 
 }  // namespace nylon::gossip

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -47,6 +48,7 @@ class gossip_message final : public net::payload {
   /// kind (1) + 3 descriptors + entry count (2) + hops (1) + entries.
   [[nodiscard]] std::size_t wire_size() const noexcept override;
   [[nodiscard]] std::string_view type_name() const noexcept override;
+  [[nodiscard]] net::message_kind wire_kind() const noexcept override;
 };
 
 /// Fixed per-message overhead (excluding entries and the UDP/IP header).
@@ -54,6 +56,10 @@ inline constexpr std::size_t message_header_bytes =
     1 + 3 * descriptor_wire_bytes + 2 + 1;
 
 /// Builds a shared immutable payload (what transport::send expects).
-[[nodiscard]] net::payload_ptr make_message(gossip_message msg);
+/// Returns the concrete type so senders can keep referencing the
+/// message they sent (e.g. its `entries` as a pending-request buffer)
+/// without re-copying; converts implicitly to net::payload_ptr.
+[[nodiscard]] std::shared_ptr<const gossip_message> make_message(
+    gossip_message msg);
 
 }  // namespace nylon::gossip

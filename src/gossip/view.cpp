@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/contracts.h"
+#include "util/flat_hash.h"
 
 namespace nylon::gossip {
 
@@ -69,21 +70,54 @@ void view::assign(std::vector<view_entry> entries, net::node_id self) {
   entries_ = std::move(entries);
 }
 
+std::size_t view::index_probe(net::node_id id) const noexcept {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = util::mix_hash{}(id) & mask;
+  while (index_[i].epoch == epoch_) {
+    if (index_[i].id == id) return i;
+    i = (i + 1) & mask;
+  }
+  return i;  // first free slot of the probe chain
+}
+
+void view::index_insert(net::node_id id, std::uint32_t pos) noexcept {
+  id_slot& s = index_[index_probe(id)];
+  s.id = id;
+  s.pos = pos;
+  s.epoch = epoch_;
+}
+
 void view::merge(std::span<const view_entry> received,
                  std::span<const view_entry> sent, merge_policy policy,
                  net::node_id self, util::rng& rng) {
+  // Size the index for every entry both sides could contribute, at ≤ 50%
+  // load (power of two for mask probing).
+  std::size_t want = 2 * (entries_.size() + received.size()) + 2;
+  if (index_.size() < want) {
+    std::size_t capacity = 16;
+    while (capacity < want) capacity *= 2;
+    index_.assign(capacity, id_slot{});
+    epoch_ = 0;
+  }
+  ++epoch_;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    index_insert(entries_[i].peer.id, static_cast<std::uint32_t>(i));
+  }
+
   for (const view_entry& r : received) {
     if (r.peer.id == self) continue;
-    bool found = false;
-    for (view_entry& mine : entries_) {
-      if (mine.peer.id != r.peer.id) continue;
+    const std::size_t slot = index_probe(r.peer.id);
+    if (index_[slot].epoch == epoch_) {
       // Duplicate: keep the fresher information (lower age). The fresher
       // copy also carries the more recent address and route TTL.
+      view_entry& mine = entries_[index_[slot].pos];
       if (r.age < mine.age) mine = r;
-      found = true;
-      break;
+    } else {
+      entries_.push_back(r);
+      index_[slot] = id_slot{r.peer.id,
+                             static_cast<std::uint32_t>(entries_.size() - 1),
+                             epoch_};
     }
-    if (!found) entries_.push_back(r);
   }
   truncate(policy, received, sent, rng);
   NYLON_ENSURES(entries_.size() <= capacity_);
@@ -100,15 +134,43 @@ void view::truncate(merge_policy policy, std::span<const view_entry> received,
       }
       return;
 
-    case merge_policy::healer:
-      while (entries_.size() > capacity_) {
-        std::size_t victim = 0;
-        for (std::size_t i = 1; i < entries_.size(); ++i) {
-          if (entries_[i].age > entries_[victim].age) victim = i;
+    case merge_policy::healer: {
+      const std::size_t n = entries_.size();
+      if (n > 64) {  // huge views: the straightforward O(n·k) loop
+        while (entries_.size() > capacity_) {
+          std::size_t victim = 0;
+          for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].age > entries_[victim].age) victim = i;
+          }
+          remove_at(victim);
         }
-        remove_at(victim);
+        return;
       }
+      // Equivalent to repeatedly removing the max-age entry (ties: first
+      // in order): the victims are the k largest by (age desc, index asc)
+      // and survivors keep their relative order, so victim selection and
+      // removal batch into one partial sort + one compaction instead of
+      // k full scans and k vector erases.
+      const std::size_t k = n - capacity_;
+      std::uint64_t ranked[64];
+      for (std::size_t i = 0; i < n; ++i) {
+        // Sort key: age descending, then index ascending.
+        ranked[i] = (static_cast<std::uint64_t>(~entries_[i].age) << 32) | i;
+      }
+      std::nth_element(ranked, ranked + k - 1, ranked + n);
+      std::uint64_t victim_mask = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        victim_mask |= std::uint64_t{1} << (ranked[i] & 0xffffffffu);
+      }
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((victim_mask >> i) & 1) continue;
+        if (out != i) entries_[out] = std::move(entries_[i]);
+        ++out;
+      }
+      entries_.resize(out);
       return;
+    }
 
     case merge_policy::swapper: {
       // Survivors are the entries received from the partner: first drop
@@ -119,14 +181,26 @@ void view::truncate(merge_policy policy, std::span<const view_entry> received,
       std::unordered_set<net::node_id> sent_ids;
       for (const view_entry& s : sent) sent_ids.insert(s.peer.id);
 
+      // The candidate list is built once per class and maintained under
+      // removal (the original rebuilt it per removal — O(n²) per merge).
+      // Candidates stay in ascending entry order and the rng is consulted
+      // with the same sequence of bounds, so removals are bit-identical.
+      std::vector<std::size_t> candidates;
       const auto drop_from_class = [&](auto&& in_class) {
-        while (entries_.size() > capacity_) {
-          std::vector<std::size_t> candidates;
-          for (std::size_t i = 0; i < entries_.size(); ++i) {
-            if (in_class(entries_[i])) candidates.push_back(i);
+        candidates.clear();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+          if (in_class(entries_[i])) candidates.push_back(i);
+        }
+        while (entries_.size() > capacity_ && !candidates.empty()) {
+          const std::size_t pick = rng.index(candidates.size());
+          const std::size_t victim = candidates[pick];
+          remove_at(victim);
+          candidates.erase(candidates.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+          // Erasing the victim shifted every later entry down one.
+          for (std::size_t& c : candidates) {
+            if (c > victim) --c;
           }
-          if (candidates.empty()) return;
-          remove_at(candidates[rng.index(candidates.size())]);
         }
       };
       drop_from_class([&](const view_entry& e) {

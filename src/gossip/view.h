@@ -76,8 +76,22 @@ class view {
                 std::span<const view_entry> sent, util::rng& rng);
   void remove_at(std::size_t index);
 
+  /// Epoch-stamped open-addressed id→position index, rebuilt O(|view|)
+  /// at each merge (no clearing: stale epochs read as absent). Turns the
+  /// merge's duplicate detection from O(|received|·|view|) id scans into
+  /// O(|received|) probes.
+  struct id_slot {
+    net::node_id id = 0;
+    std::uint32_t pos = 0;
+    std::uint32_t epoch = 0;
+  };
+  [[nodiscard]] std::size_t index_probe(net::node_id id) const noexcept;
+  void index_insert(net::node_id id, std::uint32_t pos) noexcept;
+
   std::size_t capacity_;
   std::vector<view_entry> entries_;
+  std::vector<id_slot> index_;  ///< sized at merge start (power of two)
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace nylon::gossip

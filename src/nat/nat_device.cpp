@@ -6,22 +6,6 @@
 
 namespace nylon::nat {
 
-namespace {
-
-/// True when the rule admits a packet from (ip, port) for the given type.
-/// PRC compares ports; RC ignores them. FC never consults rules.
-bool rule_matches(nat_type type, const net::ip_address& src_ip,
-                  std::optional<std::uint32_t> src_port,
-                  net::ip_address rule_ip, std::uint32_t rule_port) {
-  if (src_ip != rule_ip) return false;
-  if (type == nat_type::port_restricted_cone) {
-    return src_port.has_value() && *src_port == rule_port;
-  }
-  return true;  // restricted cone: IP match suffices
-}
-
-}  // namespace
-
 nat_device::nat_device(nat_type type, net::ip_address public_ip,
                        sim::sim_time hole_timeout)
     : type_(type), public_ip_(public_ip), hole_timeout_(hole_timeout) {
@@ -29,99 +13,109 @@ nat_device::nat_device(nat_type type, net::ip_address public_ip,
   NYLON_EXPECTS(hole_timeout > 0);
 }
 
-std::uint32_t nat_device::reserve_cone_port(const net::endpoint& private_src) {
-  const auto it = cone_port_.find(private_src);
-  if (it != cone_port_.end()) return it->second;
-  const std::uint32_t port = next_port_++;
-  cone_port_.emplace(private_src, port);
-  port_owner_.emplace(port, private_src);
-  return port;
+std::uint32_t nat_device::client_for(const net::endpoint& private_src) {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i].private_ep == private_src) return i;
+  }
+  client c;
+  c.private_ep = private_src;
+  clients_.push_back(std::move(c));
+  return static_cast<std::uint32_t>(clients_.size() - 1);
 }
 
-nat_device::cone_binding& nat_device::cone_bind(
-    const net::endpoint& private_src, sim::sim_time now) {
-  cone_binding& binding = cone_[private_src];
-  if (binding.public_port == 0) {
-    binding.public_port = reserve_cone_port(private_src);
+const nat_device::client* nat_device::find_client(
+    const net::endpoint& private_src) const {
+  for (const client& c : clients_) {
+    if (c.private_ep == private_src) return &c;
   }
-  if (binding.expires < now) binding.rules.clear();  // binding had lapsed
-  return binding;
+  return nullptr;
+}
+
+std::uint32_t nat_device::reserve_cone_port(client& c) {
+  if (c.cone_port == 0) {
+    c.cone_port = next_port_++;
+    port_owner_.insert_or_get(c.cone_port) =
+        static_cast<std::uint32_t>(&c - clients_.data());
+  }
+  return c.cone_port;
 }
 
 net::endpoint nat_device::translate_outbound(const net::endpoint& private_src,
                                              const net::endpoint& remote,
                                              sim::sim_time now) {
+  const std::uint32_t index = client_for(private_src);
+  client& c = clients_[index];
+
   if (type_ == nat_type::symmetric) {
-    auto& sessions = sym_[private_src];
-    for (sym_session& s : sessions) {
-      if (s.remote == remote && s.expires >= now) {
-        s.expires = now + hole_timeout_;
-        return {public_ip_, s.public_port};
-      }
+    const std::uint64_t key = key_of(remote.ip, remote.port);
+    sym_entry* session = c.sym.find(key);
+    if (session != nullptr && session->expires >= now) {
+      session->expires = now + hole_timeout_;
+      note_expiry(session->expires);
+      return {public_ip_, session->public_port};
     }
     const std::uint32_t port = next_port_++;
-    sessions.push_back(sym_session{remote, port, now + hole_timeout_});
-    port_owner_.emplace(port, private_src);
+    if (session != nullptr) {
+      // Expired session to the same remote: the old public port dies with
+      // it (the original implementation kept it until the next purge;
+      // packets addressed there were rejected either way).
+      port_owner_.erase(session->public_port);
+      session->public_port = port;
+      session->expires = now + hole_timeout_;
+    } else {
+      c.sym.insert_or_get(key) = sym_entry{port, now + hole_timeout_};
+    }
+    port_owner_.insert_or_get(port) = index;
+    note_expiry(now + hole_timeout_);
     return {public_ip_, port};
   }
 
-  cone_binding& binding = cone_bind(private_src, now);
-  binding.expires = now + hole_timeout_;
+  reserve_cone_port(c);
+  if (c.cone_expires < now) c.rules.clear();  // binding had lapsed
+  c.cone_expires = now + hole_timeout_;
   if (type_ != nat_type::full_cone) {
     // RC keys rules by remote IP; PRC by remote IP:port.
     const std::uint32_t rule_port =
         type_ == nat_type::port_restricted_cone ? remote.port : 0;
-    auto rule = std::find_if(
-        binding.rules.begin(), binding.rules.end(), [&](const filter_rule& r) {
-          return r.remote_ip == remote.ip && r.remote_port == rule_port;
-        });
-    if (rule == binding.rules.end()) {
-      binding.rules.push_back(
-          filter_rule{remote.ip, rule_port, now + hole_timeout_});
-    } else {
-      rule->expires = now + hole_timeout_;
-    }
+    c.rules.insert_or_get(key_of(remote.ip, rule_port)) = now + hole_timeout_;
+    note_expiry(now + hole_timeout_);
   }
-  return {public_ip_, binding.public_port};
+  return {public_ip_, c.cone_port};
 }
 
 std::optional<net::endpoint> nat_device::filter_inbound(
     const net::endpoint& public_dst, const net::endpoint& remote_src,
     sim::sim_time now) {
   NYLON_EXPECTS(public_dst.ip == public_ip_);
-  const auto owner = port_owner_.find(public_dst.port);
-  if (owner == port_owner_.end()) return std::nullopt;
-  const net::endpoint private_dst = owner->second;
+  const std::uint32_t* owner = port_owner_.find(public_dst.port);
+  if (owner == nullptr) return std::nullopt;
+  client& c = clients_[*owner];
+  const net::endpoint private_dst = c.private_ep;
 
   if (type_ == nat_type::symmetric) {
-    const auto sessions = sym_.find(private_dst);
-    if (sessions == sym_.end()) return std::nullopt;
-    for (sym_session& s : sessions->second) {
-      if (s.public_port == public_dst.port && s.expires >= now &&
-          s.remote == remote_src) {
-        s.expires = now + hole_timeout_;  // inbound traffic refreshes
-        return private_dst;
-      }
+    sym_entry* session = c.sym.find(key_of(remote_src.ip, remote_src.port));
+    if (session != nullptr && session->public_port == public_dst.port &&
+        session->expires >= now) {
+      session->expires = now + hole_timeout_;  // inbound traffic refreshes
+      note_expiry(session->expires);
+      return private_dst;
     }
     return std::nullopt;
   }
 
-  const auto binding_it = cone_.find(private_dst);
-  if (binding_it == cone_.end()) return std::nullopt;
-  cone_binding& binding = binding_it->second;
-  if (binding.expires < now) return std::nullopt;
+  if (c.cone_expires < now) return std::nullopt;  // lapsed or never bound
   if (type_ == nat_type::full_cone) {
-    binding.expires = now + hole_timeout_;
+    c.cone_expires = now + hole_timeout_;
     return private_dst;
   }
-  for (filter_rule& rule : binding.rules) {
-    if (rule.expires >= now &&
-        rule_matches(type_, remote_src.ip, remote_src.port, rule.remote_ip,
-                     rule.remote_port)) {
-      rule.expires = now + hole_timeout_;
-      binding.expires = now + hole_timeout_;
-      return private_dst;
-    }
+  const std::uint32_t rule_port =
+      type_ == nat_type::port_restricted_cone ? remote_src.port : 0;
+  sim::sim_time* expires = c.rules.find(key_of(remote_src.ip, rule_port));
+  if (expires != nullptr && *expires >= now) {
+    *expires = now + hole_timeout_;
+    c.cone_expires = now + hole_timeout_;
+    note_expiry(*expires);
+    return private_dst;
   }
   return std::nullopt;
 }
@@ -129,19 +123,17 @@ std::optional<net::endpoint> nat_device::filter_inbound(
 predicted_source nat_device::would_translate(const net::endpoint& private_src,
                                              const net::endpoint& remote,
                                              sim::sim_time now) const {
+  const client* c = find_client(private_src);
   if (type_ == nat_type::symmetric) {
-    const auto sessions = sym_.find(private_src);
-    if (sessions != sym_.end()) {
-      for (const sym_session& s : sessions->second) {
-        if (s.remote == remote && s.expires >= now) {
-          return {public_ip_, s.public_port};
-        }
+    if (c != nullptr) {
+      const sym_entry* session = c->sym.find(key_of(remote.ip, remote.port));
+      if (session != nullptr && session->expires >= now) {
+        return {public_ip_, session->public_port};
       }
     }
     return {public_ip_, std::nullopt};  // fresh unpredictable port
   }
-  const auto reserved = cone_port_.find(private_src);
-  if (reserved != cone_port_.end()) return {public_ip_, reserved->second};
+  if (c != nullptr && c->cone_port != 0) return {public_ip_, c->cone_port};
   return {public_ip_, std::nullopt};
 }
 
@@ -149,68 +141,77 @@ std::optional<net::endpoint> nat_device::would_accept(
     const net::endpoint& public_dst, net::ip_address src_ip,
     std::optional<std::uint32_t> src_port, sim::sim_time now) const {
   NYLON_EXPECTS(public_dst.ip == public_ip_);
-  const auto owner = port_owner_.find(public_dst.port);
-  if (owner == port_owner_.end()) return std::nullopt;
-  const net::endpoint private_dst = owner->second;
+  const std::uint32_t* owner = port_owner_.find(public_dst.port);
+  if (owner == nullptr) return std::nullopt;
+  const client& c = clients_[*owner];
+  const net::endpoint private_dst = c.private_ep;
 
   if (type_ == nat_type::symmetric) {
-    const auto sessions = sym_.find(private_dst);
-    if (sessions == sym_.end()) return std::nullopt;
-    for (const sym_session& s : sessions->second) {
-      if (s.public_port == public_dst.port && s.expires >= now &&
-          s.remote.ip == src_ip && src_port.has_value() &&
-          s.remote.port == *src_port) {
-        return private_dst;
-      }
+    if (!src_port.has_value()) return std::nullopt;
+    const sym_entry* session = c.sym.find(key_of(src_ip, *src_port));
+    if (session != nullptr && session->public_port == public_dst.port &&
+        session->expires >= now) {
+      return private_dst;
     }
     return std::nullopt;
   }
 
-  const auto binding_it = cone_.find(private_dst);
-  if (binding_it == cone_.end()) return std::nullopt;
-  const cone_binding& binding = binding_it->second;
-  if (binding.expires < now) return std::nullopt;
+  if (c.cone_expires < now) return std::nullopt;
   if (type_ == nat_type::full_cone) return private_dst;
-  for (const filter_rule& rule : binding.rules) {
-    if (rule.expires >= now && rule_matches(type_, src_ip, src_port,
-                                            rule.remote_ip, rule.remote_port)) {
-      return private_dst;
-    }
+  if (type_ == nat_type::port_restricted_cone && !src_port.has_value()) {
+    return std::nullopt;  // PRC needs an exact port match
   }
+  const std::uint32_t rule_port =
+      type_ == nat_type::port_restricted_cone ? *src_port : 0;
+  const sim::sim_time* expires = c.rules.find(key_of(src_ip, rule_port));
+  if (expires != nullptr && *expires >= now) return private_dst;
   return std::nullopt;
 }
 
 net::endpoint nat_device::advertised_endpoint(
     const net::endpoint& private_src) {
   if (type_ == nat_type::symmetric) return {public_ip_, 0};
-  return {public_ip_, reserve_cone_port(private_src)};
+  return {public_ip_, reserve_cone_port(clients_[client_for(private_src)])};
 }
 
 void nat_device::purge_expired(sim::sim_time now) {
-  for (auto& [private_ep, binding] : cone_) {
-    std::erase_if(binding.rules,
-                  [now](const filter_rule& r) { return r.expires < now; });
-  }
-  for (auto& [private_ep, sessions] : sym_) {
-    std::erase_if(sessions, [&](const sym_session& s) {
-      if (s.expires >= now) return false;
-      port_owner_.erase(s.public_port);
+  if (now <= next_expiry_) return;  // nothing can have expired yet
+  // Expiry is enforced on every lookup, so the sweep is pure garbage
+  // collection; run it at most once per hole timeout. Lingering expired
+  // entries are invisible to the packet path and bounded by one
+  // timeout's worth of traffic.
+  if (now < last_sweep_ + hole_timeout_) return;
+  last_sweep_ = now;
+  sim::sim_time next = sim::time_never;
+  for (client& c : clients_) {
+    c.rules.erase_if([&](std::uint64_t, sim::sim_time expires) {
+      if (expires >= now) {
+        next = std::min(next, expires);
+        return false;
+      }
+      return true;
+    });
+    c.sym.erase_if([&](std::uint64_t, sym_entry& session) {
+      if (session.expires >= now) {
+        next = std::min(next, session.expires);
+        return false;
+      }
+      port_owner_.erase(session.public_port);
       return true;
     });
   }
+  next_expiry_ = next;
 }
 
 std::size_t nat_device::active_rule_count(sim::sim_time now) const {
   std::size_t count = 0;
-  for (const auto& [private_ep, binding] : cone_) {
-    for (const filter_rule& rule : binding.rules) {
-      if (rule.expires >= now) ++count;
-    }
-  }
-  for (const auto& [private_ep, sessions] : sym_) {
-    for (const sym_session& s : sessions) {
-      if (s.expires >= now) ++count;
-    }
+  for (const client& c : clients_) {
+    c.rules.for_each([&](std::uint64_t, sim::sim_time expires) {
+      if (expires >= now) ++count;
+    });
+    c.sym.for_each([&](std::uint64_t, const sym_entry& session) {
+      if (session.expires >= now) ++count;
+    });
   }
   return count;
 }

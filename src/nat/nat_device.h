@@ -19,16 +19,24 @@
 //  * a const dry-run path (`would_translate` / `would_accept`) used by the
 //    metrics oracle, so staleness is measured against the exact same
 //    semantics the packets experience, without perturbing NAT state.
+//
+// Storage: filtering rules and symmetric sessions live in open-addressed
+// flat tables keyed by packed remote endpoints (exact-match lookups
+// replace what used to be linear scans), and `purge_expired` is guarded
+// by a device-wide next-expiry watermark so quiet devices cost one
+// compare per maintenance tick instead of a full sweep. The semantics are
+// bit-identical to the original map/scan implementation — see the
+// equivalence tests in tests/nat/ and DESIGN.md's determinism contract.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "nat/nat_type.h"
 #include "net/address.h"
 #include "sim/time.h"
+#include "util/flat_hash.h"
 
 namespace nylon::nat {
 
@@ -100,45 +108,61 @@ class nat_device {
   // --- maintenance / introspection -----------------------------------------
 
   /// Drops expired rules, bindings and sessions to bound memory use.
+  /// O(1) while nothing can have expired (next-expiry watermark).
   void purge_expired(sim::sim_time now);
 
   /// Number of live filtering rules (cone) or sessions (symmetric).
   [[nodiscard]] std::size_t active_rule_count(sim::sim_time now) const;
 
  private:
-  struct filter_rule {
-    net::ip_address remote_ip;
-    std::uint32_t remote_port;  // used by PRC only
-    sim::sim_time expires;
-  };
-  /// Cone binding: one per private endpoint, shared across destinations.
-  struct cone_binding {
-    std::uint32_t public_port = 0;
-    sim::sim_time expires = 0;
-    std::vector<filter_rule> rules;
-  };
-  /// Symmetric session: one per (private endpoint, remote endpoint).
-  struct sym_session {
-    net::endpoint remote;
+  /// One symmetric session: the minted public port and its expiry.
+  struct sym_entry {
     std::uint32_t public_port = 0;
     sim::sim_time expires = 0;
   };
 
-  std::uint32_t reserve_cone_port(const net::endpoint& private_src);
-  cone_binding& cone_bind(const net::endpoint& private_src, sim::sim_time now);
+  /// Per-private-endpoint state. Rules (cone) are keyed by packed
+  /// (remote_ip, rule_port); sessions (symmetric) by packed remote
+  /// endpoint. The cone port reservation is permanent (survives binding
+  /// expiry so advertised endpoints stay valid — see DESIGN.md).
+  struct client {
+    net::endpoint private_ep;
+    std::uint32_t cone_port = 0;       ///< 0 = not reserved yet
+    sim::sim_time cone_expires = -1;   ///< -1 = no binding yet
+    util::flat_hash_map<std::uint64_t, sim::sim_time> rules;
+    util::flat_hash_map<std::uint64_t, sym_entry> sym;
+  };
+
+  /// Packs a remote endpoint (or (ip, rule_port) pair) into a table key.
+  [[nodiscard]] static std::uint64_t key_of(net::ip_address ip,
+                                            std::uint32_t port) noexcept {
+    return (static_cast<std::uint64_t>(ip.value) << 32) | port;
+  }
+
+  /// Index of the client serving `private_src`, creating it on demand.
+  std::uint32_t client_for(const net::endpoint& private_src);
+  /// Const lookup; nullptr when this private endpoint is unknown.
+  [[nodiscard]] const client* find_client(
+      const net::endpoint& private_src) const;
+
+  /// Lowers the purge watermark to cover a newly set expiry.
+  void note_expiry(sim::sim_time expires) noexcept {
+    if (expires < next_expiry_) next_expiry_ = expires;
+  }
+
+  std::uint32_t reserve_cone_port(client& c);
 
   nat_type type_;
   net::ip_address public_ip_;
   sim::sim_time hole_timeout_;
   std::uint32_t next_port_ = 1024;
 
-  // Permanent cone port reservations (survive binding expiry so that
-  // advertised endpoints stay valid — see DESIGN.md).
-  std::unordered_map<net::endpoint, std::uint32_t> cone_port_;
-  std::unordered_map<net::endpoint, cone_binding> cone_;
-  std::unordered_map<net::endpoint, std::vector<sym_session>> sym_;
-  // Reverse index: public port -> private endpoint that owns it.
-  std::unordered_map<std::uint32_t, net::endpoint> port_owner_;
+  std::vector<client> clients_;  ///< typically one per device
+  /// Reverse index: public port -> owning client index.
+  util::flat_hash_map<std::uint32_t, std::uint32_t> port_owner_;
+  /// No rule or session expires before this; purge is a no-op until then.
+  sim::sim_time next_expiry_ = sim::time_never;
+  sim::sim_time last_sweep_ = 0;  ///< GC throttle (see purge_expired)
 };
 
 }  // namespace nylon::nat

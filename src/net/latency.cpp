@@ -1,5 +1,8 @@
 #include "net/latency.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/contracts.h"
 
 namespace nylon::net {
@@ -19,6 +22,19 @@ sim::sim_time uniform_latency::sample(util::rng& rng) {
   return static_cast<sim::sim_time>(
       rng.uniform(static_cast<std::uint64_t>(lo_),
                   static_cast<std::uint64_t>(hi_)));
+}
+
+lognormal_latency::lognormal_latency(sim::sim_time median, double sigma)
+    : median_ms_(static_cast<double>(median)), sigma_(sigma) {
+  NYLON_EXPECTS(median > 0);
+  NYLON_EXPECTS(sigma >= 0.0);
+}
+
+sim::sim_time lognormal_latency::sample(util::rng& rng) {
+  const double delay = median_ms_ * std::exp(sigma_ * rng.normal01());
+  // Round to the millisecond grid; a sub-millisecond draw still takes 1 ms
+  // (zero-delay packets would race their own send event).
+  return std::max<sim::sim_time>(1, std::llround(delay));
 }
 
 std::unique_ptr<latency_model> paper_latency() {

@@ -40,6 +40,22 @@ class uniform_latency final : public latency_model {
   sim::sim_time hi_;
 };
 
+/// Log-normal delay, parameterized by its median and the log-space shape
+/// `sigma` — the empirically observed shape of internet RTTs (a bulk of
+/// short paths with a heavy slow tail). delay = median * exp(sigma * Z),
+/// Z ~ N(0,1), rounded to whole milliseconds; `sigma` = 0 degrades to a
+/// fixed delay at the median.
+class lognormal_latency final : public latency_model {
+ public:
+  /// `median` > 0; `sigma` >= 0.
+  lognormal_latency(sim::sim_time median, double sigma);
+  [[nodiscard]] sim::sim_time sample(util::rng& rng) override;
+
+ private:
+  double median_ms_;
+  double sigma_;
+};
+
 /// Convenience factory for the paper's default.
 [[nodiscard]] std::unique_ptr<latency_model> paper_latency();
 

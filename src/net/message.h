@@ -4,12 +4,42 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
 #include "net/address.h"
 
 namespace nylon::net {
+
+/// Transport-level message classification: the protocol kinds the
+/// simulator accounts for with a fixed array instead of a string-keyed
+/// hash (the per-send `bytes_by_type_[type_name()]` lookup was hot).
+/// Payloads outside the gossip protocol (test doubles, measurement
+/// probes) report `other` and fall back to by-name accounting.
+enum class message_kind : std::uint8_t {
+  request,    ///< shuffle request carrying the initiator's buffer
+  response,   ///< shuffle response carrying the target's buffer
+  open_hole,  ///< Nylon: hole-punch trigger, forwarded along the RVP chain
+  ping,       ///< Nylon: opens the sender's own NAT hole towards dest
+  pong,       ///< Nylon: confirms the hole is open
+  other,      ///< anything else (accounted per type_name)
+  count_      ///< number of kinds (internal)
+};
+
+/// Display name of a known message kind ("?" for `other`).
+[[nodiscard]] constexpr std::string_view to_string(message_kind k) noexcept {
+  switch (k) {
+    case message_kind::request: return "REQUEST";
+    case message_kind::response: return "RESPONSE";
+    case message_kind::open_hole: return "OPEN_HOLE";
+    case message_kind::ping: return "PING";
+    case message_kind::pong: return "PONG";
+    case message_kind::other:
+    case message_kind::count_: break;
+  }
+  return "?";
+}
 
 /// Base class of everything that can ride inside a simulated UDP datagram.
 class payload {
@@ -22,6 +52,12 @@ class payload {
 
   /// Stable name used for per-message-type accounting ("REQUEST", ...).
   [[nodiscard]] virtual std::string_view type_name() const noexcept = 0;
+
+  /// Transport-level kind for O(1) accounting and dispatch; `other`
+  /// unless the payload is a gossip protocol message.
+  [[nodiscard]] virtual message_kind wire_kind() const noexcept {
+    return message_kind::other;
+  }
 };
 
 /// Payloads are immutable and shared between the in-flight datagram and

@@ -48,6 +48,7 @@ node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
   rec.type = type;
   rec.handler = &handler;
   const ip_address public_ip{public_ip_base + id + 1};
+  rec.public_ip = public_ip;
   if (nat::is_natted(type)) {
     rec.private_ep = endpoint{ip_address{private_ip_base + id + 1},
                               private_port};
@@ -58,9 +59,21 @@ node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
     rec.private_ep = endpoint{public_ip, public_peer_port};
     rec.advertised = rec.private_ep;
   }
-  ip_owner_.emplace(public_ip, id);
   nodes_.push_back(std::move(rec));
   return id;
+}
+
+node_id transport::owner_of(ip_address ip) const {
+  const std::uint32_t index = ip.value - public_ip_base - 1;
+  if (index < nodes_.size()) {
+    // A re-bound NAT abandons its original 10.x address: packets sent
+    // there must stop routing, so the arithmetic hit is confirmed
+    // against the node's *current* public IP.
+    return nodes_[index].public_ip == ip ? static_cast<node_id>(index)
+                                         : nil_node;
+  }
+  const node_id* rebound = rebound_owner_.find(ip.value);
+  return rebound != nullptr ? *rebound : nil_node;
 }
 
 void transport::remove_node(node_id id) {
@@ -95,8 +108,9 @@ endpoint transport::rebind_nat(node_id id) {
   NYLON_EXPECTS(rec.device != nullptr);
   const ip_address old_ip = rec.device->public_ip();
   const ip_address new_ip{rebind_ip_base + ++rebind_count_};
-  ip_owner_.erase(old_ip);
-  ip_owner_.emplace(new_ip, id);
+  rebound_owner_.erase(old_ip.value);  // no-op for an original 10.x IP
+  rebound_owner_.insert_or_get(new_ip.value) = id;
+  rec.public_ip = new_ip;
   rec.device =
       std::make_unique<nat::nat_device>(rec.type, new_ip, cfg_.hole_timeout);
   rec.advertised = rec.device->advertised_endpoint(rec.private_ep);
@@ -130,7 +144,11 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
   const std::size_t bytes = udp_header_bytes + body->wire_size();
   src.traffic.bytes_sent += bytes;
   ++src.traffic.msgs_sent;
-  bytes_by_type_[body->type_name()] += bytes;
+  const message_kind kind = body->wire_kind();
+  bytes_by_kind_[static_cast<std::size_t>(kind)] += bytes;
+  if (kind == message_kind::other) {  // cold path: non-protocol payloads
+    other_bytes_[body->type_name()] += bytes;
+  }
 
   if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
     count_drop(drop_reason::random_loss);
@@ -143,18 +161,18 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
 
 void transport::deliver(node_id from, endpoint source, endpoint to,
                         const payload_ptr& body, std::size_t bytes) {
-  const auto owner = ip_owner_.find(to.ip);
-  if (owner == ip_owner_.end()) {
+  const node_id owner = owner_of(to.ip);
+  if (owner == nil_node) {
     count_drop(drop_reason::unknown_destination);
     return;
   }
   // A partition severs the path before the destination NAT ever sees the
   // packet (no rule refresh on the far side).
-  if (partitioned() && side_of(from) != side_of(owner->second)) {
+  if (partitioned() && side_of(from) != side_of(owner)) {
     count_drop(drop_reason::partitioned);
     return;
   }
-  node_record& dst = nodes_[owner->second];
+  node_record& dst = nodes_[owner];
   const sim::sim_time now = sched_.now();
   if (dst.device) {
     const auto private_dst = dst.device->filter_inbound(to, source, now);
@@ -192,12 +210,12 @@ std::optional<node_id> transport::would_deliver(node_id from,
                                                 const endpoint& to) const {
   NYLON_EXPECTS(from < nodes_.size());
   if (!nodes_[from].alive) return std::nullopt;
-  const auto owner = ip_owner_.find(to.ip);
-  if (owner == ip_owner_.end()) return std::nullopt;
-  if (partitioned() && side_of(from) != side_of(owner->second)) {
+  const node_id owner = owner_of(to.ip);
+  if (owner == nil_node) return std::nullopt;
+  if (partitioned() && side_of(from) != side_of(owner)) {
     return std::nullopt;
   }
-  const node_record& dst = nodes_[owner->second];
+  const node_record& dst = nodes_[owner];
   if (!dst.alive) return std::nullopt;
   const nat::predicted_source src = predicted_source(from, to);
   if (dst.device) {
@@ -207,7 +225,7 @@ std::optional<node_id> transport::would_deliver(node_id from,
   } else if (to != dst.advertised) {
     return std::nullopt;
   }
-  return owner->second;
+  return owner;
 }
 
 const node_traffic& transport::traffic(node_id id) const {
@@ -217,7 +235,20 @@ const node_traffic& transport::traffic(node_id id) const {
 
 void transport::reset_traffic() {
   for (node_record& rec : nodes_) rec.traffic = node_traffic{};
-  bytes_by_type_.clear();
+  for (std::uint64_t& b : bytes_by_kind_) b = 0;
+  other_bytes_.clear();
+}
+
+std::unordered_map<std::string_view, std::uint64_t> transport::bytes_by_type()
+    const {
+  std::unordered_map<std::string_view, std::uint64_t> out = other_bytes_;
+  for (std::size_t k = 0; k < static_cast<std::size_t>(message_kind::other);
+       ++k) {
+    if (bytes_by_kind_[k] > 0) {
+      out[to_string(static_cast<message_kind>(k))] = bytes_by_kind_[k];
+    }
+  }
+  return out;
 }
 
 std::uint64_t transport::drops(drop_reason reason) const {

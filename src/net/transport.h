@@ -21,6 +21,7 @@
 #include "net/message.h"
 #include "net/node_id.h"
 #include "sim/scheduler.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 
 namespace nylon::net {
@@ -152,11 +153,15 @@ class transport {
   void reset_traffic();
   [[nodiscard]] std::uint64_t drops(drop_reason reason) const;
   [[nodiscard]] std::uint64_t total_drops() const;
-  /// Bytes by payload type name (REQUEST, OPEN_HOLE, ...).
-  [[nodiscard]] const std::unordered_map<std::string_view, std::uint64_t>&
-  bytes_by_type() const noexcept {
-    return bytes_by_type_;
+  /// Bytes sent for one protocol kind (O(1), the hot accounting path).
+  [[nodiscard]] std::uint64_t bytes_by_kind(message_kind kind) const noexcept {
+    return bytes_by_kind_[static_cast<std::size_t>(kind)];
   }
+  /// Bytes by payload type name (REQUEST, OPEN_HOLE, ...), assembled from
+  /// the per-kind counters plus the by-name overflow for `other`
+  /// payloads. Built on demand — call it for reporting, not per packet.
+  [[nodiscard]] std::unordered_map<std::string_view, std::uint64_t>
+  bytes_by_type() const;
 
   /// Periodically drops expired NAT state to bound memory; call it from a
   /// maintenance timer (scenario sets one up).
@@ -177,10 +182,18 @@ class transport {
     bool alive = true;
     endpoint private_ep;  ///< equals `advertised` for public nodes
     endpoint advertised;
+    ip_address public_ip;  ///< current public-facing IP (moves on rebind)
     std::unique_ptr<nat::nat_device> device;  ///< null for public nodes
     endpoint_handler* handler = nullptr;
     node_traffic traffic;
   };
+
+  /// O(1) routing: node i's original public IP is `public_ip_base + i + 1`
+  /// by construction, so ownership is arithmetic plus one equality check
+  /// (the node may have re-bound away from that address). Re-bound
+  /// addresses live in a small overflow table. Returns nil_node when no
+  /// alive-or-dead host owns the address.
+  [[nodiscard]] node_id owner_of(ip_address ip) const;
 
   void deliver(node_id from, endpoint source, endpoint to,
                const payload_ptr& body, std::size_t bytes);
@@ -191,12 +204,16 @@ class transport {
   std::unique_ptr<latency_model> latency_;
   transport_config cfg_;
   std::vector<node_record> nodes_;
-  std::unordered_map<ip_address, node_id> ip_owner_;
+  /// Overflow routing for NATs that re-bound onto fresh (11.x) IPs.
+  util::flat_hash_map<std::uint32_t, node_id> rebound_owner_;
   std::vector<std::uint8_t> partition_side_;  ///< empty = no partition
   std::uint32_t rebind_count_ = 0;  ///< rebound public IPs allocated so far
   std::uint64_t drop_counts_[static_cast<std::size_t>(drop_reason::count_)] =
       {};
-  std::unordered_map<std::string_view, std::uint64_t> bytes_by_type_;
+  std::uint64_t bytes_by_kind_[static_cast<std::size_t>(
+      message_kind::count_)] = {};
+  /// By-name accounting for payloads outside the protocol enum.
+  std::unordered_map<std::string_view, std::uint64_t> other_bytes_;
 };
 
 }  // namespace nylon::net

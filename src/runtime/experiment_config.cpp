@@ -12,6 +12,14 @@ void experiment_config::validate() const {
   NYLON_EXPECTS(gossip.shuffle_period > 0);
   NYLON_EXPECTS(latency >= 0);
   NYLON_EXPECTS(latency < gossip.shuffle_period);
+  if (latency_model == latency_kind::uniform) {
+    NYLON_EXPECTS(latency_max >= latency);
+    NYLON_EXPECTS(latency_max < gossip.shuffle_period);
+  }
+  if (latency_model == latency_kind::lognormal) {
+    NYLON_EXPECTS(latency > 0);
+    NYLON_EXPECTS(latency_sigma >= 0.0);
+  }
   NYLON_EXPECTS(hole_timeout > 0);
   NYLON_EXPECTS(loss_rate >= 0.0 && loss_rate <= 1.0);
 }

@@ -24,8 +24,19 @@ struct experiment_config {
   core::protocol_kind protocol = core::protocol_kind::nylon;
   /// Gossip dimensions: view size, selection, propagation, merge, period.
   gossip::protocol_config gossip;
-  /// One-way message latency (paper: 50 ms).
+  /// Shape of the one-way delay distribution. `fixed` is the paper's
+  /// model; `uniform` draws from [latency, latency_max]; `lognormal`
+  /// uses `latency` as the median with log-space shape `latency_sigma`
+  /// (heavy-tailed, the empirical internet shape).
+  enum class latency_kind : std::uint8_t { fixed, uniform, lognormal };
+  latency_kind latency_model = latency_kind::fixed;
+  /// One-way message latency (paper: 50 ms). Fixed value, uniform lower
+  /// bound, or lognormal median depending on `latency_model`.
   sim::sim_time latency = sim::millis(50);
+  /// Upper bound of the uniform latency model (ignored otherwise).
+  sim::sim_time latency_max = sim::millis(50);
+  /// Log-space sigma of the lognormal model (ignored otherwise).
+  double latency_sigma = 0.25;
   /// NAT mapping / rule lifetime (paper: 90 s).
   sim::sim_time hole_timeout = sim::seconds(90);
   /// Optional packet loss (paper: 0).

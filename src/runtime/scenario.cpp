@@ -15,8 +15,22 @@ scenario::scenario(const experiment_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
   net::transport_config tcfg;
   tcfg.hole_timeout = cfg_.hole_timeout;
   tcfg.loss_rate = cfg_.loss_rate;
-  transport_ = std::make_unique<net::transport>(
-      sched_, rng_, std::make_unique<net::fixed_latency>(cfg_.latency), tcfg);
+  std::unique_ptr<net::latency_model> latency;
+  switch (cfg_.latency_model) {
+    case experiment_config::latency_kind::uniform:
+      latency = std::make_unique<net::uniform_latency>(cfg_.latency,
+                                                       cfg_.latency_max);
+      break;
+    case experiment_config::latency_kind::lognormal:
+      latency = std::make_unique<net::lognormal_latency>(cfg_.latency,
+                                                         cfg_.latency_sigma);
+      break;
+    case experiment_config::latency_kind::fixed:
+      latency = std::make_unique<net::fixed_latency>(cfg_.latency);
+      break;
+  }
+  transport_ = std::make_unique<net::transport>(sched_, rng_,
+                                                std::move(latency), tcfg);
 
   const std::vector<nat::nat_type> types =
       nat::assign_types(cfg_.peer_count, cfg_.natted_fraction, cfg_.mix, rng_);

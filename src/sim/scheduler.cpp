@@ -7,55 +7,56 @@
 
 namespace nylon::sim {
 
-event_handle scheduler::at(sim_time when, std::function<void()> fn) {
-  NYLON_EXPECTS(when >= now_);
-  return queue_.push(when, std::move(fn));
-}
-
-event_handle scheduler::after(sim_time delay, std::function<void()> fn) {
-  NYLON_EXPECTS(delay >= 0);
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
 struct scheduler::periodic_state {
   scheduler* owner;
   sim_time period;
-  std::function<void()> fn;
+  util::callback fn;
   // The externally visible cancellation flag; shared with the returned
-  // handle. Each hop of the chain checks it before rescheduling.
+  // handle. Each hop of the chain checks it before rescheduling. One
+  // allocation per periodic *task* — the per-hop events are pooled, and
+  // the chain passes unique ownership of this state from hop to hop
+  // (util::callback is move-only, so a unique_ptr capture works where
+  // std::function would have forced shared_ptr refcounting per hop).
   std::shared_ptr<bool> cancelled = std::make_shared<bool>(false);
 
-  void fire(const std::shared_ptr<periodic_state>& self) {
-    if (*cancelled) return;
-    fn();
-    if (*cancelled) return;
-    owner->queue_.push(owner->now() + period,
-                       [self] { self->fire(self); });
+  static void schedule_hop(std::unique_ptr<periodic_state> state,
+                           sim_time when) {
+    scheduler* owner = state->owner;
+    owner->queue_.push(when, [state = std::move(state)]() mutable {
+      if (*state->cancelled) return;  // dropping `state` frees the chain
+      state->fn();
+      if (*state->cancelled) return;
+      const sim_time next = state->owner->now() + state->period;
+      schedule_hop(std::move(state), next);  // reentrant push is safe
+    });
   }
 };
 
 event_handle scheduler::every(sim_time first, sim_time period,
-                              std::function<void()> fn) {
+                              util::callback fn) {
   NYLON_EXPECTS(first >= now_);
   NYLON_EXPECTS(period > 0);
-  auto state = std::make_shared<periodic_state>();
+  auto state = std::make_unique<periodic_state>();
   state->owner = this;
   state->period = period;
   state->fn = std::move(fn);
-  queue_.push(first, [state] { state->fire(state); });
   // Wrap the shared cancellation flag in a handle compatible with the
   // single-shot API.
   struct access : event_handle {
     explicit access(std::shared_ptr<bool> f)
         : event_handle(std::move(f)) {}
   };
-  return access(state->cancelled);
+  access handle(state->cancelled);
+  periodic_state::schedule_hop(std::move(state), first);
+  return handle;
 }
 
 void scheduler::run_until(sim_time deadline) {
   NYLON_EXPECTS(deadline >= now_);
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    now_ = queue_.next_time();
+  for (;;) {
+    const sim_time next = queue_.next_time();
+    if (next > deadline) break;  // time_never compares past any deadline
+    now_ = next;
     queue_.pop_and_run();
   }
   now_ = deadline;

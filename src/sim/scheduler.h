@@ -3,10 +3,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "util/contracts.h"
+#include "util/inplace_function.h"
 
 namespace nylon::sim {
 
@@ -19,16 +20,24 @@ class scheduler {
   /// Current simulated time.
   [[nodiscard]] sim_time now() const noexcept { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (>= now).
-  event_handle at(sim_time when, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `at` (>= now). Templated (like
+  /// event_queue::push) so captures land directly in the event pool.
+  template <typename F>
+  event_handle at(sim_time when, F&& fn) {
+    NYLON_EXPECTS(when >= now_);
+    return queue_.push(when, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after `delay` (>= 0) from now.
-  event_handle after(sim_time delay, std::function<void()> fn);
+  template <typename F>
+  event_handle after(sim_time delay, F&& fn) {
+    NYLON_EXPECTS(delay >= 0);
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to run every `period` (> 0), first at `first`.
   /// The task reschedules itself until its handle is cancelled.
-  event_handle every(sim_time first, sim_time period,
-                     std::function<void()> fn);
+  event_handle every(sim_time first, sim_time period, util::callback fn);
 
   /// Runs events until the queue is exhausted or `deadline` is passed.
   /// Events with timestamp exactly `deadline` are executed; the clock

@@ -1,0 +1,143 @@
+// A move-only `void()` callable with small-buffer optimization, sized for
+// the simulator's hot-path closures (transport delivery lambdas, shuffle
+// timers). `std::function` heap-allocates any capture larger than two
+// pointers and drags in copyability the event queue never uses; this type
+// stores up to `inline_capacity` bytes in place and only falls back to the
+// heap for outsized captures, so scheduling a packet delivery performs no
+// allocation at all. Trivially-copyable captures (the common case: ids,
+// endpoints, raw pointers) relocate with a plain memcpy — no indirect
+// call, which matters because every event is moved slab→stack before it
+// runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nylon::util {
+
+/// Move-only type-erased `void()` callable with inline storage.
+class callback {
+ public:
+  /// Inline capture budget. 64 bytes comfortably holds the transport's
+  /// delivery closure (this + endpoints + payload_ptr + byte count); grep
+  /// for `static_assert(sizeof` at call sites before growing captures.
+  static constexpr std::size_t inline_capacity = 64;
+
+  callback() noexcept = default;
+  callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  callback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(fn));
+  }
+
+  /// Assignment from a callable constructs the capture directly in this
+  /// object's storage — the hot path for slab slots, which would
+  /// otherwise pay a temporary + relocation per event.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  callback& operator=(F&& fn) {
+    reset();
+    construct(std::forward<F>(fn));
+    return *this;
+  }
+
+  callback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  callback(callback&& other) noexcept { move_from(other); }
+
+  callback& operator=(callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  callback(const callback&) = delete;
+  callback& operator=(const callback&) = delete;
+
+  ~callback() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+ private:
+  enum class op : std::uint8_t { relocate, destroy };
+  using invoke_fn = void (*)(void*);
+  using manage_fn = void (*)(op, void* self, void* destination);
+
+  template <typename F>
+  void construct(F&& fn) {
+    using fun = std::remove_cvref_t<F>;
+    constexpr bool fits = sizeof(fun) <= inline_capacity &&
+                          alignof(fun) <= alignof(std::max_align_t);
+    if constexpr (fits && std::is_trivially_copyable_v<fun>) {
+      // Trivial inline capture: manage_ stays null; relocation is memcpy
+      // and destruction is a no-op.
+      ::new (static_cast<void*>(storage_)) fun(std::forward<F>(fn));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<fun*>(s)))(); };
+    } else if constexpr (fits && std::is_nothrow_move_constructible_v<fun>) {
+      ::new (static_cast<void*>(storage_)) fun(std::forward<F>(fn));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<fun*>(s)))(); };
+      manage_ = [](op o, void* s, void* other) {
+        auto* self = std::launder(reinterpret_cast<fun*>(s));
+        if (o == op::relocate) {
+          ::new (other) fun(std::move(*self));
+        }
+        self->~fun();
+      };
+    } else {
+      using ptr_t = fun*;
+      ::new (static_cast<void*>(storage_)) ptr_t(new fun(std::forward<F>(fn)));
+      invoke_ = [](void* s) { (**std::launder(reinterpret_cast<ptr_t*>(s)))(); };
+      manage_ = [](op o, void* s, void* other) {
+        const ptr_t p = *std::launder(reinterpret_cast<ptr_t*>(s));
+        if (o == op::relocate) {
+          ::new (other) ptr_t(p);  // steal the heap object
+        } else {
+          delete p;
+        }
+      };
+    }
+  }
+
+  void reset() noexcept {
+    if (manage_) {
+      manage_(op::destroy, storage_, nullptr);
+      manage_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+  void move_from(callback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_) {
+      manage_(op::relocate, other.storage_, storage_);
+    } else if (invoke_) {
+      std::memcpy(storage_, other.storage_, inline_capacity);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  invoke_fn invoke_ = nullptr;
+  manage_fn manage_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[inline_capacity];
+};
+
+}  // namespace nylon::util

@@ -1,5 +1,7 @@
 #include "util/rng.h"
 
+#include <cmath>
+
 namespace nylon::util {
 
 namespace {
@@ -72,6 +74,14 @@ bool rng::bernoulli(double p) noexcept {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform01() < p;
+}
+
+double rng::normal01() noexcept {
+  // Box-Muller; 1 - uniform01() maps [0, 1) to (0, 1] so the log is finite.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
 }
 
 std::vector<std::size_t> rng::sample_indices(std::size_t n, std::size_t k) {

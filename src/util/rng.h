@@ -44,6 +44,10 @@ class rng {
   /// Returns true with probability `p` (clamped to [0, 1]).
   bool bernoulli(double p) noexcept;
 
+  /// Standard normal draw (Box-Muller, two uniforms per call — no cached
+  /// second value, so the draw count per call is fixed and deterministic).
+  double normal01() noexcept;
+
   /// Picks a uniformly random element of the non-empty span.
   template <typename T>
   T& pick(std::span<T> items) {

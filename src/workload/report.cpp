@@ -71,6 +71,11 @@ void bench_report::add(const std::string& key, util::json value) {
   doc_[key] = std::move(value);
 }
 
+void bench_report::add_table(const std::string& name,
+                             const runtime::text_table& table) {
+  doc_["tables"][name] = to_json(table);
+}
+
 bool bench_report::save(const std::string& path) const {
   if (path.empty()) return true;
   try {

@@ -43,6 +43,11 @@ class bench_report {
   /// Attaches an arbitrary JSON subtree under `key`.
   void add(const std::string& key, util::json value);
 
+  /// Adds one of several named tables under "tables" (benches like
+  /// fig2 emit one table per view size; a single "table" key cannot
+  /// hold them all).
+  void add_table(const std::string& name, const runtime::text_table& table);
+
   /// Writes the document to `path`; empty path = disabled (no-op).
   /// Returns false (after logging to stderr) when the file cannot be
   /// written — a broken emitter must not abort a finished bench run.

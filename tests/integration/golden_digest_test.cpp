@@ -1,0 +1,95 @@
+// Golden-digest determinism guard: runs a mid-size churn scenario and
+// hashes the full per-round metric trajectory. The digests below were
+// produced by the pre-optimization simulator; any hot-path rework (event
+// pooling, flat NAT tables, O(1) routing, view merge indexing) must keep
+// them bit-identical. If a digest changes, either a bug crept into an
+// optimization or simulation *semantics* changed — both must be explicit,
+// reviewed decisions, never silent fallout (see DESIGN.md, "Determinism
+// contract").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/scenario.h"
+#include "workload/engine.h"
+#include "workload/report.h"
+
+namespace nylon {
+namespace {
+
+/// FNV-1a 64-bit over the serialized trajectory. Stable across platforms
+/// as long as the simulation itself is deterministic (integer sim_time,
+/// fixed IEEE-754 formatting in util::json).
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The scenario under digest: every dynamic the workload engine supports
+/// (mass departure, NAT rebind, partition + heal, Poisson churn with
+/// heavy-tailed sessions), sampled every shuffle period with full metric
+/// measurement, so the digest pins view merges, NAT state transitions,
+/// packet routing and drop accounting all at once.
+std::string run_digest(core::protocol_kind protocol, std::uint64_t seed) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 250;
+  cfg.natted_fraction = 0.6;
+  cfg.protocol = protocol;
+  cfg.gossip.view_size = 10;
+  cfg.seed = seed;
+
+  runtime::scenario world(cfg);
+  const sim::sim_time period = cfg.gossip.shuffle_period;
+
+  workload::session_distribution sessions;
+  sessions.k = workload::session_distribution::kind::pareto;
+  sessions.mean = 8 * period;
+
+  auto prog = workload::program{}
+                  .then(workload::steady(10 * period))
+                  .then(workload::mass_departure(0.25))
+                  .then(workload::steady(5 * period))
+                  .then(workload::nat_rebind(0.5))
+                  .then(workload::steady(5 * period))
+                  .then(workload::partition(0.4))
+                  .then(workload::steady(5 * period))
+                  .then(workload::heal())
+                  .then(workload::poisson_churn(10 * period, 2.0, sessions))
+                  .then(workload::steady(5 * period));
+
+  workload::engine_options opt;
+  opt.sample_interval = period;
+  workload::engine eng(world, std::move(prog), opt);
+  eng.run();
+
+  util::json doc = workload::to_json(eng.trajectory());
+  doc.push_back(static_cast<std::int64_t>(
+      world.scheduler().events_executed()));
+  doc.push_back(static_cast<std::int64_t>(world.transport().total_drops()));
+  return hex(fnv1a(doc.dump_string(0)));
+}
+
+TEST(golden_digest, nylon_trajectory) {
+  EXPECT_EQ(run_digest(core::protocol_kind::nylon, 2026),
+            "dc4291eba722db2d");
+}
+
+TEST(golden_digest, reference_trajectory) {
+  EXPECT_EQ(run_digest(core::protocol_kind::reference, 7),
+            "d88f229aa583e61f");
+}
+
+}  // namespace
+}  // namespace nylon

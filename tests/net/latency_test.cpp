@@ -50,5 +50,45 @@ TEST(latency, paper_latency_is_50ms) {
   EXPECT_EQ(model->sample(rng), sim::millis(50));
 }
 
+TEST(latency, lognormal_validates_parameters) {
+  EXPECT_THROW(lognormal_latency(0, 0.5), nylon::contract_error);
+  EXPECT_THROW(lognormal_latency(-5, 0.5), nylon::contract_error);
+  EXPECT_THROW(lognormal_latency(50, -0.1), nylon::contract_error);
+}
+
+TEST(latency, lognormal_zero_sigma_is_fixed_at_median) {
+  util::rng rng(5);
+  lognormal_latency model(sim::millis(50), 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(rng), 50);
+}
+
+TEST(latency, lognormal_median_and_tail) {
+  util::rng rng(6);
+  lognormal_latency model(sim::millis(50), 0.5);
+  int below = 0;
+  sim::sim_time max_seen = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const sim::sim_time d = model.sample(rng);
+    EXPECT_GE(d, 1);
+    if (d < 50) ++below;
+    max_seen = std::max(max_seen, d);
+  }
+  // Half the mass below the median (loose 3-sigma-ish band)...
+  EXPECT_NEAR(static_cast<double>(below) / draws, 0.5, 0.02);
+  // ...and a heavy upper tail well beyond it.
+  EXPECT_GT(max_seen, 150);
+}
+
+TEST(latency, lognormal_deterministic_per_seed) {
+  util::rng a(7);
+  util::rng b(7);
+  lognormal_latency model_a(sim::millis(50), 0.25);
+  lognormal_latency model_b(sim::millis(50), 0.25);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model_a.sample(a), model_b.sample(b));
+  }
+}
+
 }  // namespace
 }  // namespace nylon::net

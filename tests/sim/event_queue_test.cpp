@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "util/contracts.h"
+#include "util/rng.h"
 
 namespace nylon::sim {
 namespace {
@@ -97,10 +101,109 @@ TEST(event_queue, null_callback_rejected) {
   EXPECT_THROW(q.push(1, nullptr), nylon::contract_error);
 }
 
+TEST(event_queue, empty_nullable_callables_rejected) {
+  event_queue q;
+  EXPECT_THROW(q.push(1, std::function<void()>{}), nylon::contract_error);
+  void (*fn)() = nullptr;
+  EXPECT_THROW(q.push(1, fn), nylon::contract_error);
+  EXPECT_THROW(q.push(1, util::callback{}), nylon::contract_error);
+  EXPECT_TRUE(q.empty());  // no orphaned slots or buckets
+}
+
 TEST(event_handle, default_is_invalid) {
   event_handle h;
   EXPECT_FALSE(h.valid());
   h.cancel();  // must be safe
+}
+
+TEST(event_handle, copies_share_cancellation) {
+  event_queue q;
+  bool ran = false;
+  event_handle a = q.push(1, [&] { ran = true; });
+  event_handle b = a;  // copy
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(event_handle, stale_handle_cannot_cancel_recycled_slot) {
+  event_queue q;
+  event_handle first = q.push(1, [] {});
+  q.pop_and_run();  // slot recycled
+  bool ran = false;
+  q.push(2, [&] { ran = true; });  // very likely reuses the slot
+  first.cancel();                  // must be inert (generation mismatch)
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(event_handle, cancel_after_queue_destroyed_is_safe) {
+  event_handle h;
+  {
+    event_queue q;
+    h = q.push(5, [] {});
+  }
+  h.cancel();  // must not touch freed memory
+  EXPECT_TRUE(h.valid());
+}
+
+/// Differential stress test: the calendar-bucket queue must execute an
+/// arbitrary interleaving of pushes, pops and cancellations in exactly
+/// (time, insertion-seq) order — the ordering contract every simulation's
+/// bit-reproducibility rests on.
+TEST(event_queue, order_matches_reference_under_random_workload) {
+  util::rng rng(99);
+  event_queue q;
+  std::vector<int> executed;                     // event ids, in run order
+  std::vector<std::pair<sim_time, int>> live;    // reference: (time, id)
+  std::vector<event_handle> handles;
+  std::vector<int> handle_ids;
+  int next_id = 0;
+  sim_time now = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t op = rng.uniform(0, 9);
+    if (op < 6) {  // push (ids increase in insertion order)
+      const sim_time at = now + static_cast<sim_time>(rng.uniform(0, 40));
+      const int id = next_id++;
+      handles.push_back(q.push(at, [&executed, id] {
+        executed.push_back(id);
+      }));
+      handle_ids.push_back(id);
+      live.emplace_back(at, id);
+    } else if (op < 8) {  // pop one (if any)
+      if (!q.empty()) {
+        const sim_time at = q.next_time();
+        ASSERT_GE(at, now);
+        now = at;
+        q.pop_and_run();
+        // Reference: earliest (time, id) — id order IS insertion order.
+        const auto it = std::min_element(live.begin(), live.end());
+        ASSERT_NE(it, live.end());
+        ASSERT_EQ(executed.back(), it->second);
+        ASSERT_EQ(at, it->first);
+        live.erase(it);
+      }
+    } else {  // cancel a random outstanding handle
+      if (!handles.empty()) {
+        const std::size_t pick = rng.index(handles.size());
+        handles[pick].cancel();
+        const int id = handle_ids[pick];
+        std::erase_if(live, [&](const auto& e) { return e.second == id; });
+        handles.erase(handles.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+        handle_ids.erase(handle_ids.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+  }
+  while (!q.empty()) {
+    const auto it = std::min_element(live.begin(), live.end());
+    q.pop_and_run();
+    ASSERT_EQ(executed.back(), it->second);
+    live.erase(it);
+  }
+  EXPECT_TRUE(live.empty());
 }
 
 }  // namespace

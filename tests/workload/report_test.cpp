@@ -1,0 +1,45 @@
+#include "workload/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/table_printer.h"
+
+namespace nylon::workload {
+namespace {
+
+TEST(bench_report, single_table_layout_unchanged) {
+  bench_report report("demo");
+  report.param("n", 10);
+  runtime::text_table table({"a", "b"});
+  table.add_row({"1", "2"});
+  report.add("table", to_json(table));
+  const std::string doc = report.doc().dump_string(0);
+  EXPECT_NE(doc.find("\"bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"demo\""), std::string::npos);
+  EXPECT_NE(doc.find("\"table\""), std::string::npos);
+  EXPECT_NE(doc.find("\"1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"2\""), std::string::npos);
+}
+
+TEST(bench_report, holds_multiple_named_tables) {
+  bench_report report("fig2_partition");
+  runtime::text_table small({"config", "40%"});
+  small.add_row({"rand", "100"});
+  runtime::text_table large({"config", "40%"});
+  large.add_row({"rand", "99"});
+  report.add_table("view_8", small);
+  report.add_table("view_15", large);
+
+  const std::string doc = report.doc().dump_string(0);
+  const auto tables = doc.find("\"tables\"");
+  ASSERT_NE(tables, std::string::npos);
+  EXPECT_NE(doc.find("\"view_8\"", tables), std::string::npos);
+  EXPECT_NE(doc.find("\"view_15\"", tables), std::string::npos);
+  // Only one "tables" object: both live under it.
+  EXPECT_EQ(doc.find("\"tables\"", tables + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nylon::workload
