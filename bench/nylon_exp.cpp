@@ -1,0 +1,128 @@
+// The one experiment driver: executes any declarative experiment spec
+// (examples/specs/*.json) — sweep axes, probes, workload programs, table
+// and BENCH_*.json emission — replacing the hand-rolled per-figure bench
+// mains. Flags mirror the legacy sweep benches, so
+//
+//   nylon_exp examples/specs/fig3_stale.json --n 2000 --seeds 8 --json out.json
+//
+// behaves exactly like the old bench_fig3_stale did at those settings.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/spec.h"
+#include "metrics/probe.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace nylon;
+  util::flag_set flags;
+  const auto* n = flags.add_int("n", 600, "population size");
+  const auto* seeds = flags.add_int("seeds", 1, "independent seeds per point");
+  const auto* rounds =
+      flags.add_int("rounds", 100, "shuffle periods before measuring");
+  const auto* view_a =
+      flags.add_int("view-a", 8, "small view size, resolves $view_a");
+  const auto* view_b =
+      flags.add_int("view-b", 15, "large view size, resolves $view_b");
+  const auto* seed = flags.add_int("seed", 1, "base seed");
+  const auto* csv = flags.add_bool("csv", false, "emit CSV instead of a table");
+  const auto* full = flags.add_bool(
+      "full", false, "paper scale: n=10000, 30 seeds, views 15/27");
+  const auto* threads = flags.add_int(
+      "threads", 0, "worker threads across seeds (0 = all cores, 1 = serial)");
+  const auto* json = flags.add_string(
+      "json", "", "also write machine-readable results to this file");
+  const auto* latency_model = flags.add_string(
+      "latency-model", "fixed",
+      "one-way delay distribution: fixed | uniform | lognormal");
+  const auto* latency_ms = flags.add_int(
+      "latency-ms", 50,
+      "latency parameter: fixed value / uniform lower bound / "
+      "lognormal median");
+  const auto* latency_max_ms =
+      flags.add_int("latency-max-ms", 50, "uniform model upper bound");
+  const auto* latency_sigma =
+      flags.add_double("latency-sigma", 0.25, "lognormal log-space sigma");
+  const auto* trajectories = flags.add_bool(
+      "trajectories", false,
+      "record per-seed workload trajectories into the JSON report");
+  const auto* validate_only = flags.add_bool(
+      "validate", false, "parse and validate the spec, then exit");
+  const auto* list_probes =
+      flags.add_bool("list-probes", false, "list the probe registry");
+  const auto* help = flags.add_bool("help", false, "print usage");
+
+  const std::string usage_name = "nylon_exp <spec.json>";
+  std::vector<std::string> positional;
+  try {
+    positional = flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n" << flags.usage(usage_name);
+    return 1;
+  }
+  if (*help) {
+    std::cout << flags.usage(usage_name);
+    return 0;
+  }
+  if (*list_probes) {
+    for (const metrics::probe& p : metrics::all_probes()) {
+      std::cout << p.name << "\n    " << p.description << "\n";
+    }
+    return 0;
+  }
+  if (positional.size() != 1) {
+    std::cerr << "exactly one spec file expected\n" << flags.usage(usage_name);
+    return 1;
+  }
+  if (*threads < 0) {
+    std::cerr << "--threads must be >= 0 (0 = all cores)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
+  if (*latency_model != "fixed" && *latency_model != "uniform" &&
+      *latency_model != "lognormal") {
+    std::cerr << "--latency-model must be fixed, uniform or lognormal\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
+
+  runtime::spec_options opt;
+  opt.peers = static_cast<std::size_t>(*n);
+  opt.seeds = static_cast<int>(*seeds);
+  opt.rounds = static_cast<int>(*rounds);
+  opt.view_a = static_cast<std::size_t>(*view_a);
+  opt.view_b = static_cast<std::size_t>(*view_b);
+  opt.csv = *csv;
+  opt.full = *full;
+  opt.seed = static_cast<std::uint64_t>(*seed);
+  opt.threads = static_cast<int>(*threads);
+  opt.json = *json;
+  opt.latency_model = *latency_model;
+  opt.latency_ms = *latency_ms;
+  opt.latency_max_ms = *latency_max_ms;
+  opt.latency_sigma = *latency_sigma;
+  opt.trajectories = *trajectories;
+  if (opt.full) {
+    opt.peers = 10000;
+    opt.seeds = 30;
+    opt.rounds = 600;
+    opt.view_a = 15;
+    opt.view_b = 27;
+  }
+
+  try {
+    const runtime::experiment_spec spec =
+        runtime::load_spec_file(positional.front());
+    if (*validate_only) {
+      std::cout << positional.front() << ": ok (" << spec.name << ")\n";
+      return 0;
+    }
+    runtime::run_spec(spec, opt, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "nylon_exp: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

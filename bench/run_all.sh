@@ -5,6 +5,10 @@
 #
 # Defaults: BUILD_DIR=build, OUT_DIR=bench_results. Extra flags are passed
 # to every bench (e.g. --full, --threads 0, --n 2000).
+#
+# Most figure reproductions are declarative experiment specs executed by
+# the nylon_exp driver (examples/specs/*.json); the rest are stand-alone
+# binaries that still own their sweep loops.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -12,20 +16,39 @@ OUT_DIR="${2:-bench_results}"
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
+SPEC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)/examples/specs"
+
 if [ ! -d "$BUILD_DIR" ]; then
   echo "build dir '$BUILD_DIR' not found — run: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
 fi
 mkdir -p "$OUT_DIR"
 
+# Declarative studies: one spec file each, all executed by nylon_exp.
+SPEC_BENCHES="fig2_partition fig3_stale fig4_randomness fig7_bandwidth \
+ablation_protocols ablation_ttl latency_sensitivity churn_recovery"
 # Benches that take the common sweep flags (--threads/--json/...).
-SWEEP_BENCHES="bench_fig2_partition bench_fig3_stale bench_fig4_randomness \
-bench_fig7_bandwidth bench_fig8_load_balance bench_fig9_rvp_chain \
-bench_fig10_churn bench_ablation_protocols bench_ablation_ttl"
+SWEEP_BENCHES="bench_fig8_load_balance bench_fig9_rvp_chain bench_fig10_churn"
 # Benches with their own CLI (no JSON emitter yet).
 PLAIN_BENCHES="bench_table1_traversal bench_sec5_correctness"
 
 status=0
+if [ -x "$BUILD_DIR/nylon_exp" ]; then
+  for spec in $SPEC_BENCHES; do
+    echo "== $spec (spec) =="
+    if "$BUILD_DIR/nylon_exp" "$SPEC_DIR/$spec.json" \
+        --json "$OUT_DIR/BENCH_${spec}.json" "$@" \
+        > "$OUT_DIR/spec_${spec}.txt" 2>&1; then
+      tail -n +1 "$OUT_DIR/spec_${spec}.txt" | head -5
+    else
+      echo "FAILED — see $OUT_DIR/spec_${spec}.txt" >&2
+      status=1
+    fi
+  done
+else
+  echo "== skip spec benches (nylon_exp not built) =="
+fi
+
 for bench in $SWEEP_BENCHES; do
   exe="$BUILD_DIR/$bench"
   if [ ! -x "$exe" ]; then

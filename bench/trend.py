@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Trend line over accumulated BENCH_scale.json artifacts.
+
+CI uploads one BENCH_scale.json per run; pointing this script at a
+directory of downloaded artifacts (or at individual files) prints the
+events/s trend so per-PR scale regressions are visible at a glance:
+
+    bench/trend.py artifacts_dir
+    bench/trend.py run1/BENCH_scale.json run2/BENCH_scale.json
+
+Files are ordered by modification time (oldest first) unless given
+explicitly, in which case argument order is kept. Exits non-zero when the
+newest run is more than --threshold percent slower than the best run, so
+CI can flag regressions; with a single file it just prints the one row.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def collect(paths):
+    """Expands directories into the BENCH_scale*.json files they hold."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            hits = []
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.startswith("BENCH_scale") and name.endswith(".json"):
+                        hits.append(os.path.join(root, name))
+            hits.sort(key=lambda p: (os.path.getmtime(p), p))
+            files.extend(hits)
+        else:
+            files.append(path)
+    return files
+
+
+def load_row(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("bench") != "scale":
+        raise ValueError(f"{path}: not a BENCH_scale.json document")
+    params = doc.get("params", {})
+    results = doc.get("results", {})
+    return {
+        "path": path,
+        "n": params.get("n"),
+        "events": results.get("events_executed"),
+        "events_per_sec": results.get("events_per_sec"),
+        "run_wall_s": results.get("run_wall_s"),
+        "biggest_cluster_pct": results.get("biggest_cluster_pct"),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="events/s trend over BENCH_scale.json artifacts")
+    parser.add_argument("paths", nargs="+",
+                        help="BENCH_scale.json files or directories of them")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="fail when the newest run is this %% slower than "
+                             "the best (0 = never fail)")
+    args = parser.parse_args()
+
+    files = collect(args.paths)
+    if not files:
+        print("no BENCH_scale*.json files found", file=sys.stderr)
+        return 1
+
+    rows = [load_row(path) for path in files]
+    header = f"{'run':<40} {'n':>8} {'events':>12} {'events/s':>12} {'vs prev':>9} {'vs best':>9}"
+    print(header)
+    print("-" * len(header))
+    best = max(r["events_per_sec"] or 0.0 for r in rows)
+    prev = None
+    for row in rows:
+        eps = row["events_per_sec"] or 0.0
+        vs_prev = f"{100.0 * (eps / prev - 1.0):+8.1f}%" if prev else "        -"
+        vs_best = f"{100.0 * (eps / best - 1.0):+8.1f}%" if best else "        -"
+        label = os.path.relpath(row["path"])
+        if len(label) > 40:
+            label = "..." + label[-37:]
+        print(f"{label:<40} {row['n'] or 0:>8} {row['events'] or 0:>12} "
+              f"{eps:>12.0f} {vs_prev} {vs_best}")
+        prev = eps
+
+    newest = rows[-1]["events_per_sec"] or 0.0
+    if args.threshold > 0 and best > 0:
+        drop = 100.0 * (1.0 - newest / best)
+        if drop > args.threshold:
+            print(f"REGRESSION: newest run is {drop:.1f}% below the best "
+                  f"({newest:.0f} vs {best:.0f} events/s)", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

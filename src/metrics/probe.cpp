@@ -1,0 +1,186 @@
+#include "metrics/probe.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "core/nylon_peer.h"
+#include "metrics/bandwidth.h"
+#include "metrics/graph_analysis.h"
+#include "metrics/randomness.h"
+#include "runtime/scenario.h"
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace nylon::metrics {
+
+namespace {
+
+cluster_metrics clusters_of(const probe_context& ctx) {
+  return measure_clusters(ctx.world.transport(), ctx.world.peers(),
+                          ctx.oracle);
+}
+
+view_metrics views_of(const probe_context& ctx) {
+  return measure_views(ctx.world.transport(), ctx.world.peers(), ctx.oracle);
+}
+
+bandwidth_report bandwidth_of(const probe_context& ctx) {
+  if (ctx.measure_window <= 0) return bandwidth_report{};
+  return measure_bandwidth(ctx.world.transport(), ctx.world.peers(),
+                           ctx.measure_window);
+}
+
+/// Aggregated Nylon hole-punching statistics over every peer created in
+/// the run (dead peers keep their counters, exactly like the hand-rolled
+/// ablation benches summed them). All zero for non-Nylon protocols.
+struct punch_totals {
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;
+  util::running_stats chains;
+};
+
+punch_totals punches_of(const probe_context& ctx) {
+  punch_totals out;
+  for (const auto& p : ctx.world.peers()) {
+    const auto* np = dynamic_cast<const core::nylon_peer*>(p.get());
+    if (np == nullptr) continue;
+    out.started += np->nat_stats().punches_started;
+    out.completed += np->nat_stats().punches_completed;
+    out.expired += np->nat_stats().punches_expired;
+    out.chains.merge(np->nat_stats().punch_chain_hops);
+  }
+  return out;
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole > 0
+             ? 100.0 * static_cast<double>(part) / static_cast<double>(whole)
+             : 0.0;
+}
+
+// Registry, alphabetical by name. Every entry is a plain function so the
+// table stays constexpr-constructible and trivially inspectable.
+constexpr std::array probes{
+    probe{"all_bytes_per_s",
+          "mean bytes/s sent+received per alive peer (Fig. 7)",
+          [](const probe_context& ctx) {
+            return bandwidth_of(ctx).all_bytes_per_s;
+          }},
+    probe{"alive_count", "number of alive peers",
+          [](const probe_context& ctx) {
+            return static_cast<double>(ctx.world.alive_count());
+          }},
+    probe{"biggest_cluster_pct",
+          "biggest connected cluster, % of alive peers (Figs. 2, 10)",
+          [](const probe_context& ctx) {
+            return clusters_of(ctx).biggest_cluster_pct;
+          }},
+    probe{"cluster_count", "number of connected clusters",
+          [](const probe_context& ctx) {
+            return static_cast<double>(clusters_of(ctx).cluster_count);
+          }},
+    probe{"dead_pct", "% of view entries pointing at departed peers",
+          [](const probe_context& ctx) {
+            const view_metrics v = views_of(ctx);
+            return pct(v.dead_entries, v.total_entries);
+          }},
+    probe{"fresh_natted_pct",
+          "% of non-stale view entries pointing at natted peers (Fig. 4)",
+          [](const probe_context& ctx) {
+            return views_of(ctx).fresh_natted_pct;
+          }},
+    probe{"indegree_chi2_p",
+          "chi-square p-value of the in-degree distribution vs uniform",
+          [](const probe_context& ctx) {
+            const std::vector<std::size_t> degrees =
+                in_degrees(ctx.world.transport(), ctx.world.peers());
+            if (degrees.size() < 2) return 1.0;
+            std::vector<std::uint64_t> counts(degrees.begin(), degrees.end());
+            std::uint64_t total = 0;
+            for (const std::uint64_t c : counts) total += c;
+            if (total == 0) return 1.0;
+            return chi_square_uniform(counts).p_value;
+          }},
+    probe{"mean_punch_chain",
+          "mean rendez-vous chain length of completed punches (Nylon)",
+          [](const probe_context& ctx) {
+            const punch_totals t = punches_of(ctx);
+            return t.chains.count() ? t.chains.mean() : 0.0;
+          }},
+    probe{"mean_usable_out_degree",
+          "mean usable (reachable, fresh) view out-degree",
+          [](const probe_context& ctx) {
+            return clusters_of(ctx).mean_usable_out_degree;
+          }},
+    probe{"natted_bytes_per_s", "mean bytes/s per natted peer (Fig. 8)",
+          [](const probe_context& ctx) {
+            return bandwidth_of(ctx).natted_bytes_per_s;
+          }},
+    probe{"public_bytes_per_s", "mean bytes/s per public peer (Fig. 8)",
+          [](const probe_context& ctx) {
+            return bandwidth_of(ctx).public_bytes_per_s;
+          }},
+    probe{"punch_expired_pct",
+          "% of hole punches that expired without a PONG (traversal "
+          "failures, Nylon)",
+          [](const probe_context& ctx) {
+            const punch_totals t = punches_of(ctx);
+            return pct(t.expired, t.started);
+          }},
+    probe{"punch_success_pct",
+          "% of started hole punches that completed (Nylon)",
+          [](const probe_context& ctx) {
+            const punch_totals t = punches_of(ctx);
+            return pct(t.completed, t.started);
+          }},
+    probe{"received_bytes_per_s", "mean receive-side bytes/s per peer",
+          [](const probe_context& ctx) {
+            return bandwidth_of(ctx).received_bytes_per_s;
+          }},
+    probe{"sent_bytes_per_s", "mean send-side bytes/s per peer",
+          [](const probe_context& ctx) {
+            return bandwidth_of(ctx).sent_bytes_per_s;
+          }},
+    probe{"shuffle_success_pct",
+          "% of initiated shuffles that got a response",
+          [](const probe_context& ctx) {
+            std::uint64_t initiated = 0;
+            std::uint64_t responses = 0;
+            for (const auto& p : ctx.world.peers()) {
+              initiated += p->stats().initiated;
+              responses += p->stats().responses_received;
+            }
+            return pct(responses, initiated);
+          }},
+    probe{"stale_pct", "% of stale view references (Fig. 3)",
+          [](const probe_context& ctx) { return views_of(ctx).stale_pct; }},
+};
+
+}  // namespace
+
+const probe* find_probe(std::string_view name) noexcept {
+  for (const probe& p : probes) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::span<const probe> all_probes() noexcept { return probes; }
+
+std::vector<double> run_probes(std::span<const std::string> names,
+                               const probe_context& ctx) {
+  std::vector<double> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    const probe* p = find_probe(name);
+    if (p == nullptr) {
+      throw contract_error("unknown probe \"" + name + "\"");
+    }
+    out.push_back(p->run(ctx));
+  }
+  return out;
+}
+
+}  // namespace nylon::metrics

@@ -1,0 +1,53 @@
+// Named measurement probes: the bridge between a finished (or paused)
+// runtime::scenario and the numbers the figure tables report. Each probe
+// wraps one of the existing metric calls (measure_clusters /
+// measure_views / measure_bandwidth / randomness / NAT-traversal
+// statistics) as a registered `name -> scalar` function, so experiment
+// specs can declare *which* measurements to record instead of hand-wiring
+// the calls in a bench main.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/reachability.h"
+#include "sim/time.h"
+
+namespace nylon::runtime {
+class scenario;
+}  // namespace nylon::runtime
+
+namespace nylon::metrics {
+
+/// Everything a probe may look at. The oracle is built once per run and
+/// shared across all probes evaluated on the same scenario state.
+struct probe_context {
+  runtime::scenario& world;
+  const reachability_oracle& oracle;
+  /// Simulated time since the transport's traffic counters were last
+  /// reset; rate probes (bytes/s) return 0 when it is 0.
+  sim::sim_time measure_window = 0;
+};
+
+/// One registered probe: a named scalar measurement with a short
+/// description (shown by `nylon_exp --list-probes`).
+struct probe {
+  std::string_view name;
+  std::string_view description;
+  double (*run)(const probe_context&);
+};
+
+/// Looks a probe up by name; nullptr when unknown.
+[[nodiscard]] const probe* find_probe(std::string_view name) noexcept;
+
+/// The full registry, in stable (alphabetical) order.
+[[nodiscard]] std::span<const probe> all_probes() noexcept;
+
+/// Evaluates `names` in order against one shared context. Throws
+/// nylon::contract_error on an unknown name.
+[[nodiscard]] std::vector<double> run_probes(
+    std::span<const std::string> names, const probe_context& ctx);
+
+}  // namespace nylon::metrics

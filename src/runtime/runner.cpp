@@ -99,4 +99,32 @@ std::vector<seed_aggregate> run_seeds_multi(
   return out;
 }
 
+multi_seed_result run_seeds_multi_captured(
+    int seed_count, std::uint64_t base_seed, std::size_t metric_count,
+    const std::function<std::vector<double>(std::uint64_t seed,
+                                            util::json& capture)>& experiment,
+    run_options opt) {
+  NYLON_EXPECTS(seed_count > 0);
+  NYLON_EXPECTS(metric_count > 0);
+  multi_seed_result out;
+  out.aggregates.resize(metric_count);
+  for (seed_aggregate& agg : out.aggregates) {
+    agg.values.resize(static_cast<std::size_t>(seed_count));
+  }
+  out.captures.resize(static_cast<std::size_t>(seed_count));
+  for_each_index(seed_count, resolve_threads(opt, seed_count), [&](int i) {
+    const std::vector<double> metrics = experiment(
+        util::derive_seed(base_seed, static_cast<std::uint64_t>(i)),
+        out.captures[static_cast<std::size_t>(i)]);
+    NYLON_EXPECTS(metrics.size() == metric_count);
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      out.aggregates[m].values[static_cast<std::size_t>(i)] = metrics[m];
+    }
+  });
+  for (seed_aggregate& agg : out.aggregates) {
+    agg.stats = util::summarize(agg.values);
+  }
+  return out;
+}
+
 }  // namespace nylon::runtime

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "util/json.h"
 #include "util/stats.h"
 
 namespace nylon::runtime {
@@ -43,6 +44,24 @@ struct run_options {
 [[nodiscard]] std::vector<seed_aggregate> run_seeds_multi(
     int seed_count, std::uint64_t base_seed, std::size_t metric_count,
     const std::function<std::vector<double>(std::uint64_t seed)>& experiment,
+    run_options opt = {});
+
+/// Multi-metric aggregates plus one opaque JSON capture per seed —
+/// the opt-in channel for rich per-seed artifacts (e.g. workload
+/// trajectory snapshots) that scalar aggregation would flatten away.
+struct multi_seed_result {
+  std::vector<seed_aggregate> aggregates;  ///< one per metric index
+  std::vector<util::json> captures;        ///< per-seed, in seed order
+};
+
+/// Like run_seeds_multi, but the experiment may additionally fill
+/// `capture` with arbitrary JSON (left null when it does not). Captures
+/// are stored by seed index, so the result is bit-identical to a serial
+/// run regardless of `opt.threads`.
+[[nodiscard]] multi_seed_result run_seeds_multi_captured(
+    int seed_count, std::uint64_t base_seed, std::size_t metric_count,
+    const std::function<std::vector<double>(std::uint64_t seed,
+                                            util::json& capture)>& experiment,
     run_options opt = {});
 
 }  // namespace nylon::runtime

@@ -1,0 +1,966 @@
+#include "runtime/spec.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <initializer_list>
+#include <ostream>
+#include <span>
+
+#include "core/peer_factory.h"
+#include "gossip/policies.h"
+#include "metrics/probe.h"
+#include "runtime/experiment_config.h"
+#include "runtime/runner.h"
+#include "runtime/scenario.h"
+#include "runtime/table_printer.h"
+#include "util/contracts.h"
+#include "workload/engine.h"
+#include "workload/program.h"
+#include "workload/report.h"
+
+namespace nylon::runtime {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw contract_error("experiment spec: " + what);
+}
+
+/// Rejects unknown keys so a typo runs nothing instead of the wrong study.
+void ensure_keys(const util::json& j,
+                 std::initializer_list<std::string_view> allowed,
+                 const char* what) {
+  util::require_known_keys(j, allowed, what, "experiment spec: ");
+}
+
+/// The raw token of a JSON scalar, preserving the literal's spelling
+/// ("40" stays "40", 0.25 stays "0.25") so it doubles as the row label.
+std::string token_of(const util::json& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_int()) return std::to_string(v.as_int());
+  if (v.is_double()) {
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v.as_double());
+    NYLON_ENSURES(ec == std::errc{});
+    return std::string(buf, end);
+  }
+  bad("axis / setting values must be numbers or strings");
+}
+
+/// Resolves a value token to a number. "$view_a"/"$view_b" refer to the
+/// driver options (the legacy --view-a/--view-b flags).
+double numeric_token(const std::string& key, const std::string& token,
+                     const spec_options& opt) {
+  if (token == "$view_a") return static_cast<double>(opt.view_a);
+  if (token == "$view_b") return static_cast<double>(opt.view_b);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size() ||
+      errno == ERANGE) {
+    bad("\"" + key + "\" value \"" + token + "\" is not a number");
+  }
+  return v;
+}
+
+std::size_t count_token(const std::string& key, const std::string& token,
+                        const spec_options& opt) {
+  const double v = numeric_token(key, token, opt);
+  if (v < 0 || v != std::floor(v)) {
+    bad("\"" + key + "\" value \"" + token +
+        "\" must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Applies one key=value override to a config and returns the table
+/// label of the value ("nylon", "40", "pushpull,rand,healer", ...).
+std::string apply_setting(experiment_config& cfg, const std::string& key,
+                          const std::string& token, const spec_options& opt) {
+  const bool symbolic = token == "$view_a" || token == "$view_b";
+  if (key == "peers") {
+    cfg.peer_count = count_token(key, token, opt);
+    return token;
+  }
+  if (key == "natted_pct") {
+    const double v = numeric_token(key, token, opt);
+    if (v < 0 || v > 100) bad("\"natted_pct\" must be within [0, 100]");
+    cfg.natted_fraction = v / 100.0;
+    return token;
+  }
+  if (key == "natted_fraction") {
+    const double v = numeric_token(key, token, opt);
+    if (v < 0 || v > 1) bad("\"natted_fraction\" must be within [0, 1]");
+    cfg.natted_fraction = v;
+    return token;
+  }
+  if (key == "view_size") {
+    const std::size_t v = count_token(key, token, opt);
+    if (v == 0) bad("\"view_size\" must be positive");
+    cfg.gossip.view_size = v;
+    return symbolic ? std::to_string(v) : token;
+  }
+  if (key == "baseline_config") {
+    const std::size_t i = count_token(key, token, opt);
+    if (i >= gossip::baseline_config_count()) {
+      bad("\"baseline_config\" index out of range");
+    }
+    cfg.gossip = gossip::baseline_config(static_cast<std::uint8_t>(i),
+                                         cfg.gossip.view_size);
+    return gossip::config_label(cfg.gossip);
+  }
+  if (key == "protocol") {
+    if (token == "reference") {
+      cfg.protocol = core::protocol_kind::reference;
+    } else if (token == "nylon") {
+      cfg.protocol = core::protocol_kind::nylon;
+    } else if (token == "arrg") {
+      cfg.protocol = core::protocol_kind::arrg;
+    } else {
+      bad("unknown protocol \"" + token + "\" (reference | nylon | arrg)");
+    }
+    return token;
+  }
+  if (key == "mix") {
+    if (token == "paper") {
+      cfg.mix = nat::paper_mix();
+    } else if (token == "prc_only") {
+      cfg.mix = nat::prc_only_mix();
+    } else {
+      bad("unknown mix \"" + token + "\" (paper | prc_only)");
+    }
+    return token;
+  }
+  if (key == "selection") {
+    if (token == "rand") {
+      cfg.gossip.selection = gossip::selection_policy::rand;
+    } else if (token == "tail") {
+      cfg.gossip.selection = gossip::selection_policy::tail;
+    } else {
+      bad("unknown selection \"" + token + "\" (rand | tail)");
+    }
+    return token;
+  }
+  if (key == "propagation") {
+    if (token == "push") {
+      cfg.gossip.propagation = gossip::propagation_policy::push;
+    } else if (token == "pushpull") {
+      cfg.gossip.propagation = gossip::propagation_policy::pushpull;
+    } else {
+      bad("unknown propagation \"" + token + "\" (push | pushpull)");
+    }
+    return token;
+  }
+  if (key == "merge") {
+    if (token == "blind") {
+      cfg.gossip.merge = gossip::merge_policy::blind;
+    } else if (token == "healer") {
+      cfg.gossip.merge = gossip::merge_policy::healer;
+    } else if (token == "swapper") {
+      cfg.gossip.merge = gossip::merge_policy::swapper;
+    } else {
+      bad("unknown merge \"" + token + "\" (blind | healer | swapper)");
+    }
+    return token;
+  }
+  if (key == "shuffle_period_s") {
+    const double v = numeric_token(key, token, opt);
+    if (v <= 0) bad("\"shuffle_period_s\" must be positive");
+    cfg.gossip.shuffle_period =
+        static_cast<sim::sim_time>(std::llround(v * 1000.0));
+    return token;
+  }
+  if (key == "hole_timeout_s") {
+    const double v = numeric_token(key, token, opt);
+    if (v <= 0) bad("\"hole_timeout_s\" must be positive");
+    cfg.hole_timeout = static_cast<sim::sim_time>(std::llround(v * 1000.0));
+    return token;
+  }
+  if (key == "latency_model") {
+    if (token == "fixed") {
+      cfg.latency_model = experiment_config::latency_kind::fixed;
+    } else if (token == "uniform") {
+      cfg.latency_model = experiment_config::latency_kind::uniform;
+    } else if (token == "lognormal") {
+      cfg.latency_model = experiment_config::latency_kind::lognormal;
+    } else {
+      bad("unknown latency_model \"" + token +
+          "\" (fixed | uniform | lognormal)");
+    }
+    return token;
+  }
+  if (key == "latency_ms") {
+    cfg.latency = static_cast<sim::sim_time>(count_token(key, token, opt));
+    return token;
+  }
+  if (key == "latency_max_ms") {
+    cfg.latency_max = static_cast<sim::sim_time>(count_token(key, token, opt));
+    return token;
+  }
+  if (key == "latency_sigma") {
+    const double v = numeric_token(key, token, opt);
+    if (v <= 0) bad("\"latency_sigma\" must be positive");
+    cfg.latency_sigma = v;
+    return token;
+  }
+  if (key == "loss_rate") {
+    const double v = numeric_token(key, token, opt);
+    if (v < 0 || v > 1) bad("\"loss_rate\" must be within [0, 1]");
+    cfg.loss_rate = v;
+    return token;
+  }
+  bad("unknown config key \"" + key + "\"");
+}
+
+/// Replaces $view_a / $view_b in header text with the resolved sizes.
+std::string subst_views(std::string text, const spec_options& opt) {
+  for (const auto& [token, value] :
+       {std::pair<std::string_view, std::size_t>{"$view_a", opt.view_a},
+        std::pair<std::string_view, std::size_t>{"$view_b", opt.view_b}}) {
+    for (std::size_t at = text.find(token); at != std::string::npos;
+         at = text.find(token, at)) {
+      text.replace(at, token.size(), std::to_string(value));
+    }
+  }
+  return text;
+}
+
+/// Replaces the first "{}" with `label` (section / table-key patterns).
+std::string subst_braces(std::string pattern, const std::string& label) {
+  const std::size_t at = pattern.find("{}");
+  if (at != std::string::npos) pattern.replace(at, 2, label);
+  return pattern;
+}
+
+std::vector<spec_setting> settings_from_json(const util::json& j,
+                                             const char* what) {
+  if (!j.is_object()) bad(std::string(what) + " must be an object");
+  std::vector<spec_setting> out;
+  out.reserve(j.size());
+  for (const auto& [key, value] : j.object_items()) {
+    out.emplace_back(key, token_of(value));
+  }
+  return out;
+}
+
+std::vector<std::string> values_from_json(const util::json& j,
+                                          const char* what) {
+  std::vector<std::string> out;
+  if (const util::json* values = j.find("values")) {
+    if (j.find("range") != nullptr) {
+      bad(std::string(what) + ": \"values\" and \"range\" are exclusive");
+    }
+    if (!values->is_array() || values->size() == 0) {
+      bad(std::string(what) + ": \"values\" must be a non-empty array");
+    }
+    for (const util::json& v : values->array_items()) {
+      out.push_back(token_of(v));
+    }
+    return out;
+  }
+  const util::json* range = j.find("range");
+  if (range == nullptr) {
+    bad(std::string(what) + ": one of \"values\" / \"range\" required");
+  }
+  ensure_keys(*range, {"from", "to", "step"}, "range");
+  const util::json* from = range->find("from");
+  const util::json* to = range->find("to");
+  const util::json* step = range->find("step");
+  if (from == nullptr || to == nullptr || !from->is_int() || !to->is_int()) {
+    bad(std::string(what) + ": range needs integer \"from\" / \"to\"");
+  }
+  std::int64_t stride = 1;
+  if (step != nullptr) {
+    if (!step->is_int() || step->as_int() <= 0) {
+      bad(std::string(what) + ": range \"step\" must be a positive integer");
+    }
+    stride = step->as_int();
+  }
+  if (to->as_int() < from->as_int()) {
+    bad(std::string(what) + ": range \"to\" below \"from\"");
+  }
+  for (std::int64_t v = from->as_int(); v <= to->as_int(); v += stride) {
+    out.push_back(std::to_string(v));
+  }
+  return out;
+}
+
+spec_axis axis_from_json(const util::json& j, bool needs_header,
+                         const char* what) {
+  ensure_keys(j, {"axis", "header", "values", "range"}, what);
+  spec_axis out;
+  const util::json* key = j.find("axis");
+  if (key == nullptr || !key->is_string()) {
+    bad(std::string(what) + " needs an \"axis\" key name");
+  }
+  out.key = key->as_string();
+  if (const util::json* header = j.find("header")) {
+    if (!header->is_string()) bad("axis \"header\" must be a string");
+    out.header = header->as_string();
+  } else if (needs_header) {
+    bad(std::string(what) + " needs a \"header\"");
+  }
+  out.values = values_from_json(j, what);
+  return out;
+}
+
+int precision_from_json(const util::json& j) {
+  const util::json* p = j.find("precision");
+  if (p == nullptr) return 1;
+  if (!p->is_int() || p->as_int() < 0 || p->as_int() > 9) {
+    bad("\"precision\" must be an integer in [0, 9]");
+  }
+  return static_cast<int>(p->as_int());
+}
+
+std::vector<spec_column> columns_from_json(const util::json& j) {
+  if (!j.is_array() || j.size() == 0) {
+    bad("\"columns\" must be a non-empty array");
+  }
+  std::vector<spec_column> out;
+  for (const util::json& c : j.array_items()) {
+    if (!c.is_object()) bad("column entries must be objects");
+
+    if (const util::json* sweep = c.find("sweep")) {
+      // Sugar: one column per swept value; "{}" in the header pattern
+      // becomes the value token.
+      ensure_keys(c, {"sweep", "header", "probe", "set", "precision"},
+                  "sweep column");
+      const spec_axis axis = axis_from_json(*sweep, false, "column sweep");
+      const util::json* header = c.find("header");
+      const util::json* probe = c.find("probe");
+      if (header == nullptr || !header->is_string()) {
+        bad("sweep column needs a \"header\" pattern");
+      }
+      if (probe == nullptr || !probe->is_string()) {
+        bad("sweep column needs a \"probe\"");
+      }
+      for (const std::string& token : axis.values) {
+        spec_column col;
+        col.k = spec_column::kind::probe;
+        col.header = subst_braces(header->as_string(), token);
+        if (const util::json* set = c.find("set")) {
+          col.set = settings_from_json(*set, "column \"set\"");
+        }
+        col.set.emplace_back(axis.key, token);
+        col.probe = probe->as_string();
+        col.precision = precision_from_json(c);
+        out.push_back(std::move(col));
+      }
+      continue;
+    }
+
+    spec_column col;
+    const util::json* header = c.find("header");
+    if (header == nullptr || !header->is_string()) {
+      bad("every column needs a \"header\"");
+    }
+    col.header = header->as_string();
+    col.precision = precision_from_json(c);
+
+    if (const util::json* ratio = c.find("ratio")) {
+      ensure_keys(c, {"header", "ratio", "precision"}, "ratio column");
+      if (!ratio->is_array() || ratio->size() != 2 ||
+          !ratio->at(std::size_t{0}).is_int() ||
+          !ratio->at(std::size_t{1}).is_int()) {
+        bad("\"ratio\" must be [numerator_index, denominator_index]");
+      }
+      col.k = spec_column::kind::ratio;
+      col.ratio_num = static_cast<int>(ratio->at(std::size_t{0}).as_int());
+      col.ratio_den = static_cast<int>(ratio->at(std::size_t{1}).as_int());
+    } else if (const util::json* rv = c.find("row_value")) {
+      ensure_keys(c, {"header", "row_value", "precision"}, "row_value column");
+      if (!rv->is_bool() || !rv->as_bool()) {
+        bad("\"row_value\" must be true when present");
+      }
+      col.k = spec_column::kind::row_value;
+    } else {
+      ensure_keys(c, {"header", "probe", "set", "precision"}, "probe column");
+      const util::json* probe = c.find("probe");
+      if (probe == nullptr || !probe->is_string()) {
+        bad("column \"" + col.header + "\" needs a \"probe\"");
+      }
+      col.k = spec_column::kind::probe;
+      col.probe = probe->as_string();
+      if (const util::json* set = c.find("set")) {
+        col.set = settings_from_json(*set, "column \"set\"");
+      }
+    }
+    out.push_back(std::move(col));
+  }
+  return out;
+}
+
+std::vector<spec_probe> probes_from_json(const util::json& j) {
+  if (!j.is_array() || j.size() == 0) {
+    bad("\"probes\" must be a non-empty array");
+  }
+  std::vector<spec_probe> out;
+  for (const util::json& p : j.array_items()) {
+    ensure_keys(p, {"probe", "header", "precision"}, "probe entry");
+    spec_probe entry;
+    const util::json* name = p.find("probe");
+    if (name == nullptr || !name->is_string()) {
+      bad("probe entries need a \"probe\" name");
+    }
+    entry.probe = name->as_string();
+    const util::json* header = p.find("header");
+    entry.header = header != nullptr && header->is_string()
+                       ? header->as_string()
+                       : entry.probe;
+    entry.precision = precision_from_json(p);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+void experiment_spec::validate() const {
+  if (name.empty()) bad("\"name\" is required");
+  if (rows.empty()) bad("at least one row axis is required");
+  const bool has_columns = !columns.empty();
+  const bool has_probes = !probes.empty();
+  if (has_columns == has_probes) {
+    bad("exactly one of \"columns\" / \"probes\" is required");
+  }
+
+  // Dry-run every override against a scratch config with default driver
+  // options: catches unknown keys and malformed tokens up front.
+  const spec_options defaults;
+  experiment_config scratch;
+  for (const auto& [key, token] : base) {
+    apply_setting(scratch, key, token, defaults);
+  }
+  if (split.has_value()) {
+    if (split->axis.values.empty()) bad("split axis needs values");
+    if (split->table_key.empty()) bad("split needs a \"table_key\"");
+    for (const std::string& token : split->axis.values) {
+      apply_setting(scratch, split->axis.key, token, defaults);
+    }
+  }
+  for (const spec_axis& axis : rows) {
+    if (axis.values.empty()) bad("row axis \"" + axis.key + "\" needs values");
+    for (const std::string& token : axis.values) {
+      apply_setting(scratch, axis.key, token, defaults);
+    }
+  }
+
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    const spec_column& col = columns[j];
+    switch (col.k) {
+      case spec_column::kind::probe: {
+        if (metrics::find_probe(col.probe) == nullptr) {
+          bad("unknown probe \"" + col.probe + "\"");
+        }
+        experiment_config cfg = scratch;
+        for (const auto& [key, token] : col.set) {
+          apply_setting(cfg, key, token, defaults);
+        }
+        break;
+      }
+      case spec_column::kind::ratio: {
+        const auto in_range = [&](int i) {
+          return i >= 0 && static_cast<std::size_t>(i) < j &&
+                 columns[static_cast<std::size_t>(i)].k ==
+                     spec_column::kind::probe;
+        };
+        if (!in_range(col.ratio_num) || !in_range(col.ratio_den)) {
+          bad("ratio column \"" + col.header +
+              "\" must reference earlier probe columns");
+        }
+        break;
+      }
+      case spec_column::kind::row_value:
+        break;
+    }
+  }
+  for (const spec_probe& p : probes) {
+    if (metrics::find_probe(p.probe) == nullptr) {
+      bad("unknown probe \"" + p.probe + "\"");
+    }
+  }
+
+  if (!warmup.empty() && warmup != "half") {
+    const std::size_t v = count_token("warmup", warmup, defaults);
+    (void)v;
+  }
+  for (const std::string& p : report_params) {
+    if (p != "peers" && p != "seeds" && p != "rounds" && p != "seed" &&
+        p != "workload") {
+      bad("unknown report param \"" + p + "\"");
+    }
+  }
+  if (workload.has_value()) {
+    // Validates phases / sessions; the period only scales durations.
+    (void)workload::program_from_json(*workload, sim::seconds(5));
+    if (!warmup.empty()) {
+      bad("\"warmup\" has no effect with a \"workload\" (the program "
+          "defines the timeline; add a steady phase instead)");
+    }
+  } else if (trajectories) {
+    bad("\"trajectories\" requires a \"workload\"");
+  }
+  if (trajectory_sample_periods < 0) {
+    bad("\"trajectory_sample_periods\" must be >= 0");
+  }
+}
+
+experiment_spec spec_from_json(const util::json& doc) {
+  ensure_keys(doc,
+              {"name", "title", "footer", "base", "split", "rows", "columns",
+               "probes", "report_params", "warmup", "workload", "trajectories",
+               "trajectory_sample_periods"},
+              "spec");
+  experiment_spec spec;
+  const util::json* name = doc.find("name");
+  if (name == nullptr || !name->is_string()) {
+    bad("spec needs a string \"name\"");
+  }
+  spec.name = name->as_string();
+  if (const util::json* title = doc.find("title")) {
+    if (!title->is_string()) bad("\"title\" must be a string");
+    spec.title = title->as_string();
+  }
+  if (const util::json* footer = doc.find("footer")) {
+    if (!footer->is_array()) bad("\"footer\" must be an array of strings");
+    for (const util::json& line : footer->array_items()) {
+      if (!line.is_string()) bad("\"footer\" must be an array of strings");
+      spec.footer.push_back(line.as_string());
+    }
+  }
+  if (const util::json* base = doc.find("base")) {
+    spec.base = settings_from_json(*base, "\"base\"");
+  }
+  if (const util::json* split = doc.find("split")) {
+    ensure_keys(*split,
+                {"axis", "values", "range", "section", "table_key"},
+                "split");
+    spec_split s;
+    util::json axis_part = util::json::object();
+    for (const auto& [key, value] : split->object_items()) {
+      if (key == "axis" || key == "values" || key == "range") {
+        axis_part[key] = value;
+      }
+    }
+    s.axis = axis_from_json(axis_part, false, "split");
+    if (const util::json* section = split->find("section")) {
+      if (!section->is_string()) bad("split \"section\" must be a string");
+      s.section = section->as_string();
+    }
+    const util::json* table_key = split->find("table_key");
+    if (table_key == nullptr || !table_key->is_string()) {
+      bad("split needs a string \"table_key\"");
+    }
+    s.table_key = table_key->as_string();
+    spec.split = std::move(s);
+  }
+  const util::json* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array() || rows->size() == 0) {
+    bad("spec needs a non-empty \"rows\" array");
+  }
+  for (const util::json& axis : rows->array_items()) {
+    spec.rows.push_back(axis_from_json(axis, true, "row axis"));
+  }
+  if (const util::json* columns = doc.find("columns")) {
+    spec.columns = columns_from_json(*columns);
+  }
+  if (const util::json* probes = doc.find("probes")) {
+    spec.probes = probes_from_json(*probes);
+  }
+  if (const util::json* params = doc.find("report_params")) {
+    if (!params->is_array()) bad("\"report_params\" must be an array");
+    for (const util::json& p : params->array_items()) {
+      if (!p.is_string()) bad("\"report_params\" entries must be strings");
+      spec.report_params.push_back(p.as_string());
+    }
+  }
+  if (const util::json* warmup = doc.find("warmup")) {
+    spec.warmup = warmup->is_string() ? warmup->as_string() : token_of(*warmup);
+  }
+  if (const util::json* workload = doc.find("workload")) {
+    spec.workload = *workload;
+  }
+  if (const util::json* t = doc.find("trajectories")) {
+    if (!t->is_bool()) bad("\"trajectories\" must be a bool");
+    spec.trajectories = t->as_bool();
+  }
+  if (const util::json* n = doc.find("trajectory_sample_periods")) {
+    if (!n->is_int()) bad("\"trajectory_sample_periods\" must be an integer");
+    spec.trajectory_sample_periods = static_cast<int>(n->as_int());
+  }
+  spec.validate();
+  return spec;
+}
+
+namespace {
+
+util::json axis_to_json(const spec_axis& axis) {
+  util::json j = util::json::object();
+  j["axis"] = axis.key;
+  if (!axis.header.empty()) j["header"] = axis.header;
+  util::json values = util::json::array();
+  for (const std::string& v : axis.values) values.push_back(v);
+  j["values"] = std::move(values);
+  return j;
+}
+
+util::json settings_to_json(const std::vector<spec_setting>& settings) {
+  util::json j = util::json::object();
+  for (const auto& [key, token] : settings) j[key] = token;
+  return j;
+}
+
+}  // namespace
+
+util::json spec_to_json(const experiment_spec& spec) {
+  util::json doc = util::json::object();
+  doc["name"] = spec.name;
+  if (!spec.title.empty()) doc["title"] = spec.title;
+  if (!spec.footer.empty()) {
+    util::json footer = util::json::array();
+    for (const std::string& line : spec.footer) footer.push_back(line);
+    doc["footer"] = std::move(footer);
+  }
+  if (!spec.base.empty()) doc["base"] = settings_to_json(spec.base);
+  if (!spec.warmup.empty()) doc["warmup"] = spec.warmup;
+  if (spec.split.has_value()) {
+    util::json split = axis_to_json(spec.split->axis);
+    if (!spec.split->section.empty()) split["section"] = spec.split->section;
+    split["table_key"] = spec.split->table_key;
+    doc["split"] = std::move(split);
+  }
+  util::json rows = util::json::array();
+  for (const spec_axis& axis : spec.rows) rows.push_back(axis_to_json(axis));
+  doc["rows"] = std::move(rows);
+  if (!spec.columns.empty()) {
+    util::json columns = util::json::array();
+    for (const spec_column& col : spec.columns) {
+      util::json c = util::json::object();
+      c["header"] = col.header;
+      switch (col.k) {
+        case spec_column::kind::probe:
+          c["probe"] = col.probe;
+          if (!col.set.empty()) c["set"] = settings_to_json(col.set);
+          break;
+        case spec_column::kind::ratio: {
+          util::json ratio = util::json::array();
+          ratio.push_back(col.ratio_num);
+          ratio.push_back(col.ratio_den);
+          c["ratio"] = std::move(ratio);
+          break;
+        }
+        case spec_column::kind::row_value:
+          c["row_value"] = true;
+          break;
+      }
+      if (col.precision != 1) c["precision"] = col.precision;
+      columns.push_back(std::move(c));
+    }
+    doc["columns"] = std::move(columns);
+  }
+  if (!spec.probes.empty()) {
+    util::json probes = util::json::array();
+    for (const spec_probe& p : spec.probes) {
+      util::json entry = util::json::object();
+      entry["probe"] = p.probe;
+      entry["header"] = p.header;
+      if (p.precision != 1) entry["precision"] = p.precision;
+      probes.push_back(std::move(entry));
+    }
+    doc["probes"] = std::move(probes);
+  }
+  if (!spec.report_params.empty()) {
+    util::json params = util::json::array();
+    for (const std::string& p : spec.report_params) params.push_back(p);
+    doc["report_params"] = std::move(params);
+  }
+  if (spec.workload.has_value()) doc["workload"] = *spec.workload;
+  if (spec.trajectories) doc["trajectories"] = true;
+  if (spec.trajectory_sample_periods != 0) {
+    doc["trajectory_sample_periods"] = spec.trajectory_sample_periods;
+  }
+  return doc;
+}
+
+experiment_spec load_spec_file(const std::string& path) {
+  return spec_from_json(util::load_json_file(path));
+}
+
+// --- execution ---------------------------------------------------------------
+
+namespace {
+
+/// Per-run context shared by every cell of the study.
+struct spec_execution {
+  const experiment_spec& spec;
+  const spec_options& opt;
+  int warmup = 0;   ///< warm-up rounds before the traffic reset
+  int measure = 0;  ///< measured rounds (rounds - warmup)
+  bool capture = false;
+
+  /// Simulates one cell at one seed and evaluates `probe_names` on the
+  /// final state. The probe-visible window is the measured span.
+  std::vector<double> run_once(experiment_config cfg, std::uint64_t seed,
+                               std::span<const std::string> probe_names,
+                               util::json* trajectory) const {
+    cfg.seed = seed;
+    scenario world(cfg);
+    sim::sim_time window = 0;
+    if (spec.workload.has_value()) {
+      const sim::sim_time period = cfg.gossip.shuffle_period;
+      workload::program prog =
+          workload::program_from_json(*spec.workload, period);
+      window = prog.total_duration();
+      workload::engine_options eopt;
+      if (spec.trajectory_sample_periods > 0) {
+        eopt.sample_interval = spec.trajectory_sample_periods * period;
+      }
+      workload::engine eng(world, std::move(prog), eopt);
+      eng.run();
+      if (trajectory != nullptr) {
+        *trajectory = workload::to_json(eng.trajectory());
+      }
+    } else {
+      // Matches the hand-rolled benches exactly: a plain
+      // run_periods(rounds) without warm-up, or Fig. 7's warm-up +
+      // traffic reset + steady-state window.
+      if (warmup > 0) {
+        world.run_periods(warmup);
+        world.transport().reset_traffic();
+      }
+      world.run_periods(measure);
+      window = measure * cfg.gossip.shuffle_period;
+    }
+    const metrics::reachability_oracle oracle = world.oracle();
+    const metrics::probe_context ctx{world, oracle, window};
+    return metrics::run_probes(probe_names, ctx);
+  }
+
+  /// One multi-seed sweep of a cell; fills `per_seed` with trajectories
+  /// when capture is on.
+  std::vector<seed_aggregate> sweep(const experiment_config& cfg,
+                                    std::span<const std::string> probe_names,
+                                    util::json* per_seed) const {
+    const run_options ropt{opt.threads};
+    if (!capture) {
+      return run_seeds_multi(
+          opt.seeds, opt.seed, probe_names.size(),
+          [&](std::uint64_t seed) {
+            return run_once(cfg, seed, probe_names, nullptr);
+          },
+          ropt);
+    }
+    multi_seed_result result = run_seeds_multi_captured(
+        opt.seeds, opt.seed, probe_names.size(),
+        [&](std::uint64_t seed, util::json& capture_slot) {
+          return run_once(cfg, seed, probe_names, &capture_slot);
+        },
+        ropt);
+    if (per_seed != nullptr) {
+      *per_seed = util::json::array();
+      for (util::json& c : result.captures) {
+        per_seed->push_back(std::move(c));
+      }
+    }
+    return result.aggregates;
+  }
+};
+
+/// Iterates the cartesian product of the row axes (last axis fastest,
+/// like the nested loops of the hand-rolled benches).
+template <typename Fn>
+void for_each_row(const std::vector<spec_axis>& axes, Fn&& fn) {
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (;;) {
+    fn(index);
+    std::size_t a = axes.size();
+    for (;;) {
+      if (a == 0) return;
+      --a;
+      if (++index[a] < axes[a].values.size()) break;
+      index[a] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+util::json run_spec(const experiment_spec& spec, const spec_options& opt,
+                    std::ostream& out) {
+  spec.validate();
+
+  out << "# " << spec.title << "\n"
+      << "# n=" << opt.peers << " seeds=" << opt.seeds
+      << " rounds=" << opt.rounds << " views={" << opt.view_a << ","
+      << opt.view_b << "}"
+      << (opt.full ? " (paper scale)"
+                   : " (reduced scale; --full for paper scale)")
+      << "\n";
+
+  workload::bench_report report(spec.name);
+  for (const std::string& p : spec.report_params) {
+    if (p == "peers") {
+      report.param("peers", opt.peers);
+    } else if (p == "seeds") {
+      report.param("seeds", opt.seeds);
+    } else if (p == "rounds") {
+      report.param("rounds", opt.rounds);
+    } else if (p == "seed") {
+      report.param("seed", opt.seed);
+    } else if (p == "workload") {
+      const util::json* name =
+          spec.workload.has_value() ? spec.workload->find("name") : nullptr;
+      report.param("workload",
+                   name != nullptr && name->is_string() ? *name : util::json());
+    }
+  }
+
+  spec_execution exec{spec, opt};
+  if (spec.warmup == "half") {
+    exec.warmup = opt.rounds / 2;
+  } else if (!spec.warmup.empty()) {
+    exec.warmup = static_cast<int>(count_token("warmup", spec.warmup, opt));
+  }
+  if (exec.warmup > opt.rounds) exec.warmup = opt.rounds;
+  exec.measure = opt.rounds - exec.warmup;
+  exec.capture = spec.workload.has_value() &&
+                 (spec.trajectories || opt.trajectories);
+
+  // Base config: driver options first (exactly bench::base_config), then
+  // the spec's own overrides.
+  experiment_config base_cfg;
+  base_cfg.peer_count = opt.peers;
+  base_cfg.gossip.view_size = opt.view_a;
+  apply_setting(base_cfg, "latency_model", opt.latency_model, opt);
+  base_cfg.latency = sim::millis(opt.latency_ms);
+  base_cfg.latency_max = sim::millis(opt.latency_max_ms);
+  base_cfg.latency_sigma = opt.latency_sigma;
+  for (const auto& [key, token] : spec.base) {
+    apply_setting(base_cfg, key, token, opt);
+  }
+
+  // Probe-name list of the shared-run ("probes") mode.
+  std::vector<std::string> shared_probes;
+  for (const spec_probe& p : spec.probes) shared_probes.push_back(p.probe);
+
+  util::json trajectories = util::json::array();
+
+  const std::vector<std::string> split_tokens =
+      spec.split.has_value() ? spec.split->axis.values
+                             : std::vector<std::string>{std::string()};
+  for (const std::string& split_token : split_tokens) {
+    experiment_config split_cfg = base_cfg;
+    std::string split_label;
+    std::string table_key;
+    if (spec.split.has_value()) {
+      split_label =
+          apply_setting(split_cfg, spec.split->axis.key, split_token, opt);
+      table_key = subst_braces(spec.split->table_key, split_label);
+      if (!spec.split->section.empty()) {
+        out << "\n" << subst_braces(spec.split->section, split_label) << "\n";
+      }
+    }
+
+    std::vector<std::string> headers;
+    for (const spec_axis& axis : spec.rows) {
+      headers.push_back(subst_views(axis.header, opt));
+    }
+    for (const spec_column& col : spec.columns) {
+      headers.push_back(subst_views(col.header, opt));
+    }
+    for (const spec_probe& p : spec.probes) {
+      headers.push_back(subst_views(p.header, opt));
+    }
+    text_table table(std::move(headers));
+
+    for_each_row(spec.rows, [&](const std::vector<std::size_t>& index) {
+      experiment_config row_cfg = split_cfg;
+      std::vector<std::string> cells;
+      for (std::size_t a = 0; a < spec.rows.size(); ++a) {
+        cells.push_back(apply_setting(row_cfg, spec.rows[a].key,
+                                      spec.rows[a].values[index[a]], opt));
+      }
+      const std::vector<std::string> row_labels = cells;
+
+      const auto record_trajectory = [&](util::json per_seed,
+                                         const std::string& column) {
+        if (per_seed.is_null()) return;
+        util::json& entry = trajectories.push_back(util::json::object());
+        if (!table_key.empty()) entry["table"] = table_key;
+        util::json row = util::json::array();
+        for (const std::string& label : row_labels) row.push_back(label);
+        entry["row"] = std::move(row);
+        if (!column.empty()) entry["column"] = column;
+        entry["per_seed"] = std::move(per_seed);
+      };
+
+      if (!spec.columns.empty()) {
+        std::vector<double> means(spec.columns.size(), 0.0);
+        for (std::size_t j = 0; j < spec.columns.size(); ++j) {
+          const spec_column& col = spec.columns[j];
+          switch (col.k) {
+            case spec_column::kind::probe: {
+              experiment_config cfg = row_cfg;
+              for (const auto& [key, token] : col.set) {
+                apply_setting(cfg, key, token, opt);
+              }
+              const std::vector<std::string> names{col.probe};
+              util::json per_seed;
+              const std::vector<seed_aggregate> aggs =
+                  exec.sweep(cfg, names, exec.capture ? &per_seed : nullptr);
+              record_trajectory(std::move(per_seed),
+                                subst_views(col.header, opt));
+              means[j] = aggs[0].stats.mean;
+              cells.push_back(fmt(means[j], col.precision));
+              break;
+            }
+            case spec_column::kind::ratio: {
+              const double num = means[static_cast<std::size_t>(col.ratio_num)];
+              const double den = means[static_cast<std::size_t>(col.ratio_den)];
+              cells.push_back(fmt(den > 0 ? num / den : 0.0, col.precision));
+              break;
+            }
+            case spec_column::kind::row_value:
+              cells.push_back(row_labels.front());
+              break;
+          }
+        }
+      } else {
+        util::json per_seed;
+        const std::vector<seed_aggregate> aggs = exec.sweep(
+            row_cfg, shared_probes, exec.capture ? &per_seed : nullptr);
+        record_trajectory(std::move(per_seed), std::string());
+        for (std::size_t k = 0; k < spec.probes.size(); ++k) {
+          cells.push_back(fmt(aggs[k].stats.mean, spec.probes[k].precision));
+        }
+      }
+      table.add_row(std::move(cells));
+    });
+
+    if (opt.csv) {
+      table.print_csv(out);
+    } else {
+      table.print(out);
+    }
+    if (spec.split.has_value()) {
+      report.add_table(table_key, table);
+    } else {
+      report.add("table", workload::to_json(table));
+    }
+  }
+
+  if (!spec.footer.empty()) {
+    out << "\n";
+    for (const std::string& line : spec.footer) out << line << "\n";
+  }
+  if (exec.capture && trajectories.size() > 0) {
+    report.add("trajectories", std::move(trajectories));
+  }
+  report.save(opt.json);
+  return report.doc();
+}
+
+}  // namespace nylon::runtime

@@ -1,0 +1,141 @@
+// "Experiment as data": a runtime::experiment_spec declares a whole
+// figure-style study — base experiment_config overrides, swept axes
+// (natted fraction, view size, protocol, latency model, hole TTL, NAT
+// mix, ...), which metrics::probe measurements to record, an optional
+// named workload::program, and how the result tables / BENCH_*.json
+// documents are laid out. One driver (bench/nylon_exp.cpp) executes any
+// spec via the multi-seed runner; specs are buildable programmatically or
+// loadable from JSON files (examples/specs/*.json). The ported figure
+// benches (fig2/fig3/fig4/fig7, ablations) are pinned byte-identical to
+// their hand-rolled pre-spec mains by tests/integration/
+// spec_equivalence_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace nylon::runtime {
+
+/// One key=value configuration override, kept as raw tokens: values
+/// resolve at run time, so "$view_a"/"$view_b" can refer to the options
+/// the driver was launched with (matching the legacy --view-a/--view-b
+/// flags).
+using spec_setting = std::pair<std::string, std::string>;
+
+/// One swept dimension of a study.
+struct spec_axis {
+  std::string key;                  ///< e.g. "natted_pct", "protocol"
+  std::string header;               ///< row-label column header
+  std::vector<std::string> values;  ///< raw tokens ("40", "$view_a", "nylon")
+};
+
+/// One table column in "columns" mode (each probe column is its own
+/// scenario sweep, like the hand-rolled benches that ran run_seeds once
+/// per column).
+struct spec_column {
+  enum class kind : std::uint8_t {
+    probe,      ///< run a scenario per row and evaluate one probe
+    ratio,      ///< earlier probe column divided by another (e.g. Fig. 7)
+    row_value,  ///< echo the first row label (Fig. 4's "uniform (ideal)")
+  };
+  kind k = kind::probe;
+  std::string header;              ///< may reference $view_a / $view_b
+  std::vector<spec_setting> set;   ///< config overrides for this column
+  std::string probe;               ///< probe name (kind::probe)
+  int ratio_num = -1;              ///< numerator column index (kind::ratio)
+  int ratio_den = -1;              ///< denominator column index
+  int precision = 1;               ///< table cell decimals
+};
+
+/// One probe column in "probes" mode: all probes of a row share a single
+/// scenario run (like the hand-rolled run_seeds_multi benches).
+struct spec_probe {
+  std::string probe;
+  std::string header;
+  int precision = 1;
+};
+
+/// Emits one table per axis value (Fig. 2's per-view-size tables).
+struct spec_split {
+  spec_axis axis;         ///< header unused
+  std::string section;    ///< stdout heading; "{}" replaced by the value
+  std::string table_key;  ///< JSON key under "tables"; "{}" replaced
+};
+
+/// A full declarative study.
+struct experiment_spec {
+  std::string name;                  ///< bench_report name ("fig3_stale")
+  std::string title;                 ///< preamble line
+  std::vector<std::string> footer;   ///< comment lines printed after tables
+  std::vector<spec_setting> base;    ///< config overrides under every cell
+  std::optional<spec_split> split;
+  std::vector<spec_axis> rows;       ///< cartesian row axes, outer first
+  std::vector<spec_column> columns;  ///< exclusive with `probes`
+  std::vector<spec_probe> probes;
+  /// Run parameters echoed under "params" in the JSON report, in order
+  /// (subset of: peers, seeds, rounds, seed, workload).
+  std::vector<std::string> report_params;
+  /// "": no warm-up. "half": rounds/2 warm-up + traffic reset (Fig. 7's
+  /// steady-state window). An integer literal: that many warm-up rounds.
+  std::string warmup;
+  /// Optional workload::program (program_from_json form). When set, it
+  /// replaces the plain run_periods(rounds) simulation of each cell.
+  std::optional<util::json> workload;
+  /// Record per-seed workload trajectories into the JSON report
+  /// (requires `workload`; heavy, so opt-in).
+  bool trajectories = false;
+  /// > 0: trajectory snapshots every N periods inside phases (otherwise
+  /// phase boundaries only).
+  int trajectory_sample_periods = 0;
+
+  /// Structural validation (axis keys, probe names, ratio references,
+  /// warmup literal, workload shape). Throws nylon::contract_error.
+  void validate() const;
+};
+
+/// Parses a spec document; unknown keys and malformed entries throw
+/// nylon::contract_error with the offending key in the message. The
+/// returned spec is already validate()d.
+[[nodiscard]] experiment_spec spec_from_json(const util::json& doc);
+
+/// Serializes a spec back to JSON (column sweeps and value ranges are
+/// emitted in expanded form). spec_from_json(spec_to_json(s)) is
+/// equivalent to s.
+[[nodiscard]] util::json spec_to_json(const experiment_spec& spec);
+
+/// Loads and parses a spec file (throws std::runtime_error on I/O
+/// failure, json_parse_error / contract_error on bad content).
+[[nodiscard]] experiment_spec load_spec_file(const std::string& path);
+
+/// Execution knobs, mirroring the legacy bench command line.
+struct spec_options {
+  std::size_t peers = 600;
+  int seeds = 1;
+  int rounds = 100;
+  std::size_t view_a = 8;   ///< resolves $view_a (paper: 15)
+  std::size_t view_b = 15;  ///< resolves $view_b (paper: 27)
+  bool csv = false;
+  bool full = false;        ///< paper scale (only affects the preamble)
+  std::uint64_t seed = 1;
+  int threads = 0;          ///< seed-level parallelism (0 = all cores)
+  std::string json;         ///< write BENCH_*.json here ("" = off)
+  std::string latency_model = "fixed";  ///< fixed | uniform | lognormal
+  std::int64_t latency_ms = 50;
+  std::int64_t latency_max_ms = 50;
+  double latency_sigma = 0.25;
+  bool trajectories = false;  ///< force-enable trajectory capture
+};
+
+/// Executes the spec: prints the preamble, tables (or CSV) and footer to
+/// `out` exactly like the hand-rolled benches did, writes the JSON report
+/// to opt.json when set, and returns the report document.
+util::json run_spec(const experiment_spec& spec, const spec_options& opt,
+                    std::ostream& out);
+
+}  // namespace nylon::runtime

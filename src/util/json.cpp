@@ -1,8 +1,10 @@
 #include "util/json.h"
 
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -52,6 +54,231 @@ void write_newline_indent(std::ostream& os, int indent, int depth) {
   for (int i = 0; i < indent * depth; ++i) os << ' ';
 }
 
+/// Hand-rolled recursive-descent JSON parser. Small by design: the spec
+/// files and bench reports this repo reads are a few kilobytes, so
+/// clarity and precise error offsets beat raw throughput.
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  json parse_document() {
+    json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw json_parse_error("json parse error at offset " +
+                           std::to_string(pos_) + ": " + what);
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  json parse_value() {
+    if (++depth_ > max_depth) fail("nesting deeper than 256 levels");
+    skip_whitespace();
+    json out;
+    switch (peek()) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': out = json(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        out = json(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        out = json(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        break;
+      default: out = parse_number(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  json parse_object() {
+    expect('{');
+    json out = json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      if (out.find(key) != nullptr) fail("duplicate object key \"" + key + "\"");
+      skip_whitespace();
+      expect(':');
+      out[key] = parse_value();
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  json parse_array() {
+    expect('[');
+    json out = json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          const unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            fail("surrogate \\u escapes are not supported");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    // BMP only (the caller rejects surrogates, so cp < 0x10000 and the
+    // output is always valid UTF-8).
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("invalid number");
+    if (integral) {
+      std::int64_t i = 0;
+      const auto [end, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc{} && end == token.data() + token.size()) {
+        return json(i);
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string copy(token);  // strtod needs NUL termination
+    const double d = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size() || errno == ERANGE) {
+      fail("invalid number");
+    }
+    return json(d);
+  }
+
+  static constexpr int max_depth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
 }  // namespace
 
 json json::array() {
@@ -83,6 +310,77 @@ json& json::operator[](const std::string& key) {
   }
   obj->emplace_back(key, json{});
   return obj->back().second;
+}
+
+json json::parse(std::string_view text) {
+  return parser(text).parse_document();
+}
+
+bool json::as_bool() const {
+  const auto* b = std::get_if<bool>(&value_);
+  NYLON_EXPECTS(b != nullptr);
+  return *b;
+}
+
+std::int64_t json::as_int() const {
+  const auto* i = std::get_if<std::int64_t>(&value_);
+  NYLON_EXPECTS(i != nullptr);
+  return *i;
+}
+
+double json::as_double() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  const auto* d = std::get_if<double>(&value_);
+  NYLON_EXPECTS(d != nullptr);
+  return *d;
+}
+
+const std::string& json::as_string() const {
+  const auto* s = std::get_if<std::string>(&value_);
+  NYLON_EXPECTS(s != nullptr);
+  return *s;
+}
+
+std::size_t json::size() const noexcept {
+  if (const auto* arr = std::get_if<array_t>(&value_)) return arr->size();
+  if (const auto* obj = std::get_if<object_t>(&value_)) return obj->size();
+  return 0;
+}
+
+const json& json::at(std::size_t index) const {
+  const auto* arr = std::get_if<array_t>(&value_);
+  NYLON_EXPECTS(arr != nullptr);
+  NYLON_EXPECTS(index < arr->size());
+  return (*arr)[index];
+}
+
+const json* json::find(const std::string& key) const noexcept {
+  const auto* obj = std::get_if<object_t>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : *obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const json& json::at(const std::string& key) const {
+  const json* member = find(key);
+  NYLON_EXPECTS(member != nullptr);
+  return *member;
+}
+
+const json::array_t& json::array_items() const {
+  const auto* arr = std::get_if<array_t>(&value_);
+  NYLON_EXPECTS(arr != nullptr);
+  return *arr;
+}
+
+const json::object_t& json::object_items() const {
+  const auto* obj = std::get_if<object_t>(&value_);
+  NYLON_EXPECTS(obj != nullptr);
+  return *obj;
 }
 
 void json::write(std::ostream& os, int indent, int depth) const {
@@ -137,6 +435,37 @@ void write_json_file(const std::string& path, const json& doc) {
   if (!out) throw std::runtime_error("cannot write " + path);
   doc.dump(out);
   out << '\n';
+}
+
+json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("error reading " + path);
+  return json::parse(buffer.str());
+}
+
+void require_known_keys(const json& j,
+                        std::initializer_list<std::string_view> allowed,
+                        std::string_view what, std::string_view error_prefix) {
+  const auto fail = [&](const std::string& msg) {
+    throw contract_error(std::string(error_prefix) + msg);
+  };
+  if (!j.is_object()) fail(std::string(what) + " must be an object");
+  for (const auto& [key, value] : j.object_items()) {
+    (void)value;
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      fail("unknown key \"" + key + "\" in " + std::string(what));
+    }
+  }
 }
 
 }  // namespace nylon::util

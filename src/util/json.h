@@ -1,22 +1,36 @@
-// Minimal JSON document builder for machine-readable bench output
-// (BENCH_*.json). Write-only by design: the repo needs to *emit* results
-// for external tooling, never to parse them, so there is no parser and no
-// dependency. Object keys keep insertion order so emitted files diff
-// cleanly across runs.
+// JSON document model for machine-readable bench output (BENCH_*.json)
+// and declarative experiment specs (examples/specs/*.json). Historically
+// write-only; the experiment-spec API added a parser so studies can be
+// *loaded* as data, not just emitted. No external dependency. Object keys
+// keep insertion order so emitted files diff cleanly across runs.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
 
 namespace nylon::util {
 
+/// Thrown by json::parse on malformed input; the message carries a byte
+/// offset so spec files fail with an actionable location.
+class json_parse_error : public std::runtime_error {
+ public:
+  explicit json_parse_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// One JSON value: null, bool, number, string, array or object.
 class json {
  public:
+  using array_t = std::vector<json>;
+  using object_t = std::vector<std::pair<std::string, json>>;
+
   json() = default;  ///< null
   json(bool b) : value_(b) {}
   json(double d) : value_(d) {}
@@ -30,6 +44,10 @@ class json {
   static json array();
   static json object();
 
+  /// Parses a complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). Throws json_parse_error.
+  static json parse(std::string_view text);
+
   /// Appends to an array (null promotes to array).
   json& push_back(json v);
 
@@ -37,9 +55,56 @@ class json {
   /// promotes to object). Keys keep insertion order.
   json& operator[](const std::string& key);
 
+  // --- inspection ------------------------------------------------------------
+
   [[nodiscard]] bool is_null() const noexcept {
     return std::holds_alternative<std::monostate>(value_);
   }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_double() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || is_double();
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<array_t>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<object_t>(value_);
+  }
+
+  // --- typed access (contract_error on type mismatch) ------------------------
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;   ///< integers only
+  [[nodiscard]] double as_double() const;      ///< accepts int or double
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Element count of an array or object (0 for everything else).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Array element access (contract_error when not an array / out of
+  /// range).
+  [[nodiscard]] const json& at(std::size_t index) const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const json* find(const std::string& key) const noexcept;
+
+  /// Object member access; contract_error when absent.
+  [[nodiscard]] const json& at(const std::string& key) const;
+
+  /// Underlying containers, for iteration (contract_error on mismatch).
+  [[nodiscard]] const array_t& array_items() const;
+  [[nodiscard]] const object_t& object_items() const;
 
   /// Serializes the document. `indent` = 0 gives compact one-line output;
   /// > 0 pretty-prints with that many spaces per level.
@@ -47,9 +112,6 @@ class json {
   [[nodiscard]] std::string dump_string(int indent = 2) const;
 
  private:
-  using array_t = std::vector<json>;
-  using object_t = std::vector<std::pair<std::string, json>>;
-
   void write(std::ostream& os, int indent, int depth) const;
 
   std::variant<std::monostate, bool, double, std::int64_t, std::string,
@@ -60,5 +122,18 @@ class json {
 /// Writes `doc` to `path` (trailing newline included). Throws
 /// std::runtime_error when the file cannot be written.
 void write_json_file(const std::string& path, const json& doc);
+
+/// Reads and parses a JSON file. Throws std::runtime_error when the file
+/// cannot be read, json_parse_error when it is malformed.
+[[nodiscard]] json load_json_file(const std::string& path);
+
+/// Strict-schema guard shared by the declarative parsers (experiment
+/// specs, workload programs): requires `j` to be an object whose keys
+/// all appear in `allowed`, so a typo fails loudly instead of silently
+/// configuring a different run. Throws nylon::contract_error with
+/// `error_prefix` + a message naming `what` and the offending key.
+void require_known_keys(const json& j,
+                        std::initializer_list<std::string_view> allowed,
+                        std::string_view what, std::string_view error_prefix);
 
 }  // namespace nylon::util

@@ -181,6 +181,19 @@ void engine::take_snapshot(std::size_t phase_index, const std::string& label) {
 
 void engine::run() {
   sim::sim_time t = world_.scheduler().now();
+  if (const auto& init = program_.initial_sessions()) {
+    // Session-length-driven departures for the initial population: one
+    // draw per alive peer, in id order, from a dedicated stream so the
+    // schedule is a pure function of (scenario seed, distribution).
+    // Departures drawn beyond the program's end simply never fire.
+    util::rng rng(init->rng_seed.has_value()
+                      ? *init->rng_seed
+                      : util::derive_seed(world_.config().seed, 0xD1CE5E55u));
+    for (const net::node_id id : world_.alive_ids()) {
+      push_action(t + init->session.sample(rng),
+                  [this, id] { do_depart(id); });
+    }
+  }
   for (std::size_t i = 0; i < program_.phases().size(); ++i) {
     const phase& p = program_.phases()[i];
     const sim::sim_time start = t;

@@ -163,10 +163,230 @@ program& program::then(phase p) {
   return *this;
 }
 
+program& program::named(std::string name) {
+  name_ = std::move(name);
+  return *this;
+}
+
+program& program::with_initial_sessions(session_distribution session,
+                                        std::optional<std::uint64_t> rng_seed) {
+  NYLON_EXPECTS(session.mean > 0);
+  initial_sessions_ = initial_sessions_spec{session, rng_seed};
+  return *this;
+}
+
 sim::sim_time program::total_duration() const noexcept {
   sim::sim_time total = 0;
   for (const phase& p : phases_) total += p.duration;
   return total;
+}
+
+// --- declarative (JSON) form -------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw contract_error("workload json: " + what);
+}
+
+void ensure_keys(const util::json& j,
+                 std::initializer_list<std::string_view> allowed,
+                 const char* what) {
+  util::require_known_keys(j, allowed, what, "workload json: ");
+}
+
+double require_double(const util::json& j, const std::string& key) {
+  const util::json* v = j.find(key);
+  if (v == nullptr || !v->is_number()) {
+    bad("missing or non-numeric \"" + key + "\"");
+  }
+  return v->as_double();
+}
+
+std::size_t require_count(const util::json& j, const std::string& key) {
+  const util::json* v = j.find(key);
+  if (v == nullptr || !v->is_int() || v->as_int() < 0) {
+    bad("missing or invalid \"" + key + "\" (non-negative integer)");
+  }
+  return static_cast<std::size_t>(v->as_int());
+}
+
+/// A duration given as "periods" (shuffle periods) or "seconds".
+sim::sim_time duration_of(const util::json& j, sim::sim_time period,
+                          const char* periods_key, const char* seconds_key) {
+  const util::json* periods = j.find(periods_key);
+  const util::json* seconds = j.find(seconds_key);
+  if ((periods != nullptr) == (seconds != nullptr)) {
+    bad(std::string("exactly one of \"") + periods_key + "\" / \"" +
+        seconds_key + "\" required");
+  }
+  if (periods != nullptr) {
+    if (!periods->is_number() || periods->as_double() < 0) {
+      bad(std::string("invalid \"") + periods_key + "\"");
+    }
+    return static_cast<sim::sim_time>(
+        std::llround(periods->as_double() * static_cast<double>(period)));
+  }
+  if (!seconds->is_number() || seconds->as_double() < 0) {
+    bad(std::string("invalid \"") + seconds_key + "\"");
+  }
+  return sim::sim_time{
+      std::llround(seconds->as_double() * 1000.0)};  // sim_time is ms
+}
+
+nat::nat_mix mix_from_json(const util::json& j) {
+  if (j.is_string()) {
+    if (j.as_string() == "paper") return nat::paper_mix();
+    if (j.as_string() == "prc_only") return nat::prc_only_mix();
+    bad("unknown mix \"" + j.as_string() + "\" (paper | prc_only)");
+  }
+  ensure_keys(j,
+              {"full_cone", "restricted_cone", "port_restricted_cone",
+               "symmetric"},
+              "mix");
+  nat::nat_mix mix{};
+  mix.full_cone = require_double(j, "full_cone");
+  mix.restricted_cone = require_double(j, "restricted_cone");
+  mix.port_restricted_cone = require_double(j, "port_restricted_cone");
+  mix.symmetric = require_double(j, "symmetric");
+  return mix;
+}
+
+}  // namespace
+
+session_distribution session_from_json(const util::json& j,
+                                       sim::sim_time period) {
+  ensure_keys(j, {"kind", "mean_periods", "mean_s", "pareto_shape"},
+              "session distribution");
+  session_distribution out;
+  const util::json* kind = j.find("kind");
+  if (kind == nullptr || !kind->is_string()) bad("session needs a \"kind\"");
+  const std::string& k = kind->as_string();
+  if (k == "fixed") {
+    out.k = session_distribution::kind::fixed;
+  } else if (k == "exponential") {
+    out.k = session_distribution::kind::exponential;
+  } else if (k == "pareto") {
+    out.k = session_distribution::kind::pareto;
+  } else {
+    bad("unknown session kind \"" + k + "\" (fixed | exponential | pareto)");
+  }
+  out.mean = duration_of(j, period, "mean_periods", "mean_s");
+  if (out.mean <= 0) bad("session mean must be positive");
+  if (const util::json* shape = j.find("pareto_shape")) {
+    if (!shape->is_number() || shape->as_double() <= 1.0) {
+      bad("\"pareto_shape\" must be > 1");
+    }
+    out.pareto_shape = shape->as_double();
+  }
+  return out;
+}
+
+phase phase_from_json(const util::json& j, sim::sim_time period) {
+  const util::json* kind = j.find("kind");
+  if (kind == nullptr || !kind->is_string()) bad("phase needs a \"kind\"");
+  const std::string& k = kind->as_string();
+
+  phase p;
+  if (k == "grow") {
+    ensure_keys(j, {"kind", "label", "count", "periods", "seconds"}, "grow");
+    p = grow(require_count(j, "count"),
+             duration_of(j, period, "periods", "seconds"));
+  } else if (k == "steady") {
+    ensure_keys(j, {"kind", "label", "periods", "seconds"}, "steady");
+    p = steady(duration_of(j, period, "periods", "seconds"));
+  } else if (k == "poisson_churn") {
+    ensure_keys(j,
+                {"kind", "label", "periods", "seconds", "arrivals_per_sec",
+                 "session", "rng_seed"},
+                "poisson_churn");
+    session_distribution session;
+    if (const util::json* s = j.find("session")) {
+      session = session_from_json(*s, period);
+    }
+    p = poisson_churn(duration_of(j, period, "periods", "seconds"),
+                      require_double(j, "arrivals_per_sec"), session);
+  } else if (k == "flash_crowd") {
+    ensure_keys(j, {"kind", "label", "count"}, "flash_crowd");
+    p = flash_crowd(require_count(j, "count"));
+  } else if (k == "mass_departure") {
+    ensure_keys(j, {"kind", "label", "fraction"}, "mass_departure");
+    p = mass_departure(require_double(j, "fraction"));
+  } else if (k == "turnover") {
+    ensure_keys(j,
+                {"kind", "label", "periods", "seconds", "per_tick", "tick_s",
+                 "rng_seed"},
+                "turnover");
+    sim::sim_time tick = sim::seconds(5);
+    if (const util::json* t = j.find("tick_s")) {
+      if (!t->is_number() || t->as_double() <= 0) bad("invalid \"tick_s\"");
+      tick = sim::sim_time{std::llround(t->as_double() * 1000.0)};
+    }
+    p = turnover(duration_of(j, period, "periods", "seconds"),
+                 require_count(j, "per_tick"), tick);
+  } else if (k == "partition") {
+    ensure_keys(j, {"kind", "label", "fraction"}, "partition");
+    p = partition(require_double(j, "fraction"));
+  } else if (k == "heal") {
+    ensure_keys(j, {"kind", "label"}, "heal");
+    p = heal();
+  } else if (k == "nat_redistribution") {
+    ensure_keys(j, {"kind", "label", "natted_fraction", "mix"},
+                "nat_redistribution");
+    const util::json* mix = j.find("mix");
+    if (mix == nullptr) bad("nat_redistribution needs a \"mix\"");
+    p = nat_redistribution(require_double(j, "natted_fraction"),
+                           mix_from_json(*mix));
+  } else if (k == "nat_rebind") {
+    ensure_keys(j, {"kind", "label", "fraction"}, "nat_rebind");
+    p = nat_rebind(require_double(j, "fraction"));
+  } else {
+    bad("unknown phase kind \"" + k + "\"");
+  }
+
+  if (const util::json* label = j.find("label")) {
+    if (!label->is_string()) bad("\"label\" must be a string");
+    p.label = label->as_string();
+  }
+  if (const util::json* seed = j.find("rng_seed")) {
+    if (!seed->is_int() || seed->as_int() < 0) bad("invalid \"rng_seed\"");
+    p.rng_seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  p.validate();
+  return p;
+}
+
+program program_from_json(const util::json& j, sim::sim_time period) {
+  ensure_keys(j, {"name", "phases", "initial_sessions"}, "program");
+  program out;
+  if (const util::json* name = j.find("name")) {
+    if (!name->is_string()) bad("program \"name\" must be a string");
+    out.named(name->as_string());
+  }
+  const util::json* phases = j.find("phases");
+  if (phases == nullptr || !phases->is_array() || phases->size() == 0) {
+    bad("program needs a non-empty \"phases\" array");
+  }
+  for (const util::json& p : phases->array_items()) {
+    out.then(phase_from_json(p, period));
+  }
+  if (const util::json* init = j.find("initial_sessions")) {
+    ensure_keys(*init,
+                {"kind", "mean_periods", "mean_s", "pareto_shape", "rng_seed"},
+                "initial_sessions");
+    std::optional<std::uint64_t> seed;
+    if (const util::json* s = init->find("rng_seed")) {
+      if (!s->is_int() || s->as_int() < 0) bad("invalid \"rng_seed\"");
+      seed = static_cast<std::uint64_t>(s->as_int());
+    }
+    // session_from_json rejects unknown keys; strip rng_seed first.
+    util::json session = util::json::object();
+    for (const auto& [key, value] : init->object_items()) {
+      if (key != "rng_seed") session[key] = value;
+    }
+    out.with_initial_sessions(session_from_json(session, period), seed);
+  }
+  return out;
 }
 
 }  // namespace nylon::workload

@@ -18,6 +18,7 @@
 
 #include "nat/deployment.h"
 #include "sim/time.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace nylon::workload {
@@ -123,6 +124,17 @@ struct phase {
 
 // --- program -----------------------------------------------------------------
 
+/// Session-length-driven departure for the peers that exist *before* the
+/// program starts. The paper's evaluation only churns via departures of
+/// the initial population at one instant (Fig. 10) or Poisson arrivals;
+/// real deployments drain their incumbents gradually. Off unless a
+/// program opts in, so existing scenarios stay byte-identical.
+struct initial_sessions_spec {
+  session_distribution session;
+  /// Unset: derived from the scenario seed, so runs stay deterministic.
+  std::optional<std::uint64_t> rng_seed;
+};
+
 /// An ordered list of phases. Chain with `then`:
 ///
 ///   auto prog = workload::program{}
@@ -136,16 +148,61 @@ class program {
   /// Appends a phase (validates it) and returns *this for chaining.
   program& then(phase p);
 
+  /// Names the program (experiment specs report it; optional).
+  program& named(std::string name);
+
+  /// Draws a session length for every peer alive when the program starts
+  /// and schedules its departure (may fall beyond the program's end, in
+  /// which case it never fires).
+  program& with_initial_sessions(
+      session_distribution session,
+      std::optional<std::uint64_t> rng_seed = std::nullopt);
+
   [[nodiscard]] const std::vector<phase>& phases() const noexcept {
     return phases_;
   }
   [[nodiscard]] bool empty() const noexcept { return phases_.empty(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::optional<initial_sessions_spec>& initial_sessions()
+      const noexcept {
+    return initial_sessions_;
+  }
 
   /// Sum of all phase durations.
   [[nodiscard]] sim::sim_time total_duration() const noexcept;
 
  private:
   std::vector<phase> phases_;
+  std::string name_;
+  std::optional<initial_sessions_spec> initial_sessions_;
 };
+
+// --- declarative (JSON) form -------------------------------------------------
+//
+// Programs are also buildable from data, so experiment specs can *name* a
+// workload instead of compiling one:
+//
+//   {"name": "massacre_recovery",
+//    "phases": [{"kind": "steady", "periods": 50},
+//               {"kind": "mass_departure", "fraction": 0.7},
+//               {"kind": "steady", "periods": 100}],
+//    "initial_sessions": {"kind": "pareto", "mean_periods": 40}}
+//
+// Durations accept "periods" (multiples of the gossip shuffle period) or
+// "seconds"; sessions accept "mean_periods" or "mean_s". All parsers
+// throw nylon::contract_error on unknown kinds/keys or bad values.
+
+/// Parses a session distribution ({"kind", "mean_periods"|"mean_s",
+/// "pareto_shape"?}).
+[[nodiscard]] session_distribution session_from_json(const util::json& j,
+                                                     sim::sim_time period);
+
+/// Parses one phase object ({"kind", ...kind-specific parameters...}).
+[[nodiscard]] phase phase_from_json(const util::json& j, sim::sim_time period);
+
+/// Parses a whole program ({"name"?, "phases": [...],
+/// "initial_sessions"?}).
+[[nodiscard]] program program_from_json(const util::json& j,
+                                        sim::sim_time period);
 
 }  // namespace nylon::workload

@@ -1,0 +1,133 @@
+// Spec-vs-legacy equivalence guard: the six figure/ablation benches that
+// were ported from hand-rolled mains to declarative specs
+// (examples/specs/*.json + nylon_exp) must keep byte-identical stdout and
+// BENCH_*.json output. The digests below were captured by running the
+// *pre-port binaries* (bench_fig2_partition et al., commit 7f283d4) at
+// the exact options used here; the spec executor must reproduce every
+// byte — table layout, preamble, section headings, footers and the JSON
+// document. If a digest changes, either the executor regressed or
+// simulation semantics changed; both must be explicit, reviewed
+// decisions (see DESIGN.md, "Determinism contract").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "runtime/spec.h"
+#include "util/json.h"
+
+namespace nylon {
+namespace {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Runs a shipped spec at the capture options (n=120, rounds=20, seed=1,
+/// serial) and digests stdout and the JSON document (as its file bytes).
+void expect_digests(const char* spec_name, int seeds,
+                    const char* stdout_digest, const char* json_digest) {
+  const runtime::experiment_spec spec = runtime::load_spec_file(
+      std::string(NYLON_SOURCE_DIR) + "/examples/specs/" + spec_name +
+      ".json");
+  runtime::spec_options opt;
+  opt.peers = 120;
+  opt.rounds = 20;
+  opt.seeds = seeds;
+  opt.seed = 1;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = runtime::run_spec(spec, opt, out);
+  EXPECT_EQ(hex(fnv1a(out.str())), stdout_digest)
+      << spec_name << ": stdout diverged from the pre-port bench";
+  EXPECT_EQ(hex(fnv1a(doc.dump_string(2) + "\n")), json_digest)
+      << spec_name << ": BENCH json diverged from the pre-port bench";
+}
+
+TEST(spec_equivalence, fig2_partition) {
+  expect_digests("fig2_partition", 1, "6e903e6d7c2137d0",
+                 "6a84bed1de81de43");
+}
+
+TEST(spec_equivalence, fig3_stale) {
+  expect_digests("fig3_stale", 2, "41acd0e9dc16f640", "697f55f3b2d3dda7");
+}
+
+TEST(spec_equivalence, fig4_randomness) {
+  expect_digests("fig4_randomness", 1, "70560be79d90267a",
+                 "18a064d84389a264");
+}
+
+TEST(spec_equivalence, fig7_bandwidth) {
+  expect_digests("fig7_bandwidth", 1, "c4faf8728bb8168d",
+                 "3648838fdc7bb171");
+}
+
+TEST(spec_equivalence, ablation_protocols) {
+  expect_digests("ablation_protocols", 1, "e627b035398f467d",
+                 "91630b4822366f83");
+}
+
+TEST(spec_equivalence, ablation_ttl) {
+  expect_digests("ablation_ttl", 1, "5a12b6a2a01018a6",
+                 "975829d593abf498");
+}
+
+/// The multi-seed parallel path must not change a single byte either.
+TEST(spec_equivalence, parallel_execution_is_byte_identical) {
+  const runtime::experiment_spec spec = runtime::load_spec_file(
+      std::string(NYLON_SOURCE_DIR) + "/examples/specs/fig3_stale.json");
+  runtime::spec_options opt;
+  opt.peers = 80;
+  opt.rounds = 10;
+  opt.seeds = 4;
+  opt.seed = 3;
+  opt.threads = 1;
+  std::ostringstream serial;
+  const util::json doc_serial = runtime::run_spec(spec, opt, serial);
+  opt.threads = 4;
+  std::ostringstream parallel;
+  const util::json doc_parallel = runtime::run_spec(spec, opt, parallel);
+  EXPECT_EQ(serial.str(), parallel.str());
+  EXPECT_EQ(doc_serial.dump_string(0), doc_parallel.dump_string(0));
+}
+
+/// The ROADMAP latency-sensitivity study runs end-to-end and emits its
+/// BENCH_latency_sensitivity.json.
+TEST(spec_equivalence, latency_sensitivity_emits_bench_json) {
+  const runtime::experiment_spec spec = runtime::load_spec_file(
+      std::string(NYLON_SOURCE_DIR) +
+      "/examples/specs/latency_sensitivity.json");
+  runtime::spec_options opt;
+  opt.peers = 60;
+  opt.rounds = 6;
+  opt.seeds = 1;
+  opt.threads = 1;
+  opt.json = ::testing::TempDir() + "BENCH_latency_sensitivity.json";
+  std::ostringstream out;
+  const util::json doc = runtime::run_spec(spec, opt, out);
+  EXPECT_EQ(doc.at("bench").as_string(), "latency_sensitivity");
+  // 3 sigmas x 4 TTLs = 12 rows, 2 label + 4 probe columns.
+  EXPECT_EQ(doc.at("table").at("rows").size(), 12u);
+  EXPECT_EQ(doc.at("table").at("headers").size(), 6u);
+  const util::json loaded = util::load_json_file(opt.json);
+  EXPECT_EQ(loaded.dump_string(0), doc.dump_string(0));
+  std::remove(opt.json.c_str());
+}
+
+}  // namespace
+}  // namespace nylon

@@ -1,0 +1,98 @@
+// The probe registry: named wrappers over the metric calls, evaluated
+// against real (small) scenarios.
+#include "metrics/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario.h"
+#include "util/contracts.h"
+
+namespace nylon::metrics {
+namespace {
+
+runtime::experiment_config small_config(core::protocol_kind kind) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 50;
+  cfg.natted_fraction = 0.5;
+  cfg.protocol = kind;
+  cfg.gossip.view_size = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(probe_registry, lookup_and_uniqueness) {
+  EXPECT_NE(find_probe("stale_pct"), nullptr);
+  EXPECT_NE(find_probe("biggest_cluster_pct"), nullptr);
+  EXPECT_NE(find_probe("all_bytes_per_s"), nullptr);
+  EXPECT_NE(find_probe("punch_success_pct"), nullptr);
+  EXPECT_EQ(find_probe("no_such_probe"), nullptr);
+  EXPECT_EQ(find_probe(""), nullptr);
+
+  std::set<std::string_view> names;
+  for (const probe& p : all_probes()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+    EXPECT_NE(p.run, nullptr);
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+  EXPECT_GE(names.size(), 15u);
+}
+
+TEST(probe_registry, evaluates_on_a_real_scenario) {
+  runtime::scenario world(small_config(core::protocol_kind::nylon));
+  world.run_periods(10);
+  const reachability_oracle oracle = world.oracle();
+  const probe_context ctx{world, oracle,
+                          10 * world.config().gossip.shuffle_period};
+
+  const std::vector<std::string> names{
+      "alive_count", "biggest_cluster_pct", "stale_pct",
+      "all_bytes_per_s", "shuffle_success_pct", "punch_success_pct"};
+  const std::vector<double> values = run_probes(names, ctx);
+  ASSERT_EQ(values.size(), names.size());
+  EXPECT_EQ(values[0], 50.0);                      // alive_count
+  EXPECT_GT(values[1], 0.0);                       // cluster %
+  EXPECT_LE(values[1], 100.0);
+  EXPECT_GE(values[2], 0.0);                       // stale %
+  EXPECT_LE(values[2], 100.0);
+  EXPECT_GT(values[3], 0.0);                       // traffic flowed
+  EXPECT_GT(values[4], 0.0);                       // shuffles answered
+  EXPECT_GE(values[5], 0.0);                       // punches attempted
+  EXPECT_LE(values[5], 100.0);
+}
+
+TEST(probe_registry, punch_probes_are_zero_for_nat_oblivious_protocols) {
+  runtime::scenario world(small_config(core::protocol_kind::reference));
+  world.run_periods(6);
+  const reachability_oracle oracle = world.oracle();
+  const probe_context ctx{world, oracle,
+                          6 * world.config().gossip.shuffle_period};
+  EXPECT_EQ(find_probe("punch_success_pct")->run(ctx), 0.0);
+  EXPECT_EQ(find_probe("punch_expired_pct")->run(ctx), 0.0);
+  EXPECT_EQ(find_probe("mean_punch_chain")->run(ctx), 0.0);
+}
+
+TEST(probe_registry, rate_probes_need_a_window) {
+  runtime::scenario world(small_config(core::protocol_kind::nylon));
+  world.run_periods(4);
+  const reachability_oracle oracle = world.oracle();
+  const probe_context no_window{world, oracle, 0};
+  EXPECT_EQ(find_probe("all_bytes_per_s")->run(no_window), 0.0);
+  EXPECT_EQ(find_probe("sent_bytes_per_s")->run(no_window), 0.0);
+}
+
+TEST(probe_registry, unknown_probe_name_is_a_contract_error) {
+  runtime::scenario world(small_config(core::protocol_kind::reference));
+  world.run_periods(1);
+  const reachability_oracle oracle = world.oracle();
+  const probe_context ctx{world, oracle, 0};
+  const std::vector<std::string> names{"stale_pct", "bogus"};
+  EXPECT_THROW((void)run_probes(names, ctx), contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::metrics

@@ -76,6 +76,46 @@ TEST(parallel_runner, multi_metric_bit_identical_to_serial) {
   }
 }
 
+TEST(parallel_runner, captured_variant_bit_identical_and_in_seed_order) {
+  // The capture channel must behave exactly like the plain multi-metric
+  // runner, with per-seed JSON stored by seed index on any thread count.
+  const auto experiment = [](std::uint64_t seed, util::json& capture) {
+    capture = util::json::object();
+    capture["seed"] = seed;
+    return std::vector<double>{static_cast<double>(seed),
+                               static_cast<double>(seed % 7)};
+  };
+  const multi_seed_result serial =
+      run_seeds_multi_captured(12, 9, 2, experiment, run_options{1});
+  const multi_seed_result parallel =
+      run_seeds_multi_captured(12, 9, 2, experiment, run_options{4});
+  ASSERT_EQ(serial.aggregates.size(), 2u);
+  ASSERT_EQ(serial.captures.size(), 12u);
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_EQ(serial.aggregates[m].values, parallel.aggregates[m].values);
+  }
+  for (int i = 0; i < 12; ++i) {
+    const std::uint64_t expected =
+        util::derive_seed(9, static_cast<std::uint64_t>(i));
+    const auto at = static_cast<std::size_t>(i);
+    EXPECT_EQ(serial.captures[at].at("seed").as_int(),
+              static_cast<std::int64_t>(expected));
+    EXPECT_EQ(serial.captures[at].dump_string(0),
+              parallel.captures[at].dump_string(0));
+    EXPECT_EQ(serial.aggregates[0].values[at],
+              static_cast<double>(expected));
+  }
+}
+
+TEST(parallel_runner, captured_variant_leaves_capture_null_when_unused) {
+  const auto experiment = [](std::uint64_t seed, util::json&) {
+    return std::vector<double>{static_cast<double>(seed)};
+  };
+  const multi_seed_result result =
+      run_seeds_multi_captured(3, 1, 1, experiment, run_options{1});
+  for (const util::json& c : result.captures) EXPECT_TRUE(c.is_null());
+}
+
 TEST(parallel_runner, values_stay_in_seed_order) {
   // The experiment returns its own seed, so results index == stream id.
   const auto experiment = [](std::uint64_t seed) {

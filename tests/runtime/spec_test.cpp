@@ -1,0 +1,224 @@
+// The declarative experiment-spec API: JSON parse / validate /
+// round-trip, bad-input contract errors, axis resolution and a small
+// end-to-end run.
+#include "runtime/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/contracts.h"
+#include "util/json.h"
+
+namespace nylon::runtime {
+namespace {
+
+experiment_spec parse(const std::string& text) {
+  return spec_from_json(util::json::parse(text));
+}
+
+const char* kMinimalSpec = R"({
+  "name": "mini",
+  "title": "a tiny study",
+  "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0, 50]}],
+  "probes": [{"probe": "stale_pct", "header": "stale %"}]
+})";
+
+TEST(experiment_spec, parses_a_minimal_spec) {
+  const experiment_spec spec = parse(kMinimalSpec);
+  EXPECT_EQ(spec.name, "mini");
+  ASSERT_EQ(spec.rows.size(), 1u);
+  EXPECT_EQ(spec.rows[0].key, "natted_pct");
+  EXPECT_EQ(spec.rows[0].values, (std::vector<std::string>{"0", "50"}));
+  ASSERT_EQ(spec.probes.size(), 1u);
+  EXPECT_EQ(spec.probes[0].probe, "stale_pct");
+}
+
+TEST(experiment_spec, range_sugar_expands_inclusively) {
+  const experiment_spec spec = parse(R"({
+    "name": "r",
+    "rows": [{"axis": "natted_pct", "header": "%NAT",
+              "range": {"from": 0, "to": 100, "step": 25}}],
+    "probes": [{"probe": "stale_pct"}]
+  })");
+  EXPECT_EQ(spec.rows[0].values,
+            (std::vector<std::string>{"0", "25", "50", "75", "100"}));
+}
+
+TEST(experiment_spec, column_sweep_sugar_expands_headers_and_sets) {
+  const experiment_spec spec = parse(R"({
+    "name": "s",
+    "rows": [{"axis": "view_size", "header": "view", "values": [8]}],
+    "columns": [{
+      "sweep": {"axis": "natted_pct", "values": [40, 90]},
+      "header": "{}%",
+      "probe": "biggest_cluster_pct"
+    }]
+  })");
+  ASSERT_EQ(spec.columns.size(), 2u);
+  EXPECT_EQ(spec.columns[0].header, "40%");
+  EXPECT_EQ(spec.columns[1].header, "90%");
+  ASSERT_EQ(spec.columns[1].set.size(), 1u);
+  EXPECT_EQ(spec.columns[1].set[0],
+            (spec_setting{"natted_pct", std::string("90")}));
+}
+
+TEST(experiment_spec, bad_inputs_throw_contract_errors) {
+  // name missing
+  EXPECT_THROW(parse(R"({"rows":[{"axis":"natted_pct","header":"x",
+    "values":[1]}],"probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // no rows
+  EXPECT_THROW(parse(R"({"name":"x","probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // both columns and probes
+  EXPECT_THROW(parse(R"({"name":"x",
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}],
+    "columns":[{"header":"c","probe":"stale_pct"}]})"),
+               contract_error);
+  // unknown probe
+  EXPECT_THROW(parse(R"({"name":"x",
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"not_a_probe"}]})"),
+               contract_error);
+  // unknown axis key
+  EXPECT_THROW(parse(R"({"name":"x",
+    "rows":[{"axis":"coolness","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // unknown top-level key (typo safety)
+  EXPECT_THROW(parse(R"({"name":"x","colums":[],
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // natted_pct out of range
+  EXPECT_THROW(parse(R"({"name":"x",
+    "rows":[{"axis":"natted_pct","header":"h","values":[150]}],
+    "probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // ratio referencing a later column
+  EXPECT_THROW(parse(R"({"name":"x",
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "columns":[{"header":"r","ratio":[1,0]},
+               {"header":"c","probe":"stale_pct"}]})"),
+               contract_error);
+  // bad warmup literal
+  EXPECT_THROW(parse(R"({"name":"x","warmup":"soon",
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // trajectories without a workload
+  EXPECT_THROW(parse(R"({"name":"x","trajectories":true,
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}]})"),
+               contract_error);
+  // warmup is meaningless (and silently ignored) under a workload
+  EXPECT_THROW(parse(R"({"name":"x","warmup":"half",
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}],
+    "workload":{"phases":[{"kind":"steady","periods":2}]}})"),
+               contract_error);
+  // malformed workload phase
+  EXPECT_THROW(parse(R"({"name":"x",
+    "rows":[{"axis":"natted_pct","header":"h","values":[1]}],
+    "probes":[{"probe":"stale_pct"}],
+    "workload":{"phases":[{"kind":"warp_drive"}]}})"),
+               contract_error);
+}
+
+TEST(experiment_spec, round_trips_through_json) {
+  for (const char* text : {kMinimalSpec, R"({
+         "name": "full",
+         "title": "t",
+         "footer": ["# a", "# b"],
+         "base": {"protocol": "nylon", "natted_pct": 80},
+         "warmup": "half",
+         "split": {"axis": "view_size", "values": ["$view_a", "$view_b"],
+                   "section": "== view {} ==", "table_key": "view_{}"},
+         "rows": [{"axis": "hole_timeout_s", "header": "ttl",
+                   "values": [15, 90]}],
+         "columns": [
+           {"header": "a", "set": {"protocol": "reference"},
+            "probe": "all_bytes_per_s"},
+           {"header": "b", "probe": "all_bytes_per_s"},
+           {"header": "a/b", "ratio": [0, 1], "precision": 2},
+           {"header": "ttl", "row_value": true}
+         ],
+         "report_params": ["peers", "seeds"]
+       })"}) {
+    const experiment_spec once = parse(text);
+    const util::json dumped = spec_to_json(once);
+    const experiment_spec twice = spec_from_json(dumped);
+    EXPECT_EQ(dumped.dump_string(0), spec_to_json(twice).dump_string(0))
+        << "spec: " << text;
+  }
+}
+
+TEST(experiment_spec, runs_end_to_end_and_is_deterministic) {
+  const experiment_spec spec = parse(R"({
+    "name": "tiny",
+    "title": "tiny end-to-end",
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0, 60]}],
+    "columns": [
+      {"header": "stale view=$view_a", "set": {"view_size": "$view_a"},
+       "probe": "stale_pct"},
+      {"header": "%NAT again", "row_value": true}
+    ],
+    "footer": ["# done"]
+  })");
+  spec_options opt;
+  opt.peers = 40;
+  opt.rounds = 4;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream out_a;
+  const util::json doc_a = run_spec(spec, opt, out_a);
+  std::ostringstream out_b;
+  const util::json doc_b = run_spec(spec, opt, out_b);
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_EQ(doc_a.dump_string(0), doc_b.dump_string(0));
+
+  // Structure: preamble + resolved headers + one row per axis value.
+  const std::string text = out_a.str();
+  EXPECT_NE(text.find("# tiny end-to-end"), std::string::npos);
+  EXPECT_NE(text.find("stale view=8"), std::string::npos);
+  EXPECT_NE(text.find("# done"), std::string::npos);
+  const util::json& table = doc_a.at("table");
+  EXPECT_EQ(table.at("rows").size(), 2u);
+  // row_value column echoes the row label.
+  EXPECT_EQ(table.at("rows").at(std::size_t{1}).at(std::size_t{2}).as_string(),
+            "60");
+}
+
+TEST(experiment_spec, csv_mode_renders_csv) {
+  const experiment_spec spec = parse(kMinimalSpec);
+  spec_options opt;
+  opt.peers = 30;
+  opt.rounds = 2;
+  opt.csv = true;
+  opt.threads = 1;
+  std::ostringstream out;
+  (void)run_spec(spec, opt, out);
+  EXPECT_NE(out.str().find("%NAT,stale %"), std::string::npos);
+}
+
+TEST(experiment_spec, example_spec_files_parse_and_validate) {
+  const std::string dir = std::string(NYLON_SOURCE_DIR) + "/examples/specs/";
+  for (const char* name :
+       {"fig2_partition", "fig3_stale", "fig4_randomness", "fig7_bandwidth",
+        "ablation_protocols", "ablation_ttl", "latency_sensitivity",
+        "churn_recovery"}) {
+    const experiment_spec spec = load_spec_file(dir + name + ".json");
+    EXPECT_EQ(spec.name, name);
+    // Round-trip stability for every shipped spec.
+    const util::json dumped = spec_to_json(spec);
+    EXPECT_EQ(spec_to_json(spec_from_json(dumped)).dump_string(0),
+              dumped.dump_string(0))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace nylon::runtime

@@ -1,0 +1,118 @@
+// The JSON parser feeding the experiment-spec API: strict, with typed
+// accessors and precise errors on malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/contracts.h"
+#include "util/json.h"
+
+namespace nylon::util {
+namespace {
+
+TEST(json_parse, scalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_EQ(json::parse("42").as_int(), 42);
+  EXPECT_EQ(json::parse("-7").as_int(), -7);
+  EXPECT_TRUE(json::parse("42").is_int());
+  EXPECT_TRUE(json::parse("0.25").is_double());
+  EXPECT_DOUBLE_EQ(json::parse("0.25").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(json::parse("-1e3").as_double(), -1000.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(json_parse, int_accessor_accepts_only_integers) {
+  EXPECT_THROW((void)json::parse("0.5").as_int(), contract_error);
+  EXPECT_DOUBLE_EQ(json::parse("3").as_double(), 3.0);  // int widens fine
+  EXPECT_THROW((void)json::parse("\"3\"").as_double(), contract_error);
+}
+
+TEST(json_parse, string_escapes) {
+  EXPECT_EQ(json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(json::parse(R"("\/")").as_string(), "/");
+  // Surrogate escapes would yield invalid UTF-8 in the re-emitted
+  // BENCH_*.json; the parser rejects them instead of producing CESU-8.
+  EXPECT_THROW(json::parse("\"\\ud83d\\ude80\""), json_parse_error);
+  EXPECT_THROW(json::parse("\"\\udc00\""), json_parse_error);
+}
+
+TEST(json_parse, containers_and_accessors) {
+  const json doc = json::parse(R"({
+    "name": "fig3",
+    "values": [1, 2, 3],
+    "nested": {"flag": true}
+  })");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.size(), 3u);
+  EXPECT_EQ(doc.at("name").as_string(), "fig3");
+  ASSERT_TRUE(doc.at("values").is_array());
+  EXPECT_EQ(doc.at("values").size(), 3u);
+  EXPECT_EQ(doc.at("values").at(std::size_t{2}).as_int(), 3);
+  EXPECT_TRUE(doc.at("nested").at("flag").as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), contract_error);
+  EXPECT_THROW((void)doc.at("values").at(std::size_t{3}), contract_error);
+  // Iteration keeps insertion order.
+  EXPECT_EQ(doc.object_items()[0].first, "name");
+  EXPECT_EQ(doc.object_items()[2].first, "nested");
+}
+
+TEST(json_parse, round_trips_through_dump) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":[],"d":{}},"e":-3})";
+  const json doc = json::parse(text);
+  EXPECT_EQ(doc.dump_string(0), text);
+  // dump -> parse -> dump is a fixed point, pretty-printed too.
+  const json again = json::parse(doc.dump_string(2));
+  EXPECT_EQ(again.dump_string(0), text);
+}
+
+TEST(json_parse, rejects_malformed_documents) {
+  const char* bad[] = {
+      "",            "{",          "[1,",        "[1 2]",
+      "{\"a\" 1}",   "{\"a\":}",   "tru",        "nul",
+      "\"open",      "\"\\q\"",    "\"\\u12g4\"", "01x",
+      "[1],[2]",     "{\"a\":1,}", "--1",         "1.2.3",
+      "{\"a\":1 \"b\":2}",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(json::parse(text), json_parse_error) << "input: " << text;
+  }
+}
+
+TEST(json_parse, rejects_duplicate_keys_and_trailing_garbage) {
+  EXPECT_THROW(json::parse(R"({"a":1,"a":2})"), json_parse_error);
+  EXPECT_THROW(json::parse("[1,2,3] x"), json_parse_error);
+}
+
+TEST(json_parse, error_reports_offset) {
+  try {
+    json::parse("[1, 2, oops]");
+    FAIL() << "expected json_parse_error";
+  } catch (const json_parse_error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(json_parse, unescaped_control_characters_rejected) {
+  EXPECT_THROW(json::parse("\"a\nb\""), json_parse_error);
+}
+
+TEST(json_parse, file_round_trip) {
+  const std::string path = ::testing::TempDir() + "json_parse_roundtrip.json";
+  json doc = json::object();
+  doc["bench"] = "x";
+  doc["values"].push_back(1.5);
+  write_json_file(path, doc);
+  const json loaded = load_json_file(path);
+  EXPECT_EQ(loaded.dump_string(0), doc.dump_string(0));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_json_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nylon::util

@@ -1,0 +1,158 @@
+// Declarative workload programs (JSON form) and the initial-population
+// session satellite: incumbents drain on drawn session lengths, but only
+// when a program opts in.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/scenario.h"
+#include "util/contracts.h"
+#include "util/json.h"
+#include "workload/engine.h"
+#include "workload/program.h"
+#include "workload/report.h"
+
+namespace nylon::workload {
+namespace {
+
+constexpr sim::sim_time kPeriod = sim::seconds(5);
+
+program parse_program(const std::string& text) {
+  return program_from_json(util::json::parse(text), kPeriod);
+}
+
+TEST(program_json, parses_phases_with_period_scaled_durations) {
+  const program prog = parse_program(R"({
+    "name": "mixed",
+    "phases": [
+      {"kind": "steady", "periods": 10},
+      {"kind": "grow", "count": 20, "seconds": 30},
+      {"kind": "mass_departure", "fraction": 0.5},
+      {"kind": "poisson_churn", "periods": 4, "arrivals_per_sec": 2.0,
+       "session": {"kind": "pareto", "mean_periods": 8, "pareto_shape": 2.5}},
+      {"kind": "partition", "fraction": 0.3},
+      {"kind": "heal"},
+      {"kind": "nat_redistribution", "natted_fraction": 0.9,
+       "mix": "prc_only"},
+      {"kind": "nat_rebind", "fraction": 0.25},
+      {"kind": "turnover", "periods": 2, "per_tick": 3, "tick_s": 10},
+      {"kind": "flash_crowd", "count": 7, "label": "stampede"}
+    ]
+  })");
+  EXPECT_EQ(prog.name(), "mixed");
+  ASSERT_EQ(prog.phases().size(), 10u);
+  EXPECT_EQ(prog.phases()[0].kind, phase_kind::steady);
+  EXPECT_EQ(prog.phases()[0].duration, 10 * kPeriod);
+  EXPECT_EQ(prog.phases()[1].duration, sim::seconds(30));
+  EXPECT_EQ(prog.phases()[1].count, 20u);
+  EXPECT_DOUBLE_EQ(prog.phases()[2].fraction, 0.5);
+  EXPECT_EQ(prog.phases()[3].session.k, session_distribution::kind::pareto);
+  EXPECT_EQ(prog.phases()[3].session.mean, 8 * kPeriod);
+  EXPECT_DOUBLE_EQ(prog.phases()[3].session.pareto_shape, 2.5);
+  EXPECT_EQ(prog.phases()[8].tick, sim::seconds(10));
+  EXPECT_EQ(prog.phases()[9].label, "stampede");
+  EXPECT_FALSE(prog.initial_sessions().has_value());
+}
+
+TEST(program_json, rejects_bad_programs) {
+  // unknown kind
+  EXPECT_THROW(parse_program(R"({"phases":[{"kind":"hyperdrive"}]})"),
+               contract_error);
+  // unknown key inside a phase
+  EXPECT_THROW(
+      parse_program(R"({"phases":[{"kind":"steady","periods":1,"x":2}]})"),
+      contract_error);
+  // both periods and seconds
+  EXPECT_THROW(
+      parse_program(
+          R"({"phases":[{"kind":"steady","periods":1,"seconds":5}]})"),
+      contract_error);
+  // neither duration
+  EXPECT_THROW(parse_program(R"({"phases":[{"kind":"steady"}]})"),
+               contract_error);
+  // empty phases
+  EXPECT_THROW(parse_program(R"({"phases":[]})"), contract_error);
+  // bad session kind
+  EXPECT_THROW(
+      parse_program(R"({"phases":[{"kind":"poisson_churn","periods":2,
+        "arrivals_per_sec":1,"session":{"kind":"gaussian","mean_s":5}}]})"),
+      contract_error);
+  // bad mix name
+  EXPECT_THROW(
+      parse_program(R"({"phases":[{"kind":"nat_redistribution",
+        "natted_fraction":0.5,"mix":"all_cone"}]})"),
+      contract_error);
+}
+
+TEST(program_json, initial_sessions_parse) {
+  const program prog = parse_program(R"({
+    "phases": [{"kind": "steady", "periods": 5}],
+    "initial_sessions": {"kind": "exponential", "mean_periods": 3,
+                         "rng_seed": 99}
+  })");
+  ASSERT_TRUE(prog.initial_sessions().has_value());
+  EXPECT_EQ(prog.initial_sessions()->session.k,
+            session_distribution::kind::exponential);
+  EXPECT_EQ(prog.initial_sessions()->session.mean, 3 * kPeriod);
+  ASSERT_TRUE(prog.initial_sessions()->rng_seed.has_value());
+  EXPECT_EQ(*prog.initial_sessions()->rng_seed, 99u);
+}
+
+runtime::experiment_config small_config() {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 80;
+  cfg.natted_fraction = 0.5;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(initial_sessions, incumbents_drain_when_enabled) {
+  session_distribution sessions;
+  sessions.k = session_distribution::kind::exponential;
+  sessions.mean = 4 * kPeriod;
+
+  runtime::scenario world(small_config());
+  engine eng(world,
+             program{}
+                 .then(steady(20 * kPeriod))
+                 .with_initial_sessions(sessions),
+             engine_options{});
+  eng.run();
+  // Mean session of 4 periods over a 20-period window: most of the 80
+  // incumbents must be gone, and nobody joined to replace them.
+  EXPECT_GT(eng.departed(), 40u);
+  EXPECT_EQ(eng.joined(), 0u);
+  EXPECT_EQ(world.alive_count(), 80u - eng.departed());
+}
+
+TEST(initial_sessions, off_by_default_and_deterministic_when_on) {
+  const auto run_once = [](bool with_sessions) {
+    runtime::scenario world(small_config());
+    program prog;
+    prog.then(steady(10 * kPeriod));
+    if (with_sessions) {
+      session_distribution sessions;
+      sessions.k = session_distribution::kind::pareto;
+      sessions.mean = 6 * kPeriod;
+      prog.with_initial_sessions(sessions);
+    }
+    engine eng(world, std::move(prog), engine_options{});
+    eng.run();
+    return to_json(eng.trajectory()).dump_string(0);
+  };
+  // Default: nothing departs (the pre-satellite behavior, pinned by the
+  // golden-digest test at full fidelity).
+  runtime::scenario world(small_config());
+  engine eng(world, program{}.then(steady(10 * kPeriod)), engine_options{});
+  eng.run();
+  EXPECT_EQ(eng.departed(), 0u);
+  EXPECT_EQ(world.alive_count(), 80u);
+  // Enabled: identical trajectories across runs at the same seed.
+  EXPECT_EQ(run_once(true), run_once(true));
+  EXPECT_NE(run_once(true), run_once(false));
+}
+
+}  // namespace
+}  // namespace nylon::workload
