@@ -25,6 +25,7 @@ struct sweep_options {
   bool full = false;
   std::uint64_t seed = 1;
   int threads = 0;          ///< seed-level parallelism (0 = all cores)
+  std::size_t shards = 0;   ///< per-universe shards (0 = serial engine)
   std::string json;         ///< write BENCH_*.json here ("" = off)
   std::string latency_model = "fixed";  ///< fixed | uniform | lognormal
   std::int64_t latency_ms = 50;      ///< fixed value / uniform lo / median
@@ -57,6 +58,10 @@ inline sweep_options parse_sweep(int argc, char** argv,
       flags.add_bool("full", false, "paper scale: n=10000, 30 seeds, views 15/27");
   const auto* threads = flags.add_int(
       "threads", 0, "worker threads across seeds (0 = all cores, 1 = serial)");
+  const auto* shards = flags.add_int(
+      "shards", 0,
+      "shards per universe (0 = serial engine; K >= 1 = sharded engine, "
+      "byte-identical for every K)");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
   const auto* latency_model = flags.add_string(
@@ -86,6 +91,11 @@ inline sweep_options parse_sweep(int argc, char** argv,
               << flags.usage(name);
     std::exit(1);
   }
+  if (*shards < 0) {
+    std::cerr << "--shards must be >= 0 (0 = serial engine)\n"
+              << flags.usage(name);
+    std::exit(1);
+  }
   sweep_options out;
   out.peers = static_cast<std::size_t>(*n);
   out.seeds = static_cast<int>(*seeds);
@@ -96,6 +106,7 @@ inline sweep_options parse_sweep(int argc, char** argv,
   out.seed = static_cast<std::uint64_t>(*seed);
   out.full = *full;
   out.threads = static_cast<int>(*threads);
+  out.shards = static_cast<std::size_t>(*shards);
   out.json = *json;
   out.latency_model = *latency_model;
   if (out.latency_model != "fixed" && out.latency_model != "uniform" &&
@@ -131,6 +142,7 @@ inline runtime::experiment_config base_config(const sweep_options& opt) {
   cfg.latency = sim::millis(opt.latency_ms);
   cfg.latency_max = sim::millis(opt.latency_max_ms);
   cfg.latency_sigma = opt.latency_sigma;
+  cfg.shards = opt.shards;
   return cfg;
 }
 

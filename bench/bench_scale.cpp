@@ -10,6 +10,7 @@
 // paper: metrics collection is off during the run (snapshots are
 // population counters only) and connectivity is measured once at the end.
 #include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
       "arrivals", 50.0, "Poisson arrivals per second during churn");
   const auto* rebind = flags.add_double(
       "rebind-frac", 0.1, "fraction of natted peers re-bound mid-run");
+  const auto* shards = flags.add_int(
+      "shards", 0,
+      "shards per universe (0 = serial engine; K >= 1 = sharded engine, "
+      "byte-identical for every K)");
   const auto* seed = flags.add_int("seed", 1, "seed");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
@@ -56,16 +61,23 @@ int main(int argc, char** argv) {
     std::cout << flags.usage("bench_scale");
     return 0;
   }
+  if (*shards < 0) {
+    std::cerr << "--shards must be >= 0 (0 = serial engine)\n"
+              << flags.usage("bench_scale");
+    return 1;
+  }
 
   runtime::experiment_config cfg;
   cfg.peer_count = static_cast<std::size_t>(*n);
   cfg.protocol = core::protocol_kind::nylon;
   cfg.gossip.view_size = 15;
   cfg.seed = static_cast<std::uint64_t>(*seed);
+  cfg.shards = static_cast<std::size_t>(*shards);
 
   std::cout << "# bench_scale: n=" << cfg.peer_count << " warmup=" << *warmup
             << " churn_rounds=" << *churn_rounds << " arrivals=" << *arrivals
-            << "/s rebind=" << *rebind << " seed=" << cfg.seed << "\n";
+            << "/s rebind=" << *rebind << " shards=" << cfg.shards
+            << " seed=" << cfg.seed << "\n";
 
   const auto t_build = std::chrono::steady_clock::now();
   runtime::scenario world(cfg);
@@ -91,7 +103,7 @@ int main(int argc, char** argv) {
   const auto t_run = std::chrono::steady_clock::now();
   eng.run();
   const double run_s = seconds_since(t_run);
-  const std::uint64_t events = world.scheduler().events_executed();
+  const std::uint64_t events = world.events_executed();
   const double events_per_sec =
       run_s > 0 ? static_cast<double>(events) / run_s : 0.0;
 
@@ -99,8 +111,16 @@ int main(int argc, char** argv) {
   const auto oracle = world.oracle();
   const metrics::cluster_metrics clusters =
       metrics::measure_clusters(world.transport(), world.peers(), oracle);
+  const std::uint64_t digest = world.state_digest();
   const double measure_s = seconds_since(t_measure);
 
+  // Every line below except the *_wall_s / events_per_sec timings is a
+  // pure function of (config, seed) — identical for any --shards K >= 1,
+  // which the CI digest cross-check pins (state_digest covers views,
+  // traffic, drops and the event count in one value).
+  char digest_hex[17];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(digest));
   std::cout << "run_wall_s            " << run_s << "\n"
             << "events_executed       " << events << "\n"
             << "events_per_sec        " << events_per_sec << "\n"
@@ -108,6 +128,7 @@ int main(int argc, char** argv) {
             << "joined                " << eng.joined() << "\n"
             << "departed              " << eng.departed() << "\n"
             << "biggest_cluster_pct   " << clusters.biggest_cluster_pct << "\n"
+            << "state_digest          " << digest_hex << "\n"
             << "final_measure_s       " << measure_s << "\n";
 
   workload::bench_report report("scale");
@@ -116,6 +137,7 @@ int main(int argc, char** argv) {
   report.param("churn_periods", *churn_rounds);
   report.param("arrivals_per_sec", *arrivals);
   report.param("rebind_frac", *rebind);
+  report.param("shards", static_cast<std::int64_t>(cfg.shards));
   report.param("seed", static_cast<std::int64_t>(cfg.seed));
   util::json results = util::json::object();
   results["build_wall_s"] = build_s;
@@ -126,6 +148,7 @@ int main(int argc, char** argv) {
   results["joined"] = static_cast<std::int64_t>(eng.joined());
   results["departed"] = static_cast<std::int64_t>(eng.departed());
   results["biggest_cluster_pct"] = clusters.biggest_cluster_pct;
+  results["state_digest"] = std::string(digest_hex);
   results["final_measure_s"] = measure_s;
   report.add("results", std::move(results));
   report.save(*json);

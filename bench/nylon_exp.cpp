@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
       "full", false, "paper scale: n=10000, 30 seeds, views 15/27");
   const auto* threads = flags.add_int(
       "threads", 0, "worker threads across seeds (0 = all cores, 1 = serial)");
+  const auto* shards = flags.add_int(
+      "shards", 0,
+      "shards per universe (0 = serial engine; K >= 1 = sharded engine, "
+      "byte-identical for every K)");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
   const auto* latency_model = flags.add_string(
@@ -81,6 +85,11 @@ int main(int argc, char** argv) {
               << flags.usage(usage_name);
     return 1;
   }
+  if (*shards < 0) {
+    std::cerr << "--shards must be >= 0 (0 = serial engine)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
   if (*latency_model != "fixed" && *latency_model != "uniform" &&
       *latency_model != "lognormal") {
     std::cerr << "--latency-model must be fixed, uniform or lognormal\n"
@@ -98,6 +107,7 @@ int main(int argc, char** argv) {
   opt.full = *full;
   opt.seed = static_cast<std::uint64_t>(*seed);
   opt.threads = static_cast<int>(*threads);
+  opt.shards = static_cast<std::size_t>(*shards);
   opt.json = *json;
   opt.latency_model = *latency_model;
   opt.latency_ms = *latency_ms;

@@ -26,9 +26,10 @@ mkdir -p "$OUT_DIR"
 
 # Declarative studies: one spec file each, all executed by nylon_exp.
 SPEC_BENCHES="fig2_partition fig3_stale fig4_randomness fig7_bandwidth \
-ablation_protocols ablation_ttl latency_sensitivity churn_recovery"
+fig10_churn ablation_protocols ablation_ttl latency_sensitivity \
+churn_recovery"
 # Benches that take the common sweep flags (--threads/--json/...).
-SWEEP_BENCHES="bench_fig8_load_balance bench_fig9_rvp_chain bench_fig10_churn"
+SWEEP_BENCHES="bench_fig8_load_balance bench_fig9_rvp_chain"
 # Benches with their own CLI (no JSON emitter yet).
 PLAIN_BENCHES="bench_table1_traversal bench_sec5_correctness"
 

@@ -51,7 +51,7 @@ bool nylon_peer::must_relay_response(
 
 void nylon_peer::initiate_shuffle() {
   // Fig. 6 lines 1-14.
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   routing_.purge_expired(now);  // line 14 (equivalent placement)
   drop_unroutable_entries(now);
   prune_pending();
@@ -140,7 +140,7 @@ void nylon_peer::send_via_hop(const next_hop& hop, net::payload_ptr body) {
   // may be refreshed too. Chained-route TTLs are NOT refreshed here: a
   // pointer's downstream chain can die invisibly, so pointers must expire
   // at their learnt TTL (first-giver discipline, see routing_table.h).
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   routing_.touch_direct(hop.rvp, hop.address, now);
   transport_.send(id(), hop.address, std::move(body));
 }
@@ -150,7 +150,7 @@ void nylon_peer::send_via_hop(const next_hop& hop, gossip_message msg) {
 }
 
 void nylon_peer::forward(const gossip_message& msg) {
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   if (msg.hops >= max_forward_hops) {
     ++stats_.forward_drops;
     return;
@@ -169,7 +169,7 @@ void nylon_peer::forward(const gossip_message& msg) {
 
 void nylon_peer::handle_message(const net::datagram& dgram,
                                 const gossip_message& msg) {
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   // Fig. 6 lines 16/28/36/42/45: any message makes its immediate sender a
   // direct contact for a full hole timeout.
   if (msg.sender.id != id()) {
@@ -284,7 +284,7 @@ void nylon_peer::handle_message(const net::datagram& dgram,
 
 void nylon_peer::merge_and_learn(const gossip_message& msg,
                                  std::span<const view_entry> sent) {
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   // update_routing_table (Fig. 6 line 26, prose of §4): the shuffle
   // partner becomes the RVP for every entry it handed over — usable only
   // when the partner is itself directly reachable (DESIGN.md note 5: a
@@ -324,7 +324,7 @@ void nylon_peer::merge_and_learn(const gossip_message& msg,
 }
 
 void nylon_peer::decorate_buffer(std::vector<view_entry>& buffer) {
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   if (ttl_scratch_valid_ && buffer.size() == ttl_scratch_.size() + 1 &&
       buffer.front().peer.id == id()) {
     // Fast path for initiate_shuffle: drop_unroutable_entries just
@@ -385,11 +385,11 @@ void nylon_peer::drop_unroutable_entries(sim::sim_time now) {
 void nylon_peer::remember_request(
     net::node_id target, std::shared_ptr<const gossip_message> sent) {
   pending_requests_.insert_or_get(target) =
-      pending_request{std::move(sent), transport_.scheduler().now()};
+      pending_request{std::move(sent), transport_.now_for(id())};
 }
 
 void nylon_peer::prune_pending() {
-  const sim::sim_time horizon = transport_.scheduler().now() -
+  const sim::sim_time horizon = transport_.now_for(id()) -
                                 pending_ttl_periods * cfg_.shuffle_period;
   pending_requests_.erase_if([&](net::node_id, const pending_request& item) {
     return item.sent_at < horizon;

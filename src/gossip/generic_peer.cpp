@@ -22,7 +22,7 @@ void generic_peer::initiate_shuffle() {
   std::shared_ptr<const gossip_message> body = make_message(std::move(msg));
   transport_.send(id(), target.addr, body);
 
-  const sim::sim_time now = transport_.scheduler().now();
+  const sim::sim_time now = transport_.now_for(id());
   if (cfg_.propagation == propagation_policy::pushpull) {
     pending_.insert_or_get(target.id) =
         pending_request{std::move(body), now};

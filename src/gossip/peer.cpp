@@ -20,8 +20,11 @@ void peer::start(sim::sim_time first_shuffle) {
   NYLON_EXPECTS(self_.id != net::nil_node);
   NYLON_EXPECTS(!running_);
   running_ = true;
-  timer_ = transport_.scheduler().every(first_shuffle, cfg_.shuffle_period,
-                                        [this] { initiate_shuffle(); });
+  // The peer's own shard scheduler in shard mode (the universe scheduler
+  // otherwise): a peer's timer chain must live where its events run.
+  timer_ = transport_.scheduler_for(self_.id)
+               .every(first_shuffle, cfg_.shuffle_period,
+                      [this] { initiate_shuffle(); });
 }
 
 void peer::stop() {
@@ -32,6 +35,9 @@ void peer::stop() {
 void peer::refresh_self() {
   NYLON_EXPECTS(self_.id != net::nil_node);
   self_.addr = transport_.advertised_endpoint(self_.id);
+  // NAT *type* migration changes this too; a plain rebind re-reads the
+  // same value (no behavioural change there).
+  self_.type = transport_.type_of(self_.id);
 }
 
 void peer::set_initial_view(std::vector<view_entry> seeds) {

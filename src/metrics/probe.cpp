@@ -60,6 +60,32 @@ double pct(std::uint64_t part, std::uint64_t whole) {
              : 0.0;
 }
 
+/// The sampled-id stream the randomness battery judges: one sample()
+/// per peer per pass (id order), eight passes, so consecutive stream
+/// elements come from independent views — the exact stream the §5
+/// correctness bench used. Draws consume each peer's rng, which is fine
+/// at probe time (nothing simulates afterwards) and deterministic
+/// because probes evaluate in declaration order. Built once per context
+/// and cached, so every sample_* probe of one run judges the same
+/// stream.
+const battery_result& battery_of(const probe_context& ctx) {
+  if (ctx.battery.has_value()) return *ctx.battery;
+  const auto peers = ctx.world.peers();
+  if (peers.size() < 2) {
+    ctx.battery = battery_result{};
+    return *ctx.battery;
+  }
+  std::vector<std::uint32_t> sampled;
+  sampled.reserve(peers.size() * 8);
+  for (int pass = 0; pass < 8; ++pass) {
+    for (const auto& p : peers) {
+      if (const auto s = p->sample()) sampled.push_back(s->id);
+    }
+  }
+  ctx.battery = run_battery(sampled, peers.size());
+  return *ctx.battery;
+}
+
 // Registry, alphabetical by name. Every entry is a plain function so the
 // table stays constexpr-constructible and trivially inspectable.
 constexpr std::array probes{
@@ -139,6 +165,24 @@ constexpr std::array probes{
           [](const probe_context& ctx) {
             return bandwidth_of(ctx).received_bytes_per_s;
           }},
+    probe{"sample_birthday_p",
+          "birthday-spacings p-value of the sampled-id stream (battery)",
+          [](const probe_context& ctx) {
+            return battery_of(ctx).birthday.p_value;
+          }},
+    probe{"sample_chi2_p",
+          "chi-square frequency p-value of the sampled-id stream (battery)",
+          [](const probe_context& ctx) {
+            return battery_of(ctx).frequency.p_value;
+          }},
+    probe{"sample_runs_p",
+          "runs-test p-value of the sampled-id stream (battery)",
+          [](const probe_context& ctx) {
+            return battery_of(ctx).runs.p_value;
+          }},
+    probe{"sample_serial",
+          "lag-1 serial correlation of the sampled-id stream (battery)",
+          [](const probe_context& ctx) { return battery_of(ctx).serial; }},
     probe{"sent_bytes_per_s", "mean send-side bytes/s per peer",
           [](const probe_context& ctx) {
             return bandwidth_of(ctx).sent_bytes_per_s;

@@ -7,11 +7,13 @@
 // the calls in a bench main.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "metrics/randomness.h"
 #include "metrics/reachability.h"
 #include "sim/time.h"
 
@@ -24,11 +26,23 @@ namespace nylon::metrics {
 /// Everything a probe may look at. The oracle is built once per run and
 /// shared across all probes evaluated on the same scenario state.
 struct probe_context {
+  probe_context(runtime::scenario& world_in,
+                const reachability_oracle& oracle_in,
+                sim::sim_time measure_window_in = 0)
+      : world(world_in),
+        oracle(oracle_in),
+        measure_window(measure_window_in) {}
+
   runtime::scenario& world;
   const reachability_oracle& oracle;
   /// Simulated time since the transport's traffic counters were last
   /// reset; rate probes (bytes/s) return 0 when it is 0.
   sim::sim_time measure_window = 0;
+  /// Randomness battery over one sampled-id stream, built lazily by the
+  /// first sample_* probe and shared by the rest — the battery's tests
+  /// must judge the *same* stream (sampling consumes peer rngs, so a
+  /// rebuild per probe would judge a different one).
+  mutable std::optional<battery_result> battery;
 };
 
 /// One registered probe: a named scalar measurement with a short

@@ -133,10 +133,41 @@ double serial_correlation(std::span<const double> values) {
   return num / den;
 }
 
+birthday_spacings_result birthday_spacings(
+    std::span<const std::uint32_t> sampled_ids, std::size_t population) {
+  NYLON_EXPECTS(population >= 2);
+  birthday_spacings_result out;
+  const std::size_t m = sampled_ids.size();
+  if (m < 3) return out;
+
+  std::vector<std::uint32_t> sorted(sampled_ids.begin(), sampled_ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint32_t> spacings;
+  spacings.reserve(m - 1);
+  for (std::size_t i = 1; i < m; ++i) {
+    NYLON_EXPECTS(sorted[i] < population);
+    spacings.push_back(sorted[i] - sorted[i - 1]);
+  }
+  std::sort(spacings.begin(), spacings.end());
+  for (std::size_t i = 1; i < spacings.size(); ++i) {
+    if (spacings[i] == spacings[i - 1]) ++out.repeats;
+  }
+
+  const double md = static_cast<double>(m);
+  out.lambda = md * md * md / (4.0 * static_cast<double>(population));
+  // Poisson upper tail: P(X >= k) = 1 - CDF(k - 1) = 1 - Q(k, lambda).
+  out.p_value = out.repeats == 0
+                    ? 1.0
+                    : 1.0 - gamma_q(static_cast<double>(out.repeats),
+                                    out.lambda);
+  return out;
+}
+
 bool battery_result::passed(double alpha) const {
   if (samples == 0) return false;
   if (frequency.p_value < alpha) return false;
   if (runs.p_value < alpha) return false;
+  if (birthday.p_value < alpha) return false;
   // Serial correlation of iid data has stddev ~ 1/sqrt(n); accept within
   // ~3 sigma (alpha-level agnostic but adequate as a smoke test).
   const double limit = 3.0 / std::sqrt(static_cast<double>(samples));
@@ -169,6 +200,15 @@ battery_result run_battery(std::span<const std::uint32_t> sampled_ids,
   out.frequency = chi_square_uniform(counts);
   out.runs = runs_test(as_doubles);
   out.serial = serial_correlation(as_doubles);
+  // Birthday spacings is only asymptotically Poisson while the sample is
+  // sparse in the id space (m^3 ~ population); the full stream usually is
+  // not, so test a prefix sized for lambda ~ 8. The prefix comes from
+  // independent early samples, so it is a fair subsample.
+  const auto target = static_cast<std::size_t>(std::cbrt(
+      4.0 * 8.0 * static_cast<double>(population)));
+  const std::size_t bd_m =
+      std::min(sampled_ids.size(), std::max<std::size_t>(8, target));
+  out.birthday = birthday_spacings(sampled_ids.first(bd_m), population);
   return out;
 }
 

@@ -5,6 +5,7 @@
 //  * chi-square goodness-of-fit of sample frequencies against uniform,
 //  * Wald–Wolfowitz runs test (above/below median) for independence,
 //  * lag-1 serial correlation,
+//  * Marsaglia birthday spacings (clustering of the sampled id space),
 //  * in-degree dispersion of the overlay views.
 #pragma once
 
@@ -44,10 +45,25 @@ struct runs_test_result {
 /// Lag-1 serial correlation coefficient in [-1, 1] (0 for iid data).
 [[nodiscard]] double serial_correlation(std::span<const double> values);
 
+/// Marsaglia's birthday-spacings test: sort m samples drawn from
+/// [0, population), take the m-1 adjacent spacings, and count how many
+/// spacing values repeat. For uniform iid samples the repeat count is
+/// asymptotically Poisson with lambda = m^3 / (4 * population); heavy
+/// clustering (gossip views re-serving the same neighbourhood) inflates
+/// it far beyond that.
+struct birthday_spacings_result {
+  std::uint64_t repeats = 0;    ///< duplicate spacings observed
+  double lambda = 0.0;          ///< Poisson mean under uniformity
+  double p_value = 1.0;         ///< upper tail P(X >= repeats)
+};
+[[nodiscard]] birthday_spacings_result birthday_spacings(
+    std::span<const std::uint32_t> sampled_ids, std::size_t population);
+
 /// Combined verdict over a stream of sampled peer ids.
 struct battery_result {
   chi_square_result frequency;
   runs_test_result runs;
+  birthday_spacings_result birthday;
   double serial = 0.0;
   std::size_t samples = 0;
 

@@ -64,4 +64,18 @@ std::size_t natted_count(const std::vector<nat_type>& types) {
                     [](nat_type t) { return is_natted(t); }));
 }
 
+nat_type draw_type(const nat_mix& mix, util::rng& rng) {
+  const double total = mix.full_cone + mix.restricted_cone +
+                       mix.port_restricted_cone + mix.symmetric;
+  NYLON_EXPECTS(total > 0.0);
+  const double u = rng.uniform01() * total;
+  double acc = mix.full_cone;
+  if (u < acc) return nat_type::full_cone;
+  acc += mix.restricted_cone;
+  if (u < acc) return nat_type::restricted_cone;
+  acc += mix.port_restricted_cone;
+  if (u < acc) return nat_type::port_restricted_cone;
+  return nat_type::symmetric;
+}
+
 }  // namespace nylon::nat

@@ -39,4 +39,10 @@ struct nat_mix {
 /// Number of entries in `types` that are natted.
 [[nodiscard]] std::size_t natted_count(const std::vector<nat_type>& types);
 
+/// Draws one (always natted) NAT type from `mix` by inverse CDF — the
+/// per-peer form of `assign_types` used by in-place NAT migration, where
+/// each affected peer needs an independent draw rather than a
+/// largest-remainder split over a batch. Shares of ~0 are never drawn.
+[[nodiscard]] nat_type draw_type(const nat_mix& mix, util::rng& rng);
+
 }  // namespace nylon::nat

@@ -13,6 +13,8 @@ fixed_latency::fixed_latency(sim::sim_time delay) : delay_(delay) {
 
 sim::sim_time fixed_latency::sample(util::rng& /*rng*/) { return delay_; }
 
+sim::sim_time fixed_latency::min_delay() const noexcept { return delay_; }
+
 uniform_latency::uniform_latency(sim::sim_time lo, sim::sim_time hi)
     : lo_(lo), hi_(hi) {
   NYLON_EXPECTS(lo >= 0 && lo <= hi);
@@ -23,6 +25,8 @@ sim::sim_time uniform_latency::sample(util::rng& rng) {
       rng.uniform(static_cast<std::uint64_t>(lo_),
                   static_cast<std::uint64_t>(hi_)));
 }
+
+sim::sim_time uniform_latency::min_delay() const noexcept { return lo_; }
 
 lognormal_latency::lognormal_latency(sim::sim_time median, double sigma)
     : median_ms_(static_cast<double>(median)), sigma_(sigma) {
@@ -35,6 +39,10 @@ sim::sim_time lognormal_latency::sample(util::rng& rng) {
   // Round to the millisecond grid; a sub-millisecond draw still takes 1 ms
   // (zero-delay packets would race their own send event).
   return std::max<sim::sim_time>(1, std::llround(delay));
+}
+
+sim::sim_time lognormal_latency::min_delay() const noexcept {
+  return 1;  // sample() clamps to the millisecond grid
 }
 
 std::unique_ptr<latency_model> paper_latency() {

@@ -17,6 +17,12 @@ class latency_model {
 
   /// One-way delay for the next message; must be >= 0.
   [[nodiscard]] virtual sim::sim_time sample(util::rng& rng) = 0;
+
+  /// Guaranteed lower bound of `sample` (the model's lookahead). The
+  /// sharded engine sizes its conservative synchronization window from
+  /// this, so it must be exact, not optimistic: sample() >= min_delay()
+  /// always.
+  [[nodiscard]] virtual sim::sim_time min_delay() const noexcept = 0;
 };
 
 /// Constant delay (the paper's 50 ms).
@@ -24,6 +30,7 @@ class fixed_latency final : public latency_model {
  public:
   explicit fixed_latency(sim::sim_time delay);
   [[nodiscard]] sim::sim_time sample(util::rng& rng) override;
+  [[nodiscard]] sim::sim_time min_delay() const noexcept override;
 
  private:
   sim::sim_time delay_;
@@ -34,6 +41,7 @@ class uniform_latency final : public latency_model {
  public:
   uniform_latency(sim::sim_time lo, sim::sim_time hi);
   [[nodiscard]] sim::sim_time sample(util::rng& rng) override;
+  [[nodiscard]] sim::sim_time min_delay() const noexcept override;
 
  private:
   sim::sim_time lo_;
@@ -50,6 +58,8 @@ class lognormal_latency final : public latency_model {
   /// `median` > 0; `sigma` >= 0.
   lognormal_latency(sim::sim_time median, double sigma);
   [[nodiscard]] sim::sim_time sample(util::rng& rng) override;
+  /// Samples are clamped to the 1 ms grid, so 1 ms is a hard floor.
+  [[nodiscard]] sim::sim_time min_delay() const noexcept override;
 
  private:
   double median_ms_;

@@ -40,6 +40,19 @@ transport::transport(sim::scheduler& sched, util::rng& rng,
   NYLON_EXPECTS(latency_ != nullptr);
   NYLON_EXPECTS(cfg_.hole_timeout > 0);
   NYLON_EXPECTS(cfg_.loss_rate >= 0.0 && cfg_.loss_rate <= 1.0);
+  counters_.resize(1);
+}
+
+void transport::set_shard_router(shard_router* router) {
+  NYLON_EXPECTS(nodes_.empty());
+  router_ = router;
+  counters_.clear();
+  counters_.resize(router_ != nullptr ? router_->shard_count() : 1);
+  if (router_ != nullptr) {
+    // Cross-shard deliveries must land strictly after the conservative
+    // window; the latency model's floor is the engine's lookahead.
+    NYLON_EXPECTS(latency_->min_delay() >= 1);
+  }
 }
 
 node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
@@ -101,8 +114,7 @@ const nat::nat_device* transport::device_of(node_id id) const {
   return nodes_[id].device.get();
 }
 
-endpoint transport::rebind_nat(node_id id) {
-  NYLON_EXPECTS(id < nodes_.size());
+endpoint transport::replace_device(node_id id, nat::nat_type type) {
   node_record& rec = nodes_[id];
   NYLON_EXPECTS(rec.alive);
   NYLON_EXPECTS(rec.device != nullptr);
@@ -111,10 +123,22 @@ endpoint transport::rebind_nat(node_id id) {
   rebound_owner_.erase(old_ip.value);  // no-op for an original 10.x IP
   rebound_owner_.insert_or_get(new_ip.value) = id;
   rec.public_ip = new_ip;
+  rec.type = type;
   rec.device =
-      std::make_unique<nat::nat_device>(rec.type, new_ip, cfg_.hole_timeout);
+      std::make_unique<nat::nat_device>(type, new_ip, cfg_.hole_timeout);
   rec.advertised = rec.device->advertised_endpoint(rec.private_ep);
   return rec.advertised;
+}
+
+endpoint transport::rebind_nat(node_id id) {
+  NYLON_EXPECTS(id < nodes_.size());
+  return replace_device(id, nodes_[id].type);
+}
+
+endpoint transport::migrate_nat(node_id id, nat::nat_type new_type) {
+  NYLON_EXPECTS(id < nodes_.size());
+  NYLON_EXPECTS(nat::is_natted(new_type));
+  return replace_device(id, new_type);
 }
 
 void transport::set_partition(std::vector<std::uint8_t> side) {
@@ -122,19 +146,25 @@ void transport::set_partition(std::vector<std::uint8_t> side) {
   partition_side_ = std::move(side);
 }
 
-void transport::count_drop(drop_reason reason) {
-  ++drop_counts_[static_cast<std::size_t>(reason)];
+void transport::count_drop(std::size_t shard, drop_reason reason) {
+  ++counters_[shard].drops[static_cast<std::size_t>(reason)];
 }
 
 void transport::send(node_id from, const endpoint& to, payload_ptr body) {
   NYLON_EXPECTS(from < nodes_.size());
   NYLON_EXPECTS(body != nullptr);
   node_record& src = nodes_[from];
+  const std::size_t src_shard = router_ != nullptr ? router_->shard_of(from)
+                                                   : 0;
   if (!src.alive) {
-    count_drop(drop_reason::sender_dead);
+    count_drop(src_shard, drop_reason::sender_dead);
     return;
   }
-  const sim::sim_time now = sched_.now();
+  // The sending peer's own clock: its shard scheduler mid-epoch, the
+  // universe scheduler in serial mode.
+  const sim::sim_time now =
+      router_ != nullptr ? router_->scheduler_of(src_shard).now()
+                         : sched_.now();
   endpoint source_ep;
   if (src.device) {
     source_ep = src.device->translate_outbound(src.private_ep, to, now);
@@ -144,51 +174,77 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
   const std::size_t bytes = udp_header_bytes + body->wire_size();
   src.traffic.bytes_sent += bytes;
   ++src.traffic.msgs_sent;
+  counter_block& counters = counters_[src_shard];
   const message_kind kind = body->wire_kind();
-  bytes_by_kind_[static_cast<std::size_t>(kind)] += bytes;
+  counters.by_kind[static_cast<std::size_t>(kind)] += bytes;
   if (kind == message_kind::other) {  // cold path: non-protocol payloads
-    other_bytes_[body->type_name()] += bytes;
+    counters.other[body->type_name()] += bytes;
   }
 
-  if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
-    count_drop(drop_reason::random_loss);
+  // Per-peer rng streams in shard mode: the draw sequence belongs to the
+  // sender, so it is independent of how peers are partitioned.
+  util::rng& rng = router_ != nullptr ? router_->rng_of(from) : rng_;
+  if (cfg_.loss_rate > 0.0 && rng.bernoulli(cfg_.loss_rate)) {
+    count_drop(src_shard, drop_reason::random_loss);
     return;
   }
-  const sim::sim_time delay = latency_->sample(rng_);
-  sched_.after(delay, [this, from, source_ep, to, body = std::move(body),
-                       bytes] { deliver(from, source_ep, to, body, bytes); });
+  const sim::sim_time delay = latency_->sample(rng);
+  if (router_ == nullptr) {
+    sched_.after(delay,
+                 [this, from, source_ep, to, body = std::move(body), bytes] {
+                   deliver(0, from, source_ep, to, body, bytes);
+                 });
+    return;
+  }
+  // Cross-shard (or same-shard — the ordering contract is uniform)
+  // delivery through the canonical channels. The destination shard is
+  // resolved against barrier-stable routing state; ownership is
+  // re-resolved at delivery time, where a mid-flight NAT rebind turns the
+  // packet into an unknown_destination drop exactly like the serial path.
+  const node_id owner = owner_of(to.ip);
+  const std::size_t dst_shard =
+      owner != nil_node ? router_->shard_of(owner)
+                        : to.ip.value % router_->shard_count();
+  const std::uint64_t seq = ++src.send_seq;
+  router_->post(
+      router_->shard_of(from), dst_shard, now + delay, from, seq,
+      [this, dst_shard, from, source_ep, to, body = std::move(body), bytes] {
+        deliver(dst_shard, from, source_ep, to, body, bytes);
+      });
 }
 
-void transport::deliver(node_id from, endpoint source, endpoint to,
-                        const payload_ptr& body, std::size_t bytes) {
+void transport::deliver(std::size_t shard, node_id from, endpoint source,
+                        endpoint to, const payload_ptr& body,
+                        std::size_t bytes) {
   const node_id owner = owner_of(to.ip);
   if (owner == nil_node) {
-    count_drop(drop_reason::unknown_destination);
+    count_drop(shard, drop_reason::unknown_destination);
     return;
   }
   // A partition severs the path before the destination NAT ever sees the
   // packet (no rule refresh on the far side).
   if (partitioned() && side_of(from) != side_of(owner)) {
-    count_drop(drop_reason::partitioned);
+    count_drop(shard, drop_reason::partitioned);
     return;
   }
   node_record& dst = nodes_[owner];
-  const sim::sim_time now = sched_.now();
+  const sim::sim_time now =
+      router_ != nullptr ? router_->scheduler_of(shard).now() : sched_.now();
   if (dst.device) {
     const auto private_dst = dst.device->filter_inbound(to, source, now);
     if (!private_dst) {
-      count_drop(drop_reason::nat_filtered);
+      count_drop(shard, drop_reason::nat_filtered);
       return;
     }
     NYLON_ENSURES(*private_dst == dst.private_ep);
   } else if (to != dst.advertised) {
-    count_drop(drop_reason::unknown_destination);
+    count_drop(shard, drop_reason::unknown_destination);
     return;
   }
   // NAT boxes forward to dead hosts; the packet just dies there. The check
   // happens after NAT filtering so rule refreshes stay realistic.
   if (!dst.alive) {
-    count_drop(drop_reason::dead_node);
+    count_drop(shard, drop_reason::dead_node);
     return;
   }
   dst.traffic.bytes_received += bytes;
@@ -235,29 +291,47 @@ const node_traffic& transport::traffic(node_id id) const {
 
 void transport::reset_traffic() {
   for (node_record& rec : nodes_) rec.traffic = node_traffic{};
-  for (std::uint64_t& b : bytes_by_kind_) b = 0;
-  other_bytes_.clear();
+  for (counter_block& block : counters_) {
+    for (std::uint64_t& b : block.by_kind) b = 0;
+    block.other.clear();
+  }
+}
+
+std::uint64_t transport::bytes_by_kind(message_kind kind) const noexcept {
+  std::uint64_t total = 0;
+  for (const counter_block& block : counters_) {
+    total += block.by_kind[static_cast<std::size_t>(kind)];
+  }
+  return total;
 }
 
 std::unordered_map<std::string_view, std::uint64_t> transport::bytes_by_type()
     const {
-  std::unordered_map<std::string_view, std::uint64_t> out = other_bytes_;
+  std::unordered_map<std::string_view, std::uint64_t> out;
+  for (const counter_block& block : counters_) {
+    for (const auto& [name, bytes] : block.other) out[name] += bytes;
+  }
   for (std::size_t k = 0; k < static_cast<std::size_t>(message_kind::other);
        ++k) {
-    if (bytes_by_kind_[k] > 0) {
-      out[to_string(static_cast<message_kind>(k))] = bytes_by_kind_[k];
-    }
+    const std::uint64_t bytes = bytes_by_kind(static_cast<message_kind>(k));
+    if (bytes > 0) out[to_string(static_cast<message_kind>(k))] = bytes;
   }
   return out;
 }
 
 std::uint64_t transport::drops(drop_reason reason) const {
-  return drop_counts_[static_cast<std::size_t>(reason)];
+  std::uint64_t total = 0;
+  for (const counter_block& block : counters_) {
+    total += block.drops[static_cast<std::size_t>(reason)];
+  }
+  return total;
 }
 
 std::uint64_t transport::total_drops() const {
   std::uint64_t total = 0;
-  for (std::uint64_t c : drop_counts_) total += c;
+  for (const counter_block& block : counters_) {
+    for (const std::uint64_t c : block.drops) total += c;
+  }
   return total;
 }
 

@@ -33,6 +33,37 @@ class endpoint_handler {
   virtual void on_datagram(const datagram& dgram) = 0;
 };
 
+/// Shard-mode hooks, implemented by the runtime layer when one universe
+/// runs on the sharded engine (see sim/shard_engine.h and DESIGN.md's
+/// "Sharded determinism contract"). With a router installed the
+/// transport:
+///  * reads clocks from the executing peer's shard scheduler instead of
+///    the (control-plane) scheduler it was constructed with,
+///  * draws loss and latency from the *sending peer's* dedicated rng —
+///    per-peer streams are what make results independent of the shard
+///    count, and
+///  * routes deliveries through the router's canonical cross-shard
+///    channels instead of scheduling them directly.
+/// Without a router (the default), behaviour is bit-identical to the
+/// classic serial engine.
+class shard_router {
+ public:
+  virtual ~shard_router() = default;
+
+  [[nodiscard]] virtual std::size_t shard_count() const noexcept = 0;
+  /// The shard owning `id`'s peer (stable for the node's lifetime).
+  [[nodiscard]] virtual std::size_t shard_of(node_id id) const noexcept = 0;
+  [[nodiscard]] virtual sim::scheduler& scheduler_of(
+      std::size_t shard) noexcept = 0;
+  /// The node's dedicated rng stream.
+  [[nodiscard]] virtual util::rng& rng_of(node_id id) noexcept = 0;
+  /// Buffers `fn` to run on `dst_shard` at `at`, canonically ordered by
+  /// (at, order_a, order_b) at the next epoch barrier.
+  virtual void post(std::size_t src_shard, std::size_t dst_shard,
+                    sim::sim_time at, std::uint64_t order_a,
+                    std::uint64_t order_b, util::callback fn) = 0;
+};
+
 /// Why a datagram was not delivered.
 enum class drop_reason : std::uint8_t {
   unknown_destination,  ///< no host owns the destination IP / port
@@ -99,6 +130,14 @@ class transport {
   /// Requires a natted, alive node.
   endpoint rebind_nat(node_id id);
 
+  /// In-place NAT *type* migration: the ISP swaps the node's NAT device
+  /// for one of `new_type` (cone -> symmetric, say) under the running
+  /// peer. Same plumbing as `rebind_nat` — fresh public IP, every mapping
+  /// and filtering rule lost, old endpoint stops routing — plus the type
+  /// change, which peers and remote descriptors only observe once
+  /// refreshed. Requires a natted, alive node and a natted `new_type`.
+  endpoint migrate_nat(node_id id, nat::nat_type new_type);
+
   // --- partitions -------------------------------------------------------------
 
   /// Installs a network partition: `side[i]` is node i's side; nodes
@@ -153,10 +192,9 @@ class transport {
   void reset_traffic();
   [[nodiscard]] std::uint64_t drops(drop_reason reason) const;
   [[nodiscard]] std::uint64_t total_drops() const;
-  /// Bytes sent for one protocol kind (O(1), the hot accounting path).
-  [[nodiscard]] std::uint64_t bytes_by_kind(message_kind kind) const noexcept {
-    return bytes_by_kind_[static_cast<std::size_t>(kind)];
-  }
+  /// Bytes sent for one protocol kind (sums the per-shard blocks; one
+  /// block in serial mode).
+  [[nodiscard]] std::uint64_t bytes_by_kind(message_kind kind) const noexcept;
   /// Bytes by payload type name (REQUEST, OPEN_HOLE, ...), assembled from
   /// the per-kind counters plus the by-name overflow for `other`
   /// payloads. Built on demand — call it for reporting, not per packet.
@@ -168,10 +206,36 @@ class transport {
   void purge_nat_state();
 
   [[nodiscard]] sim::scheduler& scheduler() noexcept { return sched_; }
-  /// Current simulated time (const path for oracles and metrics).
+  /// Current simulated time (const path for oracles and metrics). In
+  /// shard mode this is the control-plane clock, which equals the epoch
+  /// barrier time whenever the control plane (oracles included) runs.
   [[nodiscard]] sim::sim_time scheduler_now() const noexcept {
     return sched_.now();
   }
+
+  // --- shard mode -------------------------------------------------------------
+
+  /// Installs (or clears, with nullptr) the shard-mode hooks. The router
+  /// must outlive the transport; install it before any node is added or
+  /// traffic flows.
+  void set_shard_router(shard_router* router);
+  [[nodiscard]] bool sharded() const noexcept { return router_ != nullptr; }
+
+  /// The scheduler `id`'s peer must use for its own timers: its shard's
+  /// scheduler when sharded, the universe scheduler otherwise.
+  [[nodiscard]] sim::scheduler& scheduler_for(node_id id) noexcept {
+    return router_ != nullptr ? router_->scheduler_of(router_->shard_of(id))
+                              : sched_;
+  }
+
+  /// The clock `id`'s peer observes from inside its own events (its
+  /// shard clock when sharded; identical to scheduler_now() otherwise).
+  [[nodiscard]] sim::sim_time now_for(node_id id) const noexcept {
+    return router_ != nullptr
+               ? router_->scheduler_of(router_->shard_of(id)).now()
+               : sched_.now();
+  }
+
   [[nodiscard]] const transport_config& config() const noexcept {
     return cfg_;
   }
@@ -186,6 +250,22 @@ class transport {
     std::unique_ptr<nat::nat_device> device;  ///< null for public nodes
     endpoint_handler* handler = nullptr;
     node_traffic traffic;
+    /// Monotonic per-sender packet number: the canonical cross-shard
+    /// tiebreak (never reset, unlike the traffic counters).
+    std::uint64_t send_seq = 0;
+  };
+
+  /// Transport-wide counters, split per shard so concurrent epochs never
+  /// contend (one block, index 0, in serial mode). Readers sum the
+  /// blocks; the sums are shard-count independent even though the
+  /// per-block placement is not. Cache-line aligned against false
+  /// sharing between adjacent shards' hot counters.
+  struct alignas(64) counter_block {
+    std::uint64_t drops[static_cast<std::size_t>(drop_reason::count_)] = {};
+    std::uint64_t by_kind[static_cast<std::size_t>(message_kind::count_)] =
+        {};
+    /// By-name accounting for payloads outside the protocol enum.
+    std::unordered_map<std::string_view, std::uint64_t> other;
   };
 
   /// O(1) routing: node i's original public IP is `public_ip_base + i + 1`
@@ -195,25 +275,27 @@ class transport {
   /// alive-or-dead host owns the address.
   [[nodiscard]] node_id owner_of(ip_address ip) const;
 
-  void deliver(node_id from, endpoint source, endpoint to,
+  /// Delivery-time path; `shard` is the executing shard (0 in serial
+  /// mode), used for clock reads and drop accounting.
+  void deliver(std::size_t shard, node_id from, endpoint source, endpoint to,
                const payload_ptr& body, std::size_t bytes);
-  void count_drop(drop_reason reason);
+  void count_drop(std::size_t shard, drop_reason reason);
+  /// Shared rebind/migration plumbing: fresh device of `type` on a fresh
+  /// public IP, all NAT state dropped, routing handed off to the new IP.
+  endpoint replace_device(node_id id, nat::nat_type type);
 
   sim::scheduler& sched_;
   util::rng& rng_;
   std::unique_ptr<latency_model> latency_;
   transport_config cfg_;
+  shard_router* router_ = nullptr;  ///< null = classic serial engine
   std::vector<node_record> nodes_;
   /// Overflow routing for NATs that re-bound onto fresh (11.x) IPs.
   util::flat_hash_map<std::uint32_t, node_id> rebound_owner_;
   std::vector<std::uint8_t> partition_side_;  ///< empty = no partition
   std::uint32_t rebind_count_ = 0;  ///< rebound public IPs allocated so far
-  std::uint64_t drop_counts_[static_cast<std::size_t>(drop_reason::count_)] =
-      {};
-  std::uint64_t bytes_by_kind_[static_cast<std::size_t>(
-      message_kind::count_)] = {};
-  /// By-name accounting for payloads outside the protocol enum.
-  std::unordered_map<std::string_view, std::uint64_t> other_bytes_;
+  /// One block per shard (exactly one in serial mode).
+  std::vector<counter_block> counters_;
 };
 
 }  // namespace nylon::net

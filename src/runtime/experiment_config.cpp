@@ -22,6 +22,12 @@ void experiment_config::validate() const {
   }
   NYLON_EXPECTS(hole_timeout > 0);
   NYLON_EXPECTS(loss_rate >= 0.0 && loss_rate <= 1.0);
+  if (shards > 0) {
+    // The conservative window is the latency floor; a zero floor would
+    // allow same-epoch cross-shard causality. (lognormal clamps to 1 ms.)
+    NYLON_EXPECTS(latency >= 1);
+    NYLON_EXPECTS(shards <= 1024);
+  }
 }
 
 }  // namespace nylon::runtime

@@ -43,6 +43,14 @@ struct experiment_config {
   double loss_rate = 0.0;
   /// Master seed of this run.
   std::uint64_t seed = 1;
+  /// 0 (default): the classic serial engine — one scheduler, one shared
+  /// rng, golden-digest pinned. K >= 1: the sharded universe engine —
+  /// peers partitioned across K shards by node_id, per-peer rng streams,
+  /// K worker threads in lockstep epochs. Output is byte-identical for
+  /// every K >= 1 (its own deterministic stream, distinct from the
+  /// serial engine's — see DESIGN.md "Sharded determinism contract").
+  /// Requires a latency model with min_delay() >= 1 ms.
+  std::size_t shards = 0;
 
   /// Throws nylon::contract_error on invalid combinations.
   void validate() const;

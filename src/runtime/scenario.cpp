@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "gossip/bootstrap.h"
 #include "net/latency.h"
@@ -9,37 +10,60 @@
 
 namespace nylon::runtime {
 
+namespace {
+
+std::unique_ptr<net::latency_model> make_latency(const experiment_config& cfg) {
+  switch (cfg.latency_model) {
+    case experiment_config::latency_kind::uniform:
+      return std::make_unique<net::uniform_latency>(cfg.latency,
+                                                    cfg.latency_max);
+    case experiment_config::latency_kind::lognormal:
+      return std::make_unique<net::lognormal_latency>(cfg.latency,
+                                                      cfg.latency_sigma);
+    case experiment_config::latency_kind::fixed:
+      break;
+  }
+  return std::make_unique<net::fixed_latency>(cfg.latency);
+}
+
+/// Stream tag for per-peer rngs, far above the workload engine's
+/// 0xD1CE____ phase streams so derived seeds never collide.
+constexpr std::uint64_t peer_stream_base = std::uint64_t{1} << 32;
+
+}  // namespace
+
 scenario::scenario(const experiment_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
   cfg_.validate();
 
   net::transport_config tcfg;
   tcfg.hole_timeout = cfg_.hole_timeout;
   tcfg.loss_rate = cfg_.loss_rate;
-  std::unique_ptr<net::latency_model> latency;
-  switch (cfg_.latency_model) {
-    case experiment_config::latency_kind::uniform:
-      latency = std::make_unique<net::uniform_latency>(cfg_.latency,
-                                                       cfg_.latency_max);
-      break;
-    case experiment_config::latency_kind::lognormal:
-      latency = std::make_unique<net::lognormal_latency>(cfg_.latency,
-                                                         cfg_.latency_sigma);
-      break;
-    case experiment_config::latency_kind::fixed:
-      latency = std::make_unique<net::fixed_latency>(cfg_.latency);
-      break;
+  std::unique_ptr<net::latency_model> latency = make_latency(cfg_);
+  if (cfg_.shards > 0) {
+    // Conservative window = the latency floor: every packet posted
+    // during an epoch then lands strictly after the epoch barrier.
+    const sim::sim_time window = latency->min_delay();
+    NYLON_EXPECTS(window >= 1);
+    shards_ = std::make_unique<sim::shard_engine>(cfg_.shards, window);
   }
   transport_ = std::make_unique<net::transport>(sched_, rng_,
                                                 std::move(latency), tcfg);
+  if (shards_ != nullptr) transport_->set_shard_router(this);
 
+  // Control-plane construction draws (type assignment, bootstrap, timer
+  // phases) use the shared stream in both engines, so a sharded universe
+  // starts from the exact initial state its serial sibling would.
   const std::vector<nat::nat_type> types =
       nat::assign_types(cfg_.peer_count, cfg_.natted_fraction, cfg_.mix, rng_);
 
   peers_.reserve(cfg_.peer_count);
   for (std::size_t i = 0; i < cfg_.peer_count; ++i) {
-    auto p = core::make_peer(cfg_.protocol, *transport_, rng_, cfg_.gossip);
-    const net::node_id id = transport_->add_node(types[i], *p);
-    NYLON_ENSURES(id == static_cast<net::node_id>(i));
+    const auto id = static_cast<net::node_id>(i);
+    util::rng& peer_rng = shards_ != nullptr ? peer_rng_for(id) : rng_;
+    auto p = core::make_peer(cfg_.protocol, *transport_, peer_rng,
+                             cfg_.gossip);
+    const net::node_id assigned = transport_->add_node(types[i], *p);
+    NYLON_ENSURES(assigned == id);
     p->attach(id);
     peers_.push_back(std::move(p));
   }
@@ -57,17 +81,75 @@ scenario::scenario(const experiment_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
     p->start(phase);
   }
 
-  // Periodic NAT garbage collection keeps device tables bounded.
+  // Periodic NAT garbage collection keeps device tables bounded. A
+  // control-plane event in shard mode: it runs at an epoch barrier with
+  // every shard parked.
   sched_.every(sim::seconds(30), sim::seconds(30),
                [this] { transport_->purge_nat_state(); });
 }
 
-void scenario::run_periods(std::int64_t periods) {
-  NYLON_EXPECTS(periods >= 0);
-  sched_.run_for(periods * cfg_.gossip.shuffle_period);
+util::rng& scenario::peer_rng_for(net::node_id id) {
+  while (peer_rngs_.size() <= id) {
+    peer_rngs_.emplace_back(util::derive_seed(
+        cfg_.seed, peer_stream_base + peer_rngs_.size()));
+  }
+  return peer_rngs_[id];
 }
 
-void scenario::run_until(sim::sim_time deadline) { sched_.run_until(deadline); }
+// --- net::shard_router -------------------------------------------------------
+
+std::size_t scenario::shard_count() const noexcept {
+  return shards_->shard_count();
+}
+
+std::size_t scenario::shard_of(net::node_id id) const noexcept {
+  return id % shards_->shard_count();
+}
+
+sim::scheduler& scenario::scheduler_of(std::size_t shard) noexcept {
+  return shards_->shard_scheduler(shard);
+}
+
+util::rng& scenario::rng_of(net::node_id id) noexcept {
+  return peer_rngs_[id];
+}
+
+void scenario::post(std::size_t src_shard, std::size_t dst_shard,
+                    sim::sim_time at, std::uint64_t order_a,
+                    std::uint64_t order_b, util::callback fn) {
+  shards_->post(src_shard, dst_shard, at, order_a, order_b, std::move(fn));
+}
+
+// --- time --------------------------------------------------------------------
+
+void scenario::run_periods(std::int64_t periods) {
+  NYLON_EXPECTS(periods >= 0);
+  run_until(sched_.now() + periods * cfg_.gossip.shuffle_period);
+}
+
+void scenario::run_until(sim::sim_time deadline) {
+  if (shards_ == nullptr) {
+    sched_.run_until(deadline);
+    return;
+  }
+  NYLON_EXPECTS(deadline >= sched_.now());
+  // Lockstep epochs, cut short at control-event times (NAT GC) so those
+  // run at their exact timestamps — after every shard event at or before
+  // them, like workload actions.
+  for (;;) {
+    const sim::sim_time next_control = sched_.next_event_time();
+    const sim::sim_time target = std::min(deadline, next_control);
+    shards_->run_until(target);
+    sched_.run_until(target);
+    if (target >= deadline) break;
+  }
+}
+
+std::uint64_t scenario::events_executed() const noexcept {
+  std::uint64_t total = sched_.events_executed();
+  if (shards_ != nullptr) total += shards_->events_executed();
+  return total;
+}
 
 gossip::peer& scenario::peer_at(net::node_id id) {
   NYLON_EXPECTS(id < peers_.size());
@@ -113,7 +195,8 @@ std::size_t scenario::partition_fraction(double fraction) {
 
 void scenario::heal_partition() { transport_->clear_partition(); }
 
-std::size_t scenario::rebind_fraction(double fraction) {
+std::size_t scenario::upheave_natted_fraction(
+    double fraction, const std::function<void(net::node_id)>& upheave) {
   NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
   std::vector<net::node_id> natted;
   for (const net::node_id id : alive_ids()) {
@@ -125,10 +208,22 @@ std::size_t scenario::rebind_fraction(double fraction) {
       rng_.sample_indices(natted.size(), take);
   for (const std::size_t k : picks) {
     const net::node_id id = natted[k];
-    transport_->rebind_nat(id);
+    upheave(id);
     peers_[id]->refresh_self();
   }
   return take;
+}
+
+std::size_t scenario::rebind_fraction(double fraction) {
+  return upheave_natted_fraction(
+      fraction, [this](net::node_id id) { transport_->rebind_nat(id); });
+}
+
+std::size_t scenario::migrate_fraction(double fraction,
+                                       const nat::nat_mix& to_mix) {
+  return upheave_natted_fraction(fraction, [this, &to_mix](net::node_id id) {
+    transport_->migrate_nat(id, nat::draw_type(to_mix, rng_));
+  });
 }
 
 void scenario::remove_peer(net::node_id id) {
@@ -142,8 +237,11 @@ net::node_id scenario::add_peer(std::optional<nat::nat_type> type) {
                                    ? *type
                                    : nat::assign_types(1, cfg_.natted_fraction,
                                                        cfg_.mix, rng_)[0];
-  auto p = core::make_peer(cfg_.protocol, *transport_, rng_, cfg_.gossip);
-  const net::node_id id = transport_->add_node(chosen, *p);
+  const auto id = static_cast<net::node_id>(peers_.size());
+  util::rng& peer_rng = shards_ != nullptr ? peer_rng_for(id) : rng_;
+  auto p = core::make_peer(cfg_.protocol, *transport_, peer_rng, cfg_.gossip);
+  const net::node_id assigned = transport_->add_node(chosen, *p);
+  NYLON_ENSURES(assigned == id);
   p->attach(id);
 
   // Bootstrap with up to view_size alive public peers (fallback: any
@@ -205,6 +303,53 @@ std::size_t scenario::remove_fraction(double fraction) {
     }
   }
   return removed;
+}
+
+std::uint64_t scenario::state_digest() const {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (i * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    const gossip::peer& p = *peers_[i];
+    mix(transport_->alive(id) ? 1 : 0);
+    mix(static_cast<std::uint64_t>(transport_->type_of(id)));
+    const net::endpoint adv = transport_->advertised_endpoint(id);
+    mix(adv.ip.value);
+    mix(adv.port);
+    for (const gossip::view_entry& e : p.current_view().entries()) {
+      mix(e.peer.id);
+      mix(e.peer.addr.ip.value);
+      mix(e.peer.addr.port);
+      mix(static_cast<std::uint64_t>(e.peer.type));
+      mix(static_cast<std::uint64_t>(e.age));
+      mix(static_cast<std::uint64_t>(e.route_ttl));
+    }
+    const gossip::shuffle_stats& s = p.stats();
+    mix(s.initiated);
+    mix(s.requests_received);
+    mix(s.responses_received);
+    mix(s.messages_forwarded);
+    const net::node_traffic& t = transport_->traffic(id);
+    mix(t.bytes_sent);
+    mix(t.bytes_received);
+    mix(t.msgs_sent);
+    mix(t.msgs_received);
+  }
+  for (std::size_t r = 0;
+       r < static_cast<std::size_t>(net::drop_reason::count_); ++r) {
+    mix(transport_->drops(static_cast<net::drop_reason>(r)));
+  }
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(net::message_kind::count_); ++k) {
+    mix(transport_->bytes_by_kind(static_cast<net::message_kind>(k)));
+  }
+  mix(events_executed());
+  return hash;
 }
 
 metrics::reachability_oracle scenario::oracle() const {

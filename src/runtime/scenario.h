@@ -1,7 +1,23 @@
 // A fully wired simulation: scheduler + rng + transport + peers, built
 // from an experiment_config, with churn injection and metric access.
+//
+// Two execution engines behind one API (selected by config.shards):
+//  * shards == 0 — the classic serial engine: one scheduler, one shared
+//    rng, golden-digest pinned (DESIGN.md "Determinism contract").
+//  * shards == K >= 1 — the sharded universe engine: peers partitioned
+//    across K shards by node_id (id % K), each shard a full scheduler
+//    clone advancing in lockstep epochs, per-peer rng streams, and
+//    canonical cross-shard packet channels. Results are byte-identical
+//    for every K (DESIGN.md "Sharded determinism contract") but form a
+//    distinct deterministic stream from the serial engine.
+// All mutation entry points below are control-plane operations: in shard
+// mode they run at epoch barriers, where every shard is parked at the
+// same simulated time.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -12,11 +28,12 @@
 #include "net/transport.h"
 #include "runtime/experiment_config.h"
 #include "sim/scheduler.h"
+#include "sim/shard_engine.h"
 #include "util/rng.h"
 
 namespace nylon::runtime {
 
-class scenario {
+class scenario : private net::shard_router {
  public:
   /// Builds the whole system: assigns NAT types, creates peers, seeds
   /// views with random public peers (§5 bootstrap) and schedules every
@@ -26,7 +43,10 @@ class scenario {
   /// Advances the simulation by `periods` shuffle periods.
   void run_periods(std::int64_t periods);
 
-  /// Advances to an absolute simulated time.
+  /// Advances to an absolute simulated time. In shard mode this runs
+  /// conservative-window epochs, interleaving control-plane events (NAT
+  /// GC) at their exact timestamps, and returns with every shard parked
+  /// at `deadline`.
   void run_until(sim::sim_time deadline);
 
   // --- churn -----------------------------------------------------------------
@@ -72,6 +92,14 @@ class scenario {
   /// refreshes their self-descriptors. Returns how many were re-bound.
   std::size_t rebind_fraction(double fraction);
 
+  /// In-place NAT *type* migration of round(fraction * alive natted)
+  /// random natted peers: each gets a fresh device of a type drawn from
+  /// `to_mix` (the ISP swapped the box — cone customers waking up behind
+  /// symmetric CGNAT, say), with the full rebind upheaval on top (new
+  /// public IP, NAT state lost, self-descriptor refreshed). Returns how
+  /// many migrated.
+  std::size_t migrate_fraction(double fraction, const nat::nat_mix& to_mix);
+
   // --- access ----------------------------------------------------------------
 
   [[nodiscard]] net::transport& transport() noexcept { return *transport_; }
@@ -83,19 +111,62 @@ class scenario {
     return peers_;
   }
   [[nodiscard]] gossip::peer& peer_at(net::node_id id);
+  /// The control-plane scheduler. Its clock is the authoritative "now"
+  /// between events in serial mode and at barriers in shard mode; its
+  /// events_executed() covers only control events when sharded — use
+  /// scenario::events_executed() for the whole universe.
   [[nodiscard]] sim::scheduler& scheduler() noexcept { return sched_; }
   [[nodiscard]] util::rng& rng() noexcept { return rng_; }
   [[nodiscard]] const experiment_config& config() const noexcept {
     return cfg_;
   }
 
+  /// Total events executed across the whole universe (all shards plus
+  /// the control plane; just the one scheduler in serial mode).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+
+  /// True when running on the sharded engine.
+  [[nodiscard]] bool sharded() const noexcept { return shards_ != nullptr; }
+
+  /// FNV-1a digest of the observable world state: per-peer liveness,
+  /// views, shuffle statistics and traffic counters (id order), plus the
+  /// transport's drop/byte accounting and the event count. Two runs are
+  /// "the same simulation" iff their digests match; the shard
+  /// determinism tests pin this across shard counts.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
   /// Builds a fresh staleness/connectivity oracle over the current state.
   [[nodiscard]] metrics::reachability_oracle oracle() const;
 
  private:
+  // --- net::shard_router (shard mode only) -----------------------------------
+  [[nodiscard]] std::size_t shard_count() const noexcept override;
+  [[nodiscard]] std::size_t shard_of(net::node_id id) const noexcept override;
+  [[nodiscard]] sim::scheduler& scheduler_of(
+      std::size_t shard) noexcept override;
+  [[nodiscard]] util::rng& rng_of(net::node_id id) noexcept override;
+  void post(std::size_t src_shard, std::size_t dst_shard, sim::sim_time at,
+            std::uint64_t order_a, std::uint64_t order_b,
+            util::callback fn) override;
+
+  /// The dedicated rng stream for peer `id` (shard mode), created on
+  /// first use in id order. Streams derive from (seed, id), so they are
+  /// independent of the shard count and of join order timing.
+  util::rng& peer_rng_for(net::node_id id);
+
+  /// Shared scaffolding of rebind_fraction / migrate_fraction: picks
+  /// round(fraction * alive natted) random natted peers, applies
+  /// `upheave` to each and refreshes its self-descriptor. Returns how
+  /// many were hit.
+  std::size_t upheave_natted_fraction(
+      double fraction, const std::function<void(net::node_id)>& upheave);
+
   experiment_config cfg_;
-  sim::scheduler sched_;
-  util::rng rng_;
+  sim::scheduler sched_;  ///< the universe (serial) / control (sharded)
+  util::rng rng_;         ///< shared stream (serial) / control stream
+  std::unique_ptr<sim::shard_engine> shards_;  ///< null in serial mode
+  /// Per-peer rng streams (shard mode; deque for reference stability).
+  std::deque<util::rng> peer_rngs_;
   std::unique_ptr<net::transport> transport_;
   std::vector<std::unique_ptr<gossip::peer>> peers_;
 };

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <initializer_list>
+#include <map>
 #include <ostream>
 #include <span>
 
@@ -211,7 +212,109 @@ std::string apply_setting(experiment_config& cfg, const std::string& key,
     cfg.loss_rate = v;
     return token;
   }
+  if (key == "shards") {
+    cfg.shards = count_token(key, token, opt);
+    return token;
+  }
   bad("unknown config key \"" + key + "\"");
+}
+
+/// '$'-prefixed keys are workload variables, not config keys: their
+/// tokens substitute into the spec's workload JSON instead of touching
+/// the experiment_config.
+bool is_workload_var(const std::string& key) {
+  return !key.empty() && key.front() == '$';
+}
+
+/// Leading numeric value of a variable token; tolerates a trailing
+/// annotation ("50%" -> 50) so tokens double as table labels.
+double var_numeric(const std::string& name, const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || errno == ERANGE) {
+    bad("variable \"" + name + "\" value \"" + token + "\" is not numeric");
+  }
+  return v;
+}
+
+/// JSON number for a resolved variable (int when integral, like the
+/// literals it replaces).
+util::json var_value(double v) {
+  const auto as_int = static_cast<std::int64_t>(std::llround(v));
+  if (std::abs(v - static_cast<double>(as_int)) < 1e-9) {
+    return util::json(as_int);
+  }
+  return util::json(v);
+}
+
+using var_map = std::map<std::string, std::string>;
+
+/// Resolves "$name" / "$name/DIVISOR" string values against `vars`,
+/// recursing through objects and arrays; everything else copies through.
+util::json resolve_workload_vars(const util::json& j, const var_map& vars) {
+  if (j.is_string()) {
+    const std::string& s = j.as_string();
+    if (s.size() < 2 || s.front() != '$') return j;
+    const std::size_t slash = s.find('/');
+    const std::string name = s.substr(1, slash == std::string::npos
+                                             ? std::string::npos
+                                             : slash - 1);
+    const auto it = vars.find(name);
+    if (it == vars.end()) return j;  // not a variable (e.g. "$view_a")
+    double v = var_numeric(name, it->second);
+    if (slash != std::string::npos) {
+      const double divisor = var_numeric(name, s.substr(slash + 1));
+      if (divisor == 0.0) bad("variable \"" + s + "\" divides by zero");
+      v /= divisor;
+    }
+    return var_value(v);
+  }
+  if (j.is_array()) {
+    util::json out = util::json::array();
+    for (const util::json& item : j.array_items()) {
+      out.push_back(resolve_workload_vars(item, vars));
+    }
+    return out;
+  }
+  if (j.is_object()) {
+    util::json out = util::json::object();
+    for (const auto& [key, value] : j.object_items()) {
+      out[key] = resolve_workload_vars(value, vars);
+    }
+    return out;
+  }
+  return j;
+}
+
+/// The driver-derived builtin variables every spec may reference.
+var_map builtin_vars(const spec_options& opt) {
+  var_map vars;
+  vars["rounds"] = std::to_string(opt.rounds);
+  vars["half_rounds"] = std::to_string(opt.rounds / 2);
+  return vars;
+}
+
+/// Parses a "name=$var" / "name=literal" report-param entry against the
+/// builtin variables; nullopt when `p` is a plain builtin param name
+/// (no '='). One parser serves validate() and run_spec() so the two can
+/// never drift. Throws on unknown variables or non-numeric literals.
+std::optional<std::pair<std::string, util::json>> param_override(
+    const std::string& p, const var_map& builtins) {
+  const std::size_t eq = p.find('=');
+  if (eq == std::string::npos) return std::nullopt;
+  const std::string name = p.substr(0, eq);
+  std::string value = p.substr(eq + 1);
+  if (name.empty()) bad("report param \"" + p + "\" has no name");
+  if (value.size() > 1 && value.front() == '$') {
+    const auto it = builtins.find(value.substr(1));
+    if (it == builtins.end()) {
+      bad("report param \"" + p + "\" references unknown variable \"" +
+          value + "\" ($rounds | $half_rounds)");
+    }
+    value = it->second;
+  }
+  return std::make_pair(name, var_value(var_numeric(name, value)));
 }
 
 /// Replaces $view_a / $view_b in header text with the resolved sizes.
@@ -289,7 +392,7 @@ std::vector<std::string> values_from_json(const util::json& j,
 
 spec_axis axis_from_json(const util::json& j, bool needs_header,
                          const char* what) {
-  ensure_keys(j, {"axis", "header", "values", "range"}, what);
+  ensure_keys(j, {"axis", "header", "values", "range", "cell_key"}, what);
   spec_axis out;
   const util::json* key = j.find("axis");
   if (key == nullptr || !key->is_string()) {
@@ -301,6 +404,10 @@ spec_axis axis_from_json(const util::json& j, bool needs_header,
     out.header = header->as_string();
   } else if (needs_header) {
     bad(std::string(what) + " needs a \"header\"");
+  }
+  if (const util::json* cell_key = j.find("cell_key")) {
+    if (!cell_key->is_string()) bad("axis \"cell_key\" must be a string");
+    out.cell_key = cell_key->as_string();
   }
   out.values = values_from_json(j, what);
   return out;
@@ -347,6 +454,8 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
         col.set.emplace_back(axis.key, token);
         col.probe = probe->as_string();
         col.precision = precision_from_json(c);
+        col.cell_key = axis.cell_key;
+        col.cell_token = token;
         out.push_back(std::move(col));
       }
       continue;
@@ -377,7 +486,9 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
       }
       col.k = spec_column::kind::row_value;
     } else {
-      ensure_keys(c, {"header", "probe", "set", "precision"}, "probe column");
+      ensure_keys(c, {"header", "probe", "set", "precision", "cell_key",
+                      "cell_value"},
+                  "probe column");
       const util::json* probe = c.find("probe");
       if (probe == nullptr || !probe->is_string()) {
         bad("column \"" + col.header + "\" needs a \"probe\"");
@@ -386,6 +497,14 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
       col.probe = probe->as_string();
       if (const util::json* set = c.find("set")) {
         col.set = settings_from_json(*set, "column \"set\"");
+      }
+      // The expanded (non-sweep) spelling of a cells-mode column.
+      if (const util::json* cell_key = c.find("cell_key")) {
+        if (!cell_key->is_string()) bad("\"cell_key\" must be a string");
+        col.cell_key = cell_key->as_string();
+        const util::json* cell_value = c.find("cell_value");
+        if (cell_value == nullptr) bad("\"cell_key\" needs a \"cell_value\"");
+        col.cell_token = token_of(*cell_value);
       }
     }
     out.push_back(std::move(col));
@@ -429,22 +548,37 @@ void experiment_spec::validate() const {
 
   // Dry-run every override against a scratch config with default driver
   // options: catches unknown keys and malformed tokens up front.
+  // '$'-keys are workload variables — they bypass the config but their
+  // tokens must carry a numeric value, and they need a workload to
+  // substitute into.
   const spec_options defaults;
   experiment_config scratch;
+  const auto check_setting = [&](experiment_config& cfg,
+                                 const std::string& key,
+                                 const std::string& token) {
+    if (is_workload_var(key)) {
+      if (!workload.has_value()) {
+        bad("variable axis \"" + key + "\" requires a \"workload\"");
+      }
+      (void)var_numeric(key, token);
+      return;
+    }
+    apply_setting(cfg, key, token, defaults);
+  };
   for (const auto& [key, token] : base) {
-    apply_setting(scratch, key, token, defaults);
+    check_setting(scratch, key, token);
   }
   if (split.has_value()) {
     if (split->axis.values.empty()) bad("split axis needs values");
     if (split->table_key.empty()) bad("split needs a \"table_key\"");
     for (const std::string& token : split->axis.values) {
-      apply_setting(scratch, split->axis.key, token, defaults);
+      check_setting(scratch, split->axis.key, token);
     }
   }
   for (const spec_axis& axis : rows) {
     if (axis.values.empty()) bad("row axis \"" + axis.key + "\" needs values");
     for (const std::string& token : axis.values) {
-      apply_setting(scratch, axis.key, token, defaults);
+      check_setting(scratch, axis.key, token);
     }
   }
 
@@ -457,7 +591,7 @@ void experiment_spec::validate() const {
         }
         experiment_config cfg = scratch;
         for (const auto& [key, token] : col.set) {
-          apply_setting(cfg, key, token, defaults);
+          check_setting(cfg, key, token);
         }
         break;
       }
@@ -487,15 +621,55 @@ void experiment_spec::validate() const {
     const std::size_t v = count_token("warmup", warmup, defaults);
     (void)v;
   }
+  const var_map default_builtins = builtin_vars(defaults);
   for (const std::string& p : report_params) {
+    if (param_override(p, default_builtins).has_value()) continue;
     if (p != "peers" && p != "seeds" && p != "rounds" && p != "seed" &&
         p != "workload") {
       bad("unknown report param \"" + p + "\"");
     }
   }
+  if (cells && columns.empty()) {
+    bad("\"cells\" requires \"columns\" mode");
+  }
+  if (cells) {
+    // Cell entries serialize cell_key'd axis values as numbers; reject
+    // non-numeric tokens here instead of after the first cell's full
+    // multi-seed simulation.
+    for (const spec_axis& axis : rows) {
+      if (axis.cell_key.empty()) continue;
+      for (const std::string& token : axis.values) {
+        (void)var_numeric(axis.key, token);
+      }
+    }
+    for (const spec_column& col : columns) {
+      if (!col.cell_key.empty()) {
+        (void)var_numeric(col.cell_key, col.cell_token);
+      }
+    }
+  }
   if (workload.has_value()) {
     // Validates phases / sessions; the period only scales durations.
-    (void)workload::program_from_json(*workload, sim::seconds(5));
+    // Variables resolve against builtins plus each '$' axis's first
+    // value, so a parameterized program is structurally checked too.
+    var_map vars = builtin_vars(defaults);
+    const auto add_first_value = [&vars](const spec_axis& axis) {
+      if (is_workload_var(axis.key) && !axis.values.empty()) {
+        vars[axis.key.substr(1)] = axis.values.front();
+      }
+    };
+    if (split.has_value()) add_first_value(split->axis);
+    for (const spec_axis& axis : rows) add_first_value(axis);
+    // Column `set` entries can carry '$' variables too (a column sweep
+    // over a workload parameter); seed each one's first value so such
+    // specs validate.
+    for (const spec_column& col : columns) {
+      for (const auto& [key, token] : col.set) {
+        if (is_workload_var(key)) vars.emplace(key.substr(1), token);
+      }
+    }
+    (void)workload::program_from_json(resolve_workload_vars(*workload, vars),
+                                      sim::seconds(5));
     if (!warmup.empty()) {
       bad("\"warmup\" has no effect with a \"workload\" (the program "
           "defines the timeline; add a steady phase instead)");
@@ -512,7 +686,7 @@ experiment_spec spec_from_json(const util::json& doc) {
   ensure_keys(doc,
               {"name", "title", "footer", "base", "split", "rows", "columns",
                "probes", "report_params", "warmup", "workload", "trajectories",
-               "trajectory_sample_periods"},
+               "trajectory_sample_periods", "cells"},
               "spec");
   experiment_spec spec;
   const util::json* name = doc.find("name");
@@ -587,6 +761,10 @@ experiment_spec spec_from_json(const util::json& doc) {
     if (!t->is_bool()) bad("\"trajectories\" must be a bool");
     spec.trajectories = t->as_bool();
   }
+  if (const util::json* c = doc.find("cells")) {
+    if (!c->is_bool()) bad("\"cells\" must be a bool");
+    spec.cells = c->as_bool();
+  }
   if (const util::json* n = doc.find("trajectory_sample_periods")) {
     if (!n->is_int()) bad("\"trajectory_sample_periods\" must be an integer");
     spec.trajectory_sample_periods = static_cast<int>(n->as_int());
@@ -601,6 +779,7 @@ util::json axis_to_json(const spec_axis& axis) {
   util::json j = util::json::object();
   j["axis"] = axis.key;
   if (!axis.header.empty()) j["header"] = axis.header;
+  if (!axis.cell_key.empty()) j["cell_key"] = axis.cell_key;
   util::json values = util::json::array();
   for (const std::string& v : axis.values) values.push_back(v);
   j["values"] = std::move(values);
@@ -644,6 +823,10 @@ util::json spec_to_json(const experiment_spec& spec) {
         case spec_column::kind::probe:
           c["probe"] = col.probe;
           if (!col.set.empty()) c["set"] = settings_to_json(col.set);
+          if (!col.cell_key.empty()) {
+            c["cell_key"] = col.cell_key;
+            c["cell_value"] = col.cell_token;
+          }
           break;
         case spec_column::kind::ratio: {
           util::json ratio = util::json::array();
@@ -679,6 +862,7 @@ util::json spec_to_json(const experiment_spec& spec) {
   }
   if (spec.workload.has_value()) doc["workload"] = *spec.workload;
   if (spec.trajectories) doc["trajectories"] = true;
+  if (spec.cells) doc["cells"] = true;
   if (spec.trajectory_sample_periods != 0) {
     doc["trajectory_sample_periods"] = spec.trajectory_sample_periods;
   }
@@ -700,6 +884,9 @@ struct spec_execution {
   int warmup = 0;   ///< warm-up rounds before the traffic reset
   int measure = 0;  ///< measured rounds (rounds - warmup)
   bool capture = false;
+  /// The cell's workload document with variables resolved (null when the
+  /// spec has none); updated by the row loop before each sweep.
+  const util::json* workload_doc = nullptr;
 
   /// Simulates one cell at one seed and evaluates `probe_names` on the
   /// final state. The probe-visible window is the measured span.
@@ -709,10 +896,10 @@ struct spec_execution {
     cfg.seed = seed;
     scenario world(cfg);
     sim::sim_time window = 0;
-    if (spec.workload.has_value()) {
+    if (workload_doc != nullptr) {
       const sim::sim_time period = cfg.gossip.shuffle_period;
       workload::program prog =
-          workload::program_from_json(*spec.workload, period);
+          workload::program_from_json(*workload_doc, period);
       window = prog.total_duration();
       workload::engine_options eopt;
       if (spec.trajectory_sample_periods > 0) {
@@ -800,8 +987,14 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
                    : " (reduced scale; --full for paper scale)")
       << "\n";
 
+  const var_map builtins = builtin_vars(opt);
+
   workload::bench_report report(spec.name);
   for (const std::string& p : spec.report_params) {
+    if (auto kv = param_override(p, builtins)) {
+      report.param(kv->first, std::move(kv->second));
+      continue;
+    }
     if (p == "peers") {
       report.param("peers", opt.peers);
     } else if (p == "seeds") {
@@ -830,16 +1023,28 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
                  (spec.trajectories || opt.trajectories);
 
   // Base config: driver options first (exactly bench::base_config), then
-  // the spec's own overrides.
+  // the spec's own overrides. '$'-keys accumulate as workload variables
+  // instead of touching the config.
+  var_map base_vars = builtins;
+  const auto apply_or_var = [&opt](experiment_config& cfg, var_map& vars,
+                                   const std::string& key,
+                                   const std::string& token) -> std::string {
+    if (is_workload_var(key)) {
+      vars[key.substr(1)] = token;
+      return token;
+    }
+    return apply_setting(cfg, key, token, opt);
+  };
   experiment_config base_cfg;
   base_cfg.peer_count = opt.peers;
   base_cfg.gossip.view_size = opt.view_a;
+  base_cfg.shards = opt.shards;
   apply_setting(base_cfg, "latency_model", opt.latency_model, opt);
   base_cfg.latency = sim::millis(opt.latency_ms);
   base_cfg.latency_max = sim::millis(opt.latency_max_ms);
   base_cfg.latency_sigma = opt.latency_sigma;
   for (const auto& [key, token] : spec.base) {
-    apply_setting(base_cfg, key, token, opt);
+    apply_or_var(base_cfg, base_vars, key, token);
   }
 
   // Probe-name list of the shared-run ("probes") mode.
@@ -847,17 +1052,19 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
   for (const spec_probe& p : spec.probes) shared_probes.push_back(p.probe);
 
   util::json trajectories = util::json::array();
+  util::json cells_json = util::json::array();
 
   const std::vector<std::string> split_tokens =
       spec.split.has_value() ? spec.split->axis.values
                              : std::vector<std::string>{std::string()};
   for (const std::string& split_token : split_tokens) {
     experiment_config split_cfg = base_cfg;
+    var_map split_vars = base_vars;
     std::string split_label;
     std::string table_key;
     if (spec.split.has_value()) {
-      split_label =
-          apply_setting(split_cfg, spec.split->axis.key, split_token, opt);
+      split_label = apply_or_var(split_cfg, split_vars, spec.split->axis.key,
+                                 split_token);
       table_key = subst_braces(spec.split->table_key, split_label);
       if (!spec.split->section.empty()) {
         out << "\n" << subst_braces(spec.split->section, split_label) << "\n";
@@ -878,12 +1085,42 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
 
     for_each_row(spec.rows, [&](const std::vector<std::size_t>& index) {
       experiment_config row_cfg = split_cfg;
+      var_map row_vars = split_vars;
       std::vector<std::string> cells;
       for (std::size_t a = 0; a < spec.rows.size(); ++a) {
-        cells.push_back(apply_setting(row_cfg, spec.rows[a].key,
-                                      spec.rows[a].values[index[a]], opt));
+        cells.push_back(apply_or_var(row_cfg, row_vars, spec.rows[a].key,
+                                     spec.rows[a].values[index[a]]));
       }
       const std::vector<std::string> row_labels = cells;
+
+      // The row's workload document, variables resolved; column-level
+      // '$' settings would need per-column resolution, which no spec
+      // uses yet — rows and split are the sweepable workload dimensions.
+      util::json resolved_workload;
+      if (spec.workload.has_value()) {
+        resolved_workload = resolve_workload_vars(*spec.workload, row_vars);
+        exec.workload_doc = &resolved_workload;
+      }
+
+      /// `cells` mode: one entry per probe column, carrying each
+      /// cell_key'd axis value plus the full multi-seed aggregate.
+      const auto record_cell = [&](const spec_column& col,
+                                   const std::vector<seed_aggregate>& aggs) {
+        if (!spec.cells) return;
+        util::json& entry = cells_json.push_back(util::json::object());
+        if (!table_key.empty()) entry["table"] = table_key;
+        for (std::size_t a = 0; a < spec.rows.size(); ++a) {
+          const spec_axis& axis = spec.rows[a];
+          if (axis.cell_key.empty()) continue;
+          const std::string& token = axis.values[index[a]];
+          entry[axis.cell_key] = var_value(var_numeric(axis.key, token));
+        }
+        if (!col.cell_key.empty()) {
+          entry[col.cell_key] =
+              var_value(var_numeric(col.cell_key, col.cell_token));
+        }
+        entry[col.probe] = workload::to_json(aggs[0]);
+      };
 
       const auto record_trajectory = [&](util::json per_seed,
                                          const std::string& column) {
@@ -904,15 +1141,27 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
           switch (col.k) {
             case spec_column::kind::probe: {
               experiment_config cfg = row_cfg;
+              var_map col_vars = row_vars;
+              bool col_has_vars = false;
               for (const auto& [key, token] : col.set) {
-                apply_setting(cfg, key, token, opt);
+                col_has_vars = col_has_vars || is_workload_var(key);
+                apply_or_var(cfg, col_vars, key, token);
+              }
+              util::json col_workload;
+              if (col_has_vars && spec.workload.has_value()) {
+                col_workload = resolve_workload_vars(*spec.workload, col_vars);
+                exec.workload_doc = &col_workload;
               }
               const std::vector<std::string> names{col.probe};
               util::json per_seed;
               const std::vector<seed_aggregate> aggs =
                   exec.sweep(cfg, names, exec.capture ? &per_seed : nullptr);
+              if (col_has_vars && spec.workload.has_value()) {
+                exec.workload_doc = &resolved_workload;
+              }
               record_trajectory(std::move(per_seed),
                                 subst_views(col.header, opt));
+              record_cell(col, aggs);
               means[j] = aggs[0].stats.mean;
               cells.push_back(fmt(means[j], col.precision));
               break;
@@ -956,6 +1205,7 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     out << "\n";
     for (const std::string& line : spec.footer) out << line << "\n";
   }
+  if (spec.cells) report.add("cells", std::move(cells_json));
   if (exec.capture && trajectories.size() > 0) {
     report.add("trajectories", std::move(trajectories));
   }

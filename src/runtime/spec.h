@@ -28,11 +28,20 @@ namespace nylon::runtime {
 /// flags).
 using spec_setting = std::pair<std::string, std::string>;
 
-/// One swept dimension of a study.
+/// One swept dimension of a study. Keys are either config keys
+/// ("natted_pct", "protocol", ...) or — when they start with '$' —
+/// *workload variables*: the axis value does not touch the config but is
+/// substituted into the spec's workload JSON wherever a string value
+/// references it ("$departures", optionally "$departures/100" to scale),
+/// which is how a row axis can sweep a workload parameter like Fig. 10's
+/// departure fraction.
 struct spec_axis {
-  std::string key;                  ///< e.g. "natted_pct", "protocol"
+  std::string key;                  ///< e.g. "natted_pct", "$departures"
   std::string header;               ///< row-label column header
   std::vector<std::string> values;  ///< raw tokens ("40", "$view_a", "nylon")
+  /// When set, the axis contributes a `cell_key: <numeric value>` field
+  /// to each entry of the per-cell aggregate table (`cells` mode).
+  std::string cell_key;
 };
 
 /// One table column in "columns" mode (each probe column is its own
@@ -51,6 +60,10 @@ struct spec_column {
   int ratio_num = -1;              ///< numerator column index (kind::ratio)
   int ratio_den = -1;              ///< denominator column index
   int precision = 1;               ///< table cell decimals
+  /// `cells` mode: the column's contribution to each cell entry
+  /// (populated by a sweep column's axis `cell_key` + value token).
+  std::string cell_key;
+  std::string cell_token;
 };
 
 /// One probe column in "probes" mode: all probes of a row share a single
@@ -78,9 +91,16 @@ struct experiment_spec {
   std::vector<spec_axis> rows;       ///< cartesian row axes, outer first
   std::vector<spec_column> columns;  ///< exclusive with `probes`
   std::vector<spec_probe> probes;
-  /// Run parameters echoed under "params" in the JSON report, in order
-  /// (subset of: peers, seeds, rounds, seed, workload).
+  /// Run parameters echoed under "params" in the JSON report, in order.
+  /// Either a builtin (peers, seeds, rounds, seed, workload) or a
+  /// "name=$var" / "name=literal" entry ("warmup_periods=$half_rounds"),
+  /// where $var is a builtin workload variable ($rounds, $half_rounds).
   std::vector<std::string> report_params;
+  /// Emit a per-cell aggregate table under "cells" in the JSON report
+  /// (columns mode): one entry per (row, probe-column) cell carrying the
+  /// axes' `cell_key` values plus the full multi-seed aggregate — the
+  /// Fig. 10 per-cell form.
+  bool cells = false;
   /// "": no warm-up. "half": rounds/2 warm-up + traffic reset (Fig. 7's
   /// steady-state window). An integer literal: that many warm-up rounds.
   std::string warmup;
@@ -124,6 +144,7 @@ struct spec_options {
   bool full = false;        ///< paper scale (only affects the preamble)
   std::uint64_t seed = 1;
   int threads = 0;          ///< seed-level parallelism (0 = all cores)
+  std::size_t shards = 0;   ///< per-universe shards (0 = serial engine)
   std::string json;         ///< write BENCH_*.json here ("" = off)
   std::string latency_model = "fixed";  ///< fixed | uniform | lognormal
   std::int64_t latency_ms = 50;

@@ -56,6 +56,12 @@ class scheduler {
     return queue_.executed();
   }
 
+  /// Timestamp of the earliest pending event (`time_never` when idle).
+  /// The sharded engine uses it to cut epochs at control-event times.
+  [[nodiscard]] sim_time next_event_time() const noexcept {
+    return queue_.next_time();
+  }
+
   /// True if no further events are queued.
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
 

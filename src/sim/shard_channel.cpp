@@ -1,0 +1,22 @@
+#include "sim/shard_channel.h"
+
+#include <algorithm>
+
+namespace nylon::sim {
+
+void shard_channel::drain_into(std::vector<channel_event>& out) {
+  out.reserve(out.size() + events_.size());
+  for (channel_event& ev : events_) out.push_back(std::move(ev));
+  events_.clear();
+}
+
+void canonical_sort(std::vector<channel_event>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const channel_event& a, const channel_event& b) noexcept {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.order_a != b.order_a) return a.order_a < b.order_a;
+              return a.order_b < b.order_b;
+            });
+}
+
+}  // namespace nylon::sim

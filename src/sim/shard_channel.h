@@ -1,0 +1,64 @@
+// Deterministic cross-shard event transfer for the sharded universe
+// engine. During an epoch each shard buffers the events it wants to run
+// on other shards (packet deliveries, in practice) into per-(src, dst)
+// channels; at the epoch barrier every destination gathers its inbound
+// channels and schedules the events in *canonical* order — sorted by
+// (timestamp, order_a, order_b), which for packets is (delivery time,
+// sender id, per-sender sequence number).
+//
+// The canonical key is what makes the merged event stream independent of
+// how peers are partitioned: two packets arriving at the same destination
+// at the same millisecond enqueue in (sender, sequence) order no matter
+// which shards — or how many — the senders lived on. Channel FIFO order
+// alone would not do that (it reflects intra-epoch execution order, which
+// is partition-dependent).
+//
+// Threading: a channel is single-producer (the source shard's worker,
+// during an epoch) and single-consumer (the destination shard's worker,
+// at the barrier). The epoch barrier provides the happens-before edge
+// between the two; the channel itself is deliberately unsynchronized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/inplace_function.h"
+
+namespace nylon::sim {
+
+/// One buffered cross-shard event. `order_a` / `order_b` are the
+/// canonical tiebreaks among equal timestamps; producers must make
+/// (at, order_a, order_b) unique within one epoch (the transport uses
+/// sender id + a per-sender monotonic sequence).
+struct channel_event {
+  sim_time at = 0;
+  std::uint64_t order_a = 0;
+  std::uint64_t order_b = 0;
+  util::callback fn;
+};
+
+/// FIFO buffer of events from one source shard to one destination shard.
+class shard_channel {
+ public:
+  /// Buffers `ev` (producer side; FIFO order preserved until drain).
+  void push(channel_event ev) { events_.push_back(std::move(ev)); }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Moves every buffered event onto the back of `out` in push (FIFO)
+  /// order and clears the channel, keeping its capacity for reuse.
+  void drain_into(std::vector<channel_event>& out);
+
+ private:
+  std::vector<channel_event> events_;
+};
+
+/// Sorts events into the canonical cross-shard order:
+/// (at, order_a, order_b) ascending. The caller guarantees key
+/// uniqueness, so the result is a total order independent of the input
+/// permutation — the property shard determinism rests on.
+void canonical_sort(std::vector<channel_event>& events);
+
+}  // namespace nylon::sim

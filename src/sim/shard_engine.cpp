@@ -1,0 +1,169 @@
+#include "sim/shard_engine.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace nylon::sim {
+
+/// Persistent worker threads, one per shard, woken once per epoch. The
+/// barriers block (futex-based), so oversubscribed runs — more shards
+/// than cores, the common CI shape — degrade gracefully instead of
+/// spinning. Protocol per epoch, K workers + the coordinator:
+///
+///   coordinator: publish target -> arrive(start) ... arrive(finish)
+///   worker i:    arrive(start) -> run_until(target)
+///                -> arrive(mid, workers only) -> drain_inbound(i)
+///                -> arrive(finish)
+///
+/// `mid` separates event execution from channel draining: a drain reads
+/// channels *written by other workers* during the run phase, so every
+/// producer must be past its run phase first.
+struct shard_engine::worker_pool {
+  explicit worker_pool(shard_engine& engine)
+      : start(static_cast<std::ptrdiff_t>(engine.shard_count() + 1)),
+        mid(static_cast<std::ptrdiff_t>(engine.shard_count())),
+        finish(static_cast<std::ptrdiff_t>(engine.shard_count() + 1)) {
+    threads.reserve(engine.shard_count());
+    for (std::size_t i = 0; i < engine.shard_count(); ++i) {
+      threads.emplace_back([&engine, this, i] { run_worker(engine, i); });
+    }
+  }
+
+  void run_worker(shard_engine& engine, std::size_t index) {
+    for (;;) {
+      start.arrive_and_wait();
+      if (exiting) return;
+      try {
+        engine.shards_[index]->sched.run_until(target);
+      } catch (...) {
+        record_error();
+      }
+      mid.arrive_and_wait();
+      try {
+        engine.drain_inbound(index);
+      } catch (...) {
+        record_error();
+      }
+      finish.arrive_and_wait();
+    }
+  }
+
+  void record_error() noexcept {
+    // First error wins; losers are dropped (they are almost always the
+    // same contract violation observed from several shards).
+    if (!error_flag.test_and_set()) error = std::current_exception();
+  }
+
+  std::vector<std::thread> threads;
+  std::barrier<> start;
+  std::barrier<> mid;
+  std::barrier<> finish;
+  sim_time target = 0;     ///< published before start, read after it
+  bool exiting = false;
+  std::atomic_flag error_flag = ATOMIC_FLAG_INIT;
+  std::exception_ptr error;
+};
+
+shard_engine::shard_engine(std::size_t shards, sim_time window)
+    : window_(window) {
+  NYLON_EXPECTS(shards >= 1);
+  NYLON_EXPECTS(window > 0);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<shard>());
+  }
+  channels_.resize(shards * shards);
+}
+
+shard_engine::~shard_engine() { stop_workers(); }
+
+void shard_engine::start_workers() {
+  if (pool_ == nullptr) pool_ = std::make_unique<worker_pool>(*this);
+}
+
+void shard_engine::stop_workers() noexcept {
+  if (pool_ == nullptr) return;
+  pool_->exiting = true;
+  pool_->start.arrive_and_wait();
+  for (std::thread& t : pool_->threads) t.join();
+  pool_.reset();
+}
+
+void shard_engine::post(std::size_t src, std::size_t dst, sim_time at,
+                        std::uint64_t order_a, std::uint64_t order_b,
+                        util::callback fn) {
+  NYLON_EXPECTS(src < shards_.size() && dst < shards_.size());
+  // Never earlier than the running (or just-finished) epoch's end: an
+  // event strictly inside the window could causally depend on shard
+  // state still being computed. `at == epoch_target_` is the boundary
+  // case — a send from an event sitting exactly on the previous barrier
+  // with minimum latency — and is safe: the barrier drain schedules it
+  // before the destination's clock moves past `at`.
+  NYLON_EXPECTS(at >= epoch_target_);
+  channel(src, dst).push(channel_event{at, order_a, order_b, std::move(fn)});
+}
+
+void shard_engine::drain_inbound(std::size_t dst) {
+  std::vector<channel_event>& scratch = shards_[dst]->drain_scratch;
+  scratch.clear();
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    channel(src, dst).drain_into(scratch);
+  }
+  if (scratch.empty()) return;
+  canonical_sort(scratch);
+  scheduler& sched = shards_[dst]->sched;
+  for (channel_event& ev : scratch) {
+    sched.at(ev.at, std::move(ev.fn));
+  }
+  scratch.clear();
+}
+
+void shard_engine::run_epoch(sim_time target) {
+  epoch_target_ = target;
+  if (shards_.size() == 1) {
+    shards_[0]->sched.run_until(target);
+    drain_inbound(0);
+    return;
+  }
+  start_workers();
+  pool_->target = target;
+  pool_->start.arrive_and_wait();
+  pool_->finish.arrive_and_wait();
+  if (pool_->error != nullptr) {
+    worker_error_ = std::exchange(pool_->error, nullptr);
+    pool_->error_flag.clear();
+    std::rethrow_exception(worker_error_);
+  }
+}
+
+void shard_engine::run_until(sim_time deadline) {
+  NYLON_EXPECTS(deadline >= now_);
+  // Flush control-plane posts first: while parked, `post` only requires
+  // at > now(), which can fall inside the first epoch's window — drain
+  // now (single-threaded; nothing is running) so those events reach
+  // their destination queue before it advances.
+  for (std::size_t s = 0; s < shards_.size(); ++s) drain_inbound(s);
+  // Always run at least one epoch: events scheduled *at* the current
+  // barrier time (a peer started with zero phase, say) must execute even
+  // when the deadline equals now(), matching scheduler::run_until's
+  // inclusive-deadline semantics.
+  for (;;) {
+    const sim_time target = std::min(deadline, now_ + window_);
+    run_epoch(target);
+    now_ = target;
+    epoch_target_ = target;
+    if (now_ >= deadline) break;
+  }
+}
+
+std::uint64_t shard_engine::events_executed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sched.events_executed();
+  return total;
+}
+
+}  // namespace nylon::sim

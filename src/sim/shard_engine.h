@@ -1,0 +1,122 @@
+// The sharded universe engine: one simulated world executed as K
+// independently clocked shards that advance in lockstep epochs.
+//
+// Each shard owns a full scheduler (pooled event queue included), so
+// every data structure on the event hot path stays single-threaded
+// exactly as DESIGN.md requires — the non-atomic slab refcounts and
+// thread-local message pools are untouched. Shards interact only through
+// `post`, which buffers an event into a per-(src, dst) shard_channel;
+// channels are drained at epoch barriers in canonical
+// (time, order_a, order_b) order (see shard_channel.h).
+//
+// Conservative-window synchronization: an epoch never advances any shard
+// more than `window` past the last barrier, and every cross-shard event
+// posted during an epoch must land strictly *after* the epoch's end
+// (`post` asserts it). With `window` <= the minimum cross-shard latency,
+// an event posted mid-epoch can therefore never target the epoch being
+// executed, and draining all channels at each barrier is sufficient for
+// causal delivery.
+//
+// Determinism: given the same initial state and the same sequence of
+// run_until calls, the engine executes the identical event stream
+// regardless of how many worker threads run it — and, when producers
+// follow the canonical-key discipline and keep all shared state reads
+// barrier-stable (see DESIGN.md "Sharded determinism contract"), the
+// stream is also independent of the *number of shards*.
+//
+// Between run_until calls every shard is parked at `now()`; the caller
+// (the control plane: scenario construction, workload actions, metric
+// snapshots) may freely read and mutate world state in that window. The
+// epoch machinery's mutex/condvar handoff provides the happens-before
+// edges between control mutations and worker reads.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/shard_channel.h"
+#include "sim/time.h"
+
+namespace nylon::sim {
+
+class shard_engine {
+ public:
+  /// `shards` >= 1 clones of the scheduler machinery; `window` > 0 is the
+  /// conservative epoch length (at most the minimum cross-shard latency).
+  shard_engine(std::size_t shards, sim_time window);
+  ~shard_engine();
+
+  shard_engine(const shard_engine&) = delete;
+  shard_engine& operator=(const shard_engine&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] sim_time window() const noexcept { return window_; }
+
+  /// Barrier time: every shard's clock equals this between run_until
+  /// calls.
+  [[nodiscard]] sim_time now() const noexcept { return now_; }
+
+  /// Shard s's scheduler. Only the owning worker may touch it mid-epoch;
+  /// the control plane may use it freely while the engine is parked.
+  [[nodiscard]] scheduler& shard_scheduler(std::size_t s) {
+    return shards_[s]->sched;
+  }
+
+  /// Buffers `fn` to run on shard `dst` at time `at` (strictly after the
+  /// current epoch's end), ordered canonically by (at, order_a, order_b)
+  /// against everything else draining into `dst`. Callable from the `src`
+  /// shard's worker mid-epoch, or from the control plane while parked.
+  void post(std::size_t src, std::size_t dst, sim_time at,
+            std::uint64_t order_a, std::uint64_t order_b, util::callback fn);
+
+  /// Runs lockstep epochs until every shard reaches `deadline`
+  /// (>= now()). Events with timestamp exactly `deadline` are executed —
+  /// including events scheduled at the current barrier time, so a call
+  /// with deadline == now() still runs one (zero-length) epoch.
+  void run_until(sim_time deadline);
+
+  /// Total events executed across all shards.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+
+ private:
+  struct shard {
+    scheduler sched;
+    std::vector<channel_event> drain_scratch;  ///< reused per barrier
+  };
+
+  /// Runs one epoch ending at `target`: every shard executes its events
+  /// with timestamp <= target, then every shard drains its inbound
+  /// channels. Inline for one shard, on the worker pool otherwise.
+  void run_epoch(sim_time target);
+
+  /// Barrier-side work for shard `dst`: gather the column of channels
+  /// (*, dst) in source-shard order, canonical-sort, and schedule.
+  void drain_inbound(std::size_t dst);
+
+  [[nodiscard]] shard_channel& channel(std::size_t src,
+                                       std::size_t dst) noexcept {
+    return channels_[src * shards_.size() + dst];
+  }
+
+  void start_workers();
+  void stop_workers() noexcept;
+
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::vector<shard_channel> channels_;  ///< K*K, row-major by source
+  sim_time window_;
+  sim_time now_ = 0;
+  /// End of the epoch currently executing (== now_ while parked); the
+  /// lower bound `post` enforces.
+  sim_time epoch_target_ = 0;
+
+  struct worker_pool;  // threads + barriers; built lazily on first use
+  std::unique_ptr<worker_pool> pool_;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace nylon::sim

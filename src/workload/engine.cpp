@@ -144,6 +144,12 @@ void engine::compile_phase(std::size_t index, const phase& p,
         world_.rebind_fraction(fraction);
       });
       break;
+
+    case phase_kind::nat_migration:
+      push_action(start, [this, fraction = p.fraction, mix = *p.mix] {
+        world_.migrate_fraction(fraction, mix);
+      });
+      break;
   }
 }
 

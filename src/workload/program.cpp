@@ -19,6 +19,7 @@ std::string_view to_string(phase_kind k) noexcept {
     case phase_kind::heal: return "heal";
     case phase_kind::nat_redistribution: return "nat_redistribution";
     case phase_kind::nat_rebind: return "nat_rebind";
+    case phase_kind::nat_migration: return "nat_migration";
   }
   return "?";
 }
@@ -69,6 +70,15 @@ void phase::validate() const {
     case phase_kind::nat_rebind:
       NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
       break;
+    case phase_kind::nat_migration: {
+      NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+      NYLON_EXPECTS(mix.has_value());
+      const nat::nat_mix& m = *mix;
+      NYLON_EXPECTS(m.full_cone + m.restricted_cone +
+                        m.port_restricted_cone + m.symmetric >
+                    0.0);
+      break;
+    }
     case phase_kind::turnover:
       NYLON_EXPECTS(duration > 0);
       NYLON_EXPECTS(count > 0);
@@ -154,6 +164,13 @@ phase nat_redistribution(double natted_fraction, nat::nat_mix mix) {
 phase nat_rebind(double fraction) {
   phase p = make(phase_kind::nat_rebind);
   p.fraction = fraction;
+  return p;
+}
+
+phase nat_migration(double fraction, nat::nat_mix to_mix) {
+  phase p = make(phase_kind::nat_migration);
+  p.fraction = fraction;
+  p.mix = to_mix;
   return p;
 }
 
@@ -340,6 +357,13 @@ phase phase_from_json(const util::json& j, sim::sim_time period) {
   } else if (k == "nat_rebind") {
     ensure_keys(j, {"kind", "label", "fraction"}, "nat_rebind");
     p = nat_rebind(require_double(j, "fraction"));
+  } else if (k == "nat_migration") {
+    ensure_keys(j, {"kind", "label", "fraction", "to_mix"}, "nat_migration");
+    const util::json* to_mix = j.find("to_mix");
+    p = to_mix != nullptr
+            ? nat_migration(require_double(j, "fraction"),
+                            mix_from_json(*to_mix))
+            : nat_migration(require_double(j, "fraction"));
   } else {
     bad("unknown phase kind \"" + k + "\"");
   }

@@ -5,9 +5,9 @@
 //
 // Phases with a duration occupy a half-open window [start, start + duration);
 // instantaneous phases (flash_crowd, mass_departure, partition, heal,
-// nat_redistribution, nat_rebind) act at their start time and take no
-// simulated time of their own — follow them with steady() to watch the
-// system react.
+// nat_redistribution, nat_rebind, nat_migration) act at their start time
+// and take no simulated time of their own — follow them with steady() to
+// watch the system react.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +36,9 @@ enum class phase_kind : std::uint8_t {
   heal,                ///< remove the partition
   nat_redistribution,  ///< future joiners draw a different NAT mix
   nat_rebind,          ///< `fraction` of natted peers get fresh NAT state
+  nat_migration,       ///< `fraction` of natted peers swap NAT *type* in
+                       ///< place (ISP cone -> symmetric), rebind upheaval
+                       ///< included
 };
 
 [[nodiscard]] std::string_view to_string(phase_kind k) noexcept;
@@ -121,6 +124,14 @@ struct phase {
 /// `fraction` of the alive natted peers lose their NAT lease: new public
 /// IP, all mappings and filtering rules gone, self-descriptor refreshed.
 [[nodiscard]] phase nat_rebind(double fraction);
+
+/// `fraction` of the alive natted peers get their NAT *device* swapped
+/// in place for one of a type drawn from `to_mix` (default: 100%
+/// symmetric — the ISP-rolls-out-CGNAT catastrophe), with the full
+/// rebind upheaval on top. Unlike `nat_redistribution`, which only
+/// shifts what future joiners draw, this hits the live population.
+[[nodiscard]] phase nat_migration(
+    double fraction, nat::nat_mix to_mix = nat::nat_mix{0.0, 0.0, 0.0, 1.0});
 
 // --- program -----------------------------------------------------------------
 

@@ -94,5 +94,39 @@ TEST(probe_registry, unknown_probe_name_is_a_contract_error) {
   EXPECT_THROW((void)run_probes(names, ctx), contract_error);
 }
 
+
+TEST(probe_registry, battery_probes_share_one_stream_per_context) {
+  runtime::scenario world(small_config(core::protocol_kind::nylon));
+  world.run_periods(10);
+  const reachability_oracle oracle = world.oracle();
+  const probe_context ctx{world, oracle,
+                          10 * world.config().gossip.shuffle_period};
+
+  // The first battery probe builds and caches the sampled-id stream;
+  // later ones must judge the same stream (sampling consumes rngs, so
+  // a rebuild would see different draws).
+  const double runs_p = find_probe("sample_runs_p")->run(ctx);
+  ASSERT_TRUE(ctx.battery.has_value());
+  const std::size_t samples = ctx.battery->samples;
+  EXPECT_GT(samples, 0u);
+  EXPECT_EQ(find_probe("sample_runs_p")->run(ctx), runs_p);  // cached
+  const double serial = find_probe("sample_serial")->run(ctx);
+  const double birthday_p = find_probe("sample_birthday_p")->run(ctx);
+  const double chi2_p = find_probe("sample_chi2_p")->run(ctx);
+  EXPECT_EQ(ctx.battery->samples, samples);  // no rebuild happened
+
+  // Sanity of the shared results (no distributional pass/fail assert
+  // here: the frequency test legitimately flags the public-vs-natted
+  // composition bias on mixed overlays — see bench_sec5_correctness).
+  EXPECT_GE(runs_p, 0.0);
+  EXPECT_LE(runs_p, 1.0);
+  EXPECT_GE(birthday_p, 0.0);
+  EXPECT_LE(birthday_p, 1.0);
+  EXPECT_GE(chi2_p, 0.0);
+  EXPECT_LE(chi2_p, 1.0);
+  EXPECT_GE(serial, -1.0);
+  EXPECT_LE(serial, 1.0);
+}
+
 }  // namespace
 }  // namespace nylon::metrics

@@ -120,6 +120,35 @@ TEST(serial_correlation, degenerate_inputs) {
   EXPECT_DOUBLE_EQ(serial_correlation(std::vector<double>(10, 5.0)), 0.0);
 }
 
+TEST(birthday_spacings, uniform_samples_pass) {
+  // m sized so lambda = m^3 / 4n is moderate; a uniform stream should
+  // produce an unsurprising repeat count.
+  util::rng rng(29);
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(static_cast<std::uint32_t>(rng.index(1u << 20)));
+  }
+  const birthday_spacings_result r = birthday_spacings(ids, 1u << 20);
+  EXPECT_NEAR(r.lambda, 64.0 * 64.0 * 64.0 / (4.0 * (1u << 20)), 1e-9);
+  EXPECT_GE(r.p_value, 0.01);
+}
+
+TEST(birthday_spacings, clustered_samples_fail) {
+  // An arithmetic lattice: every spacing is identical, the worst
+  // possible clustering signature.
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < 64; ++i) ids.push_back(i * 1000);
+  const birthday_spacings_result r = birthday_spacings(ids, 1u << 20);
+  EXPECT_EQ(r.repeats, 62u);  // all 63 spacings equal -> 62 duplicates
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(birthday_spacings, degenerate_inputs) {
+  EXPECT_EQ(birthday_spacings({}, 100).p_value, 1.0);
+  const std::vector<std::uint32_t> two{1, 2};
+  EXPECT_EQ(birthday_spacings(two, 100).repeats, 0u);
+}
+
 TEST(battery, uniform_rng_stream_passes) {
   util::rng rng(11);
   std::vector<std::uint32_t> ids;

@@ -238,5 +238,52 @@ TEST_F(transport_dynamics_test, rebind_requires_natted_alive_node) {
   EXPECT_THROW(transport_.rebind_nat(n), nylon::contract_error);
 }
 
+// --- in-place NAT type migration ---------------------------------------------
+
+TEST_F(transport_dynamics_test, migrate_swaps_type_with_rebind_upheaval) {
+  recorder pub;
+  recorder natted;
+  const node_id p = transport_.add_node(nat::nat_type::open, pub);
+  const node_id n =
+      transport_.add_node(nat::nat_type::restricted_cone, natted);
+  transport_.send(n, transport_.advertised_endpoint(p), body());
+  sched_.run_for(sim::millis(100));
+  ASSERT_EQ(pub.received.size(), 1u);
+  const endpoint old_hole = pub.received[0].source;
+  const endpoint old_adv = transport_.advertised_endpoint(n);
+
+  const endpoint new_adv =
+      transport_.migrate_nat(n, nat::nat_type::symmetric);
+  // The node now *is* a symmetric-NAT node, device included.
+  EXPECT_EQ(transport_.type_of(n), nat::nat_type::symmetric);
+  EXPECT_EQ(transport_.device_of(n)->type(), nat::nat_type::symmetric);
+  // Full rebind semantics ride along: fresh public IP, advertised
+  // endpoint moved, old endpoint dead, NAT state gone.
+  EXPECT_NE(new_adv.ip, old_adv.ip);
+  EXPECT_EQ(transport_.advertised_endpoint(n), new_adv);
+  EXPECT_EQ(transport_.device_of(n)->active_rule_count(sched_.now()), 0u);
+  transport_.send(p, old_hole, body());
+  sched_.run_for(sim::millis(100));
+  EXPECT_EQ(natted.received.size(), 0u);
+  EXPECT_EQ(transport_.drops(drop_reason::unknown_destination), 1u);
+
+  // And the migrated peer behaves like the new type: a symmetric NAT
+  // advertises no stable port (port 0), unlike the cone NAT it replaced.
+  EXPECT_EQ(old_adv.port != 0, true);
+  EXPECT_EQ(new_adv.port, 0u);
+}
+
+TEST_F(transport_dynamics_test, migrate_requires_natted_node_and_type) {
+  recorder pub;
+  const node_id p = transport_.add_node(nat::nat_type::open, pub);
+  EXPECT_THROW(transport_.migrate_nat(p, nat::nat_type::symmetric),
+               nylon::contract_error);
+  recorder natted;
+  const node_id n =
+      transport_.add_node(nat::nat_type::port_restricted_cone, natted);
+  EXPECT_THROW(transport_.migrate_nat(n, nat::nat_type::open),
+               nylon::contract_error);
+}
+
 }  // namespace
 }  // namespace nylon::net

@@ -204,12 +204,131 @@ TEST(experiment_spec, csv_mode_renders_csv) {
   EXPECT_NE(out.str().find("%NAT,stale %"), std::string::npos);
 }
 
+TEST(experiment_spec, workload_variables_and_cells_run_end_to_end) {
+  // A miniature fig10 shape: a '$' row axis sweeping a workload
+  // parameter, a cell_key'd sweep column, builtin $rounds/$half_rounds
+  // durations, extended report params, and the per-cell aggregate table.
+  const experiment_spec spec = parse(R"({
+    "name": "cells_demo",
+    "title": "cells demo",
+    "base": {"protocol": "nylon"},
+    "workload": {
+      "phases": [
+        {"kind": "steady", "periods": "$half_rounds"},
+        {"kind": "mass_departure", "fraction": "$departures/100"},
+        {"kind": "steady", "periods": "$rounds"}
+      ]
+    },
+    "rows": [{"axis": "$departures", "header": "dep", "cell_key": "departures_pct",
+              "values": ["20%", "40%"]}],
+    "columns": [
+      {"sweep": {"axis": "natted_pct", "cell_key": "nat_pct", "values": [0, 50]},
+       "header": "{}", "probe": "alive_count", "precision": 0}
+    ],
+    "cells": true,
+    "report_params": ["peers", "warmup_periods=$half_rounds", "heal_periods=$rounds"]
+  })");
+  spec_options opt;
+  opt.peers = 40;
+  opt.rounds = 4;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+
+  EXPECT_EQ(doc.at("params").at("warmup_periods").as_int(), 2);
+  EXPECT_EQ(doc.at("params").at("heal_periods").as_int(), 4);
+  const util::json& cells = doc.at("cells");
+  ASSERT_EQ(cells.size(), 4u);  // 2 rows x 2 sweep columns
+  const util::json& first = cells.at(std::size_t{0});
+  EXPECT_EQ(first.at("departures_pct").as_int(), 20);
+  EXPECT_EQ(first.at("nat_pct").as_int(), 0);
+  // The aggregate carries per-seed values plus summary stats.
+  EXPECT_EQ(first.at("alive_count").at("values").size(), 2u);
+  // 20% of 40 peers depart -> 32 alive, deterministically.
+  EXPECT_DOUBLE_EQ(first.at("alive_count").at("mean").as_double(), 32.0);
+  const util::json& last = cells.at(std::size_t{3});
+  EXPECT_EQ(last.at("departures_pct").as_int(), 40);
+  EXPECT_EQ(last.at("nat_pct").as_int(), 50);
+  EXPECT_DOUBLE_EQ(last.at("alive_count").at("mean").as_double(), 24.0);
+}
+
+TEST(experiment_spec, workload_variable_misuse_throws) {
+  // '$' axes need a workload to substitute into.
+  EXPECT_THROW(parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "$frac", "header": "f", "values": [1, 2]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}]
+  })"),
+               contract_error);
+  // Variable tokens must be numeric.
+  EXPECT_THROW(parse(R"({
+    "name": "x", "title": "t",
+    "workload": {"phases": [{"kind": "mass_departure", "fraction": "$frac"}]},
+    "rows": [{"axis": "$frac", "header": "f", "values": ["lots"]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}]
+  })"),
+               contract_error);
+  // "cells" is a columns-mode feature.
+  EXPECT_THROW(parse(R"({
+    "name": "x", "title": "t", "cells": true,
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}]
+  })"),
+               contract_error);
+  // Report params only resolve builtin variables.
+  EXPECT_THROW(parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}],
+    "report_params": ["warmup=$bogus"]
+  })"),
+               contract_error);
+  // cells serializes cell_key'd axis values as numbers: non-numeric
+  // tokens are rejected at validation, not after the first cell ran.
+  EXPECT_THROW(parse(R"({
+    "name": "x", "title": "t", "cells": true,
+    "rows": [{"axis": "protocol", "header": "p", "cell_key": "proto",
+              "values": ["nylon", "reference"]}],
+    "columns": [{"header": "c", "probe": "alive_count"}]
+  })"),
+               contract_error);
+}
+
+TEST(experiment_spec, column_sweep_can_drive_a_workload_variable) {
+  // The swept '$' variable lives in the *columns*, not the rows; the
+  // validator must seed it into the workload resolution all the same.
+  const experiment_spec spec = parse(R"({
+    "name": "colvar", "title": "column-swept workload",
+    "workload": {"phases": [
+      {"kind": "mass_departure", "fraction": "$dep/100"},
+      {"kind": "steady", "periods": 1}
+    ]},
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "columns": [
+      {"sweep": {"axis": "$dep", "values": ["20", "60"]},
+       "header": "dep {}", "probe": "alive_count", "precision": 0}
+    ]
+  })");
+  spec_options opt;
+  opt.peers = 40;
+  opt.rounds = 2;
+  opt.seeds = 1;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+  const util::json& row = doc.at("table").at("rows").at(std::size_t{0});
+  // 20% vs 60% departures of 40 peers: the per-column workloads differ.
+  EXPECT_EQ(row.at(std::size_t{1}).as_string(), "32");
+  EXPECT_EQ(row.at(std::size_t{2}).as_string(), "16");
+}
+
 TEST(experiment_spec, example_spec_files_parse_and_validate) {
   const std::string dir = std::string(NYLON_SOURCE_DIR) + "/examples/specs/";
   for (const char* name :
        {"fig2_partition", "fig3_stale", "fig4_randomness", "fig7_bandwidth",
-        "ablation_protocols", "ablation_ttl", "latency_sensitivity",
-        "churn_recovery"}) {
+        "fig10_churn", "ablation_protocols", "ablation_ttl",
+        "latency_sensitivity", "churn_recovery"}) {
     const experiment_spec spec = load_spec_file(dir + name + ".json");
     EXPECT_EQ(spec.name, name);
     // Round-trip stability for every shipped spec.

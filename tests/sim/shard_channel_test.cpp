@@ -1,0 +1,144 @@
+// Cross-shard transfer ordering: channels preserve FIFO until drained,
+// the canonical sort is a total order on (at, order_a, order_b)
+// independent of input permutation, and the shard engine's barriers
+// schedule drained events into the destination exactly once, in
+// canonical order, never inside the conservative window.
+#include "sim/shard_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/shard_engine.h"
+#include "util/contracts.h"
+
+namespace nylon::sim {
+namespace {
+
+channel_event ev(sim_time at, std::uint64_t a, std::uint64_t b,
+                 std::vector<int>* log, int tag) {
+  return channel_event{at, a, b, [log, tag] { log->push_back(tag); }};
+}
+
+TEST(shard_channel, drain_preserves_fifo_push_order) {
+  shard_channel ch;
+  std::vector<int> log;
+  ch.push(ev(5, 1, 1, &log, 1));
+  ch.push(ev(3, 2, 1, &log, 2));
+  ch.push(ev(5, 0, 9, &log, 3));
+  EXPECT_EQ(ch.size(), 3u);
+
+  std::vector<channel_event> out;
+  ch.drain_into(out);
+  EXPECT_TRUE(ch.empty());
+  ASSERT_EQ(out.size(), 3u);
+  // Drain order is push order; sorting is the caller's (barrier's) job.
+  for (channel_event& e : out) e.fn();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+
+  // The channel is reusable after a drain.
+  ch.push(ev(1, 0, 0, &log, 4));
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(shard_channel, canonical_sort_is_permutation_independent) {
+  std::vector<int> log;
+  std::vector<channel_event> events;
+  // Keys chosen so every comparison level matters: time first, then
+  // order_a (sender), then order_b (sequence).
+  events.push_back(ev(10, 2, 1, &log, 0));
+  events.push_back(ev(10, 1, 2, &log, 1));
+  events.push_back(ev(10, 1, 1, &log, 2));
+  events.push_back(ev(9, 99, 99, &log, 3));
+  events.push_back(ev(11, 0, 0, &log, 4));
+
+  std::vector<int> first_order;
+  std::vector<channel_event> sorted;
+  for (std::size_t rotation = 0; rotation < events.size(); ++rotation) {
+    sorted.clear();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const channel_event& src =
+          events[(i + rotation) % events.size()];
+      sorted.push_back(channel_event{src.at, src.order_a, src.order_b,
+                                     util::callback(nullptr)});
+    }
+    canonical_sort(sorted);
+    std::vector<int> keys;
+    for (const channel_event& e : sorted) {
+      keys.push_back(static_cast<int>(e.at * 100 + e.order_a * 10 +
+                                      e.order_b));
+    }
+    if (rotation == 0) {
+      first_order = keys;
+      EXPECT_EQ(keys.front(), 9 * 100 + 99 * 10 + 99);  // earliest time
+    } else {
+      EXPECT_EQ(keys, first_order) << "rotation " << rotation;
+    }
+  }
+}
+
+TEST(shard_engine, delivers_cross_shard_events_in_canonical_order) {
+  shard_engine engine(3, /*window=*/10);
+  std::vector<int> log;
+  // Post out of order from several source shards to shard 1, all landing
+  // at the same destination time — canonical (order_a, order_b) must
+  // decide, not the post order or the source shard index.
+  engine.post(2, 1, 25, /*a=*/7, /*b=*/1, [&log] { log.push_back(71); });
+  engine.post(0, 1, 25, /*a=*/3, /*b=*/2, [&log] { log.push_back(32); });
+  engine.post(1, 1, 25, /*a=*/3, /*b=*/1, [&log] { log.push_back(31); });
+  engine.post(0, 1, 15, /*a=*/9, /*b=*/9, [&log] { log.push_back(99); });
+  engine.run_until(30);
+  EXPECT_EQ(log, (std::vector<int>{99, 31, 32, 71}));
+  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.events_executed(), 4u);
+}
+
+TEST(shard_engine, post_inside_window_is_a_contract_violation) {
+  shard_engine engine(2, /*window=*/10);
+  engine.run_until(20);
+  // An event strictly before the last barrier could causally precede
+  // state still being computed; the engine refuses it. The barrier time
+  // itself is the boundary case (minimum-latency send from an event on
+  // the previous barrier) and is allowed.
+  EXPECT_THROW(
+      engine.post(0, 1, 19, 0, 0, [] {}),
+      nylon::contract_error);
+  engine.post(0, 1, 20, 0, 0, [] {});  // at the barrier: boundary, fine
+  engine.post(0, 1, 21, 0, 0, [] {});  // strictly after: fine
+  engine.run_until(30);
+  EXPECT_EQ(engine.events_executed(), 2u);
+}
+
+TEST(shard_engine, run_until_now_executes_events_at_the_barrier) {
+  shard_engine engine(2, /*window=*/5);
+  engine.run_until(10);
+  bool ran = false;
+  // Control plane schedules at the barrier time itself (a freshly joined
+  // peer with zero phase); a same-deadline run must execute it.
+  engine.shard_scheduler(1).at(10, [&ran] { ran = true; });
+  engine.run_until(10);
+  EXPECT_TRUE(ran);
+}
+
+TEST(shard_engine, shards_advance_in_lockstep_epochs) {
+  shard_engine engine(2, /*window=*/10);
+  std::vector<sim_time> other_clock_at_delivery;
+  // A ping-pong across shards: each delivery posts the next one. The
+  // conservative window guarantees the peer shard's clock is never more
+  // than one window behind the delivery time.
+  engine.post(0, 1, 11, 0, 0, [&] {
+    other_clock_at_delivery.push_back(engine.shard_scheduler(0).now());
+    engine.post(1, 0, 22, 0, 0, [&] {
+      other_clock_at_delivery.push_back(engine.shard_scheduler(1).now());
+    });
+  });
+  engine.run_until(40);
+  ASSERT_EQ(other_clock_at_delivery.size(), 2u);
+  EXPECT_GE(other_clock_at_delivery[0], 11 - 10);
+  EXPECT_GE(other_clock_at_delivery[1], 22 - 10);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+}  // namespace
+}  // namespace nylon::sim

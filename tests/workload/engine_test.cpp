@@ -177,6 +177,54 @@ TEST(engine_phases, nat_rebind_refreshes_descriptors) {
   }
 }
 
+TEST(engine_phases, nat_migration_swaps_live_peer_types_in_place) {
+  // A fully cone-NATted world; the ISP swaps every box for symmetric.
+  runtime::scenario world(small_world(50, 1.0, 13));
+  const sim::sim_time P = period(world);
+  std::vector<net::endpoint> before;
+  for (std::size_t i = 0; i < 50; ++i) {
+    before.push_back(
+        world.transport().advertised_endpoint(static_cast<net::node_id>(i)));
+  }
+  engine eng(world, program{}
+                        .then(steady(5 * P))
+                        .then(nat_migration(1.0))  // default: all symmetric
+                        .then(steady(1 * P)));
+  eng.run();
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    // In-place: the same peer object, now living behind a symmetric box,
+    // with the rebind upheaval applied and its descriptor refreshed.
+    EXPECT_EQ(world.transport().type_of(id), nat::nat_type::symmetric);
+    const net::endpoint now = world.transport().advertised_endpoint(id);
+    EXPECT_NE(now.ip, before[i].ip) << "peer " << i << " kept its old IP";
+    EXPECT_EQ(world.peer_at(id).self().addr, now);
+    EXPECT_EQ(world.peer_at(id).self().type, nat::nat_type::symmetric);
+  }
+}
+
+TEST(engine_phases, nat_migration_fraction_hits_only_that_many) {
+  runtime::scenario world(small_world(60, 1.0, 17));
+  const sim::sim_time P = period(world);
+  engine eng(world, program{}
+                        .then(steady(2 * P))
+                        .then(nat_migration(0.5))
+                        .then(steady(1 * P)));
+  eng.run();
+  std::size_t symmetric = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    if (world.transport().type_of(static_cast<net::node_id>(i)) ==
+        nat::nat_type::symmetric) {
+      ++symmetric;
+    }
+  }
+  // small_world's natted population draws the paper mix (10% SYM), so
+  // pre-existing symmetric peers add sampling noise around the 30
+  // migrated ones; the phase must dominate but not take everyone.
+  EXPECT_GE(symmetric, 30u);
+  EXPECT_LT(symmetric, 60u);
+}
+
 TEST(engine, program_runs_after_manual_warmup) {
   runtime::scenario world(small_world(30, 0.5, 10));
   const sim::sim_time P = period(world);

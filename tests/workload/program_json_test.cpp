@@ -35,12 +35,15 @@ TEST(program_json, parses_phases_with_period_scaled_durations) {
       {"kind": "nat_redistribution", "natted_fraction": 0.9,
        "mix": "prc_only"},
       {"kind": "nat_rebind", "fraction": 0.25},
+      {"kind": "nat_migration", "fraction": 0.4,
+       "to_mix": {"full_cone": 0.0, "restricted_cone": 0.0,
+                  "port_restricted_cone": 0.5, "symmetric": 0.5}},
       {"kind": "turnover", "periods": 2, "per_tick": 3, "tick_s": 10},
       {"kind": "flash_crowd", "count": 7, "label": "stampede"}
     ]
   })");
   EXPECT_EQ(prog.name(), "mixed");
-  ASSERT_EQ(prog.phases().size(), 10u);
+  ASSERT_EQ(prog.phases().size(), 11u);
   EXPECT_EQ(prog.phases()[0].kind, phase_kind::steady);
   EXPECT_EQ(prog.phases()[0].duration, 10 * kPeriod);
   EXPECT_EQ(prog.phases()[1].duration, sim::seconds(30));
@@ -49,8 +52,12 @@ TEST(program_json, parses_phases_with_period_scaled_durations) {
   EXPECT_EQ(prog.phases()[3].session.k, session_distribution::kind::pareto);
   EXPECT_EQ(prog.phases()[3].session.mean, 8 * kPeriod);
   EXPECT_DOUBLE_EQ(prog.phases()[3].session.pareto_shape, 2.5);
-  EXPECT_EQ(prog.phases()[8].tick, sim::seconds(10));
-  EXPECT_EQ(prog.phases()[9].label, "stampede");
+  EXPECT_EQ(prog.phases()[8].kind, phase_kind::nat_migration);
+  EXPECT_DOUBLE_EQ(prog.phases()[8].fraction, 0.4);
+  ASSERT_TRUE(prog.phases()[8].mix.has_value());
+  EXPECT_DOUBLE_EQ(prog.phases()[8].mix->symmetric, 0.5);
+  EXPECT_EQ(prog.phases()[9].tick, sim::seconds(10));
+  EXPECT_EQ(prog.phases()[10].label, "stampede");
   EXPECT_FALSE(prog.initial_sessions().has_value());
 }
 
@@ -82,6 +89,21 @@ TEST(program_json, rejects_bad_programs) {
       parse_program(R"({"phases":[{"kind":"nat_redistribution",
         "natted_fraction":0.5,"mix":"all_cone"}]})"),
       contract_error);
+}
+
+TEST(program_json, nat_migration_defaults_to_all_symmetric) {
+  const program prog = parse_program(
+      R"({"phases":[{"kind":"nat_migration","fraction":0.3}]})");
+  ASSERT_EQ(prog.phases().size(), 1u);
+  ASSERT_TRUE(prog.phases()[0].mix.has_value());
+  EXPECT_DOUBLE_EQ(prog.phases()[0].mix->symmetric, 1.0);
+  EXPECT_DOUBLE_EQ(prog.phases()[0].mix->port_restricted_cone, 0.0);
+  // fraction is mandatory and bounded like the other fraction phases.
+  EXPECT_THROW(parse_program(R"({"phases":[{"kind":"nat_migration"}]})"),
+               contract_error);
+  EXPECT_THROW(parse_program(
+                   R"({"phases":[{"kind":"nat_migration","fraction":1.7}]})"),
+               contract_error);
 }
 
 TEST(program_json, initial_sessions_parse) {

@@ -21,10 +21,11 @@ TEST(program, factories_set_kind_and_label) {
   EXPECT_EQ(nat_redistribution(0.8, nat::paper_mix()).kind,
             phase_kind::nat_redistribution);
   EXPECT_EQ(nat_rebind(0.3).kind, phase_kind::nat_rebind);
+  EXPECT_EQ(nat_migration(0.3).kind, phase_kind::nat_migration);
 }
 
 TEST(program, every_kind_has_a_name) {
-  for (int k = 0; k <= static_cast<int>(phase_kind::nat_rebind); ++k) {
+  for (int k = 0; k <= static_cast<int>(phase_kind::nat_migration); ++k) {
     EXPECT_NE(to_string(static_cast<phase_kind>(k)), "?");
   }
 }
