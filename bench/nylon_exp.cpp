@@ -1,11 +1,15 @@
 // The one experiment driver: executes any declarative experiment spec
-// (examples/specs/*.json) — sweep axes, probes, workload programs, table
-// and BENCH_*.json emission — replacing the hand-rolled per-figure bench
-// mains. Flags mirror the legacy sweep benches, so
+// (examples/specs/*.json) — sweep axes, typed probes, workload programs,
+// per-spec profiles, table and BENCH_*.json emission — replacing the
+// hand-rolled per-figure bench mains. Flags mirror the legacy sweep
+// benches, so
 //
 //   nylon_exp examples/specs/fig3_stale.json --n 2000 --seeds 8 --json out.json
 //
 // behaves exactly like the old bench_fig3_stale did at those settings.
+// Paper scale is per-spec: `--profile full` applies the spec's own
+// "profiles.full" override block (explicit flags still win). Exits
+// non-zero when any check probe failed.
 #include <exception>
 #include <iostream>
 #include <string>
@@ -28,8 +32,10 @@ int main(int argc, char** argv) {
       flags.add_int("view-b", 15, "large view size, resolves $view_b");
   const auto* seed = flags.add_int("seed", 1, "base seed");
   const auto* csv = flags.add_bool("csv", false, "emit CSV instead of a table");
-  const auto* full = flags.add_bool(
-      "full", false, "paper scale: n=10000, 30 seeds, views 15/27");
+  const auto* profile = flags.add_string(
+      "profile", "",
+      "apply the spec's named profile (e.g. \"full\" = that spec's "
+      "paper-scale block; explicit flags win)");
   const auto* threads = flags.add_int(
       "threads", 0, "worker threads across seeds (0 = all cores, 1 = serial)");
   const auto* shards = flags.add_int(
@@ -72,7 +78,8 @@ int main(int argc, char** argv) {
   }
   if (*list_probes) {
     for (const metrics::probe& p : metrics::all_probes()) {
-      std::cout << p.name << "\n    " << p.description << "\n";
+      std::cout << p.name << "  [" << metrics::to_string(p.kind) << "]\n"
+                << "    " << p.description << "\n";
     }
     return 0;
   }
@@ -104,7 +111,6 @@ int main(int argc, char** argv) {
   opt.view_a = static_cast<std::size_t>(*view_a);
   opt.view_b = static_cast<std::size_t>(*view_b);
   opt.csv = *csv;
-  opt.full = *full;
   opt.seed = static_cast<std::uint64_t>(*seed);
   opt.threads = static_cast<int>(*threads);
   opt.shards = static_cast<std::size_t>(*shards);
@@ -114,13 +120,12 @@ int main(int argc, char** argv) {
   opt.latency_max_ms = *latency_max_ms;
   opt.latency_sigma = *latency_sigma;
   opt.trajectories = *trajectories;
-  if (opt.full) {
-    opt.peers = 10000;
-    opt.seeds = 30;
-    opt.rounds = 600;
-    opt.view_a = 15;
-    opt.view_b = 27;
-  }
+  opt.profile = *profile;
+  opt.peers_explicit = flags.provided("n");
+  opt.seeds_explicit = flags.provided("seeds");
+  opt.rounds_explicit = flags.provided("rounds");
+  opt.view_a_explicit = flags.provided("view-a");
+  opt.view_b_explicit = flags.provided("view-b");
 
   try {
     const runtime::experiment_spec spec =
@@ -129,7 +134,8 @@ int main(int argc, char** argv) {
       std::cout << positional.front() << ": ok (" << spec.name << ")\n";
       return 0;
     }
-    runtime::run_spec(spec, opt, std::cout);
+    const util::json report = runtime::run_spec(spec, opt, std::cout);
+    if (!runtime::all_checks_passed(report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "nylon_exp: " << e.what() << "\n";
     return 1;

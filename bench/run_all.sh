@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
-# Runs every figure/ablation bench and collects machine-readable results.
+# Runs every figure/ablation study and collects machine-readable results.
 #
-#   bench/run_all.sh [BUILD_DIR] [OUT_DIR] [extra bench flags...]
+#   bench/run_all.sh [BUILD_DIR] [OUT_DIR] [extra nylon_exp flags...]
 #
 # Defaults: BUILD_DIR=build, OUT_DIR=bench_results. Extra flags are passed
-# to every bench (e.g. --full, --threads 0, --n 2000).
+# to every spec run (e.g. --profile full, --threads 0, --n 2000).
 #
-# Most figure reproductions are declarative experiment specs executed by
-# the nylon_exp driver (examples/specs/*.json); the rest are stand-alone
-# binaries that still own their sweep loops.
+# Every figure reproduction is a declarative experiment spec executed by
+# the nylon_exp driver (examples/specs/*.json); the last hand-rolled
+# bench mains were retired when the probe taxonomy landed. A non-zero
+# nylon_exp exit also covers failed check probes (table1/sec5 verdicts).
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -22,59 +23,27 @@ if [ ! -d "$BUILD_DIR" ]; then
   echo "build dir '$BUILD_DIR' not found — run: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
 fi
+if [ ! -x "$BUILD_DIR/nylon_exp" ]; then
+  echo "nylon_exp not built in '$BUILD_DIR'" >&2
+  exit 1
+fi
 mkdir -p "$OUT_DIR"
 
 # Declarative studies: one spec file each, all executed by nylon_exp.
 SPEC_BENCHES="fig2_partition fig3_stale fig4_randomness fig7_bandwidth \
-fig10_churn ablation_protocols ablation_ttl latency_sensitivity \
+fig8_load_balance fig9_rvp_chain fig10_churn table1_traversal \
+sec5_correctness ablation_protocols ablation_ttl latency_sensitivity \
 churn_recovery"
-# Benches that take the common sweep flags (--threads/--json/...).
-SWEEP_BENCHES="bench_fig8_load_balance bench_fig9_rvp_chain"
-# Benches with their own CLI (no JSON emitter yet).
-PLAIN_BENCHES="bench_table1_traversal bench_sec5_correctness"
 
 status=0
-if [ -x "$BUILD_DIR/nylon_exp" ]; then
-  for spec in $SPEC_BENCHES; do
-    echo "== $spec (spec) =="
-    if "$BUILD_DIR/nylon_exp" "$SPEC_DIR/$spec.json" \
-        --json "$OUT_DIR/BENCH_${spec}.json" "$@" \
-        > "$OUT_DIR/spec_${spec}.txt" 2>&1; then
-      tail -n +1 "$OUT_DIR/spec_${spec}.txt" | head -5
-    else
-      echo "FAILED — see $OUT_DIR/spec_${spec}.txt" >&2
-      status=1
-    fi
-  done
-else
-  echo "== skip spec benches (nylon_exp not built) =="
-fi
-
-for bench in $SWEEP_BENCHES; do
-  exe="$BUILD_DIR/$bench"
-  if [ ! -x "$exe" ]; then
-    echo "== skip $bench (not built) =="
-    continue
-  fi
-  echo "== $bench =="
-  if "$exe" --json "$OUT_DIR/BENCH_${bench#bench_}.json" "$@" \
-      > "$OUT_DIR/${bench}.txt" 2>&1; then
-    tail -n +1 "$OUT_DIR/${bench}.txt" | head -5
+for spec in $SPEC_BENCHES; do
+  echo "== $spec (spec) =="
+  if "$BUILD_DIR/nylon_exp" "$SPEC_DIR/$spec.json" \
+      --json "$OUT_DIR/BENCH_${spec}.json" "$@" \
+      > "$OUT_DIR/spec_${spec}.txt" 2>&1; then
+    tail -n +1 "$OUT_DIR/spec_${spec}.txt" | head -5
   else
-    echo "FAILED — see $OUT_DIR/${bench}.txt" >&2
-    status=1
-  fi
-done
-
-for bench in $PLAIN_BENCHES; do
-  exe="$BUILD_DIR/$bench"
-  if [ ! -x "$exe" ]; then
-    echo "== skip $bench (not built) =="
-    continue
-  fi
-  echo "== $bench =="
-  if ! "$exe" > "$OUT_DIR/${bench}.txt" 2>&1; then
-    echo "FAILED — see $OUT_DIR/${bench}.txt" >&2
+    echo "FAILED — see $OUT_DIR/spec_${spec}.txt" >&2
     status=1
   fi
 done

@@ -38,12 +38,25 @@ def collect(paths):
 
 
 def load_row(path):
-    with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+    """Parses one BENCH_scale document; returns None (with a warning) for
+    other BENCH_*.json forms — spec reports carry tables/cells/checks/
+    distributions instead of scale results and must not break the gate."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"skipping {path}: {err}", file=sys.stderr)
+        return None
     if doc.get("bench") != "scale":
-        raise ValueError(f"{path}: not a BENCH_scale.json document")
-    params = doc.get("params", {})
+        print(f"skipping {path}: not a BENCH_scale.json document "
+              f"(bench={doc.get('bench')!r})", file=sys.stderr)
+        return None
     results = doc.get("results", {})
+    if not isinstance(results, dict) or "events_per_sec" not in results:
+        print(f"skipping {path}: no events_per_sec in results",
+              file=sys.stderr)
+        return None
+    params = doc.get("params", {})
     return {
         "path": path,
         "n": params.get("n"),
@@ -69,7 +82,11 @@ def main():
         print("no BENCH_scale*.json files found", file=sys.stderr)
         return 1
 
-    rows = [load_row(path) for path in files]
+    rows = [row for row in (load_row(path) for path in files)
+            if row is not None]
+    if not rows:
+        print("no usable BENCH_scale documents found", file=sys.stderr)
+        return 1
     header = f"{'run':<40} {'n':>8} {'events':>12} {'events/s':>12} {'vs prev':>9} {'vs best':>9}"
     print(header)
     print("-" * len(header))

@@ -97,4 +97,38 @@ std::vector<std::size_t> in_degrees(
   return degree;
 }
 
+class_degree_report in_degrees_by_class(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers) {
+  const std::vector<std::size_t> degree = in_degrees(transport, peers);
+  class_degree_report out;
+  std::size_t total_public = 0;
+  std::size_t total_natted = 0;
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    const auto id = static_cast<net::node_id>(i);
+    if (!transport.alive(id)) continue;
+    if (nat::is_natted(transport.type_of(id))) {
+      ++out.natted_peers;
+      total_natted += degree[i];
+    } else {
+      ++out.public_peers;
+      total_public += degree[i];
+    }
+  }
+  if (out.public_peers > 0) {
+    out.public_mean = static_cast<double>(total_public) /
+                      static_cast<double>(out.public_peers);
+  }
+  if (out.natted_peers > 0) {
+    out.natted_mean = static_cast<double>(total_natted) /
+                      static_cast<double>(out.natted_peers);
+  }
+  const std::size_t alive = out.public_peers + out.natted_peers;
+  if (alive > 0) {
+    out.all_mean = static_cast<double>(total_public + total_natted) /
+                   static_cast<double>(alive);
+  }
+  return out;
+}
+
 }  // namespace nylon::metrics

@@ -53,4 +53,18 @@ struct view_metrics {
     const net::transport& transport,
     std::span<const std::unique_ptr<gossip::peer>> peers);
 
+/// Mean in-degree split by peer class (alive peers only) — the gossip
+/// in-load counterpart of the Fig. 8 bandwidth split.
+struct class_degree_report {
+  double public_mean = 0.0;
+  double natted_mean = 0.0;
+  double all_mean = 0.0;
+  std::size_t public_peers = 0;
+  std::size_t natted_peers = 0;
+};
+
+[[nodiscard]] class_degree_report in_degrees_by_class(
+    const net::transport& transport,
+    std::span<const std::unique_ptr<gossip::peer>> peers);
+
 }  // namespace nylon::metrics

@@ -222,4 +222,9 @@ traversal_outcome execute_prescribed(nat::nat_type src, nat::nat_type dst) {
   return execute_technique(src, dst, nat::technique_for(src, dst));
 }
 
+prescribed_result run_prescribed(nat::nat_type src, nat::nat_type dst) {
+  const nat::traversal_technique technique = nat::technique_for(src, dst);
+  return prescribed_result{technique, execute_technique(src, dst, technique)};
+}
+
 }  // namespace nylon::metrics

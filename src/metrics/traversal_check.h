@@ -31,4 +31,15 @@ struct traversal_outcome {
 [[nodiscard]] traversal_outcome execute_prescribed(nat::nat_type src,
                                                    nat::nat_type dst);
 
+/// One cell of the §2.2 table: the prescribed technique plus its
+/// packet-level verification outcome (the `traversal_prescribed` check
+/// probe renders this).
+struct prescribed_result {
+  nat::traversal_technique technique;
+  traversal_outcome outcome;
+};
+
+[[nodiscard]] prescribed_result run_prescribed(nat::nat_type src,
+                                               nat::nat_type dst);
+
 }  // namespace nylon::metrics

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace nylon::nat {
@@ -24,6 +25,17 @@ enum class nat_type : std::uint8_t {
 [[nodiscard]] constexpr bool is_cone(nat_type t) noexcept {
   return t == nat_type::full_cone || t == nat_type::restricted_cone ||
          t == nat_type::port_restricted_cone;
+}
+
+/// Inverse of to_string: parses a display name back to the type.
+[[nodiscard]] constexpr std::optional<nat_type> nat_type_from_string(
+    std::string_view s) noexcept {
+  if (s == "public") return nat_type::open;
+  if (s == "FC") return nat_type::full_cone;
+  if (s == "RC") return nat_type::restricted_cone;
+  if (s == "PRC") return nat_type::port_restricted_cone;
+  if (s == "SYM") return nat_type::symmetric;
+  return std::nullopt;
 }
 
 /// Short display name ("public", "FC", "RC", "PRC", "SYM").

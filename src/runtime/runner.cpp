@@ -59,7 +59,13 @@ int resolve_threads(const run_options& opt, int seed_count) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  return std::min(threads, seed_count);
+  // A sharded universe spawns `shards` workers of its own; budget the
+  // concurrent seeds so seeds × shards stays within the thread target
+  // (one sharded seed always gets to run, even over budget).
+  const int per_seed =
+      static_cast<int>(std::max<std::size_t>(std::size_t{1}, opt.shards));
+  const int workers = std::max(1, threads / per_seed);
+  return std::min(workers, seed_count);
 }
 
 seed_aggregate run_seeds(

@@ -27,9 +27,18 @@ struct run_options {
   /// regardless of scheduling. The experiment callback must not touch
   /// shared mutable state.
   int threads = 1;
+  /// Shards per universe (experiment_config::shards). Each sharded seed
+  /// spawns its own K worker threads, so concurrent seeds are budgeted
+  /// to keep seeds × shards within `threads`: with an 8-thread budget
+  /// and 4-shard universes, at most 2 seeds run at once. 0 (serial
+  /// engine) and 1 cost one thread per seed. Results are unaffected —
+  /// this only throttles concurrency.
+  std::size_t shards = 0;
 };
 
-/// Resolved worker count for `opt` (clamped to `seed_count`).
+/// Resolved concurrent-seed count for `opt`: the thread budget
+/// (0 = hardware cores) divided by the per-seed thread cost
+/// (max(1, shards)), clamped to [1, seed_count].
 [[nodiscard]] int resolve_threads(const run_options& opt, int seed_count);
 
 /// Runs `experiment` once per seed (seeds derived deterministically from

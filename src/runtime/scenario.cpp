@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/nylon_peer.h"
 #include "gossip/bootstrap.h"
 #include "net/latency.h"
 #include "util/contracts.h"
@@ -154,6 +155,21 @@ std::uint64_t scenario::events_executed() const noexcept {
 gossip::peer& scenario::peer_at(net::node_id id) {
   NYLON_EXPECTS(id < peers_.size());
   return *peers_[id];
+}
+
+punch_stat_totals scenario::punch_totals() const {
+  punch_stat_totals out;
+  for (const auto& p : peers_) {
+    const auto* np = dynamic_cast<const core::nylon_peer*>(p.get());
+    if (np == nullptr) continue;
+    out.started += np->nat_stats().punches_started;
+    out.completed += np->nat_stats().punches_completed;
+    out.expired += np->nat_stats().punches_expired;
+    out.punch_chains.merge(np->nat_stats().punch_chain_hops);
+    out.rvp_chains.merge(np->nat_stats().punch_chain_hops);
+    out.rvp_chains.merge(np->nat_stats().relay_chain_hops);
+  }
+  return out;
 }
 
 std::size_t scenario::alive_count() const {

@@ -30,8 +30,23 @@
 #include "sim/scheduler.h"
 #include "sim/shard_engine.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace nylon::runtime {
+
+/// Aggregated Nylon hole-punching statistics over every peer created in
+/// the run (dead peers keep their counters, exactly like the hand-rolled
+/// ablation benches summed them). All zero for non-Nylon protocols.
+struct punch_stat_totals {
+  std::uint64_t started = 0;    ///< OPEN_HOLEs emitted
+  std::uint64_t completed = 0;  ///< PONG received, REQUEST sent
+  std::uint64_t expired = 0;    ///< no PONG within the horizon
+  /// Chain lengths of completed punches only.
+  util::running_stats punch_chains;
+  /// Punch *and* fully-relayed REQUEST chains merged per peer (punch
+  /// first), the Fig. 9 "RVPs traversed" population.
+  util::running_stats rvp_chains;
+};
 
 class scenario : private net::shard_router {
  public:
@@ -137,6 +152,10 @@ class scenario : private net::shard_router {
 
   /// Builds a fresh staleness/connectivity oracle over the current state.
   [[nodiscard]] metrics::reachability_oracle oracle() const;
+
+  /// Aggregated Nylon traversal counters across all peers (id order);
+  /// all zero when the protocol has no NAT awareness.
+  [[nodiscard]] punch_stat_totals punch_totals() const;
 
  private:
   // --- net::shard_router (shard mode only) -----------------------------------

@@ -226,6 +226,12 @@ bool is_workload_var(const std::string& key) {
   return !key.empty() && key.front() == '$';
 }
 
+/// '%'-prefixed keys are probe parameters: their tokens land in
+/// probe_context::params (the §2.2 table's NAT-type axes).
+bool is_param_key(const std::string& key) {
+  return !key.empty() && key.front() == '%';
+}
+
 /// Leading numeric value of a variable token; tolerates a trailing
 /// annotation ("50%" -> 50) so tokens double as table labels.
 double var_numeric(const std::string& name, const std::string& token) {
@@ -249,6 +255,7 @@ util::json var_value(double v) {
 }
 
 using var_map = std::map<std::string, std::string>;
+using param_map = std::map<std::string, std::string>;
 
 /// Resolves "$name" / "$name/DIVISOR" string values against `vars`,
 /// recursing through objects and arrays; everything else copies through.
@@ -310,7 +317,7 @@ std::optional<std::pair<std::string, util::json>> param_override(
     const auto it = builtins.find(value.substr(1));
     if (it == builtins.end()) {
       bad("report param \"" + p + "\" references unknown variable \"" +
-          value + "\" ($rounds | $half_rounds)");
+          value + "\" ($rounds | $half_rounds | a profile var)");
     }
     value = it->second;
   }
@@ -422,6 +429,15 @@ int precision_from_json(const util::json& j) {
   return static_cast<int>(p->as_int());
 }
 
+std::string selector_part_from_json(const util::json& j, const char* key) {
+  const util::json* v = j.find(key);
+  if (v == nullptr) return {};
+  if (!v->is_string()) {
+    bad(std::string("\"") + key + "\" must be a string");
+  }
+  return v->as_string();
+}
+
 std::vector<spec_column> columns_from_json(const util::json& j) {
   if (!j.is_array() || j.size() == 0) {
     bad("\"columns\" must be a non-empty array");
@@ -433,7 +449,9 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
     if (const util::json* sweep = c.find("sweep")) {
       // Sugar: one column per swept value; "{}" in the header pattern
       // becomes the value token.
-      ensure_keys(c, {"sweep", "header", "probe", "set", "precision"},
+      ensure_keys(c,
+                  {"sweep", "header", "probe", "class", "stat", "set",
+                   "precision"},
                   "sweep column");
       const spec_axis axis = axis_from_json(*sweep, false, "column sweep");
       const util::json* header = c.find("header");
@@ -453,6 +471,8 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
         }
         col.set.emplace_back(axis.key, token);
         col.probe = probe->as_string();
+        col.cls = selector_part_from_json(c, "class");
+        col.stat = selector_part_from_json(c, "stat");
         col.precision = precision_from_json(c);
         col.cell_key = axis.cell_key;
         col.cell_token = token;
@@ -486,8 +506,9 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
       }
       col.k = spec_column::kind::row_value;
     } else {
-      ensure_keys(c, {"header", "probe", "set", "precision", "cell_key",
-                      "cell_value"},
+      ensure_keys(c,
+                  {"header", "probe", "class", "stat", "set", "precision",
+                   "cell_key", "cell_value"},
                   "probe column");
       const util::json* probe = c.find("probe");
       if (probe == nullptr || !probe->is_string()) {
@@ -495,6 +516,8 @@ std::vector<spec_column> columns_from_json(const util::json& j) {
       }
       col.k = spec_column::kind::probe;
       col.probe = probe->as_string();
+      col.cls = selector_part_from_json(c, "class");
+      col.stat = selector_part_from_json(c, "stat");
       if (const util::json* set = c.find("set")) {
         col.set = settings_from_json(*set, "column \"set\"");
       }
@@ -518,8 +541,28 @@ std::vector<spec_probe> probes_from_json(const util::json& j) {
   }
   std::vector<spec_probe> out;
   for (const util::json& p : j.array_items()) {
-    ensure_keys(p, {"probe", "header", "precision"}, "probe entry");
     spec_probe entry;
+    if (const util::json* ratio = p.find("ratio")) {
+      // Computed entry: a ratio of two earlier probe entries' means.
+      ensure_keys(p, {"header", "ratio", "precision"}, "ratio probe entry");
+      if (!ratio->is_array() || ratio->size() != 2 ||
+          !ratio->at(std::size_t{0}).is_int() ||
+          !ratio->at(std::size_t{1}).is_int()) {
+        bad("\"ratio\" must be [numerator_index, denominator_index]");
+      }
+      const util::json* header = p.find("header");
+      if (header == nullptr || !header->is_string()) {
+        bad("ratio probe entries need a \"header\"");
+      }
+      entry.header = header->as_string();
+      entry.ratio_num = static_cast<int>(ratio->at(std::size_t{0}).as_int());
+      entry.ratio_den = static_cast<int>(ratio->at(std::size_t{1}).as_int());
+      entry.precision = precision_from_json(p);
+      out.push_back(std::move(entry));
+      continue;
+    }
+    ensure_keys(p, {"probe", "header", "class", "stat", "precision"},
+                "probe entry");
     const util::json* name = p.find("probe");
     if (name == nullptr || !name->is_string()) {
       bad("probe entries need a \"probe\" name");
@@ -529,8 +572,88 @@ std::vector<spec_probe> probes_from_json(const util::json& j) {
     entry.header = header != nullptr && header->is_string()
                        ? header->as_string()
                        : entry.probe;
+    entry.cls = selector_part_from_json(p, "class");
+    entry.stat = selector_part_from_json(p, "stat");
     entry.precision = precision_from_json(p);
     out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<spec_check> checks_from_json(const util::json& j) {
+  if (!j.is_array() || j.size() == 0) {
+    bad("\"checks\" must be a non-empty array");
+  }
+  std::vector<spec_check> out;
+  for (const util::json& c : j.array_items()) {
+    if (!c.is_object()) bad("check entries must be objects");
+    ensure_keys(c, {"probe", "name"}, "check entry");
+    spec_check entry;
+    const util::json* probe = c.find("probe");
+    if (probe == nullptr || !probe->is_string()) {
+      bad("check entries need a \"probe\" name");
+    }
+    entry.probe = probe->as_string();
+    if (const util::json* name = c.find("name")) {
+      if (!name->is_string()) bad("check \"name\" must be a string");
+      entry.name = name->as_string();
+    } else {
+      entry.name = entry.probe;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+spec_verdict verdict_from_json(const util::json& j) {
+  if (!j.is_object()) bad("\"verdict\" must be an object");
+  ensure_keys(j, {"pass", "fail"}, "verdict");
+  const util::json* pass = j.find("pass");
+  const util::json* fail = j.find("fail");
+  if (pass == nullptr || !pass->is_string() || fail == nullptr ||
+      !fail->is_string()) {
+    bad("\"verdict\" needs string \"pass\" and \"fail\" lines");
+  }
+  return spec_verdict{pass->as_string(), fail->as_string()};
+}
+
+std::optional<std::int64_t> profile_count_from_json(const util::json& j,
+                                                    const char* key) {
+  const util::json* v = j.find(key);
+  if (v == nullptr) return std::nullopt;
+  if (!v->is_int() || v->as_int() <= 0) {
+    bad(std::string("profile \"") + key + "\" must be a positive integer");
+  }
+  return v->as_int();
+}
+
+std::vector<std::pair<std::string, spec_profile>> profiles_from_json(
+    const util::json& j) {
+  if (!j.is_object() || j.size() == 0) {
+    bad("\"profiles\" must be a non-empty object of named profiles");
+  }
+  std::vector<std::pair<std::string, spec_profile>> out;
+  for (const auto& [name, body] : j.object_items()) {
+    if (name.empty()) bad("profile names must be non-empty");
+    if (!body.is_object()) {
+      bad("profile \"" + name + "\" must be an object");
+    }
+    ensure_keys(body, {"peers", "seeds", "rounds", "view_a", "view_b", "vars"},
+                "profile");
+    spec_profile prof;
+    prof.peers = profile_count_from_json(body, "peers");
+    prof.seeds = profile_count_from_json(body, "seeds");
+    prof.rounds = profile_count_from_json(body, "rounds");
+    prof.view_a = profile_count_from_json(body, "view_a");
+    prof.view_b = profile_count_from_json(body, "view_b");
+    if (const util::json* vars = body.find("vars")) {
+      prof.vars = settings_from_json(*vars, "profile \"vars\"");
+      for (const auto& [var, token] : prof.vars) {
+        if (var.empty()) bad("profile variable names must be non-empty");
+        (void)var_numeric(var, token);
+      }
+    }
+    out.emplace_back(name, std::move(prof));
   }
   return out;
 }
@@ -539,6 +662,9 @@ std::vector<spec_probe> probes_from_json(const util::json& j) {
 
 void experiment_spec::validate() const {
   if (name.empty()) bad("\"name\" is required");
+  if (!preamble.empty() && !title.empty()) {
+    bad("\"preamble\" replaces the standard preamble; drop \"title\"");
+  }
   if (rows.empty()) bad("at least one row axis is required");
   const bool has_columns = !columns.empty();
   const bool has_probes = !probes.empty();
@@ -550,7 +676,7 @@ void experiment_spec::validate() const {
   // options: catches unknown keys and malformed tokens up front.
   // '$'-keys are workload variables — they bypass the config but their
   // tokens must carry a numeric value, and they need a workload to
-  // substitute into.
+  // substitute into. '%'-keys are probe parameters: any non-empty token.
   const spec_options defaults;
   experiment_config scratch;
   const auto check_setting = [&](experiment_config& cfg,
@@ -563,12 +689,20 @@ void experiment_spec::validate() const {
       (void)var_numeric(key, token);
       return;
     }
+    if (is_param_key(key)) {
+      if (key.size() < 2) bad("probe parameter keys need a name after '%'");
+      if (token.empty()) {
+        bad("probe parameter \"" + key + "\" has an empty value");
+      }
+      return;
+    }
     apply_setting(cfg, key, token, defaults);
   };
   for (const auto& [key, token] : base) {
     check_setting(scratch, key, token);
   }
   if (split.has_value()) {
+    if (static_eval) bad("\"split\" is not supported in a static spec");
     if (split->axis.values.empty()) bad("split axis needs values");
     if (split->table_key.empty()) bad("split needs a \"table_key\"");
     for (const std::string& token : split->axis.values) {
@@ -582,13 +716,39 @@ void experiment_spec::validate() const {
     }
   }
 
+  // A probe reference is either a plain scalar-view selector (validated
+  // by metrics::resolve_selector, which owns the misuse messages) or a
+  // check probe, which renders verdict cells and is only legal in a
+  // static spec's columns/probes or the "checks" list.
+  const auto check_probe_ref = [&](const std::string& probe_name,
+                                   const std::string& cls,
+                                   const std::string& stat,
+                                   const char* where) {
+    const metrics::probe* p = metrics::find_probe(probe_name);
+    if (p == nullptr) bad("unknown probe \"" + probe_name + "\"");
+    if (static_eval && p->needs_world) {
+      bad("probe \"" + probe_name +
+          "\" needs a simulated world; it cannot run in a \"static\" spec");
+    }
+    if (p->kind == metrics::probe_kind::check) {
+      if (!static_eval) {
+        bad("check probe \"" + probe_name + "\" in " + where +
+            " needs a \"static\" spec or the \"checks\" list");
+      }
+      if (!cls.empty() || !stat.empty()) {
+        bad("check probe \"" + probe_name +
+            "\" takes neither \"class\" nor \"stat\"");
+      }
+      return;
+    }
+    (void)metrics::resolve_selector(probe_name, cls, stat);
+  };
+
   for (std::size_t j = 0; j < columns.size(); ++j) {
     const spec_column& col = columns[j];
     switch (col.k) {
       case spec_column::kind::probe: {
-        if (metrics::find_probe(col.probe) == nullptr) {
-          bad("unknown probe \"" + col.probe + "\"");
-        }
+        check_probe_ref(col.probe, col.cls, col.stat, "\"columns\"");
         experiment_config cfg = scratch;
         for (const auto& [key, token] : col.set) {
           check_setting(cfg, key, token);
@@ -596,6 +756,10 @@ void experiment_spec::validate() const {
         break;
       }
       case spec_column::kind::ratio: {
+        if (static_eval) {
+          bad("ratio columns need seed aggregates; they cannot run in a "
+              "\"static\" spec");
+        }
         const auto in_range = [&](int i) {
           return i >= 0 && static_cast<std::size_t>(i) < j &&
                  columns[static_cast<std::size_t>(i)].k ==
@@ -611,17 +775,98 @@ void experiment_spec::validate() const {
         break;
     }
   }
-  for (const spec_probe& p : probes) {
-    if (metrics::find_probe(p.probe) == nullptr) {
-      bad("unknown probe \"" + p.probe + "\"");
+  for (std::size_t j = 0; j < probes.size(); ++j) {
+    const spec_probe& p = probes[j];
+    if (p.ratio_num >= 0 || p.ratio_den >= 0) {
+      if (static_eval) {
+        bad("ratio probe entries need seed aggregates; they cannot run in "
+            "a \"static\" spec");
+      }
+      const auto in_range = [&](int i) {
+        return i >= 0 && static_cast<std::size_t>(i) < j &&
+               probes[static_cast<std::size_t>(i)].ratio_num < 0;
+      };
+      if (!in_range(p.ratio_num) || !in_range(p.ratio_den)) {
+        bad("ratio probe entry \"" + p.header +
+            "\" must reference earlier probe entries");
+      }
+      continue;
     }
+    check_probe_ref(p.probe, p.cls, p.stat, "\"probes\"");
+  }
+
+  for (const spec_check& c : checks) {
+    const metrics::probe* p = metrics::find_probe(c.probe);
+    if (p == nullptr) bad("unknown check probe \"" + c.probe + "\"");
+    if (p->kind != metrics::probe_kind::check) {
+      bad("\"checks\" entry \"" + c.probe + "\" is a " +
+          std::string(metrics::to_string(p->kind)) +
+          " probe, not a check probe");
+    }
+  }
+  if (!checks.empty()) {
+    if (static_eval) {
+      bad("a static spec carries its checks as columns/probes; drop the "
+          "\"checks\" list");
+    }
+    if (probes.empty()) {
+      bad("\"checks\" ride the shared run of \"probes\" mode");
+    }
+  }
+  if (verdict.has_value()) {
+    bool has_check_cells = !checks.empty();
+    if (static_eval) {
+      for (const spec_column& col : columns) {
+        if (col.k != spec_column::kind::probe) continue;
+        const metrics::probe* p = metrics::find_probe(col.probe);
+        has_check_cells = has_check_cells ||
+                          (p != nullptr &&
+                           p->kind == metrics::probe_kind::check);
+      }
+      for (const spec_probe& p : probes) {
+        const metrics::probe* probe = metrics::find_probe(p.probe);
+        has_check_cells = has_check_cells ||
+                          (probe != nullptr &&
+                           probe->kind == metrics::probe_kind::check);
+      }
+    }
+    if (!has_check_cells) {
+      bad("\"verdict\" needs check probes (a \"checks\" list or check "
+          "columns in a static spec)");
+    }
+  }
+
+  if (static_eval) {
+    if (workload.has_value()) bad("a \"static\" spec cannot have a workload");
+    if (!warmup.empty()) bad("a \"static\" spec cannot have a warmup");
+    if (cells) bad("\"cells\" needs seed aggregates (non-static specs)");
+    if (trajectories) bad("\"trajectories\" requires a \"workload\"");
+    if (single_seed) {
+      bad("\"single_seed\" is meaningless in a \"static\" spec");
+    }
+    if (distributions) {
+      bad("\"distributions\" needs seed aggregates (non-static specs)");
+    }
+  }
+  if (distributions && probes.empty()) {
+    bad("\"distributions\" rides the shared run of \"probes\" mode");
   }
 
   if (!warmup.empty() && warmup != "half") {
     const std::size_t v = count_token("warmup", warmup, defaults);
     (void)v;
   }
+  // Report params must resolve WITHOUT a profile (profiles only override
+  // the *values* of builtin variables, never introduce report-param
+  // names): a spec that validates must also run profile-less.
   const var_map default_builtins = builtin_vars(defaults);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      if (profiles[i].first == profiles[j].first) {
+        bad("duplicate profile \"" + profiles[i].first + "\"");
+      }
+    }
+  }
   for (const std::string& p : report_params) {
     if (param_override(p, default_builtins).has_value()) continue;
     if (p != "peers" && p != "seeds" && p != "rounds" && p != "seed" &&
@@ -684,9 +929,11 @@ void experiment_spec::validate() const {
 
 experiment_spec spec_from_json(const util::json& doc) {
   ensure_keys(doc,
-              {"name", "title", "footer", "base", "split", "rows", "columns",
-               "probes", "report_params", "warmup", "workload", "trajectories",
-               "trajectory_sample_periods", "cells"},
+              {"name", "title", "preamble", "footer", "base", "split", "rows",
+               "columns", "probes", "checks", "verdict", "profiles",
+               "report_params", "warmup", "workload", "trajectories",
+               "trajectory_sample_periods", "cells", "distributions",
+               "static", "single_seed"},
               "spec");
   experiment_spec spec;
   const util::json* name = doc.find("name");
@@ -697,6 +944,15 @@ experiment_spec spec_from_json(const util::json& doc) {
   if (const util::json* title = doc.find("title")) {
     if (!title->is_string()) bad("\"title\" must be a string");
     spec.title = title->as_string();
+  }
+  if (const util::json* preamble = doc.find("preamble")) {
+    if (!preamble->is_array()) {
+      bad("\"preamble\" must be an array of strings");
+    }
+    for (const util::json& line : preamble->array_items()) {
+      if (!line.is_string()) bad("\"preamble\" must be an array of strings");
+      spec.preamble.push_back(line.as_string());
+    }
   }
   if (const util::json* footer = doc.find("footer")) {
     if (!footer->is_array()) bad("\"footer\" must be an array of strings");
@@ -744,6 +1000,15 @@ experiment_spec spec_from_json(const util::json& doc) {
   if (const util::json* probes = doc.find("probes")) {
     spec.probes = probes_from_json(*probes);
   }
+  if (const util::json* checks = doc.find("checks")) {
+    spec.checks = checks_from_json(*checks);
+  }
+  if (const util::json* verdict = doc.find("verdict")) {
+    spec.verdict = verdict_from_json(*verdict);
+  }
+  if (const util::json* profiles = doc.find("profiles")) {
+    spec.profiles = profiles_from_json(*profiles);
+  }
   if (const util::json* params = doc.find("report_params")) {
     if (!params->is_array()) bad("\"report_params\" must be an array");
     for (const util::json& p : params->array_items()) {
@@ -764,6 +1029,18 @@ experiment_spec spec_from_json(const util::json& doc) {
   if (const util::json* c = doc.find("cells")) {
     if (!c->is_bool()) bad("\"cells\" must be a bool");
     spec.cells = c->as_bool();
+  }
+  if (const util::json* d = doc.find("distributions")) {
+    if (!d->is_bool()) bad("\"distributions\" must be a bool");
+    spec.distributions = d->as_bool();
+  }
+  if (const util::json* s = doc.find("static")) {
+    if (!s->is_bool()) bad("\"static\" must be a bool");
+    spec.static_eval = s->as_bool();
+  }
+  if (const util::json* s = doc.find("single_seed")) {
+    if (!s->is_bool()) bad("\"single_seed\" must be a bool");
+    spec.single_seed = s->as_bool();
   }
   if (const util::json* n = doc.find("trajectory_sample_periods")) {
     if (!n->is_int()) bad("\"trajectory_sample_periods\" must be an integer");
@@ -792,19 +1069,24 @@ util::json settings_to_json(const std::vector<spec_setting>& settings) {
   return j;
 }
 
+util::json lines_to_json(const std::vector<std::string>& lines) {
+  util::json j = util::json::array();
+  for (const std::string& line : lines) j.push_back(line);
+  return j;
+}
+
 }  // namespace
 
 util::json spec_to_json(const experiment_spec& spec) {
   util::json doc = util::json::object();
   doc["name"] = spec.name;
   if (!spec.title.empty()) doc["title"] = spec.title;
-  if (!spec.footer.empty()) {
-    util::json footer = util::json::array();
-    for (const std::string& line : spec.footer) footer.push_back(line);
-    doc["footer"] = std::move(footer);
-  }
+  if (!spec.preamble.empty()) doc["preamble"] = lines_to_json(spec.preamble);
+  if (!spec.footer.empty()) doc["footer"] = lines_to_json(spec.footer);
   if (!spec.base.empty()) doc["base"] = settings_to_json(spec.base);
   if (!spec.warmup.empty()) doc["warmup"] = spec.warmup;
+  if (spec.static_eval) doc["static"] = true;
+  if (spec.single_seed) doc["single_seed"] = true;
   if (spec.split.has_value()) {
     util::json split = axis_to_json(spec.split->axis);
     if (!spec.split->section.empty()) split["section"] = spec.split->section;
@@ -822,6 +1104,8 @@ util::json spec_to_json(const experiment_spec& spec) {
       switch (col.k) {
         case spec_column::kind::probe:
           c["probe"] = col.probe;
+          if (!col.cls.empty()) c["class"] = col.cls;
+          if (!col.stat.empty()) c["stat"] = col.stat;
           if (!col.set.empty()) c["set"] = settings_to_json(col.set);
           if (!col.cell_key.empty()) {
             c["cell_key"] = col.cell_key;
@@ -848,12 +1132,52 @@ util::json spec_to_json(const experiment_spec& spec) {
     util::json probes = util::json::array();
     for (const spec_probe& p : spec.probes) {
       util::json entry = util::json::object();
-      entry["probe"] = p.probe;
-      entry["header"] = p.header;
+      if (p.ratio_num >= 0) {
+        entry["header"] = p.header;
+        util::json ratio = util::json::array();
+        ratio.push_back(p.ratio_num);
+        ratio.push_back(p.ratio_den);
+        entry["ratio"] = std::move(ratio);
+      } else {
+        entry["probe"] = p.probe;
+        entry["header"] = p.header;
+        if (!p.cls.empty()) entry["class"] = p.cls;
+        if (!p.stat.empty()) entry["stat"] = p.stat;
+      }
       if (p.precision != 1) entry["precision"] = p.precision;
       probes.push_back(std::move(entry));
     }
     doc["probes"] = std::move(probes);
+  }
+  if (!spec.checks.empty()) {
+    util::json checks = util::json::array();
+    for (const spec_check& c : spec.checks) {
+      util::json entry = util::json::object();
+      entry["probe"] = c.probe;
+      if (c.name != c.probe) entry["name"] = c.name;
+      checks.push_back(std::move(entry));
+    }
+    doc["checks"] = std::move(checks);
+  }
+  if (spec.verdict.has_value()) {
+    util::json verdict = util::json::object();
+    verdict["pass"] = spec.verdict->pass;
+    verdict["fail"] = spec.verdict->fail;
+    doc["verdict"] = std::move(verdict);
+  }
+  if (!spec.profiles.empty()) {
+    util::json profiles = util::json::object();
+    for (const auto& [name, prof] : spec.profiles) {
+      util::json body = util::json::object();
+      if (prof.peers) body["peers"] = *prof.peers;
+      if (prof.seeds) body["seeds"] = *prof.seeds;
+      if (prof.rounds) body["rounds"] = *prof.rounds;
+      if (prof.view_a) body["view_a"] = *prof.view_a;
+      if (prof.view_b) body["view_b"] = *prof.view_b;
+      if (!prof.vars.empty()) body["vars"] = settings_to_json(prof.vars);
+      profiles[name] = std::move(body);
+    }
+    doc["profiles"] = std::move(profiles);
   }
   if (!spec.report_params.empty()) {
     util::json params = util::json::array();
@@ -863,6 +1187,7 @@ util::json spec_to_json(const experiment_spec& spec) {
   if (spec.workload.has_value()) doc["workload"] = *spec.workload;
   if (spec.trajectories) doc["trajectories"] = true;
   if (spec.cells) doc["cells"] = true;
+  if (spec.distributions) doc["distributions"] = true;
   if (spec.trajectory_sample_periods != 0) {
     doc["trajectory_sample_periods"] = spec.trajectory_sample_periods;
   }
@@ -873,6 +1198,18 @@ experiment_spec load_spec_file(const std::string& path) {
   return spec_from_json(util::load_json_file(path));
 }
 
+bool all_checks_passed(const util::json& report) {
+  const util::json* checks = report.find("checks");
+  if (checks == nullptr || !checks->is_array()) return true;
+  for (const util::json& entry : checks->array_items()) {
+    const util::json* passed = entry.find("passed");
+    if (passed != nullptr && passed->is_bool() && !passed->as_bool()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // --- execution ---------------------------------------------------------------
 
 namespace {
@@ -880,22 +1217,34 @@ namespace {
 /// Per-run context shared by every cell of the study.
 struct spec_execution {
   const experiment_spec& spec;
-  const spec_options& opt;
+  const spec_options& opt;  ///< profile-effective options
   int warmup = 0;   ///< warm-up rounds before the traffic reset
   int measure = 0;  ///< measured rounds (rounds - warmup)
-  bool capture = false;
+  bool capture_traj = false;    ///< per-seed trajectory capture
+  bool capture_checks = false;  ///< per-seed check evaluation
+  /// Resolved "checks"-list probes, in list order.
+  std::vector<const metrics::probe*> check_probes;
   /// The cell's workload document with variables resolved (null when the
   /// spec has none); updated by the row loop before each sweep.
   const util::json* workload_doc = nullptr;
 
-  /// Simulates one cell at one seed and evaluates `probe_names` on the
-  /// final state. The probe-visible window is the measured span.
+  [[nodiscard]] bool capturing() const noexcept {
+    return capture_traj || capture_checks;
+  }
+
+  /// Simulates one cell at one seed and evaluates `sels` on the final
+  /// state. The probe-visible window is the measured span. When
+  /// capturing, `capture` receives the per-seed trajectory and/or check
+  /// outcomes (trajectory-only capture keeps the bare-array form older
+  /// reports used).
   std::vector<double> run_once(experiment_config cfg, std::uint64_t seed,
-                               std::span<const std::string> probe_names,
-                               util::json* trajectory) const {
+                               std::span<const metrics::probe_selector> sels,
+                               const param_map& params,
+                               util::json* capture) const {
     cfg.seed = seed;
     scenario world(cfg);
     sim::sim_time window = 0;
+    util::json trajectory;
     if (workload_doc != nullptr) {
       const sim::sim_time period = cfg.gossip.shuffle_period;
       workload::program prog =
@@ -907,8 +1256,8 @@ struct spec_execution {
       }
       workload::engine eng(world, std::move(prog), eopt);
       eng.run();
-      if (trajectory != nullptr) {
-        *trajectory = workload::to_json(eng.trajectory());
+      if (capture != nullptr && capture_traj) {
+        trajectory = workload::to_json(eng.trajectory());
       }
     } else {
       // Matches the hand-rolled benches exactly: a plain
@@ -922,28 +1271,80 @@ struct spec_execution {
       window = measure * cfg.gossip.shuffle_period;
     }
     const metrics::reachability_oracle oracle = world.oracle();
-    const metrics::probe_context ctx{world, oracle, window};
-    return metrics::run_probes(probe_names, ctx);
+    metrics::probe_context ctx{world, oracle, window};
+    ctx.params = params;
+    std::vector<double> out;
+    out.reserve(sels.size());
+    for (const metrics::probe_selector& sel : sels) {
+      out.push_back(metrics::eval_scalar(sel, ctx));
+    }
+    if (capture != nullptr) {
+      util::json check_results;
+      if (capture_checks) {
+        // Checks run after the probe columns so battery-building probes
+        // keep their legacy rng position.
+        check_results = util::json::array();
+        for (const metrics::probe* p : check_probes) {
+          const metrics::probe_value v = p->run(ctx);
+          util::json& entry = check_results.push_back(util::json::object());
+          entry["passed"] = v.check.passed;
+          entry["detail"] = v.check.detail;
+        }
+      }
+      if (capture_traj && capture_checks) {
+        util::json both = util::json::object();
+        both["trajectory"] = std::move(trajectory);
+        both["checks"] = std::move(check_results);
+        *capture = std::move(both);
+      } else if (capture_traj) {
+        *capture = std::move(trajectory);
+      } else if (capture_checks) {
+        util::json only = util::json::object();
+        only["checks"] = std::move(check_results);
+        *capture = std::move(only);
+      }
+    }
+    return out;
   }
 
-  /// One multi-seed sweep of a cell; fills `per_seed` with trajectories
-  /// when capture is on.
-  std::vector<seed_aggregate> sweep(const experiment_config& cfg,
-                                    std::span<const std::string> probe_names,
-                                    util::json* per_seed) const {
-    const run_options ropt{opt.threads};
-    if (!capture) {
+  /// One multi-seed sweep of a cell; fills `per_seed` with captures when
+  /// capturing. `single_seed` specs run exactly once at the raw base
+  /// seed (the legacy §5 form — no derive_seed).
+  std::vector<seed_aggregate> sweep(
+      const experiment_config& cfg,
+      std::span<const metrics::probe_selector> sels, const param_map& params,
+      util::json* per_seed) const {
+    run_options ropt{};
+    ropt.threads = opt.threads;
+    ropt.shards = cfg.shards;
+    if (spec.single_seed) {
+      util::json capture;
+      const std::vector<double> values =
+          run_once(cfg, opt.seed, sels, params,
+                   capturing() ? &capture : nullptr);
+      std::vector<seed_aggregate> aggs(sels.size());
+      for (std::size_t m = 0; m < sels.size(); ++m) {
+        aggs[m].values = {values[m]};
+        aggs[m].stats = util::summarize(aggs[m].values);
+      }
+      if (per_seed != nullptr) {
+        *per_seed = util::json::array();
+        per_seed->push_back(std::move(capture));
+      }
+      return aggs;
+    }
+    if (!capturing()) {
       return run_seeds_multi(
-          opt.seeds, opt.seed, probe_names.size(),
+          opt.seeds, opt.seed, sels.size(),
           [&](std::uint64_t seed) {
-            return run_once(cfg, seed, probe_names, nullptr);
+            return run_once(cfg, seed, sels, params, nullptr);
           },
           ropt);
     }
     multi_seed_result result = run_seeds_multi_captured(
-        opt.seeds, opt.seed, probe_names.size(),
+        opt.seeds, opt.seed, sels.size(),
         [&](std::uint64_t seed, util::json& capture_slot) {
-          return run_once(cfg, seed, probe_names, &capture_slot);
+          return run_once(cfg, seed, sels, params, &capture_slot);
         },
         ropt);
     if (per_seed != nullptr) {
@@ -973,21 +1374,257 @@ void for_each_row(const std::vector<spec_axis>& axes, Fn&& fn) {
   }
 }
 
+/// The "probes"-mode measurement plan: one metric slot per non-ratio
+/// entry plus hidden slots for the full distribution summaries when the
+/// spec opts into "distributions".
+struct shared_plan {
+  std::vector<metrics::probe_selector> selectors;  ///< metric slots
+  std::vector<int> entry_metric;  ///< per entry: slot index, -1 = ratio
+  struct dist_block {
+    std::size_t entry;               ///< spec.probes index
+    int base;                        ///< first hidden metric slot
+    std::vector<std::string> stats;  ///< hidden stats, slot order
+  };
+  std::vector<dist_block> dist_blocks;
+};
+
+shared_plan build_shared_plan(const experiment_spec& spec) {
+  shared_plan plan;
+  for (const spec_probe& p : spec.probes) {
+    if (p.ratio_num >= 0) {
+      plan.entry_metric.push_back(-1);
+      continue;
+    }
+    plan.entry_metric.push_back(static_cast<int>(plan.selectors.size()));
+    plan.selectors.push_back(
+        metrics::resolve_selector(p.probe, p.cls, p.stat));
+  }
+  if (spec.distributions) {
+    for (std::size_t i = 0; i < spec.probes.size(); ++i) {
+      const spec_probe& p = spec.probes[i];
+      if (p.ratio_num >= 0) continue;
+      const metrics::probe* probe = metrics::find_probe(p.probe);
+      if (probe == nullptr ||
+          probe->kind != metrics::probe_kind::distribution) {
+        continue;
+      }
+      shared_plan::dist_block block;
+      block.entry = i;
+      block.base = static_cast<int>(plan.selectors.size());
+      block.stats = {"count", "mean", "stddev", "min", "max"};
+      if (probe->quantiles) {
+        block.stats.insert(block.stats.end(), {"p50", "p90", "p99"});
+      }
+      for (const std::string& stat : block.stats) {
+        plan.selectors.push_back(
+            metrics::resolve_selector(p.probe, {}, stat));
+      }
+      plan.dist_blocks.push_back(std::move(block));
+    }
+  }
+  return plan;
+}
+
+/// The preamble's trailing scale hint. The reduced-scale wording is
+/// frozen by the byte-identity contract: the pre-port binaries printed
+/// it, and their digests pin the spec replacements (--full is now
+/// spelled --profile full; see DESIGN.md "Probe taxonomy & profiles").
+void print_preamble(const experiment_spec& spec, const spec_options& opt,
+                    std::ostream& out) {
+  if (!spec.preamble.empty()) {
+    for (const std::string& line : spec.preamble) out << line << "\n";
+    return;
+  }
+  out << "# " << spec.title << "\n"
+      << "# n=" << opt.peers << " seeds=" << opt.seeds
+      << " rounds=" << opt.rounds << " views={" << opt.view_a << ","
+      << opt.view_b << "}";
+  if (opt.profile.empty()) {
+    out << " (reduced scale; --full for paper scale)";
+  } else {
+    out << " (profile " << opt.profile << ")";
+  }
+  out << "\n";
+}
+
+/// Applies the named profile (when any) over the driver options;
+/// explicitly-given command-line flags win.
+spec_options effective_options(const experiment_spec& spec,
+                               const spec_options& opt,
+                               const spec_profile** selected) {
+  *selected = nullptr;
+  spec_options eff = opt;
+  if (opt.profile.empty()) return eff;
+  for (const auto& [name, prof] : spec.profiles) {
+    if (name == opt.profile) {
+      *selected = &prof;
+      break;
+    }
+  }
+  if (*selected == nullptr) {
+    std::string available;
+    for (const auto& [name, prof] : spec.profiles) {
+      (void)prof;
+      if (!available.empty()) available += ", ";
+      available += name;
+    }
+    bad("unknown profile \"" + opt.profile + "\"" +
+        (available.empty() ? " (this spec declares no profiles)"
+                           : " (available: " + available + ")"));
+  }
+  const spec_profile& prof = **selected;
+  if (prof.peers && !opt.peers_explicit) {
+    eff.peers = static_cast<std::size_t>(*prof.peers);
+  }
+  if (prof.seeds && !opt.seeds_explicit) {
+    eff.seeds = static_cast<int>(*prof.seeds);
+  }
+  if (prof.rounds && !opt.rounds_explicit) {
+    eff.rounds = static_cast<int>(*prof.rounds);
+  }
+  if (prof.view_a && !opt.view_a_explicit) {
+    eff.view_a = static_cast<std::size_t>(*prof.view_a);
+  }
+  if (prof.view_b && !opt.view_b_explicit) {
+    eff.view_b = static_cast<std::size_t>(*prof.view_b);
+  }
+  return eff;
+}
+
+/// Static execution: no simulation, no seeds — every cell is one
+/// world-free probe evaluation (the §2.2 traversal table). Check cells
+/// render check_result::cell and record verdict entries.
+void run_static_spec(const experiment_spec& spec, const spec_options& eff,
+                     std::ostream& out, workload::bench_report& report,
+                     util::json& checks_json, bool& checks_passed) {
+  std::vector<std::string> headers;
+  for (const spec_axis& axis : spec.rows) {
+    headers.push_back(subst_views(axis.header, eff));
+  }
+  for (const spec_column& col : spec.columns) {
+    headers.push_back(subst_views(col.header, eff));
+  }
+  for (const spec_probe& p : spec.probes) {
+    headers.push_back(subst_views(p.header, eff));
+  }
+  text_table table(std::move(headers));
+
+  experiment_config scratch;
+  for_each_row(spec.rows, [&](const std::vector<std::size_t>& index) {
+    var_map vars;
+    param_map row_params;
+    std::vector<std::string> cells;
+    const auto apply = [&](param_map& params, const std::string& key,
+                           const std::string& token) -> std::string {
+      if (is_workload_var(key)) {
+        vars[key.substr(1)] = token;
+        return token;
+      }
+      if (is_param_key(key)) {
+        params[key.substr(1)] = token;
+        return token;
+      }
+      return apply_setting(scratch, key, token, eff);
+    };
+    for (const auto& [key, token] : spec.base) {
+      (void)apply(row_params, key, token);
+    }
+    for (std::size_t a = 0; a < spec.rows.size(); ++a) {
+      cells.push_back(
+          apply(row_params, spec.rows[a].key, spec.rows[a].values[index[a]]));
+    }
+    const std::vector<std::string> row_labels = cells;
+
+    const auto record_check = [&](const std::string& column,
+                                  const std::string& check_name,
+                                  const metrics::check_result& result) {
+      util::json& entry = checks_json.push_back(util::json::object());
+      util::json row = util::json::array();
+      for (const std::string& label : row_labels) row.push_back(label);
+      entry["row"] = std::move(row);
+      if (!column.empty()) entry["column"] = column;
+      entry["check"] = check_name;
+      entry["passed"] = result.passed;
+      if (!result.detail.empty()) entry["detail"] = result.detail;
+      checks_passed = checks_passed && result.passed;
+    };
+
+    const auto eval_cell = [&](const std::string& probe_name,
+                               const std::string& cls,
+                               const std::string& stat, int precision,
+                               const param_map& params,
+                               const std::string& column) -> std::string {
+      const metrics::probe* p = metrics::find_probe(probe_name);
+      NYLON_ENSURES(p != nullptr);  // validate() checked
+      const metrics::probe_context ctx{params};
+      const metrics::probe_value value = p->run(ctx);
+      if (value.kind == metrics::probe_kind::check) {
+        record_check(column, probe_name, value.check);
+        return value.check.cell;
+      }
+      const metrics::probe_selector sel =
+          metrics::resolve_selector(probe_name, cls, stat);
+      return fmt(metrics::extract_scalar(sel, value), precision);
+    };
+
+    for (const spec_column& col : spec.columns) {
+      switch (col.k) {
+        case spec_column::kind::probe: {
+          param_map params = row_params;
+          for (const auto& [key, token] : col.set) {
+            (void)apply(params, key, token);
+          }
+          cells.push_back(eval_cell(col.probe, col.cls, col.stat,
+                                    col.precision, params,
+                                    subst_views(col.header, eff)));
+          break;
+        }
+        case spec_column::kind::ratio:
+          cells.push_back(fmt(0.0, col.precision));  // validate() forbids
+          break;
+        case spec_column::kind::row_value:
+          cells.push_back(row_labels.front());
+          break;
+      }
+    }
+    for (const spec_probe& p : spec.probes) {
+      cells.push_back(eval_cell(p.probe, p.cls, p.stat, p.precision,
+                                row_params, subst_views(p.header, eff)));
+    }
+    table.add_row(std::move(cells));
+  });
+
+  if (eff.csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+  report.add("table", workload::to_json(table));
+}
+
 }  // namespace
 
 util::json run_spec(const experiment_spec& spec, const spec_options& opt,
                     std::ostream& out) {
   spec.validate();
 
-  out << "# " << spec.title << "\n"
-      << "# n=" << opt.peers << " seeds=" << opt.seeds
-      << " rounds=" << opt.rounds << " views={" << opt.view_a << ","
-      << opt.view_b << "}"
-      << (opt.full ? " (paper scale)"
-                   : " (reduced scale; --full for paper scale)")
-      << "\n";
+  const spec_profile* prof = nullptr;
+  const spec_options eff = effective_options(spec, opt, &prof);
 
-  const var_map builtins = builtin_vars(opt);
+  print_preamble(spec, eff, out);
+
+  var_map builtins = builtin_vars(eff);
+  if (prof != nullptr) {
+    // Explicit flags beat profile values: an explicit --rounds keeps the
+    // rounds-derived builtins too, so "--profile full --rounds 16" runs
+    // a genuinely reduced-scale workload instead of the paper durations.
+    for (const auto& [var, token] : prof->vars) {
+      if (opt.rounds_explicit && (var == "rounds" || var == "half_rounds")) {
+        continue;
+      }
+      builtins[var] = token;
+    }
+  }
 
   workload::bench_report report(spec.name);
   for (const std::string& p : spec.report_params) {
@@ -996,13 +1633,13 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
       continue;
     }
     if (p == "peers") {
-      report.param("peers", opt.peers);
+      report.param("peers", eff.peers);
     } else if (p == "seeds") {
-      report.param("seeds", opt.seeds);
+      report.param("seeds", eff.seeds);
     } else if (p == "rounds") {
-      report.param("rounds", opt.rounds);
+      report.param("rounds", eff.rounds);
     } else if (p == "seed") {
-      report.param("seed", opt.seed);
+      report.param("seed", eff.seed);
     } else if (p == "workload") {
       const util::json* name =
           spec.workload.has_value() ? spec.workload->find("name") : nullptr;
@@ -1011,193 +1648,322 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     }
   }
 
-  spec_execution exec{spec, opt};
-  if (spec.warmup == "half") {
-    exec.warmup = opt.rounds / 2;
-  } else if (!spec.warmup.empty()) {
-    exec.warmup = static_cast<int>(count_token("warmup", spec.warmup, opt));
-  }
-  if (exec.warmup > opt.rounds) exec.warmup = opt.rounds;
-  exec.measure = opt.rounds - exec.warmup;
-  exec.capture = spec.workload.has_value() &&
-                 (spec.trajectories || opt.trajectories);
+  util::json checks_json = util::json::array();
+  bool checks_passed = true;
 
-  // Base config: driver options first (exactly bench::base_config), then
-  // the spec's own overrides. '$'-keys accumulate as workload variables
-  // instead of touching the config.
-  var_map base_vars = builtins;
-  const auto apply_or_var = [&opt](experiment_config& cfg, var_map& vars,
-                                   const std::string& key,
-                                   const std::string& token) -> std::string {
-    if (is_workload_var(key)) {
-      vars[key.substr(1)] = token;
-      return token;
+  if (spec.static_eval) {
+    run_static_spec(spec, eff, out, report, checks_json, checks_passed);
+  } else {
+    spec_execution exec{spec, eff};
+    if (spec.warmup == "half") {
+      exec.warmup = eff.rounds / 2;
+    } else if (!spec.warmup.empty()) {
+      exec.warmup = static_cast<int>(count_token("warmup", spec.warmup, eff));
     }
-    return apply_setting(cfg, key, token, opt);
-  };
-  experiment_config base_cfg;
-  base_cfg.peer_count = opt.peers;
-  base_cfg.gossip.view_size = opt.view_a;
-  base_cfg.shards = opt.shards;
-  apply_setting(base_cfg, "latency_model", opt.latency_model, opt);
-  base_cfg.latency = sim::millis(opt.latency_ms);
-  base_cfg.latency_max = sim::millis(opt.latency_max_ms);
-  base_cfg.latency_sigma = opt.latency_sigma;
-  for (const auto& [key, token] : spec.base) {
-    apply_or_var(base_cfg, base_vars, key, token);
-  }
+    if (exec.warmup > eff.rounds) exec.warmup = eff.rounds;
+    exec.measure = eff.rounds - exec.warmup;
+    exec.capture_traj = spec.workload.has_value() &&
+                        (spec.trajectories || eff.trajectories);
+    exec.capture_checks = !spec.checks.empty();
+    for (const spec_check& c : spec.checks) {
+      exec.check_probes.push_back(metrics::find_probe(c.probe));
+    }
 
-  // Probe-name list of the shared-run ("probes") mode.
-  std::vector<std::string> shared_probes;
-  for (const spec_probe& p : spec.probes) shared_probes.push_back(p.probe);
-
-  util::json trajectories = util::json::array();
-  util::json cells_json = util::json::array();
-
-  const std::vector<std::string> split_tokens =
-      spec.split.has_value() ? spec.split->axis.values
-                             : std::vector<std::string>{std::string()};
-  for (const std::string& split_token : split_tokens) {
-    experiment_config split_cfg = base_cfg;
-    var_map split_vars = base_vars;
-    std::string split_label;
-    std::string table_key;
-    if (spec.split.has_value()) {
-      split_label = apply_or_var(split_cfg, split_vars, spec.split->axis.key,
-                                 split_token);
-      table_key = subst_braces(spec.split->table_key, split_label);
-      if (!spec.split->section.empty()) {
-        out << "\n" << subst_braces(spec.split->section, split_label) << "\n";
+    // Base config: driver options first (exactly bench::base_config), then
+    // the spec's own overrides. '$'-keys accumulate as workload variables,
+    // '%'-keys as probe parameters, instead of touching the config.
+    var_map base_vars = builtins;
+    param_map base_params;
+    const auto apply_or_var = [&eff](experiment_config& cfg, var_map& vars,
+                                     param_map& params,
+                                     const std::string& key,
+                                     const std::string& token) -> std::string {
+      if (is_workload_var(key)) {
+        vars[key.substr(1)] = token;
+        return token;
       }
-    }
-
-    std::vector<std::string> headers;
-    for (const spec_axis& axis : spec.rows) {
-      headers.push_back(subst_views(axis.header, opt));
-    }
-    for (const spec_column& col : spec.columns) {
-      headers.push_back(subst_views(col.header, opt));
-    }
-    for (const spec_probe& p : spec.probes) {
-      headers.push_back(subst_views(p.header, opt));
-    }
-    text_table table(std::move(headers));
-
-    for_each_row(spec.rows, [&](const std::vector<std::size_t>& index) {
-      experiment_config row_cfg = split_cfg;
-      var_map row_vars = split_vars;
-      std::vector<std::string> cells;
-      for (std::size_t a = 0; a < spec.rows.size(); ++a) {
-        cells.push_back(apply_or_var(row_cfg, row_vars, spec.rows[a].key,
-                                     spec.rows[a].values[index[a]]));
+      if (is_param_key(key)) {
+        params[key.substr(1)] = token;
+        return token;
       }
-      const std::vector<std::string> row_labels = cells;
+      return apply_setting(cfg, key, token, eff);
+    };
+    experiment_config base_cfg;
+    base_cfg.peer_count = eff.peers;
+    base_cfg.gossip.view_size = eff.view_a;
+    base_cfg.shards = eff.shards;
+    apply_setting(base_cfg, "latency_model", eff.latency_model, eff);
+    base_cfg.latency = sim::millis(eff.latency_ms);
+    base_cfg.latency_max = sim::millis(eff.latency_max_ms);
+    base_cfg.latency_sigma = eff.latency_sigma;
+    for (const auto& [key, token] : spec.base) {
+      apply_or_var(base_cfg, base_vars, base_params, key, token);
+    }
 
-      // The row's workload document, variables resolved; column-level
-      // '$' settings would need per-column resolution, which no spec
-      // uses yet — rows and split are the sweepable workload dimensions.
-      util::json resolved_workload;
-      if (spec.workload.has_value()) {
-        resolved_workload = resolve_workload_vars(*spec.workload, row_vars);
-        exec.workload_doc = &resolved_workload;
+    // Measurement plan of the shared-run ("probes") mode.
+    const shared_plan plan = build_shared_plan(spec);
+
+    util::json trajectories = util::json::array();
+    util::json cells_json = util::json::array();
+    util::json distributions_json = util::json::array();
+
+    const std::vector<std::string> split_tokens =
+        spec.split.has_value() ? spec.split->axis.values
+                               : std::vector<std::string>{std::string()};
+    for (const std::string& split_token : split_tokens) {
+      experiment_config split_cfg = base_cfg;
+      var_map split_vars = base_vars;
+      param_map split_params = base_params;
+      std::string split_label;
+      std::string table_key;
+      if (spec.split.has_value()) {
+        split_label = apply_or_var(split_cfg, split_vars, split_params,
+                                   spec.split->axis.key, split_token);
+        table_key = subst_braces(spec.split->table_key, split_label);
+        if (!spec.split->section.empty()) {
+          out << "\n" << subst_braces(spec.split->section, split_label)
+              << "\n";
+        }
       }
 
-      /// `cells` mode: one entry per probe column, carrying each
-      /// cell_key'd axis value plus the full multi-seed aggregate.
-      const auto record_cell = [&](const spec_column& col,
-                                   const std::vector<seed_aggregate>& aggs) {
-        if (!spec.cells) return;
-        util::json& entry = cells_json.push_back(util::json::object());
-        if (!table_key.empty()) entry["table"] = table_key;
+      std::vector<std::string> headers;
+      for (const spec_axis& axis : spec.rows) {
+        headers.push_back(subst_views(axis.header, eff));
+      }
+      for (const spec_column& col : spec.columns) {
+        headers.push_back(subst_views(col.header, eff));
+      }
+      for (const spec_probe& p : spec.probes) {
+        headers.push_back(subst_views(p.header, eff));
+      }
+      text_table table(std::move(headers));
+
+      for_each_row(spec.rows, [&](const std::vector<std::size_t>& index) {
+        experiment_config row_cfg = split_cfg;
+        var_map row_vars = split_vars;
+        param_map row_params = split_params;
+        std::vector<std::string> cells;
         for (std::size_t a = 0; a < spec.rows.size(); ++a) {
-          const spec_axis& axis = spec.rows[a];
-          if (axis.cell_key.empty()) continue;
-          const std::string& token = axis.values[index[a]];
-          entry[axis.cell_key] = var_value(var_numeric(axis.key, token));
+          cells.push_back(apply_or_var(row_cfg, row_vars, row_params,
+                                       spec.rows[a].key,
+                                       spec.rows[a].values[index[a]]));
         }
-        if (!col.cell_key.empty()) {
-          entry[col.cell_key] =
-              var_value(var_numeric(col.cell_key, col.cell_token));
+        const std::vector<std::string> row_labels = cells;
+
+        // The row's workload document, variables resolved; column-level
+        // '$' settings are resolved per column below.
+        util::json resolved_workload;
+        if (spec.workload.has_value()) {
+          resolved_workload = resolve_workload_vars(*spec.workload, row_vars);
+          exec.workload_doc = &resolved_workload;
         }
-        entry[col.probe] = workload::to_json(aggs[0]);
-      };
 
-      const auto record_trajectory = [&](util::json per_seed,
-                                         const std::string& column) {
-        if (per_seed.is_null()) return;
-        util::json& entry = trajectories.push_back(util::json::object());
-        if (!table_key.empty()) entry["table"] = table_key;
-        util::json row = util::json::array();
-        for (const std::string& label : row_labels) row.push_back(label);
-        entry["row"] = std::move(row);
-        if (!column.empty()) entry["column"] = column;
-        entry["per_seed"] = std::move(per_seed);
-      };
+        /// `cells` mode: one entry per probe column, carrying each
+        /// cell_key'd axis value plus the full multi-seed aggregate.
+        const auto record_cell = [&](const spec_column& col,
+                                     const std::vector<seed_aggregate>&
+                                         aggs) {
+          if (!spec.cells) return;
+          util::json& entry = cells_json.push_back(util::json::object());
+          if (!table_key.empty()) entry["table"] = table_key;
+          for (std::size_t a = 0; a < spec.rows.size(); ++a) {
+            const spec_axis& axis = spec.rows[a];
+            if (axis.cell_key.empty()) continue;
+            const std::string& token = axis.values[index[a]];
+            entry[axis.cell_key] = var_value(var_numeric(axis.key, token));
+          }
+          if (!col.cell_key.empty()) {
+            entry[col.cell_key] =
+                var_value(var_numeric(col.cell_key, col.cell_token));
+          }
+          std::string metric_key = col.probe;
+          if (!col.cls.empty()) {
+            metric_key += "." + col.cls;
+          } else if (!col.stat.empty()) {
+            metric_key += "." + col.stat;
+          }
+          entry[metric_key] = workload::to_json(aggs[0]);
+        };
 
-      if (!spec.columns.empty()) {
-        std::vector<double> means(spec.columns.size(), 0.0);
-        for (std::size_t j = 0; j < spec.columns.size(); ++j) {
-          const spec_column& col = spec.columns[j];
-          switch (col.k) {
-            case spec_column::kind::probe: {
-              experiment_config cfg = row_cfg;
-              var_map col_vars = row_vars;
-              bool col_has_vars = false;
-              for (const auto& [key, token] : col.set) {
-                col_has_vars = col_has_vars || is_workload_var(key);
-                apply_or_var(cfg, col_vars, key, token);
+        const auto record_trajectory = [&](util::json per_seed,
+                                           const std::string& column) {
+          if (per_seed.is_null()) return;
+          util::json& entry = trajectories.push_back(util::json::object());
+          if (!table_key.empty()) entry["table"] = table_key;
+          util::json row = util::json::array();
+          for (const std::string& label : row_labels) row.push_back(label);
+          entry["row"] = std::move(row);
+          if (!column.empty()) entry["column"] = column;
+          entry["per_seed"] = std::move(per_seed);
+        };
+
+        /// Splits a captured per-seed array into its trajectory and
+        /// check halves, records check verdicts, and returns the
+        /// trajectory array (null when trajectories are off).
+        const auto unwrap_captures =
+            [&](util::json per_seed) -> util::json {
+          if (per_seed.is_null() || !exec.capture_checks) return per_seed;
+          util::json traj = exec.capture_traj ? util::json::array()
+                                              : util::json();
+          const std::size_t seeds = per_seed.size();
+          for (std::size_t j = 0; j < spec.checks.size(); ++j) {
+            bool passed = true;
+            std::string detail;
+            util::json failed_seeds = util::json::array();
+            for (std::size_t s = 0; s < seeds; ++s) {
+              const util::json& entry =
+                  per_seed.at(s).at("checks").at(j);
+              const bool seed_passed = entry.at("passed").as_bool();
+              if (s == 0) detail = entry.at("detail").as_string();
+              if (!seed_passed) {
+                passed = false;
+                failed_seeds.push_back(static_cast<std::int64_t>(s));
               }
-              util::json col_workload;
-              if (col_has_vars && spec.workload.has_value()) {
-                col_workload = resolve_workload_vars(*spec.workload, col_vars);
-                exec.workload_doc = &col_workload;
-              }
-              const std::vector<std::string> names{col.probe};
-              util::json per_seed;
-              const std::vector<seed_aggregate> aggs =
-                  exec.sweep(cfg, names, exec.capture ? &per_seed : nullptr);
-              if (col_has_vars && spec.workload.has_value()) {
-                exec.workload_doc = &resolved_workload;
-              }
-              record_trajectory(std::move(per_seed),
-                                subst_views(col.header, opt));
-              record_cell(col, aggs);
-              means[j] = aggs[0].stats.mean;
-              cells.push_back(fmt(means[j], col.precision));
-              break;
             }
-            case spec_column::kind::ratio: {
-              const double num = means[static_cast<std::size_t>(col.ratio_num)];
-              const double den = means[static_cast<std::size_t>(col.ratio_den)];
-              cells.push_back(fmt(den > 0 ? num / den : 0.0, col.precision));
-              break;
+            util::json& entry = checks_json.push_back(util::json::object());
+            if (!table_key.empty()) entry["table"] = table_key;
+            util::json row = util::json::array();
+            for (const std::string& label : row_labels) {
+              row.push_back(label);
             }
-            case spec_column::kind::row_value:
-              cells.push_back(row_labels.front());
-              break;
+            entry["row"] = std::move(row);
+            entry["check"] = spec.checks[j].name;
+            entry["passed"] = passed;
+            if (!detail.empty()) entry["detail"] = detail;
+            if (failed_seeds.size() > 0) {
+              entry["failed_seeds"] = std::move(failed_seeds);
+            }
+            checks_passed = checks_passed && passed;
+          }
+          if (exec.capture_traj) {
+            for (std::size_t s = 0; s < seeds; ++s) {
+              traj.push_back(per_seed.at(s).at("trajectory"));
+            }
+          }
+          return traj;
+        };
+
+        const auto record_distributions =
+            [&](const std::vector<seed_aggregate>& aggs) {
+              for (const shared_plan::dist_block& block : plan.dist_blocks) {
+                util::json& entry =
+                    distributions_json.push_back(util::json::object());
+                if (!table_key.empty()) entry["table"] = table_key;
+                util::json row = util::json::array();
+                for (const std::string& label : row_labels) {
+                  row.push_back(label);
+                }
+                entry["row"] = std::move(row);
+                entry["probe"] = spec.probes[block.entry].probe;
+                entry["header"] =
+                    subst_views(spec.probes[block.entry].header, eff);
+                for (std::size_t k = 0; k < block.stats.size(); ++k) {
+                  entry[block.stats[k]] = workload::to_json(
+                      aggs[static_cast<std::size_t>(block.base) + k]);
+                }
+              }
+            };
+
+        if (!spec.columns.empty()) {
+          std::vector<double> means(spec.columns.size(), 0.0);
+          for (std::size_t j = 0; j < spec.columns.size(); ++j) {
+            const spec_column& col = spec.columns[j];
+            switch (col.k) {
+              case spec_column::kind::probe: {
+                experiment_config cfg = row_cfg;
+                var_map col_vars = row_vars;
+                param_map col_params = row_params;
+                bool col_has_vars = false;
+                for (const auto& [key, token] : col.set) {
+                  col_has_vars = col_has_vars || is_workload_var(key);
+                  apply_or_var(cfg, col_vars, col_params, key, token);
+                }
+                util::json col_workload;
+                if (col_has_vars && spec.workload.has_value()) {
+                  col_workload =
+                      resolve_workload_vars(*spec.workload, col_vars);
+                  exec.workload_doc = &col_workload;
+                }
+                const metrics::probe_selector sel =
+                    metrics::resolve_selector(col.probe, col.cls, col.stat);
+                util::json per_seed;
+                const std::vector<seed_aggregate> aggs = exec.sweep(
+                    cfg, std::span<const metrics::probe_selector>{&sel, 1},
+                    col_params, exec.capturing() ? &per_seed : nullptr);
+                if (col_has_vars && spec.workload.has_value()) {
+                  exec.workload_doc = &resolved_workload;
+                }
+                record_trajectory(unwrap_captures(std::move(per_seed)),
+                                  subst_views(col.header, eff));
+                record_cell(col, aggs);
+                means[j] = aggs[0].stats.mean;
+                cells.push_back(fmt(means[j], col.precision));
+                break;
+              }
+              case spec_column::kind::ratio: {
+                const double num =
+                    means[static_cast<std::size_t>(col.ratio_num)];
+                const double den =
+                    means[static_cast<std::size_t>(col.ratio_den)];
+                cells.push_back(fmt(den > 0 ? num / den : 0.0,
+                                    col.precision));
+                break;
+              }
+              case spec_column::kind::row_value:
+                cells.push_back(row_labels.front());
+                break;
+            }
+          }
+        } else {
+          util::json per_seed;
+          const std::vector<seed_aggregate> aggs =
+              exec.sweep(row_cfg, plan.selectors, row_params,
+                         exec.capturing() ? &per_seed : nullptr);
+          record_trajectory(unwrap_captures(std::move(per_seed)),
+                            std::string());
+          record_distributions(aggs);
+          std::vector<double> entry_means(spec.probes.size(), 0.0);
+          for (std::size_t k = 0; k < spec.probes.size(); ++k) {
+            const spec_probe& p = spec.probes[k];
+            if (p.ratio_num >= 0) {
+              const int num_slot =
+                  plan.entry_metric[static_cast<std::size_t>(p.ratio_num)];
+              const int den_slot =
+                  plan.entry_metric[static_cast<std::size_t>(p.ratio_den)];
+              const double num =
+                  aggs[static_cast<std::size_t>(num_slot)].stats.mean;
+              const double den =
+                  aggs[static_cast<std::size_t>(den_slot)].stats.mean;
+              entry_means[k] = den > 0 ? num / den : 0.0;
+            } else {
+              const int slot = plan.entry_metric[k];
+              entry_means[k] =
+                  aggs[static_cast<std::size_t>(slot)].stats.mean;
+            }
+            cells.push_back(fmt(entry_means[k], p.precision));
           }
         }
-      } else {
-        util::json per_seed;
-        const std::vector<seed_aggregate> aggs = exec.sweep(
-            row_cfg, shared_probes, exec.capture ? &per_seed : nullptr);
-        record_trajectory(std::move(per_seed), std::string());
-        for (std::size_t k = 0; k < spec.probes.size(); ++k) {
-          cells.push_back(fmt(aggs[k].stats.mean, spec.probes[k].precision));
-        }
-      }
-      table.add_row(std::move(cells));
-    });
+        table.add_row(std::move(cells));
+      });
 
-    if (opt.csv) {
-      table.print_csv(out);
-    } else {
-      table.print(out);
+      if (eff.csv) {
+        table.print_csv(out);
+      } else {
+        table.print(out);
+      }
+      if (spec.split.has_value()) {
+        report.add_table(table_key, table);
+      } else {
+        report.add("table", workload::to_json(table));
+      }
     }
-    if (spec.split.has_value()) {
-      report.add_table(table_key, table);
-    } else {
-      report.add("table", workload::to_json(table));
+
+    if (spec.cells) report.add("cells", std::move(cells_json));
+    if (distributions_json.size() > 0) {
+      report.add("distributions", std::move(distributions_json));
+    }
+    if (exec.capture_traj && trajectories.size() > 0) {
+      report.add("trajectories", std::move(trajectories));
     }
   }
 
@@ -1205,11 +1971,12 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     out << "\n";
     for (const std::string& line : spec.footer) out << line << "\n";
   }
-  if (spec.cells) report.add("cells", std::move(cells_json));
-  if (exec.capture && trajectories.size() > 0) {
-    report.add("trajectories", std::move(trajectories));
+  if (spec.verdict.has_value()) {
+    out << "\n" << (checks_passed ? spec.verdict->pass : spec.verdict->fail)
+        << "\n";
   }
-  report.save(opt.json);
+  if (checks_json.size() > 0) report.add("checks", std::move(checks_json));
+  report.save(eff.json);
   return report.doc();
 }
 

@@ -6,9 +6,16 @@
 // documents are laid out. One driver (bench/nylon_exp.cpp) executes any
 // spec via the multi-seed runner; specs are buildable programmatically or
 // loadable from JSON files (examples/specs/*.json). The ported figure
-// benches (fig2/fig3/fig4/fig7, ablations) are pinned byte-identical to
-// their hand-rolled pre-spec mains by tests/integration/
+// benches (fig2/fig3/fig4/fig7/fig8/fig9/fig10, the ablations, the §2.2
+// traversal table and the §5 correctness study) are pinned byte-identical
+// to their hand-rolled pre-spec mains by tests/integration/
 // spec_equivalence_test.cpp.
+//
+// Probe taxonomy (metrics::probe): scalar probes fill cells directly;
+// per_class probes need a "class" key, distribution probes a "stat";
+// check probes render verdict cells in static specs or ride a "checks"
+// list, with verdicts emitted under "checks" in the BENCH json and an
+// optional pass/fail "verdict" line on stdout.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +32,9 @@ namespace nylon::runtime {
 /// One key=value configuration override, kept as raw tokens: values
 /// resolve at run time, so "$view_a"/"$view_b" can refer to the options
 /// the driver was launched with (matching the legacy --view-a/--view-b
-/// flags).
+/// flags). Keys starting with '$' are workload variables; keys starting
+/// with '%' are probe parameters (passed to the probes via
+/// probe_context::params instead of touching the config).
 using spec_setting = std::pair<std::string, std::string>;
 
 /// One swept dimension of a study. Keys are either config keys
@@ -34,7 +43,8 @@ using spec_setting = std::pair<std::string, std::string>;
 /// substituted into the spec's workload JSON wherever a string value
 /// references it ("$departures", optionally "$departures/100" to scale),
 /// which is how a row axis can sweep a workload parameter like Fig. 10's
-/// departure fraction.
+/// departure fraction. '%'-keys sweep a probe parameter the same way
+/// (the §2.2 table's NAT-type axes).
 struct spec_axis {
   std::string key;                  ///< e.g. "natted_pct", "$departures"
   std::string header;               ///< row-label column header
@@ -57,6 +67,8 @@ struct spec_column {
   std::string header;              ///< may reference $view_a / $view_b
   std::vector<spec_setting> set;   ///< config overrides for this column
   std::string probe;               ///< probe name (kind::probe)
+  std::string cls;                 ///< per_class selection ("class")
+  std::string stat;                ///< distribution stat selection
   int ratio_num = -1;              ///< numerator column index (kind::ratio)
   int ratio_den = -1;              ///< denominator column index
   int precision = 1;               ///< table cell decimals
@@ -67,11 +79,49 @@ struct spec_column {
 };
 
 /// One probe column in "probes" mode: all probes of a row share a single
-/// scenario run (like the hand-rolled run_seeds_multi benches).
+/// scenario run (like the hand-rolled run_seeds_multi benches). Entries
+/// with `ratio_num >= 0` are computed from earlier entries' means (the
+/// Fig. 8 public/natted column) and run nothing themselves.
 struct spec_probe {
-  std::string probe;
+  std::string probe;  ///< empty for ratio entries
   std::string header;
+  std::string cls;    ///< per_class selection ("class")
+  std::string stat;   ///< distribution stat selection
+  int ratio_num = -1;
+  int ratio_den = -1;
   int precision = 1;
+};
+
+/// One entry of the "checks" list: a check probe evaluated on the shared
+/// run of every row (probes mode), verdicts recorded under "checks" in
+/// the JSON report without touching the printed table.
+struct spec_check {
+  std::string probe;
+  std::string name;  ///< report label; defaults to the probe name
+};
+
+/// Pass/fail stdout line printed after the footer when the spec carries
+/// checks (the §2.2 table's "verification: ..." line).
+struct spec_verdict {
+  std::string pass;
+  std::string fail;
+};
+
+/// A named per-spec override set ("profiles": {"full": ...}), selected
+/// by `nylon_exp --profile NAME`. Replaces the old global --full flag:
+/// each spec declares its own paper-scale parameters, including
+/// overrides of the builtin workload variables ($rounds/$half_rounds) —
+/// Fig. 10's paper run is warmup 500 / heal 1500, which no global
+/// rounds value can express. Explicitly-given command-line flags beat
+/// profile values.
+struct spec_profile {
+  std::optional<std::int64_t> peers;
+  std::optional<std::int64_t> seeds;
+  std::optional<std::int64_t> rounds;
+  std::optional<std::int64_t> view_a;
+  std::optional<std::int64_t> view_b;
+  /// Workload/builtin variable overrides, e.g. {"half_rounds", "500"}.
+  std::vector<spec_setting> vars;
 };
 
 /// Emits one table per axis value (Fig. 2's per-view-size tables).
@@ -85,22 +135,43 @@ struct spec_split {
 struct experiment_spec {
   std::string name;                  ///< bench_report name ("fig3_stale")
   std::string title;                 ///< preamble line
+  /// Literal preamble lines replacing the standard "# title / # n=..."
+  /// preamble entirely (the §2.2 table's custom header). Exclusive with
+  /// `title`.
+  std::vector<std::string> preamble;
   std::vector<std::string> footer;   ///< comment lines printed after tables
   std::vector<spec_setting> base;    ///< config overrides under every cell
   std::optional<spec_split> split;
   std::vector<spec_axis> rows;       ///< cartesian row axes, outer first
   std::vector<spec_column> columns;  ///< exclusive with `probes`
   std::vector<spec_probe> probes;
+  /// Check probes evaluated on each row's shared run (probes mode).
+  std::vector<spec_check> checks;
+  std::optional<spec_verdict> verdict;
+  /// Named override sets selectable with --profile.
+  std::vector<std::pair<std::string, spec_profile>> profiles;
   /// Run parameters echoed under "params" in the JSON report, in order.
   /// Either a builtin (peers, seeds, rounds, seed, workload) or a
   /// "name=$var" / "name=literal" entry ("warmup_periods=$half_rounds"),
-  /// where $var is a builtin workload variable ($rounds, $half_rounds).
+  /// where $var is a builtin workload variable ($rounds, $half_rounds,
+  /// or a profile-defined variable).
   std::vector<std::string> report_params;
   /// Emit a per-cell aggregate table under "cells" in the JSON report
   /// (columns mode): one entry per (row, probe-column) cell carrying the
   /// axes' `cell_key` values plus the full multi-seed aggregate — the
   /// Fig. 10 per-cell form.
   bool cells = false;
+  /// Emit full distribution summaries (count/mean/stddev/min/max and
+  /// quantiles when retained) under "distributions" for every
+  /// distribution-probe entry (probes mode; each summary field is
+  /// seed-aggregated like any metric).
+  bool distributions = false;
+  /// No simulation at all: every cell is a world-free probe evaluation
+  /// (probes with needs_world == false — the §2.2 traversal table).
+  bool static_eval = false;
+  /// One run at the raw base seed per cell, no multi-seed derivation —
+  /// the legacy §5 correctness form (--seeds is ignored).
+  bool single_seed = false;
   /// "": no warm-up. "half": rounds/2 warm-up + traffic reset (Fig. 7's
   /// steady-state window). An integer literal: that many warm-up rounds.
   std::string warmup;
@@ -114,8 +185,9 @@ struct experiment_spec {
   /// phase boundaries only).
   int trajectory_sample_periods = 0;
 
-  /// Structural validation (axis keys, probe names, ratio references,
-  /// warmup literal, workload shape). Throws nylon::contract_error.
+  /// Structural validation (axis keys, probe names and selector
+  /// kinds, ratio references, warmup literal, workload shape, profile
+  /// values, static/check constraints). Throws nylon::contract_error.
   void validate() const;
 };
 
@@ -141,7 +213,6 @@ struct spec_options {
   std::size_t view_a = 8;   ///< resolves $view_a (paper: 15)
   std::size_t view_b = 15;  ///< resolves $view_b (paper: 27)
   bool csv = false;
-  bool full = false;        ///< paper scale (only affects the preamble)
   std::uint64_t seed = 1;
   int threads = 0;          ///< seed-level parallelism (0 = all cores)
   std::size_t shards = 0;   ///< per-universe shards (0 = serial engine)
@@ -151,12 +222,28 @@ struct spec_options {
   std::int64_t latency_max_ms = 50;
   double latency_sigma = 0.25;
   bool trajectories = false;  ///< force-enable trajectory capture
+  /// Name of the spec profile to apply ("" = none). Unknown names throw.
+  std::string profile;
+  /// Explicitly-given command-line flags beat profile values; the
+  /// driver marks which scale options the user actually set. An
+  /// explicit --rounds also disables profile overrides of the
+  /// rounds-derived builtins ($rounds / $half_rounds).
+  bool peers_explicit = false;
+  bool seeds_explicit = false;
+  bool rounds_explicit = false;
+  bool view_a_explicit = false;
+  bool view_b_explicit = false;
 };
 
 /// Executes the spec: prints the preamble, tables (or CSV) and footer to
 /// `out` exactly like the hand-rolled benches did, writes the JSON report
-/// to opt.json when set, and returns the report document.
+/// to opt.json when set, and returns the report document. Check verdicts
+/// (when the spec has any) land under "checks"; all_checks_passed() says
+/// whether the driver should exit non-zero.
 util::json run_spec(const experiment_spec& spec, const spec_options& opt,
                     std::ostream& out);
+
+/// True when `report` (a run_spec result) has no failed check entries.
+[[nodiscard]] bool all_checks_passed(const util::json& report);
 
 }  // namespace nylon::runtime

@@ -91,6 +91,7 @@ void flag_set::assign(const std::string& name, const std::string& value) {
   if (it == entries_.end()) {
     throw std::invalid_argument("unknown flag --" + name);
   }
+  provided_.push_back(name);
   entry& e = it->second;
   switch (e.type) {
     case kind::integer:
@@ -130,6 +131,7 @@ std::vector<std::string> flag_set::parse(int argc, const char* const* argv) {
       // Bare boolean: `--name`. A following token that parses as a boolean
       // is *not* consumed; booleans use `--name=false` to disable.
       *static_cast<bool*>(it->second.target) = true;
+      provided_.push_back(arg);
       continue;
     }
     if (i + 1 >= argc) {
@@ -138,6 +140,13 @@ std::vector<std::string> flag_set::parse(int argc, const char* const* argv) {
     assign(arg, argv[++i]);
   }
   return positional;
+}
+
+bool flag_set::provided(const std::string& name) const noexcept {
+  for (const std::string& p : provided_) {
+    if (p == name) return true;
+  }
+  return false;
 }
 
 std::string flag_set::usage(std::string_view program) const {

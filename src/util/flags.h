@@ -34,6 +34,11 @@ class flag_set {
   /// values. Returns positional (non-flag) arguments in order.
   std::vector<std::string> parse(int argc, const char* const* argv);
 
+  /// True when the flag was explicitly given on the parsed command line
+  /// (as opposed to holding its default). Lets callers layer defaults —
+  /// e.g. a spec profile fills in scale parameters the user did not set.
+  [[nodiscard]] bool provided(const std::string& name) const noexcept;
+
   /// Human-readable usage text listing all flags, defaults and help.
   [[nodiscard]] std::string usage(std::string_view program) const;
 
@@ -50,6 +55,7 @@ class flag_set {
   void assign(const std::string& name, const std::string& value);
 
   std::map<std::string, entry> entries_;
+  std::vector<std::string> provided_;
   // Owning storage for registered values (stable addresses).
   std::vector<std::unique_ptr<std::int64_t>> ints_;
   std::vector<std::unique_ptr<double>> doubles_;

@@ -98,6 +98,39 @@ TEST(spec_equivalence, ablation_ttl) {
                  "975829d593abf498");
 }
 
+/// fig8/fig9 were ported in the probe-taxonomy revision: stdout AND
+/// BENCH-json digests captured by running the legacy
+/// bench_fig8_load_balance / bench_fig9_rvp_chain binaries at these
+/// exact options (n=120, rounds=20, seeds=2, seed=1, serial) and
+/// verified byte-identical against the specs before the binaries were
+/// retired. fig8 exercises the per_class probe + probes-mode ratio
+/// entry, fig9 the distribution probe's "mean" stat in sweep columns.
+TEST(spec_equivalence, fig8_load_balance) {
+  expect_digests("fig8_load_balance", 2, "33abb627f37bf638",
+                 "1939ec24e69a91f3");
+}
+
+TEST(spec_equivalence, fig9_rvp_chain) {
+  expect_digests("fig9_rvp_chain", 2, "8a4321d142873f81",
+                 "d3d55c31dc624f10");
+}
+
+/// table1/sec5: the legacy binaries printed stdout only (no --json), so
+/// the stdout digests come from the pre-port binaries while the JSON
+/// digests pin the spec's own first emission (table + check verdicts) —
+/// a regression pin, not a legacy-equivalence pin. table1 is a static
+/// spec (no simulation; '%' NAT-type axes into the check probe), sec5 a
+/// single_seed spec (one run at the raw base seed, the legacy §5 form).
+TEST(spec_equivalence, table1_traversal) {
+  expect_digests("table1_traversal", 1, "4beb3f6541c5c902",
+                 "97751492b8e4aec0");
+}
+
+TEST(spec_equivalence, sec5_correctness) {
+  expect_digests("sec5_correctness", 1, "df6280e4e16c37ac",
+                 "ea904954e3a7f104");
+}
+
 /// The multi-seed parallel path must not change a single byte either.
 TEST(spec_equivalence, parallel_execution_is_byte_identical) {
   const runtime::experiment_spec spec = runtime::load_spec_file(

@@ -169,5 +169,41 @@ TEST(parallel_runner, resolve_threads_clamps) {
   EXPECT_GE(resolve_threads(run_options{0}, 30), 1);    // auto >= 1
 }
 
+TEST(parallel_runner, resolve_threads_budgets_sharded_seeds) {
+  // Each sharded seed spawns its own `shards` workers; the concurrent
+  // seed count shrinks so seeds × shards stays within the budget.
+  EXPECT_EQ(resolve_threads(run_options{8, 4}, 30), 2);   // 2 × 4 = 8
+  EXPECT_EQ(resolve_threads(run_options{8, 2}, 30), 4);   // 4 × 2 = 8
+  EXPECT_EQ(resolve_threads(run_options{8, 3}, 30), 2);   // floor(8/3)
+  EXPECT_EQ(resolve_threads(run_options{4, 8}, 30), 1);   // over budget: 1
+  EXPECT_EQ(resolve_threads(run_options{1, 4}, 30), 1);   // serial seeds
+  EXPECT_EQ(resolve_threads(run_options{8, 0}, 30), 8);   // serial engine
+  EXPECT_EQ(resolve_threads(run_options{8, 1}, 30), 8);   // 1-shard = 1 thread
+  EXPECT_EQ(resolve_threads(run_options{8, 4}, 1), 1);    // still <= seeds
+}
+
+TEST(parallel_runner, sharded_seed_budget_is_bit_identical_to_serial) {
+  // The budget only throttles concurrency: a sharded multi-seed sweep
+  // under a tight thread budget matches the fully serial result.
+  const auto experiment = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 1009) + 0.25;
+  };
+  run_options serial;
+  serial.threads = 1;
+  const seed_aggregate a = run_seeds(12, 99, experiment, serial);
+  run_options budgeted;
+  budgeted.threads = 4;
+  budgeted.shards = 3;  // -> 1 concurrent seed
+  const seed_aggregate b = run_seeds(12, 99, experiment, budgeted);
+  run_options wide;
+  wide.threads = 8;
+  wide.shards = 2;  // -> 4 concurrent seeds
+  const seed_aggregate c = run_seeds(12, 99, experiment, wide);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.values, c.values);
+  EXPECT_EQ(a.stats.mean, b.stats.mean);
+  EXPECT_EQ(a.stats.mean, c.stats.mean);
+}
+
 }  // namespace
 }  // namespace nylon::runtime

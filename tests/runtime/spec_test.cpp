@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "metrics/probe.h"
+#include "runtime/scenario.h"
 #include "util/contracts.h"
 #include "util/json.h"
 
@@ -126,6 +129,54 @@ TEST(experiment_spec, bad_inputs_throw_contract_errors) {
     "probes":[{"probe":"stale_pct"}],
     "workload":{"phases":[{"kind":"warp_drive"}]}})"),
                contract_error);
+}
+
+TEST(experiment_spec, taxonomy_fields_round_trip_through_json) {
+  // class/stat selectors, probes-mode ratio entries, checks, verdict,
+  // profiles, preamble/static and single_seed all survive a round trip.
+  for (const char* text : {R"({
+         "name": "tax",
+         "title": "taxonomy",
+         "single_seed": true,
+         "rows": [{"axis": "natted_pct", "header": "n", "values": [0, 50]}],
+         "probes": [
+           {"probe": "class_bytes_per_s", "class": "public", "header": "pub"},
+           {"probe": "class_bytes_per_s", "class": "natted", "header": "nat"},
+           {"header": "pub/nat", "ratio": [0, 1], "precision": 2},
+           {"probe": "in_degree", "stat": "cv", "header": "disp"}
+         ],
+         "checks": [
+           {"probe": "check_connected"},
+           {"probe": "check_no_dead_refs", "name": "freshness"}
+         ],
+         "verdict": {"pass": "ok", "fail": "FAILED"},
+         "profiles": {
+           "full": {"peers": 10000, "seeds": 30, "rounds": 600,
+                    "view_a": 15, "view_b": 27},
+           "quick": {"peers": 100, "vars": {"half_rounds": 2}}
+         },
+         "distributions": true
+       })",
+                           R"({
+         "name": "static_tax",
+         "preamble": ["# custom header", ""],
+         "static": true,
+         "rows": [{"axis": "%src_nat", "header": "src",
+                   "values": ["public", "SYM"]}],
+         "columns": [
+           {"header": "public", "set": {"%dst_nat": "public"},
+            "probe": "traversal_prescribed"},
+           {"header": "SYM", "set": {"%dst_nat": "SYM"},
+            "probe": "traversal_prescribed"}
+         ],
+         "verdict": {"pass": "all good", "fail": "broken"}
+       })"}) {
+    const experiment_spec once = parse(text);
+    const util::json dumped = spec_to_json(once);
+    const experiment_spec twice = spec_from_json(dumped);
+    EXPECT_EQ(dumped.dump_string(0), spec_to_json(twice).dump_string(0))
+        << "spec: " << text;
+  }
 }
 
 TEST(experiment_spec, round_trips_through_json) {
@@ -323,12 +374,402 @@ TEST(experiment_spec, column_sweep_can_drive_a_workload_variable) {
   EXPECT_EQ(row.at(std::size_t{2}).as_string(), "16");
 }
 
+TEST(experiment_spec, selector_misuse_is_a_validation_error) {
+  // A per_class probe in a scalar column without a class selection.
+  try {
+    (void)parse(R"({
+      "name": "x", "title": "t",
+      "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+      "probes": [{"probe": "class_bytes_per_s", "header": "B/s"}]
+    })");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("per_class"), std::string::npos) << what;
+    EXPECT_NE(what.find("class"), std::string::npos) << what;
+  }
+  // A distribution probe without a stat.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "columns": [{"header": "c", "probe": "rvp_chain"}]
+  })"),
+               contract_error);
+  // A quantile stat on a stream-only distribution probe.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "columns": [{"header": "c", "probe": "rvp_chain", "stat": "p90"}]
+  })"),
+               contract_error);
+  // A check probe outside a static spec / checks list.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "columns": [{"header": "c", "probe": "check_connected"}]
+  })"),
+               contract_error);
+  // checks must name check probes...
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}],
+    "checks": [{"probe": "stale_pct"}]
+  })"),
+               contract_error);
+  // ... and ride probes mode, not columns mode.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "columns": [{"header": "c", "probe": "stale_pct"}],
+    "checks": [{"probe": "check_connected"}]
+  })"),
+               contract_error);
+  // A verdict needs check probes somewhere.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}],
+    "verdict": {"pass": "ok", "fail": "bad"}
+  })"),
+               contract_error);
+  // Static specs cannot reference world-needing probes or workloads.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t", "static": true,
+    "rows": [{"axis": "%src_nat", "header": "s", "values": ["SYM"]}],
+    "columns": [{"header": "c", "probe": "stale_pct"}]
+  })"),
+               contract_error);
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t", "static": true,
+    "rows": [{"axis": "%src_nat", "header": "s", "values": ["SYM"]}],
+    "columns": [{"header": "c", "probe": "traversal_prescribed",
+                 "set": {"%dst_nat": "SYM"}}],
+    "workload": {"phases": [{"kind": "steady", "periods": 2}]}
+  })"),
+               contract_error);
+  // preamble replaces title, not both.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t", "preamble": ["# p"],
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}]
+  })"),
+               contract_error);
+  // Ratio probe entries need seed aggregates: rejected in static specs
+  // at validation, not via an internal postcondition at execution.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t", "static": true,
+    "rows": [{"axis": "%src_nat", "header": "s", "values": ["SYM"]}],
+    "probes": [
+      {"probe": "traversal_prescribed", "header": "a"},
+      {"probe": "traversal_prescribed", "header": "b"},
+      {"header": "r", "ratio": [0, 1]}
+    ]
+  })"),
+               contract_error);
+  // Report params must resolve without a profile: profile vars override
+  // builtin *values*, they do not introduce report-param names.
+  EXPECT_THROW((void)parse(R"({
+    "name": "x", "title": "t",
+    "rows": [{"axis": "natted_pct", "header": "n", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "s"}],
+    "profiles": {"full": {"vars": {"foo": 5}}},
+    "report_params": ["x=$foo"]
+  })"),
+               contract_error);
+}
+
+TEST(experiment_spec, per_class_and_ratio_probes_share_one_run) {
+  // The Fig. 8 shape: two classes of one per_class probe plus a ratio
+  // entry, all riding a single scenario per row.
+  const experiment_spec spec = parse(R"({
+    "name": "classes", "title": "per-class",
+    "warmup": "half",
+    "base": {"protocol": "nylon"},
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [40]}],
+    "probes": [
+      {"probe": "class_bytes_per_s", "class": "public", "header": "public B/s"},
+      {"probe": "class_bytes_per_s", "class": "natted", "header": "natted B/s"},
+      {"header": "public/natted", "ratio": [0, 1], "precision": 2}
+    ]
+  })");
+  spec_options opt;
+  opt.peers = 60;
+  opt.rounds = 8;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+  const util::json& row = doc.at("table").at("rows").at(std::size_t{0});
+  const double pub = std::stod(row.at(std::size_t{1}).as_string());
+  const double nat = std::stod(row.at(std::size_t{2}).as_string());
+  const double ratio = std::stod(row.at(std::size_t{3}).as_string());
+  EXPECT_GT(pub, 0.0);
+  EXPECT_GT(nat, 0.0);
+  EXPECT_NEAR(ratio, pub / nat, 0.01);  // table-precision rounding
+}
+
+TEST(experiment_spec, checks_emit_verdicts_and_exit_status) {
+  const experiment_spec spec = parse(R"({
+    "name": "checked", "title": "with checks",
+    "base": {"protocol": "nylon"},
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0, 50]}],
+    "probes": [{"probe": "biggest_cluster_pct", "header": "cluster %"}],
+    "checks": [
+      {"probe": "check_connected"},
+      {"probe": "check_no_dead_refs", "name": "freshness"}
+    ],
+    "verdict": {"pass": "verification: ok", "fail": "verification: FAILED"}
+  })");
+  spec_options opt;
+  opt.peers = 50;
+  opt.rounds = 8;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+
+  // The table itself is untouched by checks; verdicts land in JSON.
+  EXPECT_EQ(doc.at("table").at("headers").size(), 2u);
+  const util::json& checks = doc.at("checks");
+  ASSERT_EQ(checks.size(), 4u);  // 2 rows x 2 checks
+  EXPECT_EQ(checks.at(std::size_t{0}).at("check").as_string(),
+            "check_connected");
+  EXPECT_EQ(checks.at(std::size_t{1}).at("check").as_string(), "freshness");
+  for (const util::json& entry : checks.array_items()) {
+    EXPECT_TRUE(entry.at("passed").as_bool());
+    EXPECT_EQ(entry.at("row").size(), 1u);
+  }
+  EXPECT_TRUE(all_checks_passed(doc));
+  EXPECT_NE(out.str().find("verification: ok"), std::string::npos);
+
+  // Determinism: a second run is byte-identical, checks included.
+  std::ostringstream again;
+  const util::json doc2 = run_spec(spec, opt, again);
+  EXPECT_EQ(out.str(), again.str());
+  EXPECT_EQ(doc.dump_string(0), doc2.dump_string(0));
+}
+
+TEST(experiment_spec, single_seed_runs_at_the_raw_base_seed) {
+  // The legacy §5 form: one run per cell at cfg.seed = opt.seed, no
+  // derive_seed. --seeds must not change a byte.
+  const char* text = R"({
+    "name": "raw_seed", "title": "single seed",
+    "single_seed": true,
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [30]}],
+    "probes": [{"probe": "stale_pct", "header": "stale %", "precision": 4}]
+  })";
+  const experiment_spec spec = parse(text);
+  spec_options opt;
+  opt.peers = 50;
+  opt.rounds = 6;
+  opt.seed = 42;
+  opt.threads = 1;
+  std::ostringstream one;
+  (void)run_spec(spec, opt, one);
+  opt.seeds = 7;  // ignored by single_seed
+  std::ostringstream many;
+  (void)run_spec(spec, opt, many);
+  // Only the preamble's "seeds=" echo may differ.
+  const auto body = [](const std::string& s) {
+    return s.substr(s.find('\n', s.find("seeds=")));
+  };
+  EXPECT_EQ(body(one.str()), body(many.str()));
+
+  // And the value really is the raw-seed run's measurement.
+  experiment_config cfg;
+  cfg.peer_count = 50;
+  cfg.gossip.view_size = 8;
+  cfg.natted_fraction = 0.3;
+  cfg.seed = 42;
+  scenario world(cfg);
+  world.run_periods(6);
+  const metrics::reachability_oracle oracle = world.oracle();
+  const metrics::probe_context ctx{world, oracle, 0};
+  const double expected =
+      metrics::find_probe("stale_pct")->run(ctx).scalar;
+  const util::json doc = [&] {
+    std::ostringstream sink;
+    return run_spec(spec, opt, sink);
+  }();
+  const std::string cell = doc.at("table")
+                               .at("rows")
+                               .at(std::size_t{0})
+                               .at(std::size_t{1})
+                               .as_string();
+  EXPECT_NEAR(std::stod(cell), expected, 1e-4);
+}
+
+TEST(experiment_spec, profiles_select_override_and_yield_to_explicit_flags) {
+  const experiment_spec spec = parse(R"({
+    "name": "profiled", "title": "profiles",
+    "workload": {
+      "phases": [
+        {"kind": "steady", "periods": "$half_rounds"},
+        {"kind": "mass_departure", "fraction": 0.5},
+        {"kind": "steady", "periods": "$rounds"}
+      ]
+    },
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0]}],
+    "columns": [{"header": "alive", "probe": "alive_count", "precision": 0}],
+    "profiles": {
+      "full": {"peers": 200, "seeds": 4, "rounds": 40,
+               "vars": {"half_rounds": 3, "rounds": 5}}
+    },
+    "report_params": ["peers", "seeds",
+                      "warmup_periods=$half_rounds", "heal_periods=$rounds"]
+  })");
+  spec_options opt;
+  opt.peers = 40;
+  opt.rounds = 4;
+  opt.seeds = 1;
+  opt.threads = 1;
+
+  // No profile: builtins derive from --rounds.
+  {
+    std::ostringstream out;
+    const util::json doc = run_spec(spec, opt, out);
+    EXPECT_EQ(doc.at("params").at("peers").as_int(), 40);
+    EXPECT_EQ(doc.at("params").at("warmup_periods").as_int(), 2);
+    EXPECT_EQ(doc.at("params").at("heal_periods").as_int(), 4);
+    EXPECT_NE(out.str().find("(reduced scale"), std::string::npos);
+  }
+  // Profile applies scale and variable overrides.
+  opt.profile = "full";
+  {
+    std::ostringstream out;
+    const util::json doc = run_spec(spec, opt, out);
+    EXPECT_EQ(doc.at("params").at("peers").as_int(), 200);
+    EXPECT_EQ(doc.at("params").at("seeds").as_int(), 4);
+    EXPECT_EQ(doc.at("params").at("warmup_periods").as_int(), 3);
+    EXPECT_EQ(doc.at("params").at("heal_periods").as_int(), 5);
+    EXPECT_NE(out.str().find("(profile full)"), std::string::npos);
+  }
+  // Explicitly-given flags beat the profile; its vars still apply.
+  opt.peers_explicit = true;
+  opt.seeds_explicit = true;
+  {
+    std::ostringstream out;
+    const util::json doc = run_spec(spec, opt, out);
+    EXPECT_EQ(doc.at("params").at("peers").as_int(), 40);
+    EXPECT_EQ(doc.at("params").at("seeds").as_int(), 1);
+    EXPECT_EQ(doc.at("params").at("warmup_periods").as_int(), 3);
+  }
+  // An explicit --rounds also wins over the profile's overrides of the
+  // rounds-derived builtins: "--profile full --rounds 4" must run a
+  // genuinely reduced-scale workload, not the paper durations.
+  opt.rounds_explicit = true;
+  {
+    std::ostringstream out;
+    const util::json doc = run_spec(spec, opt, out);
+    EXPECT_EQ(doc.at("params").at("warmup_periods").as_int(), 2);  // 4/2
+    EXPECT_EQ(doc.at("params").at("heal_periods").as_int(), 4);
+  }
+  opt.rounds_explicit = false;
+  // Unknown profiles throw with the available names.
+  opt.profile = "overnight";
+  std::ostringstream sink;
+  try {
+    (void)run_spec(spec, opt, sink);
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("full"), std::string::npos);
+  }
+}
+
+TEST(experiment_spec, fig10_full_profile_pins_paper_scale_workload) {
+  // The acceptance shape: --profile full on fig10 must reproduce the
+  // paper's warmup-500 / heal-1500 run (ROADMAP "sharded --full fig10").
+  const experiment_spec spec = load_spec_file(
+      std::string(NYLON_SOURCE_DIR) + "/examples/specs/fig10_churn.json");
+  const spec_profile* full = nullptr;
+  for (const auto& [name, prof] : spec.profiles) {
+    if (name == "full") full = &prof;
+  }
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(full->peers.value(), 10000);
+  EXPECT_EQ(full->seeds.value(), 30);
+  std::map<std::string, std::string> vars(full->vars.begin(),
+                                          full->vars.end());
+  EXPECT_EQ(vars.at("half_rounds"), "500");
+  EXPECT_EQ(vars.at("rounds"), "1500");
+}
+
+TEST(experiment_spec, distributions_section_aggregates_summaries) {
+  const experiment_spec spec = parse(R"({
+    "name": "dists", "title": "distribution summaries",
+    "base": {"protocol": "nylon"},
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [50]}],
+    "probes": [
+      {"probe": "in_degree", "stat": "mean", "header": "in-deg"},
+      {"probe": "rvp_chain", "stat": "mean", "header": "RVPs", "precision": 2}
+    ],
+    "distributions": true
+  })");
+  spec_options opt;
+  opt.peers = 50;
+  opt.rounds = 8;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+  const util::json& dists = doc.at("distributions");
+  ASSERT_EQ(dists.size(), 2u);  // one per distribution entry
+  const util::json& in_deg = dists.at(std::size_t{0});
+  EXPECT_EQ(in_deg.at("probe").as_string(), "in_degree");
+  // Seed-aggregated moment stats, quantiles only where retained.
+  EXPECT_EQ(in_deg.at("count").at("values").size(), 2u);
+  EXPECT_GT(in_deg.at("mean").at("mean").as_double(), 0.0);
+  EXPECT_NE(in_deg.find("p90"), nullptr);
+  const util::json& chains = dists.at(std::size_t{1});
+  EXPECT_EQ(chains.at("probe").as_string(), "rvp_chain");
+  EXPECT_EQ(chains.find("p90"), nullptr);  // stream-only probe
+}
+
+TEST(experiment_spec, static_spec_runs_without_simulation) {
+  const experiment_spec spec = parse(R"({
+    "name": "static_mini",
+    "preamble": ["# tiny traversal check"],
+    "static": true,
+    "rows": [{"axis": "%src_nat", "header": "src", "values": ["RC", "SYM"]}],
+    "columns": [
+      {"header": "to public", "set": {"%dst_nat": "public"},
+       "probe": "traversal_prescribed"},
+      {"header": "to SYM", "set": {"%dst_nat": "SYM"},
+       "probe": "traversal_prescribed"}
+    ],
+    "verdict": {"pass": "all pass", "fail": "some fail"}
+  })");
+  spec_options opt;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+  EXPECT_NE(out.str().find("# tiny traversal check"), std::string::npos);
+  EXPECT_EQ(out.str().find("# n="), std::string::npos);  // no std preamble
+  EXPECT_NE(out.str().find("all pass"), std::string::npos);
+  const util::json& checks = doc.at("checks");
+  ASSERT_EQ(checks.size(), 4u);  // 2 rows x 2 check columns
+  for (const util::json& entry : checks.array_items()) {
+    EXPECT_TRUE(entry.at("passed").as_bool());
+    EXPECT_NE(entry.find("column"), nullptr);
+    EXPECT_NE(entry.find("detail"), nullptr);
+  }
+  // Cells carry the technique text, e.g. SYM -> SYM relays.
+  EXPECT_EQ(doc.at("table")
+                .at("rows")
+                .at(std::size_t{1})
+                .at(std::size_t{2})
+                .as_string(),
+            "relaying");
+}
+
 TEST(experiment_spec, example_spec_files_parse_and_validate) {
   const std::string dir = std::string(NYLON_SOURCE_DIR) + "/examples/specs/";
   for (const char* name :
        {"fig2_partition", "fig3_stale", "fig4_randomness", "fig7_bandwidth",
-        "fig10_churn", "ablation_protocols", "ablation_ttl",
-        "latency_sensitivity", "churn_recovery"}) {
+        "fig8_load_balance", "fig9_rvp_chain", "fig10_churn",
+        "table1_traversal", "sec5_correctness", "ablation_protocols",
+        "ablation_ttl", "latency_sensitivity", "churn_recovery"}) {
     const experiment_spec spec = load_spec_file(dir + name + ".json");
     EXPECT_EQ(spec.name, name);
     // Round-trip stability for every shipped spec.

@@ -109,6 +109,21 @@ TEST(flags, duplicate_registration_throws) {
   EXPECT_THROW(flags.add_double("n", 0.0, ""), std::invalid_argument);
 }
 
+TEST(flags, provided_tracks_explicit_flags_only) {
+  flag_set flags;
+  flags.add_int("n", 600, "");
+  flags.add_int("seeds", 1, "");
+  flags.add_bool("csv", false, "");
+  flags.add_string("json", "", "");
+  const char* argv[] = {"prog", "--n=120", "--csv", "--json", "out.json"};
+  (void)flags.parse(5, argv);
+  EXPECT_TRUE(flags.provided("n"));
+  EXPECT_TRUE(flags.provided("csv"));
+  EXPECT_TRUE(flags.provided("json"));
+  EXPECT_FALSE(flags.provided("seeds"));  // default kept
+  EXPECT_FALSE(flags.provided("nope"));   // unregistered
+}
+
 TEST(flags, usage_mentions_flags_and_defaults) {
   flag_set flags;
   flags.add_int("peers", 1000, "population");
