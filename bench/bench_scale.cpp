@@ -5,31 +5,31 @@
 //
 //   bench_scale                         # 100k peers, ~a few minutes
 //   bench_scale --n 2000 --warmup 10    # CI-sized smoke run
+//   bench_scale --shards 4 --trace t.json --heartbeat 10
 //
 // Unlike the figure benches this one measures the *simulator*, not the
 // paper: metrics collection is off during the run (snapshots are
 // population counters only) and connectivity is measured once at the end.
-#include <chrono>
+//
+// With --shards K >= 1 the run also reports the epoch profiler's
+// per-shard work/wait split, the shard-imbalance factor and the barrier
+// overhead; --trace writes a Chrome/Perfetto trace of the run. Both are
+// observation-only: state_digest is byte-identical with or without them.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "metrics/graph_analysis.h"
+#include "obs/counters.h"
+#include "obs/heartbeat.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "runtime/experiment_config.h"
 #include "runtime/scenario.h"
 #include "util/flags.h"
+#include "util/wall_timer.h"
 #include "workload/engine.h"
 #include "workload/report.h"
-
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace nylon;
@@ -50,6 +50,11 @@ int main(int argc, char** argv) {
   const auto* seed = flags.add_int("seed", 1, "seed");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
+  const auto* trace_path = flags.add_string(
+      "trace", "", "write a Chrome/Perfetto trace of the run to this file");
+  const auto* heartbeat_s = flags.add_double(
+      "heartbeat", 0.0,
+      "print a progress line to stderr every SEC wall seconds (0 = off)");
   const auto* help = flags.add_bool("help", false, "print usage");
   try {
     flags.parse(argc, argv);
@@ -79,9 +84,9 @@ int main(int argc, char** argv) {
             << "/s rebind=" << *rebind << " shards=" << cfg.shards
             << " seed=" << cfg.seed << "\n";
 
-  const auto t_build = std::chrono::steady_clock::now();
+  util::wall_timer t_build;
   runtime::scenario world(cfg);
-  const double build_s = seconds_since(t_build);
+  const double build_s = t_build.seconds();
   std::cout << "# built universe in " << build_s << " s\n";
 
   const sim::sim_time period = cfg.gossip.shuffle_period;
@@ -100,24 +105,35 @@ int main(int argc, char** argv) {
   opt.measure = false;  // population-counter snapshots only
   workload::engine eng(world, std::move(prog), opt);
 
-  const auto t_run = std::chrono::steady_clock::now();
+  // Scope the counters to the measured run: universe construction has
+  // its own wall-clock line and would otherwise dominate pool_event
+  // and hash churn.
+  obs::reset_counters();
+  if (!trace_path->empty()) obs::start_trace();
+  const obs::heartbeat beat(*heartbeat_s);
+
+  util::wall_timer t_run;
   eng.run();
-  const double run_s = seconds_since(t_run);
+  const double run_s = t_run.seconds();
+  obs::stop_trace();
   const std::uint64_t events = world.events_executed();
   const double events_per_sec =
       run_s > 0 ? static_cast<double>(events) / run_s : 0.0;
+  const obs::counter_snapshot counters = obs::read_counters();
+  const obs::epoch_profile profile = world.shard_profile();
 
-  const auto t_measure = std::chrono::steady_clock::now();
+  util::wall_timer t_measure;
   const auto oracle = world.oracle();
   const metrics::cluster_metrics clusters =
       metrics::measure_clusters(world.transport(), world.peers(), oracle);
   const std::uint64_t digest = world.state_digest();
-  const double measure_s = seconds_since(t_measure);
+  const double measure_s = t_measure.seconds();
 
-  // Every line below except the *_wall_s / events_per_sec timings is a
-  // pure function of (config, seed) — identical for any --shards K >= 1,
-  // which the CI digest cross-check pins (state_digest covers views,
-  // traffic, drops and the event count in one value).
+  // Every line below except the *_wall_s / events_per_sec timings and
+  // the telemetry block is a pure function of (config, seed) — identical
+  // for any --shards K >= 1, which the CI digest cross-check pins
+  // (state_digest covers views, traffic, drops and the event count in
+  // one value).
   char digest_hex[17];
   std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                 static_cast<unsigned long long>(digest));
@@ -130,6 +146,16 @@ int main(int argc, char** argv) {
             << "biggest_cluster_pct   " << clusters.biggest_cluster_pct << "\n"
             << "state_digest          " << digest_hex << "\n"
             << "final_measure_s       " << measure_s << "\n";
+  if (!profile.empty()) {
+    for (std::size_t s = 0; s < profile.shards.size(); ++s) {
+      const obs::shard_profile& sp = profile.shards[s];
+      std::cout << "shard[" << s << "] work_s=" << sp.work_s
+                << " wait_s=" << sp.wait_s << " events=" << sp.events << "\n";
+    }
+    std::cout << "shard_imbalance       " << profile.imbalance() << "\n"
+              << "barrier_overhead_pct  " << 100.0 * profile.barrier_overhead()
+              << "\n";
+  }
 
   workload::bench_report report("scale");
   report.param("n", static_cast<std::int64_t>(cfg.peer_count));
@@ -151,6 +177,21 @@ int main(int argc, char** argv) {
   results["state_digest"] = std::string(digest_hex);
   results["final_measure_s"] = measure_s;
   report.add("results", std::move(results));
+  util::json telemetry = util::json::object();
+  telemetry["counters"] = obs::to_json(counters);
+  if (!profile.empty()) telemetry["profile"] = obs::to_json(profile);
+  report.add("telemetry", std::move(telemetry));
   report.save(*json);
+
+  if (!trace_path->empty()) {
+    if (!obs::write_trace_file(*trace_path)) return 1;
+    const obs::trace_stats stats = obs::trace_statistics();
+    std::cerr << "# trace: " << stats.recorded << " spans from "
+              << stats.threads << " threads -> " << *trace_path
+              << (stats.dropped > 0
+                      ? " (" + std::to_string(stats.dropped) + " dropped)"
+                      : "")
+              << "\n";
+  }
   return 0;
 }

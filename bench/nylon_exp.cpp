@@ -15,9 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/heartbeat.h"
+#include "obs/trace.h"
 #include "runtime/spec.h"
 #include "metrics/probe.h"
 #include "util/flags.h"
+#include "util/wall_timer.h"
 
 int main(int argc, char** argv) {
   using namespace nylon;
@@ -58,6 +61,11 @@ int main(int argc, char** argv) {
   const auto* trajectories = flags.add_bool(
       "trajectories", false,
       "record per-seed workload trajectories into the JSON report");
+  const auto* trace_path = flags.add_string(
+      "trace", "", "write a Chrome/Perfetto trace of the run to this file");
+  const auto* heartbeat_s = flags.add_double(
+      "heartbeat", 0.0,
+      "print a progress line to stderr every SEC wall seconds (0 = off)");
   const auto* validate_only = flags.add_bool(
       "validate", false, "parse and validate the spec, then exit");
   const auto* list_probes =
@@ -134,7 +142,21 @@ int main(int argc, char** argv) {
       std::cout << positional.front() << ": ok (" << spec.name << ")\n";
       return 0;
     }
+    // Telemetry output stays on stderr: run_spec's stdout (and its JSON
+    // report) are pinned byte-for-byte by the equivalence tests.
+    if (!trace_path->empty()) obs::start_trace();
+    const obs::heartbeat beat(*heartbeat_s);
+    util::wall_timer total;
     const util::json report = runtime::run_spec(spec, opt, std::cout);
+    obs::stop_trace();
+    std::cerr << "# nylon_exp: " << spec.name << " finished in "
+              << total.seconds() << " s\n";
+    if (!trace_path->empty()) {
+      if (!obs::write_trace_file(*trace_path)) return 1;
+      const obs::trace_stats stats = obs::trace_statistics();
+      std::cerr << "# trace: " << stats.recorded << " spans from "
+                << stats.threads << " threads -> " << *trace_path << "\n";
+    }
     if (!runtime::all_checks_passed(report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "nylon_exp: " << e.what() << "\n";

@@ -57,6 +57,9 @@ def load_row(path):
               file=sys.stderr)
         return None
     params = doc.get("params", {})
+    # Telemetry (PR 6) is optional: older artifacts and serial runs have
+    # no profile block, and must keep loading without one.
+    profile = doc.get("telemetry", {}).get("profile", {})
     return {
         "path": path,
         "n": params.get("n"),
@@ -64,6 +67,8 @@ def load_row(path):
         "events_per_sec": results.get("events_per_sec"),
         "run_wall_s": results.get("run_wall_s"),
         "biggest_cluster_pct": results.get("biggest_cluster_pct"),
+        "imbalance": profile.get("imbalance"),
+        "barrier_overhead_pct": profile.get("barrier_overhead_pct"),
     }
 
 
@@ -87,7 +92,8 @@ def main():
     if not rows:
         print("no usable BENCH_scale documents found", file=sys.stderr)
         return 1
-    header = f"{'run':<40} {'n':>8} {'events':>12} {'events/s':>12} {'vs prev':>9} {'vs best':>9}"
+    header = (f"{'run':<40} {'n':>8} {'events':>12} {'events/s':>12} "
+              f"{'vs prev':>9} {'vs best':>9} {'imbal':>7} {'barrier':>8}")
     print(header)
     print("-" * len(header))
     best = max(r["events_per_sec"] or 0.0 for r in rows)
@@ -99,8 +105,12 @@ def main():
         label = os.path.relpath(row["path"])
         if len(label) > 40:
             label = "..." + label[-37:]
+        imbal = (f"{row['imbalance']:>7.3f}"
+                 if row["imbalance"] is not None else f"{'-':>7}")
+        barrier = (f"{row['barrier_overhead_pct']:>7.1f}%"
+                   if row["barrier_overhead_pct"] is not None else f"{'-':>8}")
         print(f"{label:<40} {row['n'] or 0:>8} {row['events'] or 0:>12} "
-              f"{eps:>12.0f} {vs_prev} {vs_best}")
+              f"{eps:>12.0f} {vs_prev} {vs_best} {imbal} {barrier}")
         prev = eps
 
     newest = rows[-1]["events_per_sec"] or 0.0

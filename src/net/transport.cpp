@@ -2,9 +2,25 @@
 
 #include <utility>
 
+#include "obs/counters.h"
 #include "util/contracts.h"
 
 namespace nylon::net {
+
+// The telemetry msg_* counters are indexed by offsetting msg_request with
+// the wire kind; pin the two enums together so reordering either one
+// fails the build instead of mislabeling counts.
+#define NYLON_OBS_KIND_ALIGNED(kind)                            \
+  static_assert(static_cast<std::size_t>(obs::counter::msg_##kind) == \
+                static_cast<std::size_t>(obs::counter::msg_request) + \
+                    static_cast<std::size_t>(message_kind::kind))
+NYLON_OBS_KIND_ALIGNED(request);
+NYLON_OBS_KIND_ALIGNED(response);
+NYLON_OBS_KIND_ALIGNED(open_hole);
+NYLON_OBS_KIND_ALIGNED(ping);
+NYLON_OBS_KIND_ALIGNED(pong);
+NYLON_OBS_KIND_ALIGNED(other);
+#undef NYLON_OBS_KIND_ALIGNED
 
 namespace {
 // Address plan: node i's public-facing IP is 10.0.0.0 + i + 1 (that is the
@@ -177,6 +193,9 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
   counter_block& counters = counters_[src_shard];
   const message_kind kind = body->wire_kind();
   counters.by_kind[static_cast<std::size_t>(kind)] += bytes;
+  obs::count(static_cast<obs::counter>(
+      static_cast<std::size_t>(obs::counter::msg_request) +
+      static_cast<std::size_t>(kind)));
   if (kind == message_kind::other) {  // cold path: non-protocol payloads
     counters.other[body->type_name()] += bytes;
   }

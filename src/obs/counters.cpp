@@ -1,0 +1,110 @@
+#include "obs/counters.h"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace nylon::obs {
+
+std::string_view to_string(counter c) noexcept {
+  switch (c) {
+    case counter::events_executed: return "events_executed";
+    case counter::queue_peak_depth: return "queue_peak_depth";
+    case counter::pool_event_allocs: return "pool_event_allocs";
+    case counter::pool_event_reuses: return "pool_event_reuses";
+    case counter::hash_probes: return "hash_probes";
+    case counter::hash_rehashes: return "hash_rehashes";
+    case counter::msg_request: return "msg_request";
+    case counter::msg_response: return "msg_response";
+    case counter::msg_open_hole: return "msg_open_hole";
+    case counter::msg_ping: return "msg_ping";
+    case counter::msg_pong: return "msg_pong";
+    case counter::msg_other: return "msg_other";
+    case counter::count_: break;
+  }
+  return "?";
+}
+
+std::uint64_t counter_snapshot::messages_total() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t c = static_cast<std::size_t>(counter::msg_request);
+       c <= static_cast<std::size_t>(counter::msg_other); ++c) {
+    total += values[c];
+  }
+  return total;
+}
+
+util::json to_json(const counter_snapshot& snap) {
+  util::json out = util::json::object();
+  for (std::size_t c = 0; c < counter_count; ++c) {
+    out[std::string(to_string(static_cast<counter>(c)))] = snap.values[c];
+  }
+  return out;
+}
+
+#if NYLON_OBS
+
+namespace {
+
+/// Blocks live for the whole process: a thread may die while a reader
+/// still wants its (monotone) totals, and the thread-local fast-path
+/// pointer must never dangle. One block is ~2 cache lines, so even a
+/// test binary spawning thousands of runner threads stays in the KBs.
+struct block_registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<detail::counter_block>> blocks;
+};
+
+block_registry& registry() {
+  static block_registry* r = new block_registry();  // never destroyed
+  return *r;
+}
+
+}  // namespace
+
+namespace detail {
+
+counter_block& acquire_block() {
+  block_registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.blocks.push_back(std::make_unique<counter_block>());
+  return *r.blocks.back();
+}
+
+}  // namespace detail
+
+counter_snapshot read_counters() noexcept {
+  counter_snapshot snap;
+  block_registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& block : r.blocks) {
+    for (std::size_t c = 0; c < counter_count; ++c) {
+      const std::uint64_t v = block->values[c].load(std::memory_order_relaxed);
+      if (is_peak(static_cast<counter>(c))) {
+        if (v > snap.values[c]) snap.values[c] = v;
+      } else {
+        snap.values[c] += v;
+      }
+    }
+  }
+  return snap;
+}
+
+void reset_counters() noexcept {
+  block_registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& block : r.blocks) {
+    for (std::size_t c = 0; c < counter_count; ++c) {
+      block->values[c].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#else  // NYLON_OBS == 0
+
+counter_snapshot read_counters() noexcept { return counter_snapshot{}; }
+void reset_counters() noexcept {}
+
+#endif  // NYLON_OBS
+
+}  // namespace nylon::obs

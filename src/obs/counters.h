@@ -1,0 +1,148 @@
+// Runtime telemetry counters: the hot paths (event queue, flat-hash
+// tables, transport sends) bump per-thread cache-line-aligned counter
+// blocks, and observers (bench telemetry blocks, the heartbeat) sum the
+// blocks on read — the exact shape PR 4 introduced for the transport's
+// per-shard drop/byte accounting, generalized into a subsystem.
+//
+// Contract (DESIGN.md "Observability & the determinism contract"):
+// telemetry is *observation only*. Counters never feed back into
+// simulation decisions, never touch an rng, and never reorder events, so
+// every digest — golden, spec-equivalence, shard cross-check — is
+// byte-identical whether telemetry is enabled, ignored, or compiled out
+// entirely (build with -DNYLON_OBS=OFF / NYLON_OBS=0, which turns every
+// hook below into an empty inline function).
+//
+// Threading: each thread owns one block (lazily registered in a global
+// registry that outlives the thread), so increments are single-writer
+// and contention-free. Cells are relaxed atomics written with a plain
+// load+store pair — one writer per cell means this compiles to an
+// ordinary add, while cross-thread readers (the heartbeat, end-of-run
+// snapshots) still get tear-free values.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/json.h"
+
+#ifndef NYLON_OBS
+#define NYLON_OBS 1
+#endif
+
+#if NYLON_OBS
+#include <atomic>
+#endif
+
+namespace nylon::obs {
+
+/// Everything the subsystem counts. The msg_* slots mirror
+/// net::message_kind order (transport.cpp static_asserts the mapping).
+enum class counter : std::uint8_t {
+  events_executed,      ///< scheduler events popped and run
+  queue_peak_depth,     ///< peak pending events in any one queue (max)
+  pool_event_allocs,    ///< event-slab slots created fresh
+  pool_event_reuses,    ///< event-slab slots recycled off the free list
+  hash_probes,          ///< flat-hash slots inspected (find + insert)
+  hash_rehashes,        ///< flat-hash table growths that moved elements
+  msg_request,          ///< messages sent, by net::message_kind
+  msg_response,
+  msg_open_hole,
+  msg_ping,
+  msg_pong,
+  msg_other,
+  count_                ///< number of counters (internal)
+};
+
+inline constexpr std::size_t counter_count =
+    static_cast<std::size_t>(counter::count_);
+
+/// Stable snake_case name, used as the JSON key in telemetry blocks.
+[[nodiscard]] std::string_view to_string(counter c) noexcept;
+
+/// True for high-water-mark counters, which aggregate across blocks by
+/// max instead of sum (a per-thread peak summed over threads would be
+/// meaningless).
+[[nodiscard]] constexpr bool is_peak(counter c) noexcept {
+  return c == counter::queue_peak_depth;
+}
+
+/// One coherent read of every counter, aggregated across all registered
+/// blocks (sum, or max for peak counters).
+struct counter_snapshot {
+  std::array<std::uint64_t, counter_count> values{};
+
+  [[nodiscard]] std::uint64_t operator[](counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  /// Total messages sent across every message kind.
+  [[nodiscard]] std::uint64_t messages_total() const noexcept;
+};
+
+/// Aggregates all registered blocks. Safe to call from any thread at any
+/// time; concurrent increments may or may not be included (monotone
+/// counters, so rolling readers like the heartbeat don't care).
+[[nodiscard]] counter_snapshot read_counters() noexcept;
+
+/// Zeroes every registered block — scopes counters to a measured window
+/// (bench_scale resets after universe construction). Not atomic across
+/// blocks; call it while the hot paths are quiescent.
+void reset_counters() noexcept;
+
+/// {"events_executed": ..., ...} with every counter, in enum order.
+[[nodiscard]] util::json to_json(const counter_snapshot& snap);
+
+#if NYLON_OBS
+
+namespace detail {
+
+/// Per-thread counter block. Cache-line aligned so adjacent threads'
+/// hot counters never share a line.
+struct alignas(64) counter_block {
+  std::atomic<std::uint64_t> values[counter_count] = {};
+};
+
+/// Registers (and returns) the calling thread's block; out of line so
+/// the fast path below stays a pointer test.
+[[nodiscard]] counter_block& acquire_block();
+
+inline thread_local counter_block* tls_block = nullptr;
+
+[[nodiscard]] inline counter_block& local_block() {
+  counter_block* block = tls_block;
+  if (block == nullptr) {
+    block = &acquire_block();
+    tls_block = block;
+  }
+  return *block;
+}
+
+}  // namespace detail
+
+/// Adds `add` to this thread's counter. Single writer per cell: the
+/// load/store pair compiles to a plain add, no lock prefix.
+inline void count(counter c, std::uint64_t add = 1) noexcept {
+  std::atomic<std::uint64_t>& cell =
+      detail::local_block().values[static_cast<std::size_t>(c)];
+  cell.store(cell.load(std::memory_order_relaxed) + add,
+             std::memory_order_relaxed);
+}
+
+/// Raises a high-water-mark counter to `value` if it is higher.
+inline void count_peak(counter c, std::uint64_t value) noexcept {
+  std::atomic<std::uint64_t>& cell =
+      detail::local_block().values[static_cast<std::size_t>(c)];
+  if (value > cell.load(std::memory_order_relaxed)) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+#else  // telemetry compiled out: every hook is an empty inline
+
+inline void count(counter, std::uint64_t = 1) noexcept {}
+inline void count_peak(counter, std::uint64_t) noexcept {}
+
+#endif  // NYLON_OBS
+
+}  // namespace nylon::obs

@@ -1,0 +1,64 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/counters.h"
+#include "util/wall_timer.h"
+
+namespace nylon::obs {
+
+heartbeat::heartbeat(double period_s) {
+  if (period_s <= 0.0) return;
+  thread_ = std::thread([this, period_s] { run(period_s); });
+}
+
+heartbeat::~heartbeat() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void heartbeat::run(double period_s) {
+  const auto period = std::chrono::duration<double>(period_s);
+  util::wall_timer total;
+  std::uint64_t last_events = 0;
+  double last_s = 0.0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!cv_.wait_for(lock, period, [this] { return stop_; })) {
+    lock.unlock();
+    const counter_snapshot snap = read_counters();
+    const std::uint64_t events = snap[counter::events_executed];
+    const double now_s = total.seconds();
+    const double window = now_s - last_s;
+    const double rate =
+        window > 0.0
+            ? static_cast<double>(events - last_events) / window
+            : 0.0;
+    last_events = events;
+    last_s = now_s;
+    // One buffer, one fwrite: heartbeat lines never shear against log
+    // output from the shard workers.
+    char line[192];
+    const int n = std::snprintf(
+        line, sizeof(line),
+        "# heartbeat t=%.1fs events=%" PRIu64 " messages=%" PRIu64
+        " events/s=%.0f\n",
+        now_s, events, snap.messages_total(), rate);
+    if (n > 0) {
+      std::fwrite(line, 1, static_cast<std::size_t>(n) < sizeof(line)
+                               ? static_cast<std::size_t>(n)
+                               : sizeof(line) - 1,
+                  stderr);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace nylon::obs

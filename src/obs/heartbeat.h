@@ -1,0 +1,41 @@
+// Periodic progress line for long runs: a background thread that wakes
+// every `period_s` of *wall* time, reads the telemetry counters and
+// emits one "# heartbeat ..." line to stderr with cumulative totals and
+// the rolling events/s since the previous beat — the signal that a
+// multi-hour bench_scale run is still making progress, without touching
+// stdout (which benches pipe and diff).
+//
+// Off by default: a non-positive period starts no thread and costs
+// nothing. Observation-only like the rest of src/obs/ — with telemetry
+// compiled out (NYLON_OBS=0) the thread still beats but reports zeros.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace nylon::obs {
+
+class heartbeat {
+ public:
+  /// Starts beating every `period_s` wall seconds (<= 0: disabled).
+  explicit heartbeat(double period_s);
+  /// Stops the thread promptly (no final beat).
+  ~heartbeat();
+
+  heartbeat(const heartbeat&) = delete;
+  heartbeat& operator=(const heartbeat&) = delete;
+
+  /// True when a beating thread is running.
+  [[nodiscard]] bool active() const noexcept { return thread_.joinable(); }
+
+ private:
+  void run(double period_s);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace nylon::obs

@@ -1,0 +1,45 @@
+#include "obs/profile.h"
+
+namespace nylon::obs {
+
+double epoch_profile::imbalance() const noexcept {
+  if (shards.empty()) return 0.0;
+  double max_work = 0.0;
+  double total_work = 0.0;
+  for (const shard_profile& s : shards) {
+    if (s.work_s > max_work) max_work = s.work_s;
+    total_work += s.work_s;
+  }
+  if (total_work <= 0.0) return 0.0;
+  const double mean = total_work / static_cast<double>(shards.size());
+  return max_work / mean;
+}
+
+double epoch_profile::barrier_overhead() const noexcept {
+  double work = 0.0;
+  double wait = 0.0;
+  for (const shard_profile& s : shards) {
+    work += s.work_s;
+    wait += s.wait_s;
+  }
+  const double total = work + wait;
+  return total > 0.0 ? wait / total : 0.0;
+}
+
+util::json to_json(const epoch_profile& profile) {
+  util::json out = util::json::object();
+  out["epochs"] = profile.epochs;
+  out["imbalance"] = profile.imbalance();
+  out["barrier_overhead_pct"] = 100.0 * profile.barrier_overhead();
+  util::json shards = util::json::array();
+  for (const shard_profile& s : profile.shards) {
+    util::json& entry = shards.push_back(util::json::object());
+    entry["work_s"] = s.work_s;
+    entry["wait_s"] = s.wait_s;
+    entry["events"] = s.events;
+  }
+  out["shards"] = std::move(shards);
+  return out;
+}
+
+}  // namespace nylon::obs

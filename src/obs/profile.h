@@ -1,0 +1,44 @@
+// Epoch-profiler results: per-shard wall-clock work vs barrier-wait time
+// accumulated by sim::shard_engine, plus the two derived numbers the
+// speedup-curve work needs — shard imbalance and barrier overhead. The
+// accumulation itself lives in the engine (and compiles out with
+// NYLON_OBS=0); this header is the always-available result type so
+// callers need no conditional code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/json.h"
+
+namespace nylon::obs {
+
+/// One shard's wall-clock accounting across all epochs.
+struct shard_profile {
+  double work_s = 0.0;  ///< executing events + draining inbound channels
+  double wait_s = 0.0;  ///< blocked at the mid / finish epoch barriers
+  std::uint64_t events = 0;  ///< events executed on this shard
+};
+
+/// The whole engine's profile. Empty (no shards) in serial mode or when
+/// telemetry is compiled out.
+struct epoch_profile {
+  std::vector<shard_profile> shards;
+  std::uint64_t epochs = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return shards.empty(); }
+
+  /// Shard-imbalance metric: max work time / mean work time. 1.0 is a
+  /// perfectly balanced partition; 0 when there is no work at all.
+  [[nodiscard]] double imbalance() const noexcept;
+
+  /// Fraction of total shard wall-time spent waiting at barriers,
+  /// in [0, 1]: sum(wait) / (sum(work) + sum(wait)); 0 when idle.
+  [[nodiscard]] double barrier_overhead() const noexcept;
+};
+
+/// {"epochs": ..., "imbalance": ..., "barrier_overhead_pct": ...,
+///  "shards": [{"work_s": ..., "wait_s": ..., "events": ...}, ...]}.
+[[nodiscard]] util::json to_json(const epoch_profile& profile);
+
+}  // namespace nylon::obs

@@ -1,0 +1,114 @@
+// Ring-buffered span recorder with Chrome/Perfetto Trace Event export.
+//
+// Recording is off until start_trace(); while off, a trace_span costs one
+// relaxed atomic load. While on, each span is two steady_clock reads plus
+// one write into the recording thread's private ring — no locks on the
+// record path, so shard workers trace without contending. Rings are
+// bounded: when one fills, the oldest spans are overwritten (the tail of
+// a long run is usually the interesting part) and the drop is counted.
+//
+// Export (trace_to_json / write_trace_file) produces the Trace Event
+// JSON format that chrome://tracing and https://ui.perfetto.dev load
+// directly: one "complete" ("ph":"X") event per span, one track (tid)
+// per recording thread — shard workers claim tid == shard index via
+// set_thread_track, so a sharded run renders as one lane per shard.
+//
+// Span names must outlive the trace: pass string literals, or intern
+// dynamic names (trace_span's string_view overload does it for you).
+//
+// Like the counters, tracing is observation-only and disappears entirely
+// in NYLON_OBS=0 builds (start_trace is a no-op and every span
+// compiles to nothing); see DESIGN.md "Observability & the determinism
+// contract".
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/counters.h"  // the NYLON_OBS gate
+#include "util/json.h"
+
+namespace nylon::obs {
+
+/// Recording totals, for tests and end-of-run reporting.
+struct trace_stats {
+  std::size_t recorded = 0;  ///< spans currently held in rings
+  std::size_t dropped = 0;   ///< spans overwritten by ring wrap-around
+  std::size_t threads = 0;   ///< threads that recorded at least once
+};
+
+/// Starts (or restarts) recording. Existing rings are cleared and every
+/// ring holds up to `ring_capacity` spans per thread. Not thread-safe
+/// against concurrent recorders — call it before the traced work starts.
+void start_trace(std::size_t ring_capacity = std::size_t{1} << 16);
+
+/// Stops recording; buffered spans stay readable until the next
+/// start_trace.
+void stop_trace() noexcept;
+
+/// True while recording. The one check every hook makes first.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Assigns the calling thread's track id and display name (shard workers
+/// use tid == shard index). Unnamed threads get auto tracks from 1000 up.
+void set_thread_track(std::uint32_t tid, std::string name);
+
+/// Copies `name` into the process-lifetime intern pool and returns a
+/// stable pointer — the escape hatch for dynamic span names.
+[[nodiscard]] const char* intern_name(std::string_view name);
+
+/// Microseconds since start_trace (0 when not tracing).
+[[nodiscard]] std::uint64_t trace_now_us() noexcept;
+
+/// Converts a steady_clock time into trace microseconds — for callers
+/// (the epoch profiler) that already read the clock.
+[[nodiscard]] std::uint64_t trace_us(
+    std::chrono::steady_clock::time_point tp) noexcept;
+
+/// Records one complete span on the calling thread's track. `name` must
+/// have static storage (literal or interned).
+void record_span(const char* name, std::uint64_t start_us,
+                 std::uint64_t dur_us) noexcept;
+
+/// The whole trace as a Trace Event document:
+/// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+[[nodiscard]] util::json trace_to_json();
+
+/// Writes trace_to_json() to `path`; logs and returns false on I/O
+/// failure (a broken trace must not abort a finished run).
+bool write_trace_file(const std::string& path);
+
+[[nodiscard]] trace_stats trace_statistics() noexcept;
+
+/// RAII span: records [construction, destruction) when tracing is on.
+class trace_span {
+ public:
+  explicit trace_span(const char* name) noexcept {
+    if (trace_enabled()) arm(name);
+  }
+  /// Dynamic-name form; interns (one mutex hit) only while tracing.
+  explicit trace_span(std::string_view name) noexcept {
+    if (trace_enabled()) arm(intern_name(name));
+  }
+  ~trace_span() {
+    if (name_ != nullptr) {
+      record_span(name_, start_us_, trace_now_us() - start_us_);
+    }
+  }
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+
+ private:
+  void arm(const char* name) noexcept {
+    name_ = name;
+    start_us_ = trace_now_us();
+  }
+
+  const char* name_ = nullptr;  ///< null = disabled at construction
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace nylon::obs

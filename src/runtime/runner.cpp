@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 
@@ -20,7 +21,10 @@ namespace {
 void for_each_index(int count, int threads,
                     const std::function<void(int)>& body) {
   if (threads <= 1) {
-    for (int i = 0; i < count; ++i) body(i);
+    for (int i = 0; i < count; ++i) {
+      const obs::trace_span span("seed");
+      body(i);
+    }
     return;
   }
   std::atomic<int> next{0};
@@ -32,6 +36,7 @@ void for_each_index(int count, int threads,
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count || failed.load(std::memory_order_relaxed)) return;
       try {
+        const obs::trace_span span("seed");
         body(i);
       } catch (...) {
         {

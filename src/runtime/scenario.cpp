@@ -152,6 +152,10 @@ std::uint64_t scenario::events_executed() const noexcept {
   return total;
 }
 
+obs::epoch_profile scenario::shard_profile() const {
+  return shards_ != nullptr ? shards_->profile() : obs::epoch_profile{};
+}
+
 gossip::peer& scenario::peer_at(net::node_id id) {
   NYLON_EXPECTS(id < peers_.size());
   return *peers_[id];

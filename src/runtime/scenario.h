@@ -143,6 +143,10 @@ class scenario : private net::shard_router {
   /// True when running on the sharded engine.
   [[nodiscard]] bool sharded() const noexcept { return shards_ != nullptr; }
 
+  /// The shard engine's per-shard work/wait profile (obs/profile.h).
+  /// Empty in serial mode and in NYLON_OBS=0 builds.
+  [[nodiscard]] obs::epoch_profile shard_profile() const;
+
   /// FNV-1a digest of the observable world state: per-peer liveness,
   /// views, shuffle statistics and traffic counters (id order), plus the
   /// transport's drop/byte accounting and the event count. Two runs are

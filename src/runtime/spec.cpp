@@ -12,6 +12,7 @@
 #include "core/peer_factory.h"
 #include "gossip/policies.h"
 #include "metrics/probe.h"
+#include "obs/trace.h"
 #include "runtime/experiment_config.h"
 #include "runtime/runner.h"
 #include "runtime/scenario.h"
@@ -1242,6 +1243,7 @@ struct spec_execution {
                                const param_map& params,
                                util::json* capture) const {
     cfg.seed = seed;
+    const obs::trace_span cell_span("cell");
     scenario world(cfg);
     sim::sim_time window = 0;
     util::json trajectory;
@@ -1276,6 +1278,7 @@ struct spec_execution {
     std::vector<double> out;
     out.reserve(sels.size());
     for (const metrics::probe_selector& sel : sels) {
+      const obs::trace_span span(sel.p->name);
       out.push_back(metrics::eval_scalar(sel, ctx));
     }
     if (capture != nullptr) {
@@ -1285,6 +1288,7 @@ struct spec_execution {
         // keep their legacy rng position.
         check_results = util::json::array();
         for (const metrics::probe* p : check_probes) {
+          const obs::trace_span span(p->name);
           const metrics::probe_value v = p->run(ctx);
           util::json& entry = check_results.push_back(util::json::object());
           entry["passed"] = v.check.passed;

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "sim/time.h"
 #include "util/contracts.h"
 #include "util/flat_hash.h"
@@ -212,6 +213,7 @@ class event_queue {
     s.live = true;
     link_into_bucket(at, slot);
     ++queued_;
+    obs::count_peak(obs::counter::queue_peak_depth, queued_);
     return event_handle(slab_, slot, s.generation);
   }
 
@@ -246,6 +248,7 @@ class event_queue {
     // at the same timestamp starts a fresh (later) bucket.
     if (b.head == no_slot) retire_front_bucket();
     ++executed_;
+    obs::count(obs::counter::events_executed);
     // Run the callback in place: the slot is not on the free list yet, so
     // reentrant pushes cannot recycle it, and slot chunks never relocate.
     slab_->slot(slot).fn();
@@ -285,8 +288,10 @@ class event_queue {
     if (!slab.free_list.empty()) {
       const std::uint32_t index = slab.free_list.back();
       slab.free_list.pop_back();
+      obs::count(obs::counter::pool_event_reuses);
       return index;
     }
+    obs::count(obs::counter::pool_event_allocs);
     const std::uint32_t index = slab.slot_count++;
     if ((index >> detail::event_slab::chunk_shift) >= slab.chunks.size()) {
       grow_slab();

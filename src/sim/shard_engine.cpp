@@ -2,12 +2,38 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/contracts.h"
 
 namespace nylon::sim {
+
+namespace {
+#if NYLON_OBS
+using profile_clock = std::chrono::steady_clock;
+
+double profile_seconds(profile_clock::time_point from,
+                       profile_clock::time_point to) noexcept {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Emits a completed span from timestamps the profiler already read
+/// (no extra clock calls on the trace path).
+void profile_span(const char* name, profile_clock::time_point from,
+                  profile_clock::time_point to) noexcept {
+  if (!obs::trace_enabled()) return;
+  obs::record_span(name, obs::trace_us(from),
+                   static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::microseconds>(
+                           to - from)
+                           .count()));
+}
+#endif  // NYLON_OBS
+}  // namespace
 
 /// Persistent worker threads, one per shard, woken once per epoch. The
 /// barriers block (futex-based), so oversubscribed runs — more shards
@@ -34,21 +60,54 @@ struct shard_engine::worker_pool {
   }
 
   void run_worker(shard_engine& engine, std::size_t index) {
+#if NYLON_OBS
+    // One trace lane per shard: tid == shard index, so a sharded run
+    // renders as K parallel tracks in Perfetto.
+    obs::set_thread_track(static_cast<std::uint32_t>(index),
+                          "shard " + std::to_string(index));
+#endif
     for (;;) {
       start.arrive_and_wait();
       if (exiting) return;
+      // Profiler accounting (per epoch, five clock reads): work is the
+      // run phase plus the drain phase; wait is the time blocked at the
+      // mid and finish barriers. The start barrier is deliberately
+      // excluded — between epochs workers park there while the control
+      // plane runs, which is idle time, not straggler imbalance.
+#if NYLON_OBS
+      const auto t0 = profile_clock::now();
+#endif
       try {
         engine.shards_[index]->sched.run_until(target);
       } catch (...) {
         record_error();
       }
+#if NYLON_OBS
+      const auto t1 = profile_clock::now();
+      profile_span("epoch:run", t0, t1);
+#endif
       mid.arrive_and_wait();
+#if NYLON_OBS
+      const auto t2 = profile_clock::now();
+      profile_span("barrier:mid", t1, t2);
+#endif
       try {
         engine.drain_inbound(index);
       } catch (...) {
         record_error();
       }
+#if NYLON_OBS
+      const auto t3 = profile_clock::now();
+      profile_span("epoch:drain", t2, t3);
+#endif
       finish.arrive_and_wait();
+#if NYLON_OBS
+      const auto t4 = profile_clock::now();
+      profile_span("barrier:finish", t3, t4);
+      shard& s = *engine.shards_[index];
+      s.work_s += profile_seconds(t0, t1) + profile_seconds(t2, t3);
+      s.wait_s += profile_seconds(t1, t2) + profile_seconds(t3, t4);
+#endif
     }
   }
 
@@ -124,9 +183,19 @@ void shard_engine::drain_inbound(std::size_t dst) {
 
 void shard_engine::run_epoch(sim_time target) {
   epoch_target_ = target;
+  ++epochs_;
   if (shards_.size() == 1) {
+    // Inline path: no barriers, so the whole epoch is work time.
+#if NYLON_OBS
+    const auto t0 = profile_clock::now();
+#endif
     shards_[0]->sched.run_until(target);
     drain_inbound(0);
+#if NYLON_OBS
+    const auto t1 = profile_clock::now();
+    profile_span("epoch", t0, t1);
+    shards_[0]->work_s += profile_seconds(t0, t1);
+#endif
     return;
   }
   start_workers();
@@ -164,6 +233,19 @@ std::uint64_t shard_engine::events_executed() const noexcept {
   std::uint64_t total = 0;
   for (const auto& s : shards_) total += s->sched.events_executed();
   return total;
+}
+
+obs::epoch_profile shard_engine::profile() const {
+  obs::epoch_profile out;
+#if NYLON_OBS
+  out.epochs = epochs_;
+  out.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    out.shards.push_back(obs::shard_profile{s->work_s, s->wait_s,
+                                            s->sched.events_executed()});
+  }
+#endif
+  return out;
 }
 
 }  // namespace nylon::sim

@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/profile.h"
 #include "sim/scheduler.h"
 #include "sim/shard_channel.h"
 #include "sim/time.h"
@@ -83,10 +84,21 @@ class shard_engine {
   /// Total events executed across all shards.
   [[nodiscard]] std::uint64_t events_executed() const noexcept;
 
+  /// Per-shard work/wait wall-clock accounting accumulated across every
+  /// epoch so far (see obs/profile.h). Read it while parked. Empty when
+  /// telemetry is compiled out (NYLON_OBS=0).
+  [[nodiscard]] obs::epoch_profile profile() const;
+
  private:
   struct shard {
     scheduler sched;
     std::vector<channel_event> drain_scratch;  ///< reused per barrier
+    // Epoch-profiler accumulators (seconds). Written only by this shard's
+    // worker (or the coordinator on the single-shard inline path); read by
+    // the control plane while the engine is parked. Stay zero when
+    // telemetry is compiled out.
+    double work_s = 0.0;  ///< run_until + drain_inbound
+    double wait_s = 0.0;  ///< blocked at the mid / finish barriers
   };
 
   /// Runs one epoch ending at `target`: every shard executes its events
@@ -110,6 +122,7 @@ class shard_engine {
   std::vector<shard_channel> channels_;  ///< K*K, row-major by source
   sim_time window_;
   sim_time now_ = 0;
+  std::uint64_t epochs_ = 0;  ///< lockstep epochs completed
   /// End of the epoch currently executing (== now_ while parked); the
   /// lower bound `post` enforces.
   sim_time epoch_target_ = 0;

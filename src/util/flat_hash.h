@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/counters.h"
 #include "util/contracts.h"
 
 namespace nylon::util {
@@ -56,10 +57,20 @@ class flat_hash_map {
   /// the next insert/erase.
   [[nodiscard]] V* find(const K& key) noexcept {
     if (slots_.empty()) return nullptr;
+    // `probes` feeds the telemetry counter below; in NYLON_OBS=0 builds
+    // obs::count is an empty inline and the increment folds away.
+    std::uint64_t probes = 0;
     for (std::size_t i = index_of(key);; i = next(i)) {
       slot& s = slots_[i];
-      if (!s.used) return nullptr;
-      if (s.key == key) return &s.value;
+      ++probes;
+      if (!s.used) {
+        obs::count(obs::counter::hash_probes, probes);
+        return nullptr;
+      }
+      if (s.key == key) {
+        obs::count(obs::counter::hash_probes, probes);
+        return &s.value;
+      }
     }
   }
   [[nodiscard]] const V* find(const K& key) const noexcept {
@@ -72,16 +83,22 @@ class flat_hash_map {
     if (slots_.size() < 8 || (size_ + 1) * 2 > slots_.size()) {
       grow(size_ + 1);
     }
+    std::uint64_t probes = 0;
     for (std::size_t i = index_of(key);; i = next(i)) {
       slot& s = slots_[i];
+      ++probes;
       if (!s.used) {
         s.used = true;
         s.key = key;
         s.value = V{};
         ++size_;
+        obs::count(obs::counter::hash_probes, probes);
         return s.value;
       }
-      if (s.key == key) return s.value;
+      if (s.key == key) {
+        obs::count(obs::counter::hash_probes, probes);
+        return s.value;
+      }
     }
   }
 
@@ -163,6 +180,7 @@ class flat_hash_map {
     std::size_t capacity = 8;
     while (count * 2 > capacity) capacity *= 2;
     if (capacity <= slots_.size()) return;  // already large enough
+    if (size_ > 0) obs::count(obs::counter::hash_rehashes);
     std::vector<slot> old = std::move(slots_);
     slots_.assign(capacity, slot{});
     size_ = 0;

@@ -28,6 +28,9 @@ log_level current_log_level() noexcept { return g_level.load(); }
 
 void log_line(log_level level, std::string_view message) {
   if (level < g_level.load() || level == log_level::off) return;
+  // Assemble the whole line first and hand it to stderr in one fwrite:
+  // stdio locks the stream per call, so concurrent shard workers may
+  // interleave whole lines but never fragments of one.
   std::string line;
   line.reserve(message.size() + 16);
   line += "[";

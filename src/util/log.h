@@ -17,6 +17,8 @@ void set_log_level(log_level level) noexcept;
 [[nodiscard]] log_level current_log_level() noexcept;
 
 /// Emits one line to stderr if `level` passes the global threshold.
+/// The prefix, message and newline go out in a single write, so lines
+/// from concurrent shard workers never interleave mid-line.
 void log_line(log_level level, std::string_view message);
 
 namespace detail {
@@ -46,6 +48,8 @@ class log_stream {
   if (::nylon::util::current_log_level() <= (level))            \
   ::nylon::util::detail::log_stream(level)
 
+#define NYLON_LOG_ERROR NYLON_LOG(::nylon::util::log_level::error)
 #define NYLON_LOG_INFO NYLON_LOG(::nylon::util::log_level::info)
 #define NYLON_LOG_WARN NYLON_LOG(::nylon::util::log_level::warn)
 #define NYLON_LOG_DEBUG NYLON_LOG(::nylon::util::log_level::debug)
+#define NYLON_LOG_TRACE NYLON_LOG(::nylon::util::log_level::trace)

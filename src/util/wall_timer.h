@@ -1,0 +1,30 @@
+// Wall-clock stopwatch over std::chrono::steady_clock — the one-liner
+// every bench main used to hand-roll as `seconds_since(t0)`. Shared by
+// bench_scale, nylon_exp and the epoch profiler so elapsed-time
+// arithmetic lives in exactly one place.
+#pragma once
+
+#include <chrono>
+
+namespace nylon::util {
+
+class wall_timer {
+ public:
+  /// Starts timing at construction.
+  wall_timer() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nylon::util

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/trace.h"
 #include "util/contracts.h"
 
 namespace nylon::workload {
@@ -202,6 +204,11 @@ void engine::run() {
   }
   for (std::size_t i = 0; i < program_.phases().size(); ++i) {
     const phase& p = program_.phases()[i];
+    // One span per workload phase (name interned; built only while a
+    // trace is recording — this is once-per-phase control-plane code).
+    const obs::trace_span span(
+        obs::trace_enabled() ? std::string_view("phase:" + p.label)
+                             : std::string_view{});
     const sim::sim_time start = t;
     const sim::sim_time end = start + p.duration;
     compile_phase(i, p, start, end);

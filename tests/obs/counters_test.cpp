@@ -1,0 +1,88 @@
+// Counter-registry units: per-thread blocks summed (or maxed, for peak
+// counters) on read, reset scoping, JSON shape. Everything compiles and
+// passes in NYLON_OBS=0 builds too — there the hooks are no-ops and
+// every snapshot reads zero.
+#include "obs/counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "util/json.h"
+
+namespace nylon::obs {
+namespace {
+
+TEST(obs_counters, count_accumulates_and_reset_zeroes) {
+  reset_counters();
+  count(counter::events_executed);
+  count(counter::events_executed, 4);
+  count(counter::hash_probes, 7);
+  const counter_snapshot snap = read_counters();
+#if NYLON_OBS
+  EXPECT_EQ(snap[counter::events_executed], 5u);
+  EXPECT_EQ(snap[counter::hash_probes], 7u);
+#else
+  EXPECT_EQ(snap[counter::events_executed], 0u);
+  EXPECT_EQ(snap[counter::hash_probes], 0u);
+#endif
+  reset_counters();
+  const counter_snapshot zeroed = read_counters();
+  for (std::size_t i = 0; i < counter_count; ++i) {
+    EXPECT_EQ(zeroed.values[i], 0u) << to_string(static_cast<counter>(i));
+  }
+}
+
+TEST(obs_counters, blocks_from_other_threads_are_summed) {
+  reset_counters();
+  count(counter::msg_request, 2);
+  std::thread worker([] { count(counter::msg_request, 3); });
+  worker.join();
+  const counter_snapshot snap = read_counters();
+#if NYLON_OBS
+  EXPECT_EQ(snap[counter::msg_request], 5u);
+  EXPECT_EQ(snap.messages_total(), 5u);
+#else
+  EXPECT_EQ(snap[counter::msg_request], 0u);
+#endif
+}
+
+TEST(obs_counters, peak_counters_aggregate_by_max_not_sum) {
+  reset_counters();
+  ASSERT_TRUE(is_peak(counter::queue_peak_depth));
+  count_peak(counter::queue_peak_depth, 10);
+  count_peak(counter::queue_peak_depth, 4);  // lower: must not overwrite
+  std::thread worker([] { count_peak(counter::queue_peak_depth, 7); });
+  worker.join();
+  const counter_snapshot snap = read_counters();
+#if NYLON_OBS
+  EXPECT_EQ(snap[counter::queue_peak_depth], 10u);
+#else
+  EXPECT_EQ(snap[counter::queue_peak_depth], 0u);
+#endif
+}
+
+TEST(obs_counters, to_json_emits_every_counter_in_enum_order) {
+  reset_counters();
+  count(counter::pool_event_allocs, 3);
+  const util::json doc = to_json(read_counters());
+  ASSERT_TRUE(doc.is_object());
+  const auto& members = doc.object_items();
+  ASSERT_EQ(members.size(), counter_count);
+  for (std::size_t i = 0; i < counter_count; ++i) {
+    EXPECT_EQ(members[i].first, to_string(static_cast<counter>(i)));
+  }
+#if NYLON_OBS
+  EXPECT_EQ(doc.at("pool_event_allocs").as_int(), 3);
+#endif
+}
+
+TEST(obs_counters, names_are_stable_snake_case) {
+  EXPECT_EQ(to_string(counter::events_executed), "events_executed");
+  EXPECT_EQ(to_string(counter::msg_open_hole), "msg_open_hole");
+  EXPECT_EQ(to_string(counter::hash_rehashes), "hash_rehashes");
+}
+
+}  // namespace
+}  // namespace nylon::obs

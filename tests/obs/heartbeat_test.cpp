@@ -1,0 +1,29 @@
+// Heartbeat lifecycle: off by default (non-positive period starts no
+// thread), prompt shutdown even mid-period. The emitted line itself goes
+// to stderr and is format-checked by eye / in CI logs, not here.
+#include "obs/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+namespace nylon::obs {
+namespace {
+
+TEST(obs_heartbeat, zero_period_is_off) {
+  const heartbeat beat(0.0);
+  EXPECT_FALSE(beat.active());
+}
+
+TEST(obs_heartbeat, negative_period_is_off) {
+  const heartbeat beat(-3.5);
+  EXPECT_FALSE(beat.active());
+}
+
+TEST(obs_heartbeat, positive_period_starts_and_stops_promptly) {
+  // A long period proves the destructor interrupts the wait instead of
+  // sleeping it out (the test would time out otherwise).
+  const heartbeat beat(3600.0);
+  EXPECT_TRUE(beat.active());
+}
+
+}  // namespace
+}  // namespace nylon::obs

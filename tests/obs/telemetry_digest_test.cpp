@@ -1,0 +1,93 @@
+// The observability half of the determinism contract (DESIGN.md
+// "Observability & the determinism contract"): telemetry is observation
+// only, so the state digest of one universe is byte-identical whether
+// counters are reset mid-run, a trace is recording, or the run is
+// sharded — and the NYLON_OBS=0 build of this same test proves the
+// compiled-out configuration against the same pinned value the CI
+// cross-build check uses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "runtime/experiment_config.h"
+#include "runtime/scenario.h"
+#include "workload/engine.h"
+
+namespace nylon {
+namespace {
+
+struct run_result {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+};
+
+/// One paper-shaped universe at n=2000: warm-up, NAT rebind, churn.
+run_result run_world(std::size_t shards, bool traced) {
+  if (traced) obs::start_trace();
+  runtime::experiment_config cfg;
+  cfg.peer_count = 2000;
+  cfg.natted_fraction = 0.6;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = 42;
+  cfg.shards = shards;
+
+  runtime::scenario world(cfg);
+  const sim::sim_time period = cfg.gossip.shuffle_period;
+
+  workload::session_distribution sessions;
+  sessions.k = workload::session_distribution::kind::pareto;
+  sessions.mean = 6 * period;
+
+  auto prog = workload::program{}
+                  .then(workload::steady(4 * period))
+                  .then(workload::nat_rebind(0.2))
+                  .then(workload::poisson_churn(4 * period, 5.0, sessions))
+                  .then(workload::steady(2 * period));
+
+  workload::engine eng(world, std::move(prog), {});
+  eng.run();
+  obs::stop_trace();
+  return run_result{world.state_digest(), world.events_executed()};
+}
+
+TEST(telemetry_digest, identical_with_telemetry_on_off_and_across_shards) {
+  // Reference: 1 shard, no trace, counters carrying whatever earlier
+  // tests left in them.
+  const run_result base = run_world(1, /*traced=*/false);
+  ASSERT_NE(base.digest, 0u);
+
+  // Counter reset mid-process must be invisible.
+  obs::reset_counters();
+  const run_result reset_run = run_world(1, /*traced=*/false);
+  EXPECT_EQ(reset_run.digest, base.digest);
+  EXPECT_EQ(reset_run.events, base.events);
+
+  // A recording trace must be invisible, serial and sharded.
+  const run_result traced1 = run_world(1, /*traced=*/true);
+  EXPECT_EQ(traced1.digest, base.digest);
+
+  const run_result plain4 = run_world(4, /*traced=*/false);
+  EXPECT_EQ(plain4.digest, base.digest);
+  EXPECT_EQ(plain4.events, base.events);
+
+  const run_result traced4 = run_world(4, /*traced=*/true);
+  EXPECT_EQ(traced4.digest, base.digest);
+  EXPECT_EQ(traced4.events, base.events);
+
+#if NYLON_OBS
+  // The telemetry actually observed something (this is the counters'
+  // positive control; the digest equalities above are the negative one).
+  EXPECT_GT(obs::read_counters()[obs::counter::events_executed], 0u);
+  EXPECT_GT(obs::trace_statistics().recorded, 0u);
+#else
+  // Compiled out: same simulation, zero observation.
+  EXPECT_EQ(obs::read_counters()[obs::counter::events_executed], 0u);
+  EXPECT_EQ(obs::trace_statistics().recorded, 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace nylon

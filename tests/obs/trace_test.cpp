@@ -1,0 +1,139 @@
+// Trace recorder: span capture, ring overwrite accounting, thread
+// tracks, and Trace Event JSON well-formedness (round-tripped through
+// util::json::parse, the same parser Perfetto-bound CI validation uses
+// in spirit). NYLON_OBS=0 builds still link every entry point; there
+// recording is inert and the export is a valid empty document.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "util/json.h"
+
+namespace nylon::obs {
+namespace {
+
+/// Busy-waits ~1us of trace clock so spans have observable durations.
+void tiny_spin() {
+  const std::uint64_t start = trace_now_us();
+  while (trace_enabled() && trace_now_us() - start < 2) {
+  }
+}
+
+TEST(obs_trace, disabled_by_default_and_spans_are_noops) {
+  start_trace();  // clear anything an earlier test in this process left
+  stop_trace();
+  EXPECT_FALSE(trace_enabled());
+  { const trace_span span("ignored"); }
+  EXPECT_EQ(trace_statistics().recorded, 0u);
+  const util::json doc = trace_to_json();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+}
+
+TEST(obs_trace, records_spans_and_exports_trace_event_json) {
+  start_trace();
+  if (!trace_enabled()) {  // NYLON_OBS=0: start is a no-op
+    const util::json doc = trace_to_json();
+    EXPECT_EQ(doc.at("traceEvents").size(), 0u);
+    return;
+  }
+  set_thread_track(42, "test-track");
+  {
+    const trace_span literal("alpha");
+    tiny_spin();
+  }
+  {
+    const trace_span dynamic(std::string_view(std::string("beta-") + "dyn"));
+    tiny_spin();
+  }
+  stop_trace();
+
+  // Round-trip through the serializer and parser: the document a viewer
+  // loads is exactly what parse sees.
+  const util::json doc = util::json::parse(trace_to_json().dump_string(0));
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const util::json& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_meta = false;
+  bool saw_alpha = false;
+  bool saw_beta = false;
+  for (const util::json& ev : events.array_items()) {
+    const std::string& ph = ev.at("ph").as_string();
+    EXPECT_EQ(ev.at("pid").as_int(), 1);
+    if (ph == "M") {
+      EXPECT_EQ(ev.at("name").as_string(), "thread_name");
+      if (ev.at("args").at("name").as_string() == "test-track") {
+        EXPECT_EQ(ev.at("tid").as_int(), 42);
+        saw_meta = true;
+      }
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    EXPECT_TRUE(ev.at("ts").is_int());
+    EXPECT_TRUE(ev.at("dur").is_int());
+    if (ev.at("name").as_string() == "alpha") saw_alpha = true;
+    if (ev.at("name").as_string() == "beta-dyn") saw_beta = true;
+  }
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+}
+
+TEST(obs_trace, full_ring_overwrites_oldest_and_counts_drops) {
+  start_trace(/*ring_capacity=*/4);
+  if (!trace_enabled()) return;  // NYLON_OBS=0
+  for (int i = 0; i < 10; ++i) {
+    record_span("span", static_cast<std::uint64_t>(i), 1);
+  }
+  stop_trace();
+  const trace_stats stats = trace_statistics();
+  EXPECT_EQ(stats.recorded, 4u);
+  EXPECT_EQ(stats.dropped, 6u);
+  // The survivors are the *newest* four spans (ts 6..9).
+  const util::json doc = trace_to_json();
+  for (const util::json& ev : doc.at("traceEvents").array_items()) {
+    if (ev.at("ph").as_string() != "X") continue;
+    EXPECT_GE(ev.at("ts").as_int(), 6);
+  }
+}
+
+TEST(obs_trace, each_thread_gets_its_own_track) {
+  start_trace();
+  if (!trace_enabled()) return;  // NYLON_OBS=0
+  { const trace_span span("main-span"); }
+  std::thread worker([] {
+    set_thread_track(7, "worker-track");
+    const trace_span span("worker-span");
+  });
+  worker.join();
+  stop_trace();
+  bool worker_on_7 = false;
+  const util::json doc = trace_to_json();
+  for (const util::json& ev : doc.at("traceEvents").array_items()) {
+    if (ev.at("ph").as_string() == "X" &&
+        ev.at("name").as_string() == "worker-span") {
+      worker_on_7 = ev.at("tid").as_int() == 7;
+    }
+  }
+  EXPECT_TRUE(worker_on_7);
+}
+
+TEST(obs_trace, restart_clears_previous_spans) {
+  start_trace();
+  if (!trace_enabled()) return;  // NYLON_OBS=0
+  record_span("old", 0, 1);
+  start_trace();  // restart: old contents must not leak into the export
+  record_span("new", 0, 1);
+  stop_trace();
+  const util::json doc = trace_to_json();
+  for (const util::json& ev : doc.at("traceEvents").array_items()) {
+    if (ev.at("ph").as_string() != "X") continue;
+    EXPECT_EQ(ev.at("name").as_string(), "new");
+  }
+}
+
+}  // namespace
+}  // namespace nylon::obs

@@ -1,0 +1,36 @@
+#include "util/wall_timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace nylon::util {
+namespace {
+
+TEST(wall_timer, measures_elapsed_wall_time) {
+  wall_timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double elapsed = timer.seconds();
+  // Sleep can oversleep but never undersleeps the full duration.
+  EXPECT_GE(elapsed, 0.009);
+}
+
+TEST(wall_timer, is_monotone) {
+  wall_timer timer;
+  const double a = timer.seconds();
+  const double b = timer.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(wall_timer, reset_restarts_the_stopwatch) {
+  wall_timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.reset();
+  // After reset the elapsed time starts over from (near) zero.
+  EXPECT_LT(timer.seconds(), 0.009);
+}
+
+}  // namespace
+}  // namespace nylon::util
