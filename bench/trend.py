@@ -9,9 +9,16 @@ events/s trend so per-PR scale regressions are visible at a glance:
     bench/trend.py run1/BENCH_scale.json run2/BENCH_scale.json
 
 Files are ordered by modification time (oldest first) unless given
-explicitly, in which case argument order is kept. Exits non-zero when the
-newest run is more than --threshold percent slower than the best run, so
-CI can flag regressions; with a single file it just prints the one row.
+explicitly, in which case argument order is kept.
+
+Sweep documents (bench_scale --sweep-shards) expand into one row per
+shard count, and the regression gate runs *per shard count*: for every K
+present in the newest document, the newest events/s for that K is held
+against the best events/s ever recorded for the same K. A serial-engine
+improvement can therefore never mask a sharded-engine regression (and
+vice versa). Exits non-zero when any K in the newest run is more than
+--threshold percent below its per-K best; with a single file it just
+prints the rows.
 """
 
 import argparse
@@ -37,39 +44,50 @@ def collect(paths):
     return files
 
 
-def load_row(path):
-    """Parses one BENCH_scale document; returns None (with a warning) for
-    other BENCH_*.json forms — spec reports carry tables/cells/checks/
-    distributions instead of scale results and must not break the gate."""
+def load_rows(path):
+    """Parses one BENCH_scale document into a list of rows — one per
+    sweep entry for sweep documents, a single row otherwise. Returns []
+    (with a warning) for other BENCH_*.json forms — spec reports carry
+    tables/cells/checks/distributions instead of scale results and must
+    not break the gate."""
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, ValueError) as err:
         print(f"skipping {path}: {err}", file=sys.stderr)
-        return None
+        return []
     if doc.get("bench") != "scale":
         print(f"skipping {path}: not a BENCH_scale.json document "
               f"(bench={doc.get('bench')!r})", file=sys.stderr)
-        return None
+        return []
     results = doc.get("results", {})
     if not isinstance(results, dict) or "events_per_sec" not in results:
         print(f"skipping {path}: no events_per_sec in results",
               file=sys.stderr)
-        return None
+        return []
     params = doc.get("params", {})
     # Telemetry (PR 6) is optional: older artifacts and serial runs have
     # no profile block, and must keep loading without one.
     profile = doc.get("telemetry", {}).get("profile", {})
-    return {
-        "path": path,
-        "n": params.get("n"),
-        "events": results.get("events_executed"),
-        "events_per_sec": results.get("events_per_sec"),
-        "run_wall_s": results.get("run_wall_s"),
-        "biggest_cluster_pct": results.get("biggest_cluster_pct"),
-        "imbalance": profile.get("imbalance"),
-        "barrier_overhead_pct": profile.get("barrier_overhead_pct"),
-    }
+
+    def row(shards, entry, imbalance, barrier):
+        return {
+            "path": path,
+            "n": params.get("n"),
+            "shards": shards,
+            "events": entry.get("events_executed"),
+            "events_per_sec": entry.get("events_per_sec"),
+            "run_wall_s": entry.get("run_wall_s"),
+            "imbalance": imbalance,
+            "barrier_overhead_pct": barrier,
+        }
+
+    sweep = results.get("sweep")
+    if isinstance(sweep, list) and sweep:
+        return [row(entry.get("shards"), entry, entry.get("imbalance"),
+                    entry.get("barrier_overhead_pct")) for entry in sweep]
+    return [row(params.get("shards"), results, profile.get("imbalance"),
+                profile.get("barrier_overhead_pct"))]
 
 
 def main():
@@ -78,8 +96,9 @@ def main():
     parser.add_argument("paths", nargs="+",
                         help="BENCH_scale.json files or directories of them")
     parser.add_argument("--threshold", type=float, default=0.0,
-                        help="fail when the newest run is this %% slower than "
-                             "the best (0 = never fail)")
+                        help="fail when any shard count in the newest run is "
+                             "this %% slower than its per-K best (0 = never "
+                             "fail)")
     args = parser.parse_args()
 
     files = collect(args.paths)
@@ -87,38 +106,58 @@ def main():
         print("no BENCH_scale*.json files found", file=sys.stderr)
         return 1
 
-    rows = [row for row in (load_row(path) for path in files)
-            if row is not None]
+    # rows stay in file order (oldest first); per-file sweep rows keep
+    # their in-document K order.
+    rows = []
+    newest_path = None
+    for path in files:
+        file_rows = load_rows(path)
+        if file_rows:
+            rows.extend(file_rows)
+            newest_path = path
     if not rows:
         print("no usable BENCH_scale documents found", file=sys.stderr)
         return 1
-    header = (f"{'run':<40} {'n':>8} {'events':>12} {'events/s':>12} "
-              f"{'vs prev':>9} {'vs best':>9} {'imbal':>7} {'barrier':>8}")
+
+    header = (f"{'run':<40} {'n':>8} {'K':>3} {'events':>12} {'events/s':>12} "
+              f"{'vs best':>9} {'imbal':>7} {'barrier':>8}")
     print(header)
     print("-" * len(header))
-    best = max(r["events_per_sec"] or 0.0 for r in rows)
-    prev = None
+    best_by_k = {}
     for row in rows:
         eps = row["events_per_sec"] or 0.0
-        vs_prev = f"{100.0 * (eps / prev - 1.0):+8.1f}%" if prev else "        -"
+        k = row["shards"]
+        if eps > best_by_k.get(k, 0.0):
+            best_by_k[k] = eps
+    for row in rows:
+        eps = row["events_per_sec"] or 0.0
+        best = best_by_k.get(row["shards"], 0.0)
         vs_best = f"{100.0 * (eps / best - 1.0):+8.1f}%" if best else "        -"
         label = os.path.relpath(row["path"])
         if len(label) > 40:
             label = "..." + label[-37:]
+        k = row["shards"] if row["shards"] is not None else "-"
         imbal = (f"{row['imbalance']:>7.3f}"
                  if row["imbalance"] is not None else f"{'-':>7}")
         barrier = (f"{row['barrier_overhead_pct']:>7.1f}%"
                    if row["barrier_overhead_pct"] is not None else f"{'-':>8}")
-        print(f"{label:<40} {row['n'] or 0:>8} {row['events'] or 0:>12} "
-              f"{eps:>12.0f} {vs_prev} {vs_best} {imbal} {barrier}")
-        prev = eps
+        print(f"{label:<40} {row['n'] or 0:>8} {k:>3} {row['events'] or 0:>12} "
+              f"{eps:>12.0f} {vs_best} {imbal} {barrier}")
 
-    newest = rows[-1]["events_per_sec"] or 0.0
-    if args.threshold > 0 and best > 0:
-        drop = 100.0 * (1.0 - newest / best)
-        if drop > args.threshold:
-            print(f"REGRESSION: newest run is {drop:.1f}% below the best "
-                  f"({newest:.0f} vs {best:.0f} events/s)", file=sys.stderr)
+    if args.threshold > 0:
+        failed = False
+        for row in (r for r in rows if r["path"] == newest_path):
+            eps = row["events_per_sec"] or 0.0
+            best = best_by_k.get(row["shards"], 0.0)
+            if best <= 0:
+                continue
+            drop = 100.0 * (1.0 - eps / best)
+            if drop > args.threshold:
+                print(f"REGRESSION: newest run at K={row['shards']} is "
+                      f"{drop:.1f}% below the best for that shard count "
+                      f"({eps:.0f} vs {best:.0f} events/s)", file=sys.stderr)
+                failed = True
+        if failed:
             return 1
     return 0
 

@@ -51,16 +51,16 @@ void arrg_peer::initiate_shuffle() {
   }
 
   ++stats_.initiated;
-  std::vector<view_entry> buffer = build_buffer();
+  const std::vector<view_entry>& buffer = build_buffer();
   gossip_message msg;
   msg.kind = message_kind::request;
   msg.sender = self();
   msg.src = self();
   msg.dest = target;
   msg.entries = buffer;
-  transport_.send(id(), target.addr, make_message(std::move(msg)));
+  transport_.send(id(), target.addr, make_message(msg));
   awaiting_response_ = target.id;
-  last_sent_ = std::move(buffer);
+  last_sent_.assign(buffer.begin(), buffer.end());
   view_.increase_age();
 }
 
@@ -72,14 +72,14 @@ void arrg_peer::handle_message(const net::datagram& dgram,
       remember_success(msg.src);
       std::vector<view_entry> sent;
       if (cfg_.propagation == gossip::propagation_policy::pushpull) {
-        sent = build_buffer();
+        sent = build_buffer();  // copied out of the shared scratch
         gossip_message response;
         response.kind = message_kind::response;
         response.sender = self();
         response.src = self();
         response.dest = msg.src;
         response.entries = sent;
-        transport_.send(id(), dgram.source, make_message(std::move(response)));
+        transport_.send(id(), dgram.source, make_message(response));
       }
       view_.merge(msg.entries, sent, cfg_.merge, id(), rng_);
       view_.increase_age();

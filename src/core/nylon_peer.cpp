@@ -21,7 +21,21 @@ nylon_peer::nylon_peer(net::transport& transport, util::rng& rng,
                      cfg.propagation = gossip::propagation_policy::pushpull;
                      return cfg;
                    }()),
-      routing_(transport.config().hole_timeout) {}
+      routing_(transport.config().hole_timeout) {
+  // Pending maps track at most a few in-flight shuffles/punches, but
+  // starting at 32 slots keeps their growth out of `hash_rehashes`.
+  pending_requests_.reserve(16);
+  pending_punches_.reserve(16);
+}
+
+void nylon_peer::attach(net::node_id id) {
+  peer::attach(id);
+  // Public peers are the relay hubs — every OPEN_HOLE and relayed
+  // shuffle they forward touches a direct entry for its sender — so
+  // their steady-state table runs well past a natted peer's.
+  const std::size_t contacts = transport_.config().expected_contacts;
+  routing_.reserve(nat::is_natted(self().type) ? contacts : 2 * contacts);
+}
 
 bool nylon_peer::directly_addressable(const node_descriptor& d) noexcept {
   return d.type == nat::nat_type::open || d.type == nat::nat_type::full_cone;
@@ -72,8 +86,7 @@ void nylon_peer::initiate_shuffle() {
     msg.src = self();
     msg.dest = target;
     msg.entries = build_buffer();
-    std::shared_ptr<const gossip_message> body =
-        make_message(std::move(msg));
+    net::arena_ref<const gossip_message> body = make_message(msg);
     if (hop && hop->rvp == target.id) {
       send_via_hop(*hop, body);
     } else {
@@ -93,8 +106,7 @@ void nylon_peer::initiate_shuffle() {
       msg.src = self();
       msg.dest = target;
       msg.entries = build_buffer();
-      std::shared_ptr<const gossip_message> body =
-          make_message(std::move(msg));
+      net::arena_ref<const gossip_message> body = make_message(msg);
       send_via_hop(*hop, body);
       remember_request(target.id, std::move(body));
     }
@@ -120,7 +132,7 @@ void nylon_peer::initiate_shuffle() {
         ping.sender = self();
         ping.src = self();
         ping.dest = target;
-        transport_.send(id(), target.addr, make_message(std::move(ping)));
+        transport_.send(id(), target.addr, make_message(ping));
       }
       // Keep the first punch's timestamp if one is already outstanding
       // (emplace semantics). Times are stored +1 so the table's
@@ -146,7 +158,7 @@ void nylon_peer::send_via_hop(const next_hop& hop, net::payload_ptr body) {
 }
 
 void nylon_peer::send_via_hop(const next_hop& hop, gossip_message msg) {
-  send_via_hop(hop, make_message(std::move(msg)));
+  send_via_hop(hop, make_message(msg));
 }
 
 void nylon_peer::forward(const gossip_message& msg) {
@@ -200,8 +212,7 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       response.src = self();
       response.dest = msg.src;
       response.entries = build_buffer();
-      const std::shared_ptr<const gossip_message> reply =
-          make_message(std::move(response));
+      const net::arena_ref<const gossip_message> reply = make_message(response);
       if (must_relay_response(msg.src)) {  // lines 20-22
         const auto hop = routing_.next_rvp(msg.src.id, now);
         if (hop) {
@@ -223,7 +234,7 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       }
       ++stats_.responses_received;
       std::span<const view_entry> sent;
-      std::shared_ptr<const gossip_message> request;  // keeps `sent` alive
+      net::arena_ref<const gossip_message> request;  // keeps `sent` alive
       if (pending_request* pending = pending_requests_.find(msg.src.id)) {
         request = std::move(pending->sent_msg);
         pending_requests_.erase(msg.src.id);
@@ -246,7 +257,7 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       pong.sender = self();
       pong.src = self();
       pong.dest = msg.src;
-      transport_.send(id(), msg.src.addr, make_message(std::move(pong)));
+      transport_.send(id(), msg.src.addr, make_message(pong));
       return;
     }
 
@@ -257,7 +268,7 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       pong.sender = self();
       pong.src = self();
       pong.dest = msg.sender;
-      transport_.send(id(), dgram.source, make_message(std::move(pong)));
+      transport_.send(id(), dgram.source, make_message(pong));
       return;
     }
 
@@ -273,8 +284,7 @@ void nylon_peer::handle_message(const net::datagram& dgram,
       request.src = self();
       request.dest = msg.sender;
       request.entries = build_buffer();
-      std::shared_ptr<const gossip_message> body =
-          make_message(std::move(request));
+      net::arena_ref<const gossip_message> body = make_message(request);
       transport_.send(id(), dgram.source, body);
       remember_request(msg.sender.id, std::move(body));
       return;
@@ -383,7 +393,7 @@ void nylon_peer::drop_unroutable_entries(sim::sim_time now) {
 }
 
 void nylon_peer::remember_request(
-    net::node_id target, std::shared_ptr<const gossip_message> sent) {
+    net::node_id target, net::arena_ref<const gossip_message> sent) {
   pending_requests_.insert_or_get(target) =
       pending_request{std::move(sent), transport_.now_for(id())};
 }

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
 
 #include "core/routing_table.h"
@@ -50,6 +49,9 @@ class nylon_peer : public gossip::peer {
   /// ablations.
   nylon_peer(net::transport& transport, util::rng& rng,
              gossip::protocol_config cfg);
+
+  /// Sizes the routing table by NAT class once the type is known.
+  void attach(net::node_id id) override;
 
   [[nodiscard]] const nylon_stats& nat_stats() const noexcept {
     return nylon_stats_;
@@ -96,7 +98,7 @@ class nylon_peer : public gossip::peer {
                        std::span<const gossip::view_entry> sent);
 
   void remember_request(net::node_id target,
-                        std::shared_ptr<const gossip::gossip_message> sent);
+                        net::arena_ref<const gossip::gossip_message> sent);
   void prune_pending();
 
   /// Drops natted view entries with no live route (the paper's views
@@ -115,7 +117,7 @@ class nylon_peer : public gossip::peer {
 
   /// The sent buffer is shared with the wire message instead of copied.
   struct pending_request {
-    std::shared_ptr<const gossip::gossip_message> sent_msg;
+    net::arena_ref<const gossip::gossip_message> sent_msg;
     sim::sim_time sent_at = 0;
   };
   util::flat_hash_map<net::node_id, pending_request> pending_requests_;

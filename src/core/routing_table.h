@@ -14,6 +14,13 @@
 //
 // TTLs are stored as absolute expiry times; "decreasing TTLs every period"
 // (Fig. 6 line 14) then reduces to purging expired entries.
+//
+// Storage: both layers live in ONE open-addressed map keyed by the
+// destination id. The hot queries (next_rvp / resolve / remaining_ttl)
+// always consult the direct layer first and fall through to the chained
+// layer for the same destination, so fusing the layers answers them with
+// a single probe sequence where the two-map layout paid two; the layer
+// split survives as two expiry fields inside the combined entry.
 #pragma once
 
 #include <cstddef>
@@ -36,7 +43,16 @@ class routing_table {
  public:
   /// `hole_timeout` is the NAT-rule lifetime (the paper's 90 s); direct
   /// contacts and freshly learnt routes live at most this long.
-  explicit routing_table(sim::sim_time hole_timeout);
+  /// `expected_contacts` pre-sizes the table for that many destinations
+  /// so steady-state learning never rehashes (obs `hash_rehashes`).
+  explicit routing_table(sim::sim_time hole_timeout,
+                         std::size_t expected_contacts = 0);
+
+  /// Pre-sizes the table like the constructor argument; call before
+  /// traffic starts (growing an empty table is free and uncounted).
+  void reserve(std::size_t expected_contacts) {
+    table_.reserve(expected_contacts);
+  }
 
   // --- updates ---------------------------------------------------------------
 
@@ -121,13 +137,15 @@ class routing_table {
   }
 
  private:
-  struct direct_contact {
-    net::endpoint address;
-    sim::sim_time expires = 0;
-  };
-  struct chained_route {
+  /// Both layers for one destination. A layer is live iff its expiry is
+  /// >= now; the vacant states (`direct_expires == -1`, `rvp ==
+  /// nil_node`) compare dead at any sim time including 0, exactly like
+  /// absence from the old per-layer maps did.
+  struct route_entry {
+    net::endpoint direct_address;
+    sim::sim_time direct_expires = -1;
     net::node_id rvp = net::nil_node;
-    sim::sim_time expires = 0;
+    sim::sim_time route_expires = 0;
   };
 
   /// Lowers the purge watermark to cover a newly set expiry.
@@ -135,9 +153,15 @@ class routing_table {
     if (expires < next_expiry_) next_expiry_ = expires;
   }
 
+  /// The live direct contact for `dest`, or nullptr.
+  [[nodiscard]] const route_entry* live_direct(net::node_id dest,
+                                               sim::sim_time now) const {
+    const route_entry* e = table_.find(dest);
+    return e != nullptr && e->direct_expires >= now ? e : nullptr;
+  }
+
   sim::sim_time hole_timeout_;
-  util::flat_hash_map<net::node_id, direct_contact> direct_;
-  util::flat_hash_map<net::node_id, chained_route> routes_;
+  util::flat_hash_map<net::node_id, route_entry> table_;
   /// No entry expires before this; purge is a no-op until then.
   sim::sim_time next_expiry_ = sim::time_never;
   sim::sim_time last_sweep_ = 0;  ///< GC throttle (see purge_expired)

@@ -19,7 +19,7 @@ void generic_peer::initiate_shuffle() {
   msg.src = self();
   msg.dest = target;
   msg.entries = build_buffer();
-  std::shared_ptr<const gossip_message> body = make_message(std::move(msg));
+  net::arena_ref<const gossip_message> body = make_message(msg);
   transport_.send(id(), target.addr, body);
 
   const sim::sim_time now = transport_.now_for(id());
@@ -39,7 +39,7 @@ void generic_peer::handle_message(const net::datagram& dgram,
       // (post-NAT) source endpoint, like a real UDP reply.
       ++stats_.requests_received;
       std::span<const view_entry> sent;
-      std::shared_ptr<const gossip_message> reply;  // keeps `sent` alive
+      net::arena_ref<const gossip_message> reply;  // keeps `sent` alive
       if (cfg_.propagation == propagation_policy::pushpull) {
         gossip_message response;
         response.kind = message_kind::response;
@@ -47,7 +47,7 @@ void generic_peer::handle_message(const net::datagram& dgram,
         response.src = self();
         response.dest = msg.src;
         response.entries = build_buffer();
-        reply = make_message(std::move(response));
+        reply = make_message(response);
         transport_.send(id(), dgram.source, reply);
         sent = reply->entries;
       }
@@ -59,7 +59,7 @@ void generic_peer::handle_message(const net::datagram& dgram,
       // Fig. 1, lines 5-6 (asynchronous arrival).
       ++stats_.responses_received;
       std::span<const view_entry> sent;
-      std::shared_ptr<const gossip_message> request;  // keeps `sent` alive
+      net::arena_ref<const gossip_message> request;  // keeps `sent` alive
       if (pending_request* pending = pending_.find(msg.sender.id)) {
         request = std::move(pending->sent_msg);
         pending_.erase(msg.sender.id);

@@ -12,7 +12,13 @@ namespace nylon::gossip {
 /// dimensions of §3 via `protocol_config`.
 class generic_peer : public peer {
  public:
-  using peer::peer;
+  generic_peer(net::transport& transport, util::rng& rng,
+               protocol_config cfg)
+      : peer(transport, rng, cfg) {
+    // A handful of in-flight shuffles at most; pre-sizing keeps the
+    // map's growth out of obs `hash_rehashes`.
+    pending_.reserve(16);
+  }
 
  protected:
   void initiate_shuffle() override;
@@ -25,7 +31,7 @@ class generic_peer : public peer {
   /// shared with the wire message instead of copied. Entries are pruned
   /// once they are `pending_ttl_periods` shuffle periods old.
   struct pending_request {
-    std::shared_ptr<const gossip_message> sent_msg;
+    net::arena_ref<const gossip_message> sent_msg;
     sim::sim_time sent_at = 0;
   };
   static constexpr int pending_ttl_periods = 10;

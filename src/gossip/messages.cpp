@@ -1,64 +1,9 @@
 #include "gossip/messages.h"
 
-#include <memory>
-#include <vector>
+#include <algorithm>
+#include <cstddef>
 
 namespace nylon::gossip {
-
-namespace {
-
-/// Freelist allocator for message control blocks: every simulated packet
-/// allocates one payload, so recycling the (single-size) blocks that
-/// `allocate_shared` requests takes malloc/free off the send path. The
-/// freelist is thread-local because each universe runs on one thread
-/// (parallel runner: one universe per worker).
-template <typename T>
-struct message_pool_allocator {
-  using value_type = T;
-
-  message_pool_allocator() noexcept = default;
-  template <typename U>
-  message_pool_allocator(const message_pool_allocator<U>&) noexcept {}
-
-  /// Blocks are all sizeof(T); freed ones are kept for reuse until
-  /// thread exit.
-  struct freelist {
-    std::vector<void*> blocks;
-    ~freelist() {
-      for (void* b : blocks) ::operator delete(b);
-    }
-  };
-  static freelist& pool() {
-    static thread_local freelist list;
-    return list;
-  }
-
-  T* allocate(std::size_t n) {
-    if (n == 1) {
-      freelist& list = pool();
-      if (!list.blocks.empty()) {
-        void* block = list.blocks.back();
-        list.blocks.pop_back();
-        return static_cast<T*>(block);
-      }
-    }
-    return static_cast<T*>(::operator new(n * sizeof(T)));
-  }
-  void deallocate(T* p, std::size_t n) noexcept {
-    if (n == 1) {
-      pool().blocks.push_back(p);
-      return;
-    }
-    ::operator delete(p);
-  }
-
-  template <typename U>
-  bool operator==(const message_pool_allocator<U>&) const noexcept {
-    return true;
-  }
-};
-
-}  // namespace
 
 std::string_view to_string(message_kind k) noexcept {
   switch (k) {
@@ -96,9 +41,21 @@ net::message_kind gossip_message::wire_kind() const noexcept {
   return static_cast<net::message_kind>(kind);
 }
 
-std::shared_ptr<const gossip_message> make_message(gossip_message msg) {
-  return std::allocate_shared<const gossip_message>(
-      message_pool_allocator<gossip_message>{}, std::move(msg));
+net::arena_ref<const gossip_message> make_message(const gossip_message& msg) {
+  // One arena block: [header | gossip_message | view_entry tail]. The
+  // tail starts at sizeof(gossip_message), which is a multiple of the
+  // message's (and so the entry's) alignment.
+  static_assert(alignof(view_entry) <= alignof(gossip_message));
+  static_assert(std::is_trivially_copyable_v<view_entry>);
+  const std::size_t tail_bytes = msg.entries.size() * sizeof(view_entry);
+  void* memory =
+      net::arena_detail::allocate(sizeof(gossip_message) + tail_bytes);
+  auto* wire = ::new (memory) gossip_message(msg);
+  auto* tail = reinterpret_cast<view_entry*>(static_cast<std::byte*>(memory) +
+                                             sizeof(gossip_message));
+  std::copy(msg.entries.begin(), msg.entries.end(), tail);
+  wire->entries = {tail, msg.entries.size()};
+  return net::arena_ref<const gossip_message>::adopt(wire);
 }
 
 }  // namespace nylon::gossip

@@ -4,13 +4,13 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <string_view>
-#include <vector>
 
 #include "gossip/node_descriptor.h"
 #include "gossip/view.h"
 #include "net/message.h"
+#include "net/payload_arena.h"
 
 namespace nylon::gossip {
 
@@ -33,7 +33,11 @@ enum class message_kind : std::uint8_t {
 ///    requester); fixed while the message is relayed.
 ///  * `dest`   — the logical final destination; relays forward until
 ///    dest == self.
-///  * `entries` — the view buffer (REQUEST/RESPONSE only).
+///  * `entries` — the view buffer (REQUEST/RESPONSE only). A *view*: on
+///    a stack-built message it points at whatever the builder filled
+///    (the peer's buffer scratch, a sibling message's entries); on the
+///    wire copy built by `make_message` it points at the entry tail
+///    co-allocated right behind the message in its arena block.
 ///  * `hops`   — forwarding count, incremented at every RVP; the receiver
 ///    of a chained message reads the RVP-chain length off it (Fig. 9).
 class gossip_message final : public net::payload {
@@ -42,7 +46,7 @@ class gossip_message final : public net::payload {
   node_descriptor sender;
   node_descriptor src;
   node_descriptor dest;
-  std::vector<view_entry> entries;
+  std::span<const view_entry> entries;
   std::uint8_t hops = 0;
 
   /// kind (1) + 3 descriptors + entry count (2) + hops (1) + entries.
@@ -55,11 +59,13 @@ class gossip_message final : public net::payload {
 inline constexpr std::size_t message_header_bytes =
     1 + 3 * descriptor_wire_bytes + 2 + 1;
 
-/// Builds a shared immutable payload (what transport::send expects).
+/// Builds the immutable wire payload (what transport::send expects):
+/// one arena block holding the message fields and a copy of
+/// `msg.entries` in its tail, with `entries` re-pointed at that copy.
 /// Returns the concrete type so senders can keep referencing the
 /// message they sent (e.g. its `entries` as a pending-request buffer)
 /// without re-copying; converts implicitly to net::payload_ptr.
-[[nodiscard]] std::shared_ptr<const gossip_message> make_message(
-    gossip_message msg);
+[[nodiscard]] net::arena_ref<const gossip_message> make_message(
+    const gossip_message& msg);
 
 }  // namespace nylon::gossip

@@ -61,17 +61,17 @@ void peer::on_datagram(const net::datagram& dgram) {
   // gossip_message does so, which makes the downcast safe without the
   // dynamic_cast that used to run once per delivered packet.
   NYLON_EXPECTS(dgram.body->wire_kind() != net::message_kind::other);
-  const auto* msg = static_cast<const gossip_message*>(dgram.body.get());
+  const auto* msg = static_cast<const gossip_message*>(dgram.body);
   handle_message(dgram, *msg);
 }
 
-std::vector<view_entry> peer::build_buffer() {
-  std::vector<view_entry> buffer;
-  buffer.reserve(view_.size() + 1);
-  buffer.push_back(self_entry());
-  for (const view_entry& e : view_.entries()) buffer.push_back(e);
-  decorate_buffer(buffer);
-  return buffer;
+const std::vector<view_entry>& peer::build_buffer() {
+  buffer_scratch_.clear();
+  buffer_scratch_.reserve(view_.size() + 1);
+  buffer_scratch_.push_back(self_entry());
+  for (const view_entry& e : view_.entries()) buffer_scratch_.push_back(e);
+  decorate_buffer(buffer_scratch_);
+  return buffer_scratch_;
 }
 
 void peer::decorate_buffer(std::vector<view_entry>& /*buffer*/) {}

@@ -39,8 +39,10 @@ class peer : public net::endpoint_handler, public peer_sampling_service {
   peer(const peer&) = delete;
   peer& operator=(const peer&) = delete;
 
-  /// Binds identity after transport::add_node assigned an id.
-  void attach(net::node_id id);
+  /// Binds identity after transport::add_node assigned an id. Virtual so
+  /// subclasses can size type-dependent state (Nylon's routing table is
+  /// reserved by NAT class here — the type is unknown at construction).
+  virtual void attach(net::node_id id);
 
   /// Schedules the periodic shuffle, first firing at `first_shuffle`
   /// (scenarios randomize the phase so peers do not fire in lockstep).
@@ -84,8 +86,11 @@ class peer : public net::endpoint_handler, public peer_sampling_service {
 
   /// The buffer sent in a shuffle: every view entry plus a fresh
   /// self-descriptor (age 0). Subclasses decorate entries (Nylon stamps
-  /// route TTLs) via `decorate_buffer`.
-  [[nodiscard]] std::vector<view_entry> build_buffer();
+  /// route TTLs) via `decorate_buffer`. Returns a reference to a
+  /// per-peer scratch vector, valid until the next build_buffer call on
+  /// this peer — make_message copies it into the wire block immediately,
+  /// so no caller holds it across another shuffle.
+  [[nodiscard]] const std::vector<view_entry>& build_buffer();
 
   /// Hook: adjust the outgoing buffer (default: no-op).
   virtual void decorate_buffer(std::vector<view_entry>& buffer);
@@ -103,6 +108,10 @@ class peer : public net::endpoint_handler, public peer_sampling_service {
   node_descriptor self_;
   sim::event_handle timer_;
   bool running_ = false;
+  /// Reused by build_buffer: a shuffle fires every period on every peer,
+  /// and a fresh vector each time was the hottest allocation after the
+  /// payloads themselves.
+  std::vector<view_entry> buffer_scratch_;
 };
 
 }  // namespace nylon::gossip

@@ -71,7 +71,7 @@ class traversal_lab {
 
   void send(net::node_id from, const net::endpoint& to,
             const std::string& name) {
-    transport_.send(from, to, std::make_shared<const probe_payload>(name));
+    transport_.send(from, to, net::make_payload<probe_payload>(name));
   }
 
   void settle() { sched_.run_for(sim::millis(200)); }

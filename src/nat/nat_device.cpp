@@ -2,15 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
 #include "util/contracts.h"
 
 namespace nylon::nat {
 
 nat_device::nat_device(nat_type type, net::ip_address public_ip,
-                       sim::sim_time hole_timeout)
-    : type_(type), public_ip_(public_ip), hole_timeout_(hole_timeout) {
+                       sim::sim_time hole_timeout, std::size_t expected_rules)
+    : type_(type),
+      public_ip_(public_ip),
+      hole_timeout_(hole_timeout),
+      expected_rules_(expected_rules) {
   NYLON_EXPECTS(is_natted(type));
   NYLON_EXPECTS(hole_timeout > 0);
+  // Cone devices own one public port; symmetric ones mint a port per
+  // session, so the reverse index tracks the session table's size.
+  port_owner_.reserve(type == nat_type::symmetric ? expected_rules : 1);
 }
 
 std::uint32_t nat_device::client_for(const net::endpoint& private_src) {
@@ -19,6 +26,11 @@ std::uint32_t nat_device::client_for(const net::endpoint& private_src) {
   }
   client c;
   c.private_ep = private_src;
+  if (type_ == nat_type::symmetric) {
+    c.sym.reserve(expected_rules_);
+  } else if (type_ != nat_type::full_cone) {
+    c.rules.reserve(expected_rules_);
+  }
   clients_.push_back(std::move(c));
   return static_cast<std::uint32_t>(clients_.size() - 1);
 }
@@ -64,6 +76,7 @@ net::endpoint nat_device::translate_outbound(const net::endpoint& private_src,
       session->expires = now + hole_timeout_;
     } else {
       c.sym.insert_or_get(key) = sym_entry{port, now + hole_timeout_};
+      obs::count_peak(obs::counter::nat_table_peak, c.sym.size());
     }
     port_owner_.insert_or_get(port) = index;
     note_expiry(now + hole_timeout_);
@@ -78,6 +91,7 @@ net::endpoint nat_device::translate_outbound(const net::endpoint& private_src,
     const std::uint32_t rule_port =
         type_ == nat_type::port_restricted_cone ? remote.port : 0;
     c.rules.insert_or_get(key_of(remote.ip, rule_port)) = now + hole_timeout_;
+    obs::count_peak(obs::counter::nat_table_peak, c.rules.size());
     note_expiry(now + hole_timeout_);
   }
   return {public_ip_, c.cone_port};
@@ -87,9 +101,24 @@ std::optional<net::endpoint> nat_device::filter_inbound(
     const net::endpoint& public_dst, const net::endpoint& remote_src,
     sim::sim_time now) {
   NYLON_EXPECTS(public_dst.ip == public_ip_);
-  const std::uint32_t* owner = port_owner_.find(public_dst.port);
-  if (owner == nullptr) return std::nullopt;
-  client& c = clients_[*owner];
+  client* target = nullptr;
+  if (clients_.size() == 1) {
+    // Fast path for the common deployment (one peer behind each box):
+    // the destination port identifies the lone client directly. For cone
+    // types a mismatched port cannot be ours (the device owns exactly
+    // one public port); for symmetric the session lookup below already
+    // validates the port, exactly as the reverse index would have.
+    client& only = clients_.front();
+    if (type_ != nat_type::symmetric && public_dst.port != only.cone_port) {
+      return std::nullopt;
+    }
+    target = &only;
+  } else {
+    const std::uint32_t* owner = port_owner_.find(public_dst.port);
+    if (owner == nullptr) return std::nullopt;
+    target = &clients_[*owner];
+  }
+  client& c = *target;
   const net::endpoint private_dst = c.private_ep;
 
   if (type_ == nat_type::symmetric) {

@@ -54,8 +54,12 @@ struct predicted_source {
 class nat_device {
  public:
   /// `type` must be a natted type; `hole_timeout` > 0.
+  /// `expected_rules` pre-sizes each client's rule/session tables (and
+  /// the public-port reverse index) so steady-state traffic never
+  /// rehashes them (obs `hash_rehashes`; peak tracked by
+  /// `nat_table_peak`).
   nat_device(nat_type type, net::ip_address public_ip,
-             sim::sim_time hole_timeout);
+             sim::sim_time hole_timeout, std::size_t expected_rules = 0);
 
   [[nodiscard]] nat_type type() const noexcept { return type_; }
   [[nodiscard]] net::ip_address public_ip() const noexcept {
@@ -155,6 +159,7 @@ class nat_device {
   nat_type type_;
   net::ip_address public_ip_;
   sim::sim_time hole_timeout_;
+  std::size_t expected_rules_ = 0;
   std::uint32_t next_port_ = 1024;
 
   std::vector<client> clients_;  ///< typically one per device

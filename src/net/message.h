@@ -5,10 +5,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string_view>
 
 #include "net/address.h"
+#include "net/payload_arena.h"
 
 namespace nylon::net {
 
@@ -60,16 +60,20 @@ class payload {
   }
 };
 
-/// Payloads are immutable and shared between the in-flight datagram and
-/// any bookkeeping that wants to inspect them.
-using payload_ptr = std::shared_ptr<const payload>;
+/// Payloads are immutable, arena-allocated and intrusively refcounted;
+/// shared between the in-flight datagram's delivery lease and any
+/// sender-side bookkeeping (pending-request buffers).
+using payload_ptr = arena_ref<const payload>;
 
 /// A delivered datagram, as the receiving socket sees it: the source is
 /// the post-NAT translated endpoint (what a real socket's recvfrom yields).
+/// `body` is a borrowed pointer, valid only for the duration of the
+/// handler callback — a receiver keeps what it needs by copying (or, in
+/// test code, by `payload_ptr::retain`), never by storing the datagram.
 struct datagram {
   endpoint source;
   endpoint destination;
-  payload_ptr body;
+  const payload* body = nullptr;
 };
 
 /// Bytes of IP + UDP header added to every datagram (20 + 8).

@@ -1,5 +1,6 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/counters.h"
@@ -57,48 +58,75 @@ transport::transport(sim::scheduler& sched, util::rng& rng,
   NYLON_EXPECTS(cfg_.hole_timeout > 0);
   NYLON_EXPECTS(cfg_.loss_rate >= 0.0 && cfg_.loss_rate <= 1.0);
   counters_.resize(1);
+  leases_.resize(1);
+  node_shards_.resize(1);
+  // Rebinds trickle in over a whole run; pre-size the overflow routing
+  // table so steady state never rehashes (obs `hash_rehashes`).
+  rebound_owner_.reserve(1024);
 }
 
 void transport::set_shard_router(shard_router* router) {
-  NYLON_EXPECTS(nodes_.empty());
+  NYLON_EXPECTS(node_count_ == 0);
   router_ = router;
+  shard_count_ = router_ != nullptr ? router_->shard_count() : 1;
   counters_.clear();
-  counters_.resize(router_ != nullptr ? router_->shard_count() : 1);
+  counters_.resize(shard_count_);
+  leases_.clear();
+  leases_.resize(shard_count_);
+  node_shards_.clear();
+  node_shards_.resize(shard_count_);
   if (router_ != nullptr) {
     // Cross-shard deliveries must land strictly after the conservative
-    // window; the latency model's floor is the engine's lookahead.
+    // window; the latency model's floor is the engine's lookahead. The
+    // engine's window is sized from the same floor, so the floor is an
+    // upper bound on any epoch length — which is what the lease sweep's
+    // safety condition needs (see transport.h).
     NYLON_EXPECTS(latency_->min_delay() >= 1);
+    lease_window_ = latency_->min_delay();
+  } else {
+    lease_window_ = 0;
   }
 }
 
 node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
-  const auto id = static_cast<node_id>(nodes_.size());
-  node_record rec;
-  rec.type = type;
-  rec.handler = &handler;
+  const auto id = static_cast<node_id>(node_count_++);
+  node_shard& shard = node_shards_[shard_of_node(id)];
+  NYLON_ENSURES(shard.hot.size() == slot_of(id));  // ids interleave densely
+  node_hot hot;
+  hot.type = type;
   const ip_address public_ip{public_ip_base + id + 1};
-  rec.public_ip = public_ip;
+  hot.public_ip = public_ip;
+  std::unique_ptr<nat::nat_device> device;
   if (nat::is_natted(type)) {
-    rec.private_ep = endpoint{ip_address{private_ip_base + id + 1},
+    hot.private_ep = endpoint{ip_address{private_ip_base + id + 1},
                               private_port};
-    rec.device =
-        std::make_unique<nat::nat_device>(type, public_ip, cfg_.hole_timeout);
-    rec.advertised = rec.device->advertised_endpoint(rec.private_ep);
+    device =
+        std::make_unique<nat::nat_device>(type, public_ip, cfg_.hole_timeout,
+                                          cfg_.expected_nat_rules);
+    hot.device = device.get();
+    hot.advertised = device->advertised_endpoint(hot.private_ep);
   } else {
-    rec.private_ep = endpoint{public_ip, public_peer_port};
-    rec.advertised = rec.private_ep;
+    hot.private_ep = endpoint{public_ip, public_peer_port};
+    hot.advertised = hot.private_ep;
   }
-  nodes_.push_back(std::move(rec));
+  shard.hot.push_back(hot);
+  shard.traffic.emplace_back();
+  shard.handler.push_back(&handler);
+  shard.send_seq.push_back(0);
+  shard.device_owner.push_back(std::move(device));
+  // Ids are handed out in increasing order, so appending keeps the class
+  // lists sorted without a search.
+  (nat::is_natted(type) ? alive_natted_ : alive_public_).push_back(id);
   return id;
 }
 
 node_id transport::owner_of(ip_address ip) const {
   const std::uint32_t index = ip.value - public_ip_base - 1;
-  if (index < nodes_.size()) {
+  if (index < node_count_) {
     // A re-bound NAT abandons its original 10.x address: packets sent
     // there must stop routing, so the arithmetic hit is confirmed
     // against the node's *current* public IP.
-    return nodes_[index].public_ip == ip ? static_cast<node_id>(index)
+    return hot_of(index).public_ip == ip ? static_cast<node_id>(index)
                                          : nil_node;
   }
   const node_id* rebound = rebound_owner_.find(ip.value);
@@ -106,59 +134,70 @@ node_id transport::owner_of(ip_address ip) const {
 }
 
 void transport::remove_node(node_id id) {
-  NYLON_EXPECTS(id < nodes_.size());
-  nodes_[id].alive = false;
+  NYLON_EXPECTS(id < node_count_);
+  node_hot& hot = hot_of(id);
+  if (!hot.alive) return;  // idempotent: already removed
+  hot.alive = false;
+  std::vector<node_id>& list =
+      nat::is_natted(hot.type) ? alive_natted_ : alive_public_;
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  NYLON_ENSURES(it != list.end() && *it == id);
+  list.erase(it);
 }
 
 bool transport::alive(node_id id) const {
-  NYLON_EXPECTS(id < nodes_.size());
-  return nodes_[id].alive;
+  NYLON_EXPECTS(id < node_count_);
+  return hot_of(id).alive;
 }
 
 nat::nat_type transport::type_of(node_id id) const {
-  NYLON_EXPECTS(id < nodes_.size());
-  return nodes_[id].type;
+  NYLON_EXPECTS(id < node_count_);
+  return hot_of(id).type;
 }
 
 endpoint transport::advertised_endpoint(node_id id) const {
-  NYLON_EXPECTS(id < nodes_.size());
-  return nodes_[id].advertised;
+  NYLON_EXPECTS(id < node_count_);
+  return hot_of(id).advertised;
 }
 
 const nat::nat_device* transport::device_of(node_id id) const {
-  NYLON_EXPECTS(id < nodes_.size());
-  return nodes_[id].device.get();
+  NYLON_EXPECTS(id < node_count_);
+  return hot_of(id).device;
 }
 
 endpoint transport::replace_device(node_id id, nat::nat_type type) {
-  node_record& rec = nodes_[id];
-  NYLON_EXPECTS(rec.alive);
-  NYLON_EXPECTS(rec.device != nullptr);
-  const ip_address old_ip = rec.device->public_ip();
+  node_hot& hot = hot_of(id);
+  NYLON_EXPECTS(hot.alive);
+  NYLON_EXPECTS(hot.device != nullptr);
+  const ip_address old_ip = hot.device->public_ip();
   const ip_address new_ip{rebind_ip_base + ++rebind_count_};
   rebound_owner_.erase(old_ip.value);  // no-op for an original 10.x IP
   rebound_owner_.insert_or_get(new_ip.value) = id;
-  rec.public_ip = new_ip;
-  rec.type = type;
-  rec.device =
-      std::make_unique<nat::nat_device>(type, new_ip, cfg_.hole_timeout);
-  rec.advertised = rec.device->advertised_endpoint(rec.private_ep);
-  return rec.advertised;
+  hot.public_ip = new_ip;
+  hot.type = type;
+  auto device =
+      std::make_unique<nat::nat_device>(type, new_ip, cfg_.hole_timeout,
+                                        cfg_.expected_nat_rules);
+  hot.device = device.get();
+  hot.advertised = device->advertised_endpoint(hot.private_ep);
+  node_shards_[shard_of_node(id)].device_owner[slot_of(id)] =
+      std::move(device);
+  return hot.advertised;
 }
 
 endpoint transport::rebind_nat(node_id id) {
-  NYLON_EXPECTS(id < nodes_.size());
-  return replace_device(id, nodes_[id].type);
+  NYLON_EXPECTS(id < node_count_);
+  return replace_device(id, hot_of(id).type);
 }
 
 endpoint transport::migrate_nat(node_id id, nat::nat_type new_type) {
-  NYLON_EXPECTS(id < nodes_.size());
+  NYLON_EXPECTS(id < node_count_);
   NYLON_EXPECTS(nat::is_natted(new_type));
   return replace_device(id, new_type);
 }
 
 void transport::set_partition(std::vector<std::uint8_t> side) {
-  NYLON_EXPECTS(side.size() <= nodes_.size());
+  NYLON_EXPECTS(side.size() <= node_count_);
   partition_side_ = std::move(side);
 }
 
@@ -167,11 +206,12 @@ void transport::count_drop(std::size_t shard, drop_reason reason) {
 }
 
 void transport::send(node_id from, const endpoint& to, payload_ptr body) {
-  NYLON_EXPECTS(from < nodes_.size());
+  NYLON_EXPECTS(from < node_count_);
   NYLON_EXPECTS(body != nullptr);
-  node_record& src = nodes_[from];
-  const std::size_t src_shard = router_ != nullptr ? router_->shard_of(from)
-                                                   : 0;
+  const std::size_t src_shard = shard_of_node(from);
+  const std::size_t src_slot = slot_of(from);
+  node_shard& shard = node_shards_[src_shard];
+  node_hot& src = shard.hot[src_slot];
   if (!src.alive) {
     count_drop(src_shard, drop_reason::sender_dead);
     return;
@@ -182,14 +222,15 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
       router_ != nullptr ? router_->scheduler_of(src_shard).now()
                          : sched_.now();
   endpoint source_ep;
-  if (src.device) {
+  if (src.device != nullptr) {
     source_ep = src.device->translate_outbound(src.private_ep, to, now);
   } else {
     source_ep = src.advertised;
   }
   const std::size_t bytes = udp_header_bytes + body->wire_size();
-  src.traffic.bytes_sent += bytes;
-  ++src.traffic.msgs_sent;
+  node_traffic& traffic = shard.traffic[src_slot];
+  traffic.bytes_sent += bytes;
+  ++traffic.msgs_sent;
   counter_block& counters = counters_[src_shard];
   const message_kind kind = body->wire_kind();
   counters.by_kind[static_cast<std::size_t>(kind)] += bytes;
@@ -208,11 +249,15 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
     return;
   }
   const sim::sim_time delay = latency_->sample(rng);
+  // The closure borrows the payload; the owning reference goes into the
+  // sender's lease list (see payload_lease in the header). Raw-pointer
+  // captures keep every delivery closure trivially copyable.
+  const payload* raw = body.get();
+  lease_payload(src_shard, now + delay, std::move(body), now);
   if (router_ == nullptr) {
-    sched_.after(delay,
-                 [this, from, source_ep, to, body = std::move(body), bytes] {
-                   deliver(0, from, source_ep, to, body, bytes);
-                 });
+    sched_.after(delay, [this, from, source_ep, to, raw, bytes] {
+      deliver(0, from, source_ep, to, raw, bytes);
+    });
     return;
   }
   // Cross-shard (or same-shard — the ordering contract is uniform)
@@ -224,17 +269,42 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
   const std::size_t dst_shard =
       owner != nil_node ? router_->shard_of(owner)
                         : to.ip.value % router_->shard_count();
-  const std::uint64_t seq = ++src.send_seq;
-  router_->post(
-      router_->shard_of(from), dst_shard, now + delay, from, seq,
-      [this, dst_shard, from, source_ep, to, body = std::move(body), bytes] {
-        deliver(dst_shard, from, source_ep, to, body, bytes);
-      });
+  const std::uint64_t seq = ++shard.send_seq[src_slot];
+  router_->post(router_->shard_of(from), dst_shard, now + delay, from, seq,
+                [this, dst_shard, from, source_ep, to, raw, bytes] {
+                  deliver(dst_shard, from, source_ep, to, raw, bytes);
+                });
+}
+
+void transport::lease_payload(std::size_t src_shard, sim::sim_time release_at,
+                              payload_ptr body, sim::sim_time now) {
+  lease_list& list = leases_[src_shard];
+  list.items.push_back(payload_lease{release_at, std::move(body)});
+  // Amortized reclamation: a sweep is O(outstanding), so spacing them
+  // this far keeps the per-send cost O(1) while bounding the backlog to
+  // one interval of sends plus whatever is genuinely in flight.
+  if (++list.sends_since_sweep >= 1024) sweep_leases(list, now);
+}
+
+void transport::sweep_leases(lease_list& list, sim::sim_time now) {
+  list.sends_since_sweep = 0;
+  // Serial (`lease_window_` 0): strictly-earlier events have executed.
+  // Sharded: see the safety argument on payload_lease — the delivery's
+  // epoch is globally complete once the sender's clock has passed
+  // release_at + window.
+  std::vector<payload_lease>& items = list.items;
+  for (std::size_t i = 0; i < items.size();) {
+    if (items[i].release_at + lease_window_ < now) {
+      items[i] = std::move(items.back());  // order is irrelevant here
+      items.pop_back();
+    } else {
+      ++i;
+    }
+  }
 }
 
 void transport::deliver(std::size_t shard, node_id from, endpoint source,
-                        endpoint to, const payload_ptr& body,
-                        std::size_t bytes) {
+                        endpoint to, const payload* body, std::size_t bytes) {
   const node_id owner = owner_of(to.ip);
   if (owner == nil_node) {
     count_drop(shard, drop_reason::unknown_destination);
@@ -246,10 +316,12 @@ void transport::deliver(std::size_t shard, node_id from, endpoint source,
     count_drop(shard, drop_reason::partitioned);
     return;
   }
-  node_record& dst = nodes_[owner];
+  const std::size_t dst_slot = slot_of(owner);
+  node_shard& dst_nodes = node_shards_[shard_of_node(owner)];
+  node_hot& dst = dst_nodes.hot[dst_slot];
   const sim::sim_time now =
       router_ != nullptr ? router_->scheduler_of(shard).now() : sched_.now();
-  if (dst.device) {
+  if (dst.device != nullptr) {
     const auto private_dst = dst.device->filter_inbound(to, source, now);
     if (!private_dst) {
       count_drop(shard, drop_reason::nat_filtered);
@@ -266,16 +338,17 @@ void transport::deliver(std::size_t shard, node_id from, endpoint source,
     count_drop(shard, drop_reason::dead_node);
     return;
   }
-  dst.traffic.bytes_received += bytes;
-  ++dst.traffic.msgs_received;
-  dst.handler->on_datagram(datagram{source, to, body});
+  node_traffic& traffic = dst_nodes.traffic[dst_slot];
+  traffic.bytes_received += bytes;
+  ++traffic.msgs_received;
+  dst_nodes.handler[dst_slot]->on_datagram(datagram{source, to, body});
 }
 
 nat::predicted_source transport::predicted_source(node_id from,
                                                   const endpoint& to) const {
-  NYLON_EXPECTS(from < nodes_.size());
-  const node_record& src = nodes_[from];
-  if (src.device) {
+  NYLON_EXPECTS(from < node_count_);
+  const node_hot& src = hot_of(from);
+  if (src.device != nullptr) {
     return src.device->would_translate(src.private_ep, to, sched_.now());
   }
   return nat::predicted_source{src.advertised.ip, src.advertised.port};
@@ -283,17 +356,17 @@ nat::predicted_source transport::predicted_source(node_id from,
 
 std::optional<node_id> transport::would_deliver(node_id from,
                                                 const endpoint& to) const {
-  NYLON_EXPECTS(from < nodes_.size());
-  if (!nodes_[from].alive) return std::nullopt;
+  NYLON_EXPECTS(from < node_count_);
+  if (!hot_of(from).alive) return std::nullopt;
   const node_id owner = owner_of(to.ip);
   if (owner == nil_node) return std::nullopt;
   if (partitioned() && side_of(from) != side_of(owner)) {
     return std::nullopt;
   }
-  const node_record& dst = nodes_[owner];
+  const node_hot& dst = hot_of(owner);
   if (!dst.alive) return std::nullopt;
   const nat::predicted_source src = predicted_source(from, to);
-  if (dst.device) {
+  if (dst.device != nullptr) {
     const auto private_dst =
         dst.device->would_accept(to, src.ip, src.port, sched_.now());
     if (!private_dst) return std::nullopt;
@@ -304,12 +377,14 @@ std::optional<node_id> transport::would_deliver(node_id from,
 }
 
 const node_traffic& transport::traffic(node_id id) const {
-  NYLON_EXPECTS(id < nodes_.size());
-  return nodes_[id].traffic;
+  NYLON_EXPECTS(id < node_count_);
+  return node_shards_[shard_of_node(id)].traffic[slot_of(id)];
 }
 
 void transport::reset_traffic() {
-  for (node_record& rec : nodes_) rec.traffic = node_traffic{};
+  for (node_shard& shard : node_shards_) {
+    for (node_traffic& t : shard.traffic) t = node_traffic{};
+  }
   for (counter_block& block : counters_) {
     for (std::uint64_t& b : block.by_kind) b = 0;
     block.other.clear();
@@ -356,8 +431,10 @@ std::uint64_t transport::total_drops() const {
 
 void transport::purge_nat_state() {
   const sim::sim_time now = sched_.now();
-  for (node_record& rec : nodes_) {
-    if (rec.device) rec.device->purge_expired(now);
+  for (node_shard& shard : node_shards_) {
+    for (const auto& device : shard.device_owner) {
+      if (device != nullptr) device->purge_expired(now);
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -84,6 +85,20 @@ struct transport_config {
   sim::sim_time hole_timeout = sim::seconds(90);
   /// Independent per-datagram loss probability (paper: 0).
   double loss_rate = 0.0;
+  /// Expected distinct routing-table destinations per *natted* peer over
+  /// one hole timeout (public peers, the relay hubs, reserve 2× this —
+  /// see nylon_peer::attach). Sizes each routing table up front so
+  /// steady-state learning never rehashes: obs `hash_rehashes` reads 0
+  /// over a whole bench run, with the actual high-water mark tracked by
+  /// `route_table_peak`. The default covers the paper's (15, healer,
+  /// 5 s) profile with headroom — the measured peak is ~780 (public) and
+  /// roughly flat in deployment size, bounded by how many destinations
+  /// one peer can learn in 90 s. The reserved capacity matches what busy
+  /// tables organically grow to, so it is close to memory-neutral.
+  std::size_t expected_contacts = 512;
+  /// Same idea for each NAT device's filtering-rule / symmetric-session
+  /// tables (`nat_table_peak`; measured peak ~100, also flat in n).
+  std::size_t expected_nat_rules = 192;
 };
 
 /// Per-node traffic counters (Figs. 7 and 8 are computed from these).
@@ -112,10 +127,27 @@ class transport {
   void remove_node(node_id id);
 
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return nodes_.size();
+    return node_count_;
   }
   [[nodiscard]] bool alive(node_id id) const;
   [[nodiscard]] nat::nat_type type_of(node_id id) const;
+
+  /// Number of alive nodes (maintained incrementally).
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    return alive_public_.size() + alive_natted_.size();
+  }
+
+  /// Alive node ids by NAT class, ascending by id. A node's class (public
+  /// vs natted) is fixed at add_node — migrations swap natted types only —
+  /// so these lists turn the population scans behind churn draws and
+  /// bootstrap candidate selection into O(alive) copies instead of O(n)
+  /// per-node liveness probes. Invalidated by add_node/remove_node.
+  [[nodiscard]] std::span<const node_id> alive_public() const noexcept {
+    return alive_public_;
+  }
+  [[nodiscard]] std::span<const node_id> alive_natted() const noexcept {
+    return alive_natted_;
+  }
 
   /// STUN-discovered public endpoint the node advertises in descriptors.
   /// For symmetric-NAT nodes the port is 0 (no stable port exists).
@@ -241,19 +273,53 @@ class transport {
   }
 
  private:
-  struct node_record {
-    nat::nat_type type = nat::nat_type::open;
-    bool alive = true;
-    endpoint private_ep;  ///< equals `advertised` for public nodes
+  /// Per-node metadata the send/deliver fast path reads, packed into one
+  /// 32-byte record so two nodes share a cache line (the old all-in-one
+  /// node record spanned two lines per node and dragged the cold fields
+  /// through the cache with it). `device` is a borrowed pointer — the
+  /// owning unique_ptr lives in the cold per-shard array.
+  struct node_hot {
+    endpoint private_ep;   ///< equals `advertised` for public nodes
     endpoint advertised;
     ip_address public_ip;  ///< current public-facing IP (moves on rebind)
-    std::unique_ptr<nat::nat_device> device;  ///< null for public nodes
-    endpoint_handler* handler = nullptr;
-    node_traffic traffic;
+    nat::nat_type type = nat::nat_type::open;
+    bool alive = true;
+    nat::nat_device* device = nullptr;  ///< null for public nodes
+  };
+  static_assert(sizeof(node_hot) == 32);
+
+  /// One shard's nodes in structure-of-arrays layout, indexed by dense
+  /// local slot (`slot_of`). Shards only ever touch their own arrays
+  /// mid-epoch (the destination shard executes deliveries), so the
+  /// per-shard split keeps each worker's hot data contiguous and free of
+  /// false sharing; in serial mode there is exactly one shard holding
+  /// everything. Arrays a path does not touch (traffic accounting,
+  /// handler dispatch, send sequencing, device ownership) stay out of
+  /// the `hot` stride entirely.
+  struct node_shard {
+    std::vector<node_hot> hot;
+    std::vector<node_traffic> traffic;
+    std::vector<endpoint_handler*> handler;
     /// Monotonic per-sender packet number: the canonical cross-shard
     /// tiebreak (never reset, unlike the traffic counters).
-    std::uint64_t send_seq = 0;
+    std::vector<std::uint64_t> send_seq;
+    std::vector<std::unique_ptr<nat::nat_device>> device_owner;
   };
+
+  /// Node ids interleave across shards (id % K, matching the runtime's
+  /// shard_of) with dense per-shard slots id / K.
+  [[nodiscard]] std::size_t shard_of_node(node_id id) const noexcept {
+    return id % shard_count_;
+  }
+  [[nodiscard]] std::size_t slot_of(node_id id) const noexcept {
+    return id / shard_count_;
+  }
+  [[nodiscard]] node_hot& hot_of(node_id id) noexcept {
+    return node_shards_[shard_of_node(id)].hot[slot_of(id)];
+  }
+  [[nodiscard]] const node_hot& hot_of(node_id id) const noexcept {
+    return node_shards_[shard_of_node(id)].hot[slot_of(id)];
+  }
 
   /// Transport-wide counters, split per shard so concurrent epochs never
   /// contend (one block, index 0, in serial mode). Readers sum the
@@ -268,6 +334,34 @@ class transport {
     std::unordered_map<std::string_view, std::uint64_t> other;
   };
 
+  /// In-flight payload ownership. Delivery closures capture the payload
+  /// as a *raw* pointer — that keeps them trivially copyable (the event
+  /// queue relocates trivial captures with a memcpy) and, in shard mode,
+  /// keeps the non-atomic refcount off foreign shards entirely. The
+  /// owning reference lives here, on the *sending* peer's shard, until
+  /// the delivery time has provably passed:
+  ///  * serial: every event before the current timestamp has executed,
+  ///    so a lease with `release_at < now` is dead;
+  ///  * sharded: shards run lockstep epochs of at most `lease_window_`
+  ///    (>= the engine's window, see set_shard_router), so once the
+  ///    sending shard's clock passed `release_at + lease_window_` the
+  ///    delivery's epoch has globally completed.
+  /// Sweeps are amortized over sends; leftover leases die with the
+  /// transport (workers parked, so the refcounts are safe to touch).
+  struct payload_lease {
+    sim::sim_time release_at = 0;  ///< the delivery's scheduled time
+    payload_ptr body;
+  };
+  struct lease_list {
+    std::vector<payload_lease> items;
+    std::uint32_t sends_since_sweep = 0;
+  };
+  /// Frees every lease in `list` whose delivery has provably executed.
+  void sweep_leases(lease_list& list, sim::sim_time now);
+  /// Records the owning reference for one in-flight payload.
+  void lease_payload(std::size_t src_shard, sim::sim_time release_at,
+                     payload_ptr body, sim::sim_time now);
+
   /// O(1) routing: node i's original public IP is `public_ip_base + i + 1`
   /// by construction, so ownership is arithmetic plus one equality check
   /// (the node may have re-bound away from that address). Re-bound
@@ -276,9 +370,10 @@ class transport {
   [[nodiscard]] node_id owner_of(ip_address ip) const;
 
   /// Delivery-time path; `shard` is the executing shard (0 in serial
-  /// mode), used for clock reads and drop accounting.
+  /// mode), used for clock reads and drop accounting. `body` is borrowed
+  /// from the sender's delivery lease (see `payload_lease`).
   void deliver(std::size_t shard, node_id from, endpoint source, endpoint to,
-               const payload_ptr& body, std::size_t bytes);
+               const payload* body, std::size_t bytes);
   void count_drop(std::size_t shard, drop_reason reason);
   /// Shared rebind/migration plumbing: fresh device of `type` on a fresh
   /// public IP, all NAT state dropped, routing handed off to the new IP.
@@ -289,13 +384,23 @@ class transport {
   std::unique_ptr<latency_model> latency_;
   transport_config cfg_;
   shard_router* router_ = nullptr;  ///< null = classic serial engine
-  std::vector<node_record> nodes_;
+  std::size_t shard_count_ = 1;     ///< node_shards_.size()
+  std::size_t node_count_ = 0;
+  std::vector<node_shard> node_shards_;
+  /// Alive ids by NAT class, ascending (see alive_public/alive_natted).
+  std::vector<node_id> alive_public_;
+  std::vector<node_id> alive_natted_;
   /// Overflow routing for NATs that re-bound onto fresh (11.x) IPs.
   util::flat_hash_map<std::uint32_t, node_id> rebound_owner_;
   std::vector<std::uint8_t> partition_side_;  ///< empty = no partition
   std::uint32_t rebind_count_ = 0;  ///< rebound public IPs allocated so far
   /// One block per shard (exactly one in serial mode).
   std::vector<counter_block> counters_;
+  /// In-flight payload owners, one list per shard (see payload_lease).
+  std::vector<lease_list> leases_;
+  /// 0 in serial mode; the latency floor (>= the engine's conservative
+  /// window) in shard mode.
+  sim::sim_time lease_window_ = 0;
 };
 
 }  // namespace nylon::net

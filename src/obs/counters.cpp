@@ -14,6 +14,9 @@ std::string_view to_string(counter c) noexcept {
     case counter::pool_event_reuses: return "pool_event_reuses";
     case counter::hash_probes: return "hash_probes";
     case counter::hash_rehashes: return "hash_rehashes";
+    case counter::route_table_peak: return "route_table_peak";
+    case counter::nat_table_peak: return "nat_table_peak";
+    case counter::arena_bytes_peak: return "arena_bytes_peak";
     case counter::msg_request: return "msg_request";
     case counter::msg_response: return "msg_response";
     case counter::msg_open_hole: return "msg_open_hole";

@@ -46,6 +46,9 @@ enum class counter : std::uint8_t {
   pool_event_reuses,    ///< event-slab slots recycled off the free list
   hash_probes,          ///< flat-hash slots inspected (find + insert)
   hash_rehashes,        ///< flat-hash table growths that moved elements
+  route_table_peak,     ///< peak destinations in any one routing table (max)
+  nat_table_peak,       ///< peak entries in any one NAT device table (max)
+  arena_bytes_peak,     ///< peak bytes held by any one payload arena (max)
   msg_request,          ///< messages sent, by net::message_kind
   msg_response,
   msg_open_hole,
@@ -65,7 +68,9 @@ inline constexpr std::size_t counter_count =
 /// max instead of sum (a per-thread peak summed over threads would be
 /// meaningless).
 [[nodiscard]] constexpr bool is_peak(counter c) noexcept {
-  return c == counter::queue_peak_depth;
+  return c == counter::queue_peak_depth ||
+         c == counter::route_table_peak || c == counter::nat_table_peak ||
+         c == counter::arena_bytes_peak;
 }
 
 /// One coherent read of every counter, aggregated across all registered

@@ -177,20 +177,18 @@ punch_stat_totals scenario::punch_totals() const {
 }
 
 std::size_t scenario::alive_count() const {
-  std::size_t alive = 0;
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    if (transport_->alive(static_cast<net::node_id>(i))) ++alive;
-  }
-  return alive;
+  return transport_->alive_count();
 }
 
 std::vector<net::node_id> scenario::alive_ids() const {
+  // Merge the transport's per-class alive lists (both id-ascending) so the
+  // result keeps the id order the old full scan produced.
+  const std::span<const net::node_id> pub = transport_->alive_public();
+  const std::span<const net::node_id> nat = transport_->alive_natted();
   std::vector<net::node_id> out;
-  out.reserve(peers_.size());
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    const auto id = static_cast<net::node_id>(i);
-    if (transport_->alive(id)) out.push_back(id);
-  }
+  out.reserve(pub.size() + nat.size());
+  std::merge(pub.begin(), pub.end(), nat.begin(), nat.end(),
+             std::back_inserter(out));
   return out;
 }
 
@@ -218,10 +216,8 @@ void scenario::heal_partition() { transport_->clear_partition(); }
 std::size_t scenario::upheave_natted_fraction(
     double fraction, const std::function<void(net::node_id)>& upheave) {
   NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
-  std::vector<net::node_id> natted;
-  for (const net::node_id id : alive_ids()) {
-    if (nat::is_natted(transport_->type_of(id))) natted.push_back(id);
-  }
+  const std::span<const net::node_id> alive = transport_->alive_natted();
+  const std::vector<net::node_id> natted(alive.begin(), alive.end());
   const auto take = static_cast<std::size_t>(
       std::lround(fraction * static_cast<double>(natted.size())));
   const std::vector<std::size_t> picks =
@@ -266,20 +262,22 @@ net::node_id scenario::add_peer(std::optional<nat::nat_type> type) {
 
   // Bootstrap with up to view_size alive public peers (fallback: any
   // alive peer), like the initial §5 bootstrap but against the current
-  // population.
+  // population. The transport's alive lists already include the joiner
+  // itself (add_node above); as the freshest id it sits at its list's
+  // tail, so excluding it — the old scan stopped before it — is a pop.
   std::vector<gossip::view_entry> seeds;
-  std::vector<net::node_id> candidates;
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    const auto other = static_cast<net::node_id>(i);
-    if (!transport_->alive(other)) continue;
-    if (nat::is_natted(transport_->type_of(other))) continue;
-    candidates.push_back(other);
-  }
+  const auto without_self = [id](std::span<const net::node_id> list) {
+    if (!list.empty() && list.back() == id) list = list.first(list.size() - 1);
+    return list;
+  };
+  const std::span<const net::node_id> pub =
+      without_self(transport_->alive_public());
+  std::vector<net::node_id> candidates(pub.begin(), pub.end());
   if (candidates.empty()) {
-    for (std::size_t i = 0; i < peers_.size(); ++i) {
-      const auto other = static_cast<net::node_id>(i);
-      if (transport_->alive(other)) candidates.push_back(other);
-    }
+    const std::span<const net::node_id> nat =
+        without_self(transport_->alive_natted());
+    std::merge(pub.begin(), pub.end(), nat.begin(), nat.end(),
+               std::back_inserter(candidates));
   }
   const std::vector<std::size_t> picks = rng_.sample_indices(
       candidates.size(),
@@ -299,17 +297,11 @@ net::node_id scenario::add_peer(std::optional<nat::nat_type> type) {
 
 std::size_t scenario::remove_fraction(double fraction) {
   NYLON_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
-  std::vector<net::node_id> alive_public;
-  std::vector<net::node_id> alive_natted;
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    const auto id = static_cast<net::node_id>(i);
-    if (!transport_->alive(id)) continue;
-    if (nat::is_natted(transport_->type_of(id))) {
-      alive_natted.push_back(id);
-    } else {
-      alive_public.push_back(id);
-    }
-  }
+  // Snapshots: remove_peer mutates the transport's lists mid-loop.
+  const std::span<const net::node_id> pub = transport_->alive_public();
+  const std::span<const net::node_id> nat = transport_->alive_natted();
+  std::vector<net::node_id> alive_public(pub.begin(), pub.end());
+  std::vector<net::node_id> alive_natted(nat.begin(), nat.end());
   // Proportional removal across the two classes (Fig. 10's setup).
   std::size_t removed = 0;
   for (auto* group : {&alive_public, &alive_natted}) {

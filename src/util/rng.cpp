@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/flat_hash.h"
+
 namespace nylon::util {
 
 namespace {
@@ -86,15 +88,29 @@ double rng::normal01() noexcept {
 
 std::vector<std::size_t> rng::sample_indices(std::size_t n, std::size_t k) {
   NYLON_EXPECTS(k <= n);
-  // Partial Fisher-Yates over an index vector: O(n) setup, exact sampling.
-  std::vector<std::size_t> all(n);
-  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Sparse partial Fisher-Yates: draw-for-draw and output-for-output
+  // identical to shuffling a dense 0..n-1 index vector (same
+  // uniform(0, n-1-i) sequence, same swaps), but only the displaced
+  // positions are materialized. A call is O(k) instead of O(n), which
+  // matters because callers pass n = population: bootstrap samples a
+  // view per peer, so the dense form made 1M-peer universe
+  // construction quadratic (tens of minutes); this form keeps it
+  // linear. Do not change the draw pattern — it is digest-pinned.
+  std::vector<std::size_t> out(k);
+  flat_hash_map<std::size_t, std::size_t> displaced;  // position -> value
+  displaced.reserve(2 * k);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(uniform(0, n - 1 - i));
-    std::swap(all[i], all[j]);
+    const std::size_t* at_j = displaced.find(j);
+    out[i] = at_j != nullptr ? *at_j : j;
+    // Position i is never revisited (future j >= i+1), so only j needs
+    // the displaced value that a dense swap would have left there.
+    if (j != i) {
+      const std::size_t* at_i = displaced.find(i);
+      displaced.insert_or_get(j) = at_i != nullptr ? *at_i : i;
+    }
   }
-  all.resize(k);
-  return all;
+  return out;
 }
 
 }  // namespace nylon::util

@@ -99,7 +99,7 @@ TEST(arrg_peer, ignores_nylon_control_messages) {
   ping.src = a.self();
   ping.dest = b.self();
   w.transport.send(a.id(), w.transport.advertised_endpoint(b.id()),
-                   make_message(std::move(ping)));
+                   make_message(ping));
   w.sched.run_for(sim::millis(200));
   EXPECT_EQ(b.stats().requests_received, 0u);
   EXPECT_EQ(w.transport.traffic(b.id()).msgs_sent, 0u);  // no PONG

@@ -64,9 +64,10 @@ class nylon_world {
     msg.sender = from.self();
     msg.src = from.self();
     msg.dest = to.self();
-    msg.entries = {view_entry{from.self(), 0, sim::seconds(90)}};
+    const view_entry buffer[] = {view_entry{from.self(), 0, sim::seconds(90)}};
+    msg.entries = buffer;
     transport_.send(from.id(), transport_.advertised_endpoint(to.id()),
-                    make_message(std::move(msg)));
+                    make_message(msg));
     settle();
   }
 
@@ -77,7 +78,7 @@ class nylon_world {
     ping.src = from.self();
     ping.dest = to.self();
     transport_.send(from.id(), transport_.advertised_endpoint(to.id()),
-                    make_message(std::move(ping)));
+                    make_message(ping));
   }
 
   void bootstrap_and_start() {
@@ -175,7 +176,7 @@ TEST(nylon_peer, figure5_chain_reenactment) {
   const auto hop = n4.routes().next_rvp(n1.id(), w.sched_.now());
   ASSERT_TRUE(hop.has_value());
   w.send_ping(n4, n1);  // line 11-12: open n4's own hole first
-  w.transport_.send(n4.id(), hop->address, make_message(std::move(open)));
+  w.transport_.send(n4.id(), hop->address, make_message(open));
   w.settle();
 
   // The OPEN_HOLE arrived at n1 after exactly two forwarders (n3, n2).
@@ -200,7 +201,7 @@ TEST(nylon_peer, open_hole_without_route_is_dropped) {
   open.src = a.self();
   open.dest = c.self();
   w.transport_.send(a.id(), w.transport_.advertised_endpoint(b.id()),
-                    make_message(std::move(open)));
+                    make_message(open));
   w.settle();
   EXPECT_EQ(b.stats().forward_drops, 1u);
   EXPECT_EQ(c.nat_stats().punch_chain_hops.count(), 0u);

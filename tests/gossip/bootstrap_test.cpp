@@ -114,7 +114,8 @@ TEST(messages, wire_sizes) {
   m.kind = message_kind::ping;
   EXPECT_EQ(m.wire_size(), message_header_bytes);
   m.kind = message_kind::request;
-  m.entries.resize(16);
+  const std::vector<view_entry> buffer(16);
+  m.entries = buffer;
   EXPECT_EQ(m.wire_size(), message_header_bytes + 16 * entry_wire_bytes);
 }
 

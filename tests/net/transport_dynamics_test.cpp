@@ -31,7 +31,7 @@ class recorder final : public endpoint_handler {
   std::vector<datagram> received;
 };
 
-payload_ptr body() { return std::make_shared<const test_payload>(); }
+payload_ptr body() { return make_payload<test_payload>(); }
 
 class transport_dynamics_test : public ::testing::Test {
  protected:

@@ -42,7 +42,7 @@ class transport_test : public ::testing::Test {
                    std::make_unique<fixed_latency>(sim::millis(50))) {}
 
   payload_ptr body(std::size_t size = 100) {
-    return std::make_shared<const test_payload>(size);
+    return make_payload<test_payload>(size);
   }
 
   sim::scheduler sched_;
@@ -255,7 +255,7 @@ TEST_F(transport_test, loss_rate_drops_messages) {
   const node_id ida = lossy.add_node(nat::nat_type::open, a);
   const node_id idb = lossy.add_node(nat::nat_type::open, b);
   lossy.send(ida, lossy.advertised_endpoint(idb),
-             std::make_shared<const test_payload>());
+             make_payload<test_payload>());
   sched.run_for(sim::millis(10));
   EXPECT_TRUE(b.received.empty());
   EXPECT_EQ(lossy.drops(drop_reason::random_loss), 1u);
