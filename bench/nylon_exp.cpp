@@ -47,6 +47,13 @@ int main(int argc, char** argv) {
       "byte-identical for every K)");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
+  const auto* transport = flags.add_string(
+      "transport", "sim",
+      "datagram carrier: sim | sim-frames (serialized frames in-sim, "
+      "byte-identical digests) | udp (real loopback sockets)");
+  const auto* udp_time_scale = flags.add_double(
+      "udp-time-scale", 0.0,
+      "udp pacing in wall seconds per simulated second (0 = default 0.02)");
   const auto* latency_model = flags.add_string(
       "latency-model", "fixed",
       "one-way delay distribution: fixed | uniform | lognormal");
@@ -70,6 +77,8 @@ int main(int argc, char** argv) {
       "validate", false, "parse and validate the spec, then exit");
   const auto* list_probes =
       flags.add_bool("list-probes", false, "list the probe registry");
+  const auto* list_transports = flags.add_bool(
+      "list-transports", false, "list transport backends and constraints");
   const auto* help = flags.add_bool("help", false, "print usage");
 
   const std::string usage_name = "nylon_exp <spec.json>";
@@ -89,6 +98,23 @@ int main(int argc, char** argv) {
       std::cout << p.name << "  [" << metrics::to_string(p.kind) << "]\n"
                 << "    " << p.description << "\n";
     }
+    return 0;
+  }
+  if (*list_transports) {
+    std::cout
+        << "sim  [default]\n"
+        << "    in-memory payload structs through the event queue; the\n"
+        << "    golden-digest-pinned engine (serial or --shards K)\n"
+        << "sim-frames\n"
+        << "    every datagram rides as its serialized v1 wire frame,\n"
+        << "    decoded before dispatch; state digests byte-identical\n"
+        << "    to sim (serial or --shards K)\n"
+        << "udp\n"
+        << "    real nonblocking UDP sockets on loopback, one per\n"
+        << "    simulated public endpoint; wall-clock paced via\n"
+        << "    --udp-time-scale. Constraints: --shards 0 (serial\n"
+        << "    engine only), runs in real time, timing-dependent (its\n"
+        << "    own stream, no digest pins)\n";
     return 0;
   }
   if (positional.size() != 1) {
@@ -111,6 +137,23 @@ int main(int argc, char** argv) {
               << flags.usage(usage_name);
     return 1;
   }
+  if (*transport != "sim" && *transport != "sim-frames" && *transport != "udp") {
+    std::cerr << "--transport must be sim, sim-frames or udp "
+                 "(see --list-transports)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
+  if (*transport == "udp" && *shards != 0) {
+    std::cerr << "--transport udp requires --shards 0 (serial engine; "
+                 "see --list-transports)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
+  if (*udp_time_scale < 0) {
+    std::cerr << "--udp-time-scale must be >= 0 (0 = default)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
 
   runtime::spec_options opt;
   opt.peers = static_cast<std::size_t>(*n);
@@ -123,6 +166,8 @@ int main(int argc, char** argv) {
   opt.threads = static_cast<int>(*threads);
   opt.shards = static_cast<std::size_t>(*shards);
   opt.json = *json;
+  opt.transport = *transport;
+  opt.udp_time_scale = *udp_time_scale;
   opt.latency_model = *latency_model;
   opt.latency_ms = *latency_ms;
   opt.latency_max_ms = *latency_max_ms;

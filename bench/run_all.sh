@@ -33,7 +33,7 @@ mkdir -p "$OUT_DIR"
 SPEC_BENCHES="fig2_partition fig3_stale fig4_randomness fig7_bandwidth \
 fig8_load_balance fig9_rvp_chain fig10_churn table1_traversal \
 sec5_correctness ablation_protocols ablation_ttl latency_sensitivity \
-churn_recovery"
+churn_recovery udp_smoke"
 
 status=0
 for spec in $SPEC_BENCHES; do

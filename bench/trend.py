@@ -12,11 +12,12 @@ Files are ordered by modification time (oldest first) unless given
 explicitly, in which case argument order is kept.
 
 Sweep documents (bench_scale --sweep-shards) expand into one row per
-shard count, and the regression gate runs *per shard count*: for every K
-present in the newest document, the newest events/s for that K is held
-against the best events/s ever recorded for the same K. A serial-engine
-improvement can therefore never mask a sharded-engine regression (and
-vice versa). Exits non-zero when any K in the newest run is more than
+shard count, and the regression gate runs *per (transport, shard count)*:
+for every combination present in the newest document, the newest events/s
+is held against the best ever recorded for the same combination. A
+serial-engine improvement can therefore never mask a sharded-engine
+regression (and vice versa), and a wall-clock-paced udp run can neither
+shadow nor be judged by a sim run's throughput. Exits non-zero when any K in the newest run is more than
 --threshold percent below its per-K best; with a single file it just
 prints the rows.
 """
@@ -69,11 +70,17 @@ def load_rows(path):
     # Telemetry (PR 6) is optional: older artifacts and serial runs have
     # no profile block, and must keep loading without one.
     profile = doc.get("telemetry", {}).get("profile", {})
+    # Non-sim runs mark their carrier (PR 8); older artifacts are all sim.
+    # udp runs are wall-clock paced, so their events/s must never be
+    # compared against (or shadow the best of) a sim run — the gate keys
+    # on (transport, shards).
+    transport = doc.get("transport") or params.get("transport") or "sim"
 
     def row(shards, entry, imbalance, barrier):
         return {
             "path": path,
             "n": params.get("n"),
+            "transport": transport,
             "shards": shards,
             "events": entry.get("events_executed"),
             "events_per_sec": entry.get("events_per_sec"),
@@ -119,19 +126,19 @@ def main():
         print("no usable BENCH_scale documents found", file=sys.stderr)
         return 1
 
-    header = (f"{'run':<40} {'n':>8} {'K':>3} {'events':>12} {'events/s':>12} "
-              f"{'vs best':>9} {'imbal':>7} {'barrier':>8}")
+    header = (f"{'run':<40} {'n':>8} {'carrier':>10} {'K':>3} {'events':>12} "
+              f"{'events/s':>12} {'vs best':>9} {'imbal':>7} {'barrier':>8}")
     print(header)
     print("-" * len(header))
     best_by_k = {}
     for row in rows:
         eps = row["events_per_sec"] or 0.0
-        k = row["shards"]
+        k = (row["transport"], row["shards"])
         if eps > best_by_k.get(k, 0.0):
             best_by_k[k] = eps
     for row in rows:
         eps = row["events_per_sec"] or 0.0
-        best = best_by_k.get(row["shards"], 0.0)
+        best = best_by_k.get((row["transport"], row["shards"]), 0.0)
         vs_best = f"{100.0 * (eps / best - 1.0):+8.1f}%" if best else "        -"
         label = os.path.relpath(row["path"])
         if len(label) > 40:
@@ -141,20 +148,22 @@ def main():
                  if row["imbalance"] is not None else f"{'-':>7}")
         barrier = (f"{row['barrier_overhead_pct']:>7.1f}%"
                    if row["barrier_overhead_pct"] is not None else f"{'-':>8}")
-        print(f"{label:<40} {row['n'] or 0:>8} {k:>3} {row['events'] or 0:>12} "
-              f"{eps:>12.0f} {vs_best} {imbal} {barrier}")
+        print(f"{label:<40} {row['n'] or 0:>8} {row['transport']:>10} {k:>3} "
+              f"{row['events'] or 0:>12} {eps:>12.0f} {vs_best} {imbal} "
+              f"{barrier}")
 
     if args.threshold > 0:
         failed = False
         for row in (r for r in rows if r["path"] == newest_path):
             eps = row["events_per_sec"] or 0.0
-            best = best_by_k.get(row["shards"], 0.0)
+            best = best_by_k.get((row["transport"], row["shards"]), 0.0)
             if best <= 0:
                 continue
             drop = 100.0 * (1.0 - eps / best)
             if drop > args.threshold:
-                print(f"REGRESSION: newest run at K={row['shards']} is "
-                      f"{drop:.1f}% below the best for that shard count "
+                print(f"REGRESSION: newest run at transport="
+                      f"{row['transport']} K={row['shards']} is "
+                      f"{drop:.1f}% below the best for that combination "
                       f"({eps:.0f} vs {best:.0f} events/s)", file=sys.stderr)
                 failed = True
         if failed:

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "net/address.h"
@@ -41,6 +42,8 @@ enum class message_kind : std::uint8_t {
   return "?";
 }
 
+class frame_payload;
+
 /// Base class of everything that can ride inside a simulated UDP datagram.
 class payload {
  public:
@@ -58,12 +61,52 @@ class payload {
   [[nodiscard]] virtual message_kind wire_kind() const noexcept {
     return message_kind::other;
   }
+
+  /// Non-null iff this payload is a serialized frame (raw bytes) rather
+  /// than an in-memory protocol struct. The transport uses it to decode
+  /// before dispatching to a handler.
+  [[nodiscard]] virtual const frame_payload* as_frame() const noexcept {
+    return nullptr;
+  }
+};
+
+/// A payload that is a serialized byte frame. Its wire_size()/wire_kind()
+/// must report the *encoded message's* nominal size and kind so that
+/// bandwidth accounting is invariant under serialization.
+class frame_payload : public payload {
+ public:
+  /// The serialized frame (header + body).
+  [[nodiscard]] virtual std::span<const std::byte> bytes() const noexcept = 0;
+
+  [[nodiscard]] const frame_payload* as_frame() const noexcept final {
+    return this;
+  }
 };
 
 /// Payloads are immutable, arena-allocated and intrusively refcounted;
 /// shared between the in-flight datagram's delivery lease and any
 /// sender-side bookkeeping (pending-request buffers).
 using payload_ptr = arena_ref<const payload>;
+
+/// Serializer installed on a transport that carries real bytes
+/// (sim-frames mode, the UDP backend). Implemented by wire/codec.cpp;
+/// declared here so net/ stays independent of the wire/ and gossip/
+/// layers.
+class frame_codec {
+ public:
+  virtual ~frame_codec() = default;
+
+  /// Serializes a protocol payload into a frame_payload (arena block
+  /// holding header + body bytes). Precondition: the codec recognizes
+  /// the payload's concrete type.
+  [[nodiscard]] virtual payload_ptr encode(const payload& body) const = 0;
+
+  /// Parses a frame back into the protocol payload it encodes, or null
+  /// if the bytes are malformed (typed errors live on the concrete
+  /// codec's decode entry point).
+  [[nodiscard]] virtual payload_ptr decode(
+      std::span<const std::byte> bytes) const = 0;
+};
 
 /// A delivered datagram, as the receiving socket sees it: the source is
 /// the post-NAT translated endpoint (what a real socket's recvfrom yields).

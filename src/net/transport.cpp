@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/transport_backend.h"
 #include "obs/counters.h"
 #include "util/contracts.h"
 
@@ -65,8 +66,27 @@ transport::transport(sim::scheduler& sched, util::rng& rng,
   rebound_owner_.reserve(1024);
 }
 
+void transport::set_codec(const frame_codec* codec) {
+  NYLON_EXPECTS(node_count_ == 0);
+  codec_ = codec;
+}
+
+void transport::set_backend(transport_backend* backend) {
+  NYLON_EXPECTS(node_count_ == 0);
+  NYLON_EXPECTS(backend == nullptr || router_ == nullptr);
+  backend_ = backend;
+}
+
+void transport::deliver_inbound(node_id from, const endpoint& source,
+                                const endpoint& to, const payload* body,
+                                std::size_t bytes) {
+  NYLON_EXPECTS(backend_ != nullptr);
+  deliver(0, from, source, to, body, bytes);
+}
+
 void transport::set_shard_router(shard_router* router) {
   NYLON_EXPECTS(node_count_ == 0);
+  NYLON_EXPECTS(router == nullptr || backend_ == nullptr);
   router_ = router;
   shard_count_ = router_ != nullptr ? router_->shard_count() : 1;
   counters_.clear();
@@ -117,6 +137,7 @@ node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
   // Ids are handed out in increasing order, so appending keeps the class
   // lists sorted without a search.
   (nat::is_natted(type) ? alive_natted_ : alive_public_).push_back(id);
+  if (backend_ != nullptr) backend_->on_public_ip(id, public_ip);
   return id;
 }
 
@@ -182,6 +203,7 @@ endpoint transport::replace_device(node_id id, nat::nat_type type) {
   hot.advertised = device->advertised_endpoint(hot.private_ep);
   node_shards_[shard_of_node(id)].device_owner[slot_of(id)] =
       std::move(device);
+  if (backend_ != nullptr) backend_->on_public_ip(id, new_ip);
   return hot.advertised;
 }
 
@@ -249,6 +271,19 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
     return;
   }
   const sim::sim_time delay = latency_->sample(rng);
+  if (backend_ != nullptr) {
+    // Real-socket mode: the backend owns the in-flight leg — it
+    // serializes the payload onto an OS socket and calls
+    // deliver_inbound() when the bytes come back, so no lease or
+    // scheduler event is needed.
+    backend_->ship(from, source_ep, to, std::move(body), bytes, now, delay);
+    return;
+  }
+  // Frames mode: the datagram flies as its serialized bytes. Encode
+  // happens here — after every accounting update and rng draw, on the
+  // sending shard's thread — and consumes neither, which is why state
+  // digests stay byte-identical to the struct-carrying path.
+  if (codec_ != nullptr) body = codec_->encode(*body);
   // The closure borrows the payload; the owning reference goes into the
   // sender's lease list (see payload_lease in the header). Raw-pointer
   // captures keep every delivery closure trivially copyable.
@@ -341,6 +376,20 @@ void transport::deliver(std::size_t shard, node_id from, endpoint source,
   node_traffic& traffic = dst_nodes.traffic[dst_slot];
   traffic.bytes_received += bytes;
   ++traffic.msgs_received;
+  // Frames mode: parse the wire bytes back into a protocol payload
+  // before dispatch. The decoded block is born and dies on this
+  // (destination) shard's thread, honoring the arena sharing contract;
+  // the handler borrows it exactly like any other body.
+  payload_ptr decoded;
+  if (const frame_payload* frame = body->as_frame()) {
+    NYLON_ENSURES(codec_ != nullptr);
+    decoded = codec_->decode(frame->bytes());
+    // A frame the transport itself encoded can only fail to parse if
+    // memory corrupted in flight — a simulator bug, not a protocol
+    // event, hence a contract instead of a drop_reason.
+    NYLON_ENSURES(decoded != nullptr);
+    body = decoded.get();
+  }
   dst_nodes.handler[dst_slot]->on_datagram(datagram{source, to, body});
 }
 

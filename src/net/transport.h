@@ -27,6 +27,8 @@
 
 namespace nylon::net {
 
+class transport_backend;
+
 /// A bound socket: receives datagrams addressed (post-NAT) to its owner.
 class endpoint_handler {
  public:
@@ -272,6 +274,34 @@ class transport {
     return cfg_;
   }
 
+  // --- wire backends ----------------------------------------------------------
+
+  /// Installs a serializer (or clears it, with nullptr): every datagram
+  /// then flies as its encoded frame — serialized when it enters flight,
+  /// parsed back right before handler dispatch — so protocol handlers
+  /// only ever see round-tripped bytes. Encode happens after all
+  /// accounting and rng draws and consumes neither, so state digests are
+  /// byte-identical to the struct-carrying path (the sim-frames
+  /// contract; see DESIGN.md). Works in serial and shard mode: frames
+  /// are encoded on the sending shard and decoded on the destination
+  /// shard. Install before any node is added.
+  void set_codec(const frame_codec* codec);
+
+  /// Installs a real-socket backend (or clears it, with nullptr): after
+  /// NAT translation, accounting, and the loss/latency draws, in-flight
+  /// datagrams are handed to `backend` instead of the scheduler; the
+  /// backend calls deliver_inbound() when bytes arrive. Serial engine
+  /// only (real sockets cannot honor the sharded epoch barriers).
+  /// Install before any node is added.
+  void set_backend(transport_backend* backend);
+
+  /// Inbound entry point for backends: runs the delivery-time path (NAT
+  /// filtering, partition check, liveness, handler dispatch) for one
+  /// datagram that arrived from the wire.
+  void deliver_inbound(node_id from, const endpoint& source,
+                       const endpoint& to, const payload* body,
+                       std::size_t bytes);
+
  private:
   /// Per-node metadata the send/deliver fast path reads, packed into one
   /// 32-byte record so two nodes share a cache line (the old all-in-one
@@ -384,6 +414,10 @@ class transport {
   std::unique_ptr<latency_model> latency_;
   transport_config cfg_;
   shard_router* router_ = nullptr;  ///< null = classic serial engine
+  /// Real-socket carrier for the in-flight leg (null = scheduler events).
+  transport_backend* backend_ = nullptr;
+  /// Frame serializer (null = payload structs fly as-is).
+  const frame_codec* codec_ = nullptr;
   std::size_t shard_count_ = 1;     ///< node_shards_.size()
   std::size_t node_count_ = 0;
   std::vector<node_shard> node_shards_;

@@ -1,0 +1,42 @@
+// Pluggable carrier for the in-flight leg of a datagram's journey.
+//
+// The transport always owns the *protocol-visible* parts of a send: NAT
+// translation, bandwidth accounting, loss and latency draws, and the
+// delivery-time path (NAT filtering, liveness, partition checks,
+// handler dispatch). A backend takes over what happens in between —
+// how a datagram physically travels from its post-NAT source endpoint
+// to the destination. The default (no backend) flight is a scheduler
+// event; net/udp_backend.h ships real datagrams over loopback sockets.
+#pragma once
+
+#include <cstddef>
+
+#include "net/address.h"
+#include "net/message.h"
+#include "net/node_id.h"
+#include "sim/time.h"
+
+namespace nylon::net {
+
+class transport_backend {
+ public:
+  virtual ~transport_backend() = default;
+
+  /// A node gained a public-facing IP: called once per node at add_node
+  /// (for natted nodes, with the NAT box's IP) and again on every NAT
+  /// rebind/migration with the fresh address. Backends map sim IPs to
+  /// real sockets here.
+  virtual void on_public_ip(node_id id, ip_address public_ip) = 0;
+
+  /// Carries one datagram. Called by transport::send after translation,
+  /// accounting, and the loss/latency draws; the backend must arrange
+  /// for transport::deliver_inbound to run `delay` after `send_time`
+  /// (in simulated time) with this datagram's fields. Takes ownership
+  /// of `body`; `bytes` is the accounted wire size (UDP header +
+  /// payload).
+  virtual void ship(node_id from, const endpoint& source, const endpoint& to,
+                    payload_ptr body, std::size_t bytes,
+                    sim::sim_time send_time, sim::sim_time delay) = 0;
+};
+
+}  // namespace nylon::net

@@ -4,6 +4,15 @@
 
 namespace nylon::runtime {
 
+std::string_view to_string(transport_kind k) noexcept {
+  switch (k) {
+    case transport_kind::sim: return "sim";
+    case transport_kind::sim_frames: return "sim-frames";
+    case transport_kind::udp: return "udp";
+  }
+  return "?";
+}
+
 void experiment_config::validate() const {
   NYLON_EXPECTS(peer_count >= 2);
   NYLON_EXPECTS(natted_fraction >= 0.0 && natted_fraction <= 1.0);
@@ -27,6 +36,12 @@ void experiment_config::validate() const {
     // allow same-epoch cross-shard causality. (lognormal clamps to 1 ms.)
     NYLON_EXPECTS(latency >= 1);
     NYLON_EXPECTS(shards <= 1024);
+  }
+  NYLON_EXPECTS(udp_time_scale > 0.0);
+  if (transport == transport_kind::udp) {
+    // Real sockets drive the serial engine's scheduler directly; the
+    // sharded epoch barriers cannot pace a kernel.
+    NYLON_EXPECTS(shards == 0);
   }
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "core/peer_factory.h"
 #include "gossip/policies.h"
@@ -10,6 +11,18 @@
 #include "sim/time.h"
 
 namespace nylon::runtime {
+
+/// How datagrams physically travel between peers.
+enum class transport_kind : std::uint8_t {
+  sim,         ///< in-memory payload structs through the event queue
+  sim_frames,  ///< serialized wire frames through the event queue
+               ///< (byte-identical digests to `sim` — the round trip is
+               ///< lossless and encode/decode consume no randomness)
+  udp,         ///< real loopback UDP sockets, wall-clock paced
+               ///< (serial engine only; its own timing stream)
+};
+
+[[nodiscard]] std::string_view to_string(transport_kind k) noexcept;
 
 /// Configuration of one experiment run (one seed).
 struct experiment_config {
@@ -51,6 +64,11 @@ struct experiment_config {
   /// serial engine's — see DESIGN.md "Sharded determinism contract").
   /// Requires a latency model with min_delay() >= 1 ms.
   std::size_t shards = 0;
+  /// Which carrier moves the datagrams (see transport_kind). `udp`
+  /// requires shards == 0.
+  transport_kind transport = transport_kind::sim;
+  /// UDP pacing: wall seconds per simulated second (net/udp_backend.h).
+  double udp_time_scale = 0.02;
 
   /// Throws nylon::contract_error on invalid combinations.
   void validate() const;

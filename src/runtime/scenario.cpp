@@ -8,6 +8,7 @@
 #include "gossip/bootstrap.h"
 #include "net/latency.h"
 #include "util/contracts.h"
+#include "wire/codec.h"
 
 namespace nylon::runtime {
 
@@ -50,6 +51,25 @@ scenario::scenario(const experiment_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
   transport_ = std::make_unique<net::transport>(sched_, rng_,
                                                 std::move(latency), tcfg);
   if (shards_ != nullptr) transport_->set_shard_router(this);
+  switch (cfg_.transport) {
+    case transport_kind::sim:
+      break;
+    case transport_kind::sim_frames:
+      // Every datagram flies as its serialized frame, decoded right
+      // before dispatch. Encode/decode happen outside all accounting
+      // and rng draws, so digests stay byte-identical to plain sim
+      // (pinned by tests/wire/frames_digest_test).
+      transport_->set_codec(&wire::gossip_codec());
+      break;
+    case transport_kind::udp: {
+      net::udp_backend::config ucfg;
+      ucfg.time_scale = cfg_.udp_time_scale;
+      udp_ = std::make_unique<net::udp_backend>(
+          *transport_, sched_, wire::gossip_codec(), ucfg);
+      transport_->set_backend(udp_.get());
+      break;
+    }
+  }
 
   // Control-plane construction draws (type assignment, bootstrap, timer
   // phases) use the shared stream in both engines, so a sharded universe
@@ -129,6 +149,12 @@ void scenario::run_periods(std::int64_t periods) {
 }
 
 void scenario::run_until(sim::sim_time deadline) {
+  if (udp_ != nullptr) {
+    // Real-socket mode: the backend owns the clock (wall-paced), the
+    // sockets, and the scheduler advance.
+    udp_->run_until(deadline);
+    return;
+  }
   if (shards_ == nullptr) {
     sched_.run_until(deadline);
     return;

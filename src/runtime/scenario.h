@@ -26,6 +26,7 @@
 #include "gossip/peer.h"
 #include "metrics/reachability.h"
 #include "net/transport.h"
+#include "net/udp_backend.h"
 #include "runtime/experiment_config.h"
 #include "sim/scheduler.h"
 #include "sim/shard_engine.h"
@@ -143,6 +144,12 @@ class scenario : private net::shard_router {
   /// True when running on the sharded engine.
   [[nodiscard]] bool sharded() const noexcept { return shards_ != nullptr; }
 
+  /// The real-socket backend, non-null iff config.transport == udp
+  /// (wire-level telemetry: socket count, datagrams, jitter).
+  [[nodiscard]] const net::udp_backend* udp() const noexcept {
+    return udp_.get();
+  }
+
   /// The shard engine's per-shard work/wait profile (obs/profile.h).
   /// Empty in serial mode and in NYLON_OBS=0 builds.
   [[nodiscard]] obs::epoch_profile shard_profile() const;
@@ -191,6 +198,8 @@ class scenario : private net::shard_router {
   /// Per-peer rng streams (shard mode; deque for reference stability).
   std::deque<util::rng> peer_rngs_;
   std::unique_ptr<net::transport> transport_;
+  /// Real-socket carrier; null unless config.transport == udp.
+  std::unique_ptr<net::udp_backend> udp_;
   std::vector<std::unique_ptr<gossip::peer>> peers_;
 };
 

@@ -217,6 +217,24 @@ std::string apply_setting(experiment_config& cfg, const std::string& key,
     cfg.shards = count_token(key, token, opt);
     return token;
   }
+  if (key == "transport") {
+    if (token == "sim") {
+      cfg.transport = transport_kind::sim;
+    } else if (token == "sim-frames") {
+      cfg.transport = transport_kind::sim_frames;
+    } else if (token == "udp") {
+      cfg.transport = transport_kind::udp;
+    } else {
+      bad("unknown transport \"" + token + "\" (sim | sim-frames | udp)");
+    }
+    return token;
+  }
+  if (key == "udp_time_scale") {
+    const double v = numeric_token(key, token, opt);
+    if (v <= 0) bad("\"udp_time_scale\" must be positive");
+    cfg.udp_time_scale = v;
+    return token;
+  }
   bad("unknown config key \"" + key + "\"");
 }
 
@@ -1700,8 +1718,16 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     base_cfg.latency = sim::millis(eff.latency_ms);
     base_cfg.latency_max = sim::millis(eff.latency_max_ms);
     base_cfg.latency_sigma = eff.latency_sigma;
+    apply_setting(base_cfg, "transport", eff.transport, eff);
+    if (eff.udp_time_scale > 0) base_cfg.udp_time_scale = eff.udp_time_scale;
     for (const auto& [key, token] : spec.base) {
       apply_or_var(base_cfg, base_vars, base_params, key, token);
+    }
+    // BENCH docs carry the transport so bench/trend.py can key trends on
+    // it (sim and udp numbers must never mix); omitted for plain sim
+    // runs so every pre-existing document stays byte-identical.
+    if (base_cfg.transport != transport_kind::sim) {
+      report.add("transport", std::string(to_string(base_cfg.transport)));
     }
 
     // Measurement plan of the shared-run ("probes") mode.

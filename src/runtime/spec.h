@@ -217,6 +217,8 @@ struct spec_options {
   int threads = 0;          ///< seed-level parallelism (0 = all cores)
   std::size_t shards = 0;   ///< per-universe shards (0 = serial engine)
   std::string json;         ///< write BENCH_*.json here ("" = off)
+  std::string transport = "sim";  ///< sim | sim-frames | udp
+  double udp_time_scale = 0.0;    ///< udp pacing (0 = config default)
   std::string latency_model = "fixed";  ///< fixed | uniform | lognormal
   std::int64_t latency_ms = 50;
   std::int64_t latency_max_ms = 50;

@@ -1,0 +1,100 @@
+// Symmetric encode/decode between gossip messages and v1 wire frames.
+//
+// Body layout (after the 12-byte frame header; integers little-endian):
+//
+//   kind       u8   echoes the header kind (cheap cross-check)
+//   sender     descriptor
+//   src        descriptor
+//   dest       descriptor
+//   count      u16  number of view entries
+//   hops       u8
+//   entries    count * entry
+//
+//   descriptor = id u32, ip u32, port u16*, nat_type u8, pad u8 (0)
+//   entry      = descriptor, age u16*, route_ttl u16*
+//
+// Fields marked * widen to u32 when the frame's matching wide flag is
+// set (wire/frame.h). With no flags set the body is exactly
+// gossip_message::wire_size() bytes — the frame-size honesty contract
+// that keeps bandwidth accounting equal to real bytes; encode() asserts
+// it on every frame.
+//
+// Arena ownership: encode() returns the frame as a payload in its own
+// arena block (bytes co-allocated behind the encoded_frame object), so
+// a frame rides the transport's delivery leases exactly like any other
+// payload. decode() builds a fresh gossip_message block via
+// gossip::make_message; the caller owns the only reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "gossip/messages.h"
+#include "net/message.h"
+#include "net/payload_arena.h"
+#include "wire/frame.h"
+
+namespace nylon::wire {
+
+/// A serialized frame as an arena payload. `wire_size()` and
+/// `wire_kind()` report the *inner* message's nominal size and kind, so
+/// transport accounting is invariant under serialization (the frame
+/// header is simulator overhead, not protocol bytes — DESIGN.md).
+class encoded_frame final : public net::frame_payload {
+ public:
+  [[nodiscard]] std::size_t wire_size() const noexcept override {
+    return nominal_size_;
+  }
+  [[nodiscard]] std::string_view type_name() const noexcept override {
+    return net::to_string(kind_);
+  }
+  [[nodiscard]] net::message_kind wire_kind() const noexcept override {
+    return kind_;
+  }
+  /// The full frame: header + body.
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept override {
+    return {reinterpret_cast<const std::byte*>(this + 1), frame_bytes_};
+  }
+
+  encoded_frame(net::message_kind kind, std::uint32_t nominal_size,
+                std::uint32_t frame_bytes) noexcept
+      : kind_(kind), nominal_size_(nominal_size), frame_bytes_(frame_bytes) {}
+
+ private:
+  net::message_kind kind_;
+  std::uint32_t nominal_size_;
+  std::uint32_t frame_bytes_;
+};
+
+/// The flags `msg` needs for a lossless encoding (wire/frame.h).
+[[nodiscard]] std::uint8_t frame_flags_for(
+    const gossip::gossip_message& msg) noexcept;
+
+/// Body bytes of `msg`'s canonical encoding (honors its wide flags).
+[[nodiscard]] std::size_t encoded_body_size(
+    const gossip::gossip_message& msg) noexcept;
+
+/// Serializes `msg` into a checksummed frame in one arena block.
+/// Contracts: entry count <= u16, body <= max_body_bytes, every
+/// route_ttl in [0, u32 max].
+[[nodiscard]] net::arena_ref<const encoded_frame> encode(
+    const gossip::gossip_message& msg);
+
+/// decode() outcome: `message` is non-null iff `error` is none.
+struct decode_result {
+  decode_error error = decode_error::none;
+  net::arena_ref<const gossip::gossip_message> message;
+};
+
+/// Parses one frame. Strict and canonical: the input must be exactly
+/// one well-formed frame (no trailing bytes), every invariant the
+/// encoder maintains is checked, and any violation yields a typed
+/// error — malformed input can never reach a protocol handler.
+[[nodiscard]] decode_result decode(std::span<const std::byte> frame);
+
+/// The frame codec a transport installs for sim-frames / udp modes
+/// (stateless singleton).
+[[nodiscard]] const net::frame_codec& gossip_codec() noexcept;
+
+}  // namespace nylon::wire

@@ -1,0 +1,34 @@
+#include "wire/frame.h"
+
+namespace nylon::wire {
+
+std::string_view to_string(decode_error e) noexcept {
+  switch (e) {
+    case decode_error::none: return "none";
+    case decode_error::truncated: return "truncated";
+    case decode_error::bad_magic: return "bad_magic";
+    case decode_error::bad_version: return "bad_version";
+    case decode_error::bad_kind: return "bad_kind";
+    case decode_error::bad_length: return "bad_length";
+    case decode_error::bad_checksum: return "bad_checksum";
+    case decode_error::bad_body: return "bad_body";
+    case decode_error::trailing_bytes: return "trailing_bytes";
+  }
+  return "?";
+}
+
+std::uint32_t frame_checksum(std::span<const std::byte> frame) noexcept {
+  constexpr std::uint32_t fnv_offset = 2166136261u;
+  constexpr std::uint32_t fnv_prime = 16777619u;
+  std::uint32_t hash = fnv_offset;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    // The checksum field hashes as zero so the stored value can be
+    // patched in after the pass.
+    const std::uint8_t byte =
+        (i >= 8 && i < 12) ? 0 : std::to_integer<std::uint8_t>(frame[i]);
+    hash = (hash ^ byte) * fnv_prime;
+  }
+  return hash;
+}
+
+}  // namespace nylon::wire

@@ -1,0 +1,85 @@
+// The v1 wire format: the binary frame every gossip payload serializes
+// into when a transport carries real bytes (sim-frames mode, the UDP
+// backend) instead of in-memory structs.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     2  magic      0x4E59 ("NY")
+//        2     1  version    1
+//        3     1  kind       net::message_kind (request..pong)
+//        4     1  flags      wide-field extensions (see frame_flags)
+//        5     1  reserved   must be 0
+//        6     2  length     body bytes following the header
+//        8     4  checksum   FNV-1a-32 over header (checksum field read
+//                            as zero) + body
+//       12   ...  body       see wire/codec.h
+//
+// Versioning rules: `version` bumps on any change to the header layout
+// or to a body encoding; decoders reject unknown versions with
+// decode_error::bad_version (no cross-version compatibility shims at
+// v1). `flags` extends the v1 body without a version bump: each bit
+// widens a nominal field, unknown bits are a decode error. `reserved`
+// must be zero so it stays available for future use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nylon::wire {
+
+/// "NY", little-endian on the wire.
+inline constexpr std::uint16_t frame_magic = 0x4E59;
+
+inline constexpr std::uint8_t frame_version = 1;
+
+/// Header bytes preceding every body.
+inline constexpr std::size_t frame_header_bytes = 12;
+
+/// The body length field is 16-bit, which also matches the largest
+/// payload a real UDP datagram can carry (65507 bytes).
+inline constexpr std::size_t max_body_bytes = 0xFFFF;
+
+/// Wide-field body extensions. The simulator keeps a few fields wider
+/// than their nominal wire width (32-bit monotonic ports, millisecond
+/// route TTLs up to the 90 s hole timeout, unbounded ages); when any
+/// value in a message exceeds its nominal field, the matching flag is
+/// set and *every* occurrence of that field in the body widens from
+/// u16 to u32. Encoding is canonical: a flag is set iff some value
+/// requires it, so encode(decode(frame)) is byte-identical.
+enum frame_flags : std::uint8_t {
+  flag_wide_ports = 0x01,  ///< all endpoint ports u16 -> u32
+  flag_wide_ttl = 0x02,    ///< all entry route TTLs u16 -> u32
+  flag_wide_age = 0x04,    ///< all entry ages u16 -> u32
+};
+
+inline constexpr std::uint8_t known_flags =
+    flag_wide_ports | flag_wide_ttl | flag_wide_age;
+
+/// Typed decode failures. Decoding never aborts and never reads out of
+/// bounds: every malformed input maps to one of these.
+enum class decode_error : std::uint8_t {
+  none,            ///< frame decoded successfully
+  truncated,       ///< shorter than the header, or body shorter than `length`
+  bad_magic,       ///< first two bytes are not 0x4E59
+  bad_version,     ///< unknown version byte
+  bad_kind,        ///< kind byte is not a protocol message kind
+  bad_length,      ///< `length` inconsistent with flags + entry count
+  bad_checksum,    ///< FNV-1a-32 mismatch (bit flip somewhere)
+  bad_body,        ///< body violates an invariant (kind echo, NAT type, pad,
+                   ///< flags) despite a correct checksum
+  trailing_bytes,  ///< valid frame followed by extra bytes
+};
+
+[[nodiscard]] std::string_view to_string(decode_error e) noexcept;
+
+/// FNV-1a-32 of a whole frame (header + body) with the checksum field
+/// (offset 8, 4 bytes) read as zero. Exposed for tests that forge or
+/// mutate frames.
+[[nodiscard]] std::uint32_t frame_checksum(
+    std::span<const std::byte> frame) noexcept;
+
+}  // namespace nylon::wire

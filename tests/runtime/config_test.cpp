@@ -54,5 +54,36 @@ TEST(experiment_config, rejects_bad_loss) {
   EXPECT_THROW(cfg.validate(), nylon::contract_error);
 }
 
+TEST(experiment_config, transport_names_are_stable) {
+  // Wire into spec files and BENCH json — renames break both.
+  EXPECT_EQ(to_string(transport_kind::sim), "sim");
+  EXPECT_EQ(to_string(transport_kind::sim_frames), "sim-frames");
+  EXPECT_EQ(to_string(transport_kind::udp), "udp");
+}
+
+TEST(experiment_config, udp_transport_requires_serial_engine) {
+  experiment_config cfg;
+  cfg.transport = transport_kind::udp;
+  cfg.shards = 2;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+  cfg.shards = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(experiment_config, sim_frames_allows_sharding) {
+  experiment_config cfg;
+  cfg.transport = transport_kind::sim_frames;
+  cfg.shards = 4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(experiment_config, rejects_nonpositive_udp_time_scale) {
+  experiment_config cfg;
+  cfg.udp_time_scale = 0.0;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+  cfg.udp_time_scale = -0.5;
+  EXPECT_THROW(cfg.validate(), nylon::contract_error);
+}
+
 }  // namespace
 }  // namespace nylon::runtime

@@ -763,13 +763,74 @@ TEST(experiment_spec, static_spec_runs_without_simulation) {
             "relaying");
 }
 
+TEST(experiment_spec, sim_frames_transport_is_output_invariant) {
+  // The codec transparency guarantee at the spec level: the same study
+  // through serialized frames prints byte-identical tables and reports
+  // (minus the "transport" marker non-sim runs add to the JSON).
+  const experiment_spec spec = parse(kMinimalSpec);
+  spec_options opt;
+  opt.peers = 40;
+  opt.rounds = 4;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream plain_out;
+  const util::json plain = run_spec(spec, opt, plain_out);
+  // Default transport leaves no marker, keeping pre-existing BENCH
+  // documents byte-identical.
+  EXPECT_EQ(plain.find("transport"), nullptr);
+
+  opt.transport = "sim-frames";
+  std::ostringstream framed_out;
+  const util::json framed = run_spec(spec, opt, framed_out);
+  EXPECT_EQ(framed_out.str(), plain_out.str());
+  ASSERT_NE(framed.find("transport"), nullptr);
+  EXPECT_EQ(framed.at("transport").as_string(), "sim-frames");
+}
+
+TEST(experiment_spec, transport_can_come_from_the_spec_base) {
+  const experiment_spec spec = parse(R"({
+    "name": "framed", "title": "t",
+    "base": {"transport": "sim-frames"},
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "stale %"}]
+  })");
+  spec_options opt;
+  opt.peers = 30;
+  opt.rounds = 2;
+  opt.threads = 1;
+  std::ostringstream out;
+  const util::json doc = run_spec(spec, opt, out);
+  ASSERT_NE(doc.find("transport"), nullptr);
+  EXPECT_EQ(doc.at("transport").as_string(), "sim-frames");
+}
+
+TEST(experiment_spec, bad_transport_token_throws) {
+  const experiment_spec spec = parse(kMinimalSpec);
+  spec_options opt;
+  opt.peers = 30;
+  opt.rounds = 2;
+  opt.threads = 1;
+  opt.transport = "carrier-pigeon";
+  std::ostringstream out;
+  EXPECT_THROW((void)run_spec(spec, opt, out), contract_error);
+  // The same guard fires at parse time when the token sits in the spec.
+  EXPECT_THROW(parse(R"({
+    "name": "bad", "title": "t",
+    "base": {"transport": "quantum"},
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0]}],
+    "probes": [{"probe": "stale_pct", "header": "stale %"}]
+  })"),
+               contract_error);
+}
+
 TEST(experiment_spec, example_spec_files_parse_and_validate) {
   const std::string dir = std::string(NYLON_SOURCE_DIR) + "/examples/specs/";
   for (const char* name :
        {"fig2_partition", "fig3_stale", "fig4_randomness", "fig7_bandwidth",
         "fig8_load_balance", "fig9_rvp_chain", "fig10_churn",
         "table1_traversal", "sec5_correctness", "ablation_protocols",
-        "ablation_ttl", "latency_sensitivity", "churn_recovery"}) {
+        "ablation_ttl", "latency_sensitivity", "churn_recovery",
+        "udp_smoke"}) {
     const experiment_spec spec = load_spec_file(dir + name + ".json");
     EXPECT_EQ(spec.name, name);
     // Round-trip stability for every shipped spec.

@@ -1,0 +1,232 @@
+// Round-trip property tests for the v1 wire format: every message kind,
+// entry counts from empty to full view buffers, wide-field extensions,
+// and the frame-size honesty contract (serialized length == wire_size()
+// + header whenever no wide flag is needed).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gossip/messages.h"
+#include "gossip/view.h"
+#include "nat/nat_type.h"
+#include "util/contracts.h"
+#include "wire/codec.h"
+#include "wire/frame.h"
+
+namespace nylon {
+namespace {
+
+gossip::node_descriptor make_descriptor(net::node_id id, std::uint32_t ip,
+                                        std::uint32_t port,
+                                        nat::nat_type type) {
+  gossip::node_descriptor d;
+  d.id = id;
+  d.addr = net::endpoint{net::ip_address{ip}, port};
+  d.type = type;
+  return d;
+}
+
+std::vector<gossip::view_entry> make_entries(std::size_t count) {
+  std::vector<gossip::view_entry> entries;
+  for (std::size_t i = 0; i < count; ++i) {
+    gossip::view_entry e;
+    e.peer = make_descriptor(
+        static_cast<net::node_id>(100 + i), 0x0A000000u + 100 + i,
+        4000 + static_cast<std::uint32_t>(i),
+        i % 2 == 0 ? nat::nat_type::port_restricted_cone : nat::nat_type::open);
+    e.age = static_cast<std::uint32_t>(i * 3);
+    e.route_ttl = static_cast<sim::sim_time>(i * 10);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+gossip::gossip_message make_msg(gossip::message_kind kind,
+                                std::span<const gossip::view_entry> entries) {
+  gossip::gossip_message msg;
+  msg.kind = kind;
+  msg.sender = make_descriptor(1, 0x0A000002, 4000, nat::nat_type::open);
+  msg.src = make_descriptor(2, 0x0A000003, 61234,
+                            nat::nat_type::restricted_cone);
+  msg.dest = make_descriptor(3, 0x0A000004, 0, nat::nat_type::symmetric);
+  msg.entries = entries;
+  msg.hops = 2;
+  return msg;
+}
+
+void expect_same_descriptor(const gossip::node_descriptor& a,
+                            const gossip::node_descriptor& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.addr, b.addr);
+  EXPECT_EQ(a.type, b.type);
+}
+
+void expect_round_trip(const gossip::gossip_message& msg) {
+  const auto frame = wire::encode(msg);
+  const wire::decode_result result = wire::decode(frame->bytes());
+  ASSERT_EQ(result.error, wire::decode_error::none)
+      << wire::to_string(result.error);
+  ASSERT_NE(result.message, nullptr);
+  const gossip::gossip_message& got = *result.message;
+  EXPECT_EQ(got.kind, msg.kind);
+  expect_same_descriptor(got.sender, msg.sender);
+  expect_same_descriptor(got.src, msg.src);
+  expect_same_descriptor(got.dest, msg.dest);
+  EXPECT_EQ(got.hops, msg.hops);
+  ASSERT_EQ(got.entries.size(), msg.entries.size());
+  for (std::size_t i = 0; i < msg.entries.size(); ++i) {
+    expect_same_descriptor(got.entries[i].peer, msg.entries[i].peer);
+    EXPECT_EQ(got.entries[i].age, msg.entries[i].age) << i;
+    EXPECT_EQ(got.entries[i].route_ttl, msg.entries[i].route_ttl) << i;
+  }
+  // Re-encoding the decoded message reproduces the frame bit for bit
+  // (the encoding is canonical).
+  const auto again = wire::encode(got);
+  ASSERT_EQ(again->bytes().size(), frame->bytes().size());
+  EXPECT_TRUE(std::equal(frame->bytes().begin(), frame->bytes().end(),
+                         again->bytes().begin()));
+}
+
+TEST(frame_codec, round_trips_every_kind) {
+  const std::vector<gossip::view_entry> entries = make_entries(8);
+  for (const gossip::message_kind kind :
+       {gossip::message_kind::request, gossip::message_kind::response,
+        gossip::message_kind::open_hole, gossip::message_kind::ping,
+        gossip::message_kind::pong}) {
+    expect_round_trip(make_msg(kind, entries));
+  }
+}
+
+TEST(frame_codec, round_trips_entry_counts_zero_to_view_size) {
+  // REQUEST/RESPONSE carry 0..view_size entries (paper: c = 15 or 27);
+  // PING/PONG/OPEN_HOLE ride with none.
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{15},
+                            std::size_t{27}}) {
+    const std::vector<gossip::view_entry> entries = make_entries(count);
+    expect_round_trip(make_msg(gossip::message_kind::request, entries));
+    expect_round_trip(make_msg(gossip::message_kind::response, entries));
+  }
+  expect_round_trip(make_msg(gossip::message_kind::open_hole, {}));
+  expect_round_trip(make_msg(gossip::message_kind::ping, {}));
+  expect_round_trip(make_msg(gossip::message_kind::pong, {}));
+}
+
+TEST(frame_codec, honest_frame_size_without_flags) {
+  // No value exceeds a nominal field -> no flags, and the body is
+  // exactly wire_size(): the transport's bandwidth books equal real
+  // bytes on the wire.
+  for (std::size_t count : {std::size_t{0}, std::size_t{5}, std::size_t{27}}) {
+    const std::vector<gossip::view_entry> entries = make_entries(count);
+    const gossip::gossip_message msg =
+        make_msg(gossip::message_kind::response, entries);
+    ASSERT_EQ(wire::frame_flags_for(msg), 0);
+    const auto frame = wire::encode(msg);
+    EXPECT_EQ(frame->bytes().size(),
+              wire::frame_header_bytes + msg.wire_size());
+    EXPECT_EQ(wire::encoded_body_size(msg), msg.wire_size());
+  }
+}
+
+TEST(frame_codec, accounting_is_invariant_under_serialization) {
+  const std::vector<gossip::view_entry> entries = make_entries(10);
+  const gossip::gossip_message msg =
+      make_msg(gossip::message_kind::request, entries);
+  const auto frame = wire::encode(msg);
+  // The frame payload bills the *inner* message's nominal size and kind,
+  // so per-kind byte counters and fig7/fig8 columns cannot drift when a
+  // run switches transports.
+  EXPECT_EQ(frame->wire_size(), msg.wire_size());
+  EXPECT_EQ(frame->wire_kind(), msg.wire_kind());
+  EXPECT_EQ(frame->type_name(), msg.type_name());
+  ASSERT_NE(frame->as_frame(), nullptr);
+}
+
+TEST(frame_codec, wide_route_ttl_round_trips) {
+  // Nylon stamps fresh routes with the 90 s hole timeout — 90000 ms
+  // overflows the nominal u16 TTL field, so real traffic exercises the
+  // wide-TTL path constantly.
+  std::vector<gossip::view_entry> entries = make_entries(4);
+  entries[2].route_ttl = sim::seconds(90);
+  const gossip::gossip_message msg =
+      make_msg(gossip::message_kind::request, entries);
+  EXPECT_EQ(wire::frame_flags_for(msg), wire::flag_wide_ttl);
+  EXPECT_EQ(wire::encoded_body_size(msg),
+            msg.wire_size() + 2 * entries.size());
+  expect_round_trip(msg);
+}
+
+TEST(frame_codec, wide_ports_and_age_round_trip) {
+  // The simulator's monotonic port allocator exceeds 16 bits on long
+  // runs; ages can too under extreme staleness.
+  std::vector<gossip::view_entry> entries = make_entries(3);
+  entries[0].peer.addr.port = 70000;
+  entries[1].age = 1u << 20;
+  const gossip::gossip_message msg =
+      make_msg(gossip::message_kind::response, entries);
+  EXPECT_EQ(wire::frame_flags_for(msg),
+            wire::flag_wide_ports | wire::flag_wide_age);
+  expect_round_trip(msg);
+}
+
+TEST(frame_codec, wide_port_in_header_descriptor_round_trips) {
+  std::vector<gossip::view_entry> entries = make_entries(2);
+  gossip::gossip_message msg = make_msg(gossip::message_kind::ping, entries);
+  msg.src.addr.port = 0x12345678;
+  EXPECT_EQ(wire::frame_flags_for(msg), wire::flag_wide_ports);
+  expect_round_trip(msg);
+}
+
+TEST(frame_codec, all_wide_flags_together_round_trip) {
+  std::vector<gossip::view_entry> entries = make_entries(6);
+  entries[0].peer.addr.port = 1u << 17;
+  entries[3].route_ttl = sim::seconds(90);
+  entries[5].age = 0x10000;
+  const gossip::gossip_message msg =
+      make_msg(gossip::message_kind::request, entries);
+  EXPECT_EQ(wire::frame_flags_for(msg),
+            wire::flag_wide_ports | wire::flag_wide_ttl | wire::flag_wide_age);
+  expect_round_trip(msg);
+}
+
+TEST(frame_codec, checksum_covers_header_and_body) {
+  const std::vector<gossip::view_entry> entries = make_entries(3);
+  const auto frame =
+      wire::encode(make_msg(gossip::message_kind::request, entries));
+  const std::span<const std::byte> bytes = frame->bytes();
+  // The stored checksum (offset 8, little-endian) equals the FNV pass
+  // over the frame with that field zeroed.
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(
+                  std::to_integer<std::uint8_t>(bytes[8 + i]))
+              << (8 * i);
+  }
+  EXPECT_EQ(stored, wire::frame_checksum(bytes));
+}
+
+TEST(frame_codec, rejects_untransportable_route_ttl) {
+  std::vector<gossip::view_entry> entries = make_entries(1);
+  entries[0].route_ttl = sim::sim_time{1} << 33;  // exceeds even wide u32
+  const gossip::gossip_message msg =
+      make_msg(gossip::message_kind::request, entries);
+  EXPECT_THROW((void)wire::encode(msg), nylon::contract_error);
+}
+
+TEST(frame_codec, gossip_codec_round_trips_via_interface) {
+  const std::vector<gossip::view_entry> entries = make_entries(5);
+  const gossip::gossip_message msg =
+      make_msg(gossip::message_kind::response, entries);
+  const net::frame_codec& codec = wire::gossip_codec();
+  const net::payload_ptr frame = codec.encode(*gossip::make_message(msg));
+  ASSERT_NE(frame, nullptr);
+  ASSERT_NE(frame->as_frame(), nullptr);
+  const net::payload_ptr decoded = codec.decode(frame->as_frame()->bytes());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->wire_kind(), net::message_kind::response);
+  EXPECT_EQ(decoded->wire_size(), msg.wire_size());
+}
+
+}  // namespace
+}  // namespace nylon
