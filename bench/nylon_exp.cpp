@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/heartbeat.h"
+#include "obs/msglog.h"
 #include "obs/trace.h"
 #include "runtime/spec.h"
 #include "metrics/probe.h"
@@ -68,6 +69,27 @@ int main(int argc, char** argv) {
   const auto* trajectories = flags.add_bool(
       "trajectories", false,
       "record per-seed workload trajectories into the JSON report");
+  const auto* timeline = flags.add_bool(
+      "timeline", false,
+      "record the sim-time health timeline even when the spec has no "
+      "\"timeline\" block (default passive columns, 5 s period)");
+  const auto* timeline_period = flags.add_double(
+      "timeline-period", 0.0,
+      "override the timeline sampling period in sim seconds (0 = the "
+      "spec's own / the 5 s default; implies --timeline)");
+  const auto* timeline_csv = flags.add_string(
+      "timeline-csv", "",
+      "also write the timeline as long-form CSV to this file "
+      "(implies --timeline)");
+  const auto* msglog = flags.add_int(
+      "msglog", 0,
+      "message lifecycle flight recorder: sample one in N sent messages "
+      "(0 = off, 1 = every message); a failed check dumps the sampled "
+      "flight records to stderr");
+  const auto* msglog_dump = flags.add_string(
+      "msglog-dump", "",
+      "write the whole flight recording as JSON to this file at exit "
+      "(requires --msglog)");
   const auto* trace_path = flags.add_string(
       "trace", "", "write a Chrome/Perfetto trace of the run to this file");
   const auto* heartbeat_s = flags.add_double(
@@ -154,6 +176,21 @@ int main(int argc, char** argv) {
               << flags.usage(usage_name);
     return 1;
   }
+  if (*timeline_period < 0) {
+    std::cerr << "--timeline-period must be >= 0 (0 = spec default)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
+  if (*msglog < 0) {
+    std::cerr << "--msglog must be >= 0 (0 = off)\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
+  if (!msglog_dump->empty() && *msglog == 0) {
+    std::cerr << "--msglog-dump requires --msglog N\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
 
   runtime::spec_options opt;
   opt.peers = static_cast<std::size_t>(*n);
@@ -173,6 +210,9 @@ int main(int argc, char** argv) {
   opt.latency_max_ms = *latency_max_ms;
   opt.latency_sigma = *latency_sigma;
   opt.trajectories = *trajectories;
+  opt.timeline = *timeline || *timeline_period > 0 || !timeline_csv->empty();
+  opt.timeline_period_s = *timeline_period;
+  opt.timeline_csv = *timeline_csv;
   opt.profile = *profile;
   opt.peers_explicit = flags.provided("n");
   opt.seeds_explicit = flags.provided("seeds");
@@ -190,6 +230,7 @@ int main(int argc, char** argv) {
     // Telemetry output stays on stderr: run_spec's stdout (and its JSON
     // report) are pinned byte-for-byte by the equivalence tests.
     if (!trace_path->empty()) obs::start_trace();
+    if (*msglog > 0) obs::msglog_start(static_cast<std::uint64_t>(*msglog));
     const obs::heartbeat beat(*heartbeat_s);
     util::wall_timer total;
     const util::json report = runtime::run_spec(spec, opt, std::cout);
@@ -201,6 +242,17 @@ int main(int argc, char** argv) {
       const obs::trace_stats stats = obs::trace_statistics();
       std::cerr << "# trace: " << stats.recorded << " spans from "
                 << stats.threads << " threads -> " << *trace_path << "\n";
+    }
+    if (*msglog > 0) {
+      const obs::msglog_stats stats = obs::msglog_statistics();
+      std::cerr << "# msglog: " << stats.recorded << " hops held ("
+                << stats.dropped << " evicted) from " << stats.threads
+                << " threads\n";
+      if (!msglog_dump->empty()) {
+        util::write_json_file(*msglog_dump, obs::msglog_to_json());
+        std::cerr << "# msglog: recording -> " << *msglog_dump << "\n";
+      }
+      obs::msglog_stop();
     }
     if (!runtime::all_checks_passed(report)) return 1;
   } catch (const std::exception& e) {

@@ -49,8 +49,9 @@ def load_rows(path):
     """Parses one BENCH_scale document into a list of rows — one per
     sweep entry for sweep documents, a single row otherwise. Returns []
     (with a warning) for other BENCH_*.json forms — spec reports carry
-    tables/cells/checks/distributions instead of scale results and must
-    not break the gate."""
+    tables/cells/checks/distributions (and, with --timeline, per-seed
+    "timeline" time-series) instead of scale results and must not break
+    the gate."""
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -151,6 +152,34 @@ def main():
         print(f"{label:<40} {row['n'] or 0:>8} {row['transport']:>10} {k:>3} "
               f"{row['events'] or 0:>12} {eps:>12.0f} {vs_best} {imbal} "
               f"{barrier}")
+
+    # Warn-only balance gate (never affects the exit code): the newest
+    # run's shard-balance profile is held against the best (lowest) ever
+    # recorded per (transport, shards). Throughput regressions fail via
+    # --threshold; imbalance and barrier overhead are noisy on shared CI
+    # runners, so a drift there only warns.
+    best_balance = {}
+    for row in rows:
+        key = (row["transport"], row["shards"])
+        for field in ("imbalance", "barrier_overhead_pct"):
+            val = row[field]
+            if val is None:
+                continue
+            prev = best_balance.get((key, field))
+            if prev is None or val < prev:
+                best_balance[(key, field)] = val
+    for row in (r for r in rows if r["path"] == newest_path):
+        key = (row["transport"], row["shards"])
+        for field, slack in (("imbalance", 0.05),
+                             ("barrier_overhead_pct", 5.0)):
+            val = row[field]
+            best = best_balance.get((key, field))
+            if val is None or best is None or val <= best + slack:
+                continue
+            print(f"WARNING: newest run at transport={row['transport']} "
+                  f"K={row['shards']} has {field}={val:.3f}, above the "
+                  f"best recorded {best:.3f} for that combination "
+                  f"(warn-only, not a gate failure)", file=sys.stderr)
 
     if args.threshold > 0:
         failed = False

@@ -38,6 +38,7 @@ cluster_metrics measure_clusters(
   for (std::size_t i = 0; i < peers.size(); ++i) {
     if (sizes[i] == 0) continue;
     ++out.cluster_count;
+    if (sizes[i] == 1) ++out.isolated_peers;
     out.biggest_cluster = std::max(out.biggest_cluster, sizes[i]);
   }
   out.biggest_cluster_pct = 100.0 * static_cast<double>(out.biggest_cluster) /

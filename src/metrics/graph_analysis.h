@@ -21,6 +21,7 @@ struct cluster_metrics {
   std::size_t biggest_cluster = 0;
   double biggest_cluster_pct = 0.0;  ///< % of alive peers (Figs. 2, 10)
   std::size_t cluster_count = 0;
+  std::size_t isolated_peers = 0;  ///< alive peers in singleton components
   double mean_usable_out_degree = 0.0;
 };
 

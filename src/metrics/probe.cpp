@@ -181,12 +181,14 @@ nat::nat_type nat_param(const probe_context& ctx, const char* name,
 constexpr std::array probes{
     probe{.name = "all_bytes_per_s",
           .description = "mean bytes/s sent+received per alive peer (Fig. 7)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(bandwidth_of(ctx).all_bytes_per_s);
               }},
     probe{.name = "alive_count",
           .description = "number of alive peers",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(static_cast<double>(ctx.world().alive_count()));
@@ -194,6 +196,7 @@ constexpr std::array probes{
     probe{.name = "biggest_cluster_pct",
           .description =
               "biggest connected cluster, % of alive peers (Figs. 2, 10)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(clusters_of(ctx).biggest_cluster_pct);
@@ -202,6 +205,7 @@ constexpr std::array probes{
           .description =
               "passes when the overlay forms a single cluster (Sec. 5)",
           .kind = probe_kind::check,
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const cluster_metrics m = clusters_of(ctx);
@@ -218,6 +222,7 @@ constexpr std::array probes{
           .description =
               "passes when no view entry points at a departed peer",
           .kind = probe_kind::check,
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const view_metrics v = views_of(ctx);
@@ -257,6 +262,7 @@ constexpr std::array probes{
               "mean bytes/s per peer, split by peer class (Fig. 8)",
           .kind = probe_kind::per_class,
           .class_keys = "public,natted,all",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const bandwidth_report r = bandwidth_of(ctx);
@@ -269,6 +275,7 @@ constexpr std::array probes{
               "mean view in-degree per peer, split by peer class (Fig. 8)",
           .kind = probe_kind::per_class,
           .class_keys = "public,natted,all",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const class_degree_report r = in_degrees_by_class(
@@ -279,20 +286,50 @@ constexpr std::array probes{
               }},
     probe{.name = "cluster_count",
           .description = "number of connected clusters",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(static_cast<double>(clusters_of(ctx).cluster_count));
               }},
     probe{.name = "dead_pct",
           .description = "% of view entries pointing at departed peers",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const view_metrics v = views_of(ctx);
                 return sv(pct(v.dead_entries, v.total_entries));
               }},
+    probe{.name = "drop_count",
+          .description =
+              "cumulative transport drops by reason (class \"total\" sums "
+              "them)",
+          .kind = probe_kind::per_class,
+          .class_keys =
+              "unknown_destination,dead_node,nat_filtered,sender_dead,"
+              "random_loss,partitioned,total",
+          .passive = true,
+          .run =
+              [](const probe_context& ctx) {
+                const net::transport& t = ctx.world().transport();
+                std::vector<std::pair<std::string, double>> classes;
+                classes.reserve(
+                    static_cast<std::size_t>(net::drop_reason::count_) + 1);
+                for (std::size_t i = 0;
+                     i < static_cast<std::size_t>(net::drop_reason::count_);
+                     ++i) {
+                  const auto r = static_cast<net::drop_reason>(i);
+                  classes.emplace_back(
+                      std::string(net::to_string(r)),
+                      static_cast<double>(t.drops(r)));
+                }
+                classes.emplace_back(
+                    "total", static_cast<double>(t.total_drops()));
+                return classes_value(std::move(classes));
+              }},
     probe{.name = "fresh_natted_pct",
           .description =
               "% of non-stale view entries pointing at natted peers (Fig. 4)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(views_of(ctx).fresh_natted_pct);
@@ -303,6 +340,7 @@ constexpr std::array probes{
               "dispersion via stat \"cv\")",
           .kind = probe_kind::distribution,
           .quantiles = true,
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const std::vector<std::size_t> degrees = in_degrees(
@@ -320,6 +358,7 @@ constexpr std::array probes{
     probe{.name = "indegree_chi2_p",
           .description =
               "chi-square p-value of the in-degree distribution vs uniform",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const std::vector<std::size_t> degrees = in_degrees(
@@ -332,9 +371,20 @@ constexpr std::array probes{
                 if (total == 0) return sv(1.0);
                 return sv(chi_square_uniform(counts).p_value);
               }},
+    probe{.name = "isolated_count",
+          .description =
+              "alive peers stranded in singleton clusters (no usable "
+              "edge in either direction)",
+          .passive = true,
+          .run =
+              [](const probe_context& ctx) {
+                return sv(static_cast<double>(
+                    clusters_of(ctx).isolated_peers));
+              }},
     probe{.name = "mean_punch_chain",
           .description =
               "mean rendez-vous chain length of completed punches (Nylon)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const runtime::punch_stat_totals t =
@@ -344,18 +394,21 @@ constexpr std::array probes{
               }},
     probe{.name = "mean_usable_out_degree",
           .description = "mean usable (reachable, fresh) view out-degree",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(clusters_of(ctx).mean_usable_out_degree);
               }},
     probe{.name = "natted_bytes_per_s",
           .description = "mean bytes/s per natted peer (Fig. 8)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(bandwidth_of(ctx).natted_bytes_per_s);
               }},
     probe{.name = "public_bytes_per_s",
           .description = "mean bytes/s per public peer (Fig. 8)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(bandwidth_of(ctx).public_bytes_per_s);
@@ -364,6 +417,7 @@ constexpr std::array probes{
           .description =
               "% of hole punches that expired without a PONG (traversal "
               "failures, Nylon)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const runtime::punch_stat_totals t =
@@ -372,6 +426,7 @@ constexpr std::array probes{
               }},
     probe{.name = "punch_success_pct",
           .description = "% of started hole punches that completed (Nylon)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const runtime::punch_stat_totals t =
@@ -380,6 +435,7 @@ constexpr std::array probes{
               }},
     probe{.name = "received_bytes_per_s",
           .description = "mean receive-side bytes/s per peer",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(bandwidth_of(ctx).received_bytes_per_s);
@@ -389,6 +445,7 @@ constexpr std::array probes{
               "RVP forwarding-chain length distribution: hole punches "
               "plus relayed REQUESTs (Fig. 9, Nylon)",
           .kind = probe_kind::distribution,
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return dist_value(summarize_stream(
@@ -424,12 +481,14 @@ constexpr std::array probes{
               }},
     probe{.name = "sent_bytes_per_s",
           .description = "mean send-side bytes/s per peer",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(bandwidth_of(ctx).sent_bytes_per_s);
               }},
     probe{.name = "shuffle_success_pct",
           .description = "% of initiated shuffles that got a response",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 std::uint64_t initiated = 0;
@@ -442,6 +501,7 @@ constexpr std::array probes{
               }},
     probe{.name = "stale_pct",
           .description = "% of stale view references (Fig. 3)",
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 return sv(views_of(ctx).stale_pct);
@@ -453,6 +513,7 @@ constexpr std::array probes{
               "\"!\" marks a failed exchange (Sec. 2.2)",
           .kind = probe_kind::check,
           .needs_world = false,
+          .passive = true,
           .run =
               [](const probe_context& ctx) {
                 const nat::nat_type src =

@@ -142,9 +142,16 @@ struct probe {
   /// specs): it reads only ctx.params.
   bool needs_world = true;
   /// per_class probes: comma-separated class keys they emit, in order.
-  std::string_view class_keys;
+  std::string_view class_keys = {};
   /// distribution probes: raw samples retained (quantile stats valid).
   bool quantiles = false;
+  /// True when evaluating the probe is observation-only: const reads of
+  /// the world, no rng draws, no peer state consumed. Only passive
+  /// probes may ride a sim-time timeline — a mid-run evaluation of a
+  /// non-passive probe (the randomness battery consumes peer rngs)
+  /// would perturb the subsequent evolution and break the digest
+  /// contract. End-of-run columns may use either.
+  bool passive = false;
   probe_value (*run)(const probe_context&);
 };
 

@@ -5,6 +5,7 @@
 
 #include "net/transport_backend.h"
 #include "obs/counters.h"
+#include "obs/msglog.h"
 #include "util/contracts.h"
 
 namespace nylon::net {
@@ -134,6 +135,7 @@ node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
   shard.handler.push_back(&handler);
   shard.send_seq.push_back(0);
   shard.device_owner.push_back(std::move(device));
+  obs::count(obs::counter::nodes_added);
   // Ids are handed out in increasing order, so appending keeps the class
   // lists sorted without a search.
   (nat::is_natted(type) ? alive_natted_ : alive_public_).push_back(id);
@@ -159,6 +161,7 @@ void transport::remove_node(node_id id) {
   node_hot& hot = hot_of(id);
   if (!hot.alive) return;  // idempotent: already removed
   hot.alive = false;
+  obs::count(obs::counter::nodes_removed);
   std::vector<node_id>& list =
       nat::is_natted(hot.type) ? alive_natted_ : alive_public_;
   const auto it = std::lower_bound(list.begin(), list.end(), id);
@@ -263,11 +266,32 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
     counters.other[body->type_name()] += bytes;
   }
 
+  // Flight-recorder sampling (obs/msglog.h): the tag is a pure hash of
+  // digest-pinned send facts — sender, the sender's message ordinal, the
+  // send time — so the same messages are sampled on every engine and
+  // shard count. The hooks only read state; they never touch an rng.
+  const std::uint64_t msg_tag = obs::msglog_tag(from, traffic.msgs_sent, now);
+  if (msg_tag != 0) {
+    const node_id dst_hint = owner_of(to.ip);
+    const std::uint64_t dst = dst_hint == nil_node ? 0 : dst_hint;
+    const char* kind_name = to_string(kind).data();
+    if (src.device != nullptr) {
+      obs::msglog_record({msg_tag, now, from, dst,
+                          obs::hop_kind::nat_translate, kind_name, nullptr});
+    }
+    obs::msglog_record(
+        {msg_tag, now, from, dst, obs::hop_kind::send, kind_name, nullptr});
+  }
+
   // Per-peer rng streams in shard mode: the draw sequence belongs to the
   // sender, so it is independent of how peers are partitioned.
   util::rng& rng = router_ != nullptr ? router_->rng_of(from) : rng_;
   if (cfg_.loss_rate > 0.0 && rng.bernoulli(cfg_.loss_rate)) {
     count_drop(src_shard, drop_reason::random_loss);
+    if (msg_tag != 0) {
+      obs::msglog_record({msg_tag, now, from, 0, obs::hop_kind::drop, "",
+                          to_string(drop_reason::random_loss).data()});
+    }
     return;
   }
   const sim::sim_time delay = latency_->sample(rng);
@@ -290,8 +314,8 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
   const payload* raw = body.get();
   lease_payload(src_shard, now + delay, std::move(body), now);
   if (router_ == nullptr) {
-    sched_.after(delay, [this, from, source_ep, to, raw, bytes] {
-      deliver(0, from, source_ep, to, raw, bytes);
+    sched_.after(delay, [this, from, source_ep, to, raw, bytes, msg_tag] {
+      deliver(0, from, source_ep, to, raw, bytes, msg_tag);
     });
     return;
   }
@@ -306,8 +330,8 @@ void transport::send(node_id from, const endpoint& to, payload_ptr body) {
                         : to.ip.value % router_->shard_count();
   const std::uint64_t seq = ++shard.send_seq[src_slot];
   router_->post(router_->shard_of(from), dst_shard, now + delay, from, seq,
-                [this, dst_shard, from, source_ep, to, raw, bytes] {
-                  deliver(dst_shard, from, source_ep, to, raw, bytes);
+                [this, dst_shard, from, source_ep, to, raw, bytes, msg_tag] {
+                  deliver(dst_shard, from, source_ep, to, raw, bytes, msg_tag);
                 });
 }
 
@@ -339,39 +363,56 @@ void transport::sweep_leases(lease_list& list, sim::sim_time now) {
 }
 
 void transport::deliver(std::size_t shard, node_id from, endpoint source,
-                        endpoint to, const payload* body, std::size_t bytes) {
+                        endpoint to, const payload* body, std::size_t bytes,
+                        std::uint64_t msg_tag) {
+  const sim::sim_time now =
+      router_ != nullptr ? router_->scheduler_of(shard).now() : sched_.now();
+  // Flight-recorder hop for a terminated message; observation-only.
+  const auto record_drop = [&](drop_reason reason, std::uint64_t dst_id) {
+    if (msg_tag != 0) {
+      obs::msglog_record({msg_tag, now, from, dst_id, obs::hop_kind::drop, "",
+                          to_string(reason).data()});
+    }
+  };
   const node_id owner = owner_of(to.ip);
   if (owner == nil_node) {
     count_drop(shard, drop_reason::unknown_destination);
+    record_drop(drop_reason::unknown_destination, 0);
     return;
   }
   // A partition severs the path before the destination NAT ever sees the
   // packet (no rule refresh on the far side).
   if (partitioned() && side_of(from) != side_of(owner)) {
     count_drop(shard, drop_reason::partitioned);
+    record_drop(drop_reason::partitioned, owner);
     return;
   }
   const std::size_t dst_slot = slot_of(owner);
   node_shard& dst_nodes = node_shards_[shard_of_node(owner)];
   node_hot& dst = dst_nodes.hot[dst_slot];
-  const sim::sim_time now =
-      router_ != nullptr ? router_->scheduler_of(shard).now() : sched_.now();
   if (dst.device != nullptr) {
     const auto private_dst = dst.device->filter_inbound(to, source, now);
     if (!private_dst) {
       count_drop(shard, drop_reason::nat_filtered);
+      record_drop(drop_reason::nat_filtered, owner);
       return;
     }
     NYLON_ENSURES(*private_dst == dst.private_ep);
   } else if (to != dst.advertised) {
     count_drop(shard, drop_reason::unknown_destination);
+    record_drop(drop_reason::unknown_destination, owner);
     return;
   }
   // NAT boxes forward to dead hosts; the packet just dies there. The check
   // happens after NAT filtering so rule refreshes stay realistic.
   if (!dst.alive) {
     count_drop(shard, drop_reason::dead_node);
+    record_drop(drop_reason::dead_node, owner);
     return;
+  }
+  if (msg_tag != 0) {
+    obs::msglog_record(
+        {msg_tag, now, from, owner, obs::hop_kind::deliver, "", nullptr});
   }
   node_traffic& traffic = dst_nodes.traffic[dst_slot];
   traffic.bytes_received += bytes;

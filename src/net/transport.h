@@ -401,9 +401,13 @@ class transport {
 
   /// Delivery-time path; `shard` is the executing shard (0 in serial
   /// mode), used for clock reads and drop accounting. `body` is borrowed
-  /// from the sender's delivery lease (see `payload_lease`).
+  /// from the sender's delivery lease (see `payload_lease`). `msg_tag`
+  /// is the flight-recorder sampling tag (obs/msglog.h): 0 for the
+  /// unsampled common case, a stable message id otherwise —
+  /// observation-only, it never influences the delivery outcome.
   void deliver(std::size_t shard, node_id from, endpoint source, endpoint to,
-               const payload* body, std::size_t bytes);
+               const payload* body, std::size_t bytes,
+               std::uint64_t msg_tag = 0);
   void count_drop(std::size_t shard, drop_reason reason);
   /// Shared rebind/migration plumbing: fresh device of `type` on a fresh
   /// public IP, all NAT state dropped, routing handed off to the new IP.

@@ -23,6 +23,9 @@ std::string_view to_string(counter c) noexcept {
     case counter::msg_ping: return "msg_ping";
     case counter::msg_pong: return "msg_pong";
     case counter::msg_other: return "msg_other";
+    case counter::sim_time_ms: return "sim_time_ms";
+    case counter::nodes_added: return "nodes_added";
+    case counter::nodes_removed: return "nodes_removed";
     case counter::count_: break;
   }
   return "?";

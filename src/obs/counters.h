@@ -55,6 +55,9 @@ enum class counter : std::uint8_t {
   msg_ping,
   msg_pong,
   msg_other,
+  sim_time_ms,          ///< furthest simulated time reached, in ms (max)
+  nodes_added,          ///< transport nodes brought alive
+  nodes_removed,        ///< transport nodes departed (alive = added - removed)
   count_                ///< number of counters (internal)
 };
 
@@ -70,7 +73,7 @@ inline constexpr std::size_t counter_count =
 [[nodiscard]] constexpr bool is_peak(counter c) noexcept {
   return c == counter::queue_peak_depth ||
          c == counter::route_table_peak || c == counter::nat_table_peak ||
-         c == counter::arena_bytes_peak;
+         c == counter::arena_bytes_peak || c == counter::sim_time_ms;
 }
 
 /// One coherent read of every counter, aggregated across all registered

@@ -45,12 +45,17 @@ void heartbeat::run(double period_s) {
     last_s = now_s;
     // One buffer, one fwrite: heartbeat lines never shear against log
     // output from the shard workers.
-    char line[192];
+    const std::uint64_t added = snap[counter::nodes_added];
+    const std::uint64_t removed = snap[counter::nodes_removed];
+    char line[256];
     const int n = std::snprintf(
         line, sizeof(line),
-        "# heartbeat t=%.1fs events=%" PRIu64 " messages=%" PRIu64
-        " events/s=%.0f\n",
-        now_s, events, snap.messages_total(), rate);
+        "# heartbeat t=%.1fs sim=%.1fs events=%" PRIu64 " messages=%" PRIu64
+        " events/s=%.0f alive=%" PRIu64 " arena_peak=%" PRIu64 "\n",
+        now_s, static_cast<double>(snap[counter::sim_time_ms]) / 1000.0,
+        events, snap.messages_total(), rate,
+        added >= removed ? added - removed : 0,
+        snap[counter::arena_bytes_peak]);
     if (n > 0) {
       std::fwrite(line, 1, static_cast<std::size_t>(n) < sizeof(line)
                                ? static_cast<std::size_t>(n)

@@ -1,9 +1,11 @@
 // Periodic progress line for long runs: a background thread that wakes
 // every `period_s` of *wall* time, reads the telemetry counters and
-// emits one "# heartbeat ..." line to stderr with cumulative totals and
-// the rolling events/s since the previous beat — the signal that a
-// multi-hour bench_scale run is still making progress, without touching
-// stdout (which benches pipe and diff).
+// emits one "# heartbeat ..." line to stderr — wall and simulated time
+// reached, cumulative totals, the rolling events/s since the previous
+// beat, the alive-peer count (nodes added - removed) and the payload
+// arena's high-water bytes — the signal that a multi-hour bench_scale
+// run is still making progress (and how far into the simulation it
+// got), without touching stdout (which benches pipe and diff).
 //
 // Off by default: a non-positive period starts no thread and costs
 // nothing. Observation-only like the rest of src/obs/ — with telemetry

@@ -23,6 +23,12 @@ struct span_record {
   std::uint64_t dur_us = 0;
 };
 
+struct counter_record {
+  const char* name = nullptr;
+  std::uint64_t ts_us = 0;
+  double value = 0.0;
+};
+
 /// One thread's private span ring. Owned by the global recorder for the
 /// process lifetime so the thread-local fast-path pointer never dangles;
 /// only the owning thread writes, export reads while recording is off
@@ -34,6 +40,12 @@ struct thread_ring {
   std::size_t dropped = 0;
   std::uint32_t tid = 0;
   std::string name;
+  /// Counter-track samples keep their own ring so a chatty health
+  /// timeline can never evict span history (and vice versa).
+  std::vector<counter_record> cbuf;
+  std::size_t chead = 0;
+  std::size_t ccount = 0;
+  std::size_t cdropped = 0;
 
   void push(const span_record& rec, std::size_t capacity) noexcept {
     if (buf.size() < capacity) buf.resize(capacity);
@@ -44,6 +56,18 @@ struct thread_ring {
     } else {
       buf[(head + count) % buf.size()] = rec;
       ++count;
+    }
+  }
+
+  void push(const counter_record& rec, std::size_t capacity) noexcept {
+    if (cbuf.size() < capacity) cbuf.resize(capacity);
+    if (ccount == cbuf.size()) {
+      cbuf[chead] = rec;
+      chead = (chead + 1) % cbuf.size();
+      ++cdropped;
+    } else {
+      cbuf[(chead + ccount) % cbuf.size()] = rec;
+      ++ccount;
     }
   }
 };
@@ -91,10 +115,13 @@ void start_trace(std::size_t ring_capacity) {
     r.capacity = ring_capacity == 0 ? 1 : ring_capacity;
     for (const auto& ring : r.rings) {
       ring->head = ring->count = ring->dropped = 0;
-      // Drop the old buffer so push() re-sizes to the *new* capacity
+      ring->chead = ring->ccount = ring->cdropped = 0;
+      // Drop the old buffers so push() re-sizes to the *new* capacity
       // (a restart may shrink the rings).
       ring->buf.clear();
       ring->buf.shrink_to_fit();
+      ring->cbuf.clear();
+      ring->cbuf.shrink_to_fit();
     }
   }
   r.epoch = std::chrono::steady_clock::now();
@@ -146,12 +173,19 @@ void record_span(const char* name, std::uint64_t start_us,
   local_ring().push(span_record{name, start_us, dur_us}, r.capacity);
 }
 
+void record_counter(const char* name, std::uint64_t ts_us,
+                    double value) noexcept {
+  recorder& r = rec();
+  if (!r.enabled.load(std::memory_order_relaxed)) return;
+  local_ring().push(counter_record{name, ts_us, value}, r.capacity);
+}
+
 util::json trace_to_json() {
   recorder& r = rec();
   const std::lock_guard<std::mutex> lock(r.mutex);
   util::json events = util::json::array();
   for (const auto& ring : r.rings) {
-    if (ring->count == 0) continue;
+    if (ring->count == 0 && ring->ccount == 0) continue;
     // Track metadata first, so viewers label the lane.
     util::json& meta = events.push_back(util::json::object());
     meta["ph"] = "M";
@@ -169,6 +203,19 @@ util::json trace_to_json() {
       ev["dur"] = s.dur_us;
       ev["name"] = s.name;
     }
+    // Counter tracks: Perfetto groups "ph":"C" events into one counter
+    // lane per (pid, name), rendered beside the span lanes.
+    for (std::size_t i = 0; i < ring->ccount; ++i) {
+      const counter_record& c =
+          ring->cbuf[(ring->chead + i) % ring->cbuf.size()];
+      util::json& ev = events.push_back(util::json::object());
+      ev["ph"] = "C";
+      ev["pid"] = 1;
+      ev["tid"] = static_cast<std::int64_t>(ring->tid);
+      ev["ts"] = c.ts_us;
+      ev["name"] = c.name;
+      ev["args"]["value"] = c.value;
+    }
   }
   util::json doc = util::json::object();
   doc["traceEvents"] = std::move(events);
@@ -181,10 +228,15 @@ trace_stats trace_statistics() noexcept {
   const std::lock_guard<std::mutex> lock(r.mutex);
   trace_stats stats;
   for (const auto& ring : r.rings) {
-    if (ring->count == 0 && ring->dropped == 0) continue;
+    if (ring->count == 0 && ring->dropped == 0 && ring->ccount == 0 &&
+        ring->cdropped == 0) {
+      continue;
+    }
     ++stats.threads;
     stats.recorded += ring->count;
     stats.dropped += ring->dropped;
+    stats.counters_recorded += ring->ccount;
+    stats.counters_dropped += ring->cdropped;
   }
   return stats;
 }
@@ -205,6 +257,7 @@ std::uint64_t trace_us(std::chrono::steady_clock::time_point) noexcept {
   return 0;
 }
 void record_span(const char*, std::uint64_t, std::uint64_t) noexcept {}
+void record_counter(const char*, std::uint64_t, double) noexcept {}
 
 util::json trace_to_json() {
   util::json doc = util::json::object();

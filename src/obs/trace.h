@@ -38,6 +38,8 @@ struct trace_stats {
   std::size_t recorded = 0;  ///< spans currently held in rings
   std::size_t dropped = 0;   ///< spans overwritten by ring wrap-around
   std::size_t threads = 0;   ///< threads that recorded at least once
+  std::size_t counters_recorded = 0;  ///< counter samples held in rings
+  std::size_t counters_dropped = 0;   ///< counter samples overwritten
 };
 
 /// Starts (or restarts) recording. Existing rings are cleared and every
@@ -72,6 +74,15 @@ void set_thread_track(std::uint32_t tid, std::string name);
 /// have static storage (literal or interned).
 void record_span(const char* name, std::uint64_t start_us,
                  std::uint64_t dur_us) noexcept;
+
+/// Records one counter-track sample: exported as a Perfetto counter
+/// event (`"ph":"C"`) named `name` with value `value` at trace time
+/// `ts_us`, so health curves (connectivity, drop rates, arena peaks)
+/// render beside the span lanes. `name` must have static storage
+/// (literal or interned); samples land in the calling thread's ring and
+/// overwrite oldest-first like spans.
+void record_counter(const char* name, std::uint64_t ts_us,
+                    double value) noexcept;
 
 /// The whole trace as a Trace Event document:
 /// {"traceEvents": [...], "displayTimeUnit": "ms"}.

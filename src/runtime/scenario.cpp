@@ -7,6 +7,7 @@
 #include "core/nylon_peer.h"
 #include "gossip/bootstrap.h"
 #include "net/latency.h"
+#include "obs/counters.h"
 #include "util/contracts.h"
 #include "wire/codec.h"
 
@@ -149,6 +150,32 @@ void scenario::run_periods(std::int64_t periods) {
 }
 
 void scenario::run_until(sim::sim_time deadline) {
+  const sim::sim_time next_tick = next_sample_time();
+  if (next_tick > deadline) {
+    // No sampler due before the deadline: the plain engine dispatch,
+    // byte-for-byte the pre-sampler behavior.
+    run_until_plain(deadline);
+    obs::count_peak(obs::counter::sim_time_ms,
+                    static_cast<std::uint64_t>(std::max<sim::sim_time>(
+                        sched_.now(), 0)));
+    return;
+  }
+  // Sampler ticks interleave by splitting run_until at the tick times.
+  // run_until_plain(t) executes every event at or before t and then
+  // advances the clock to exactly t, so the split is invisible to the
+  // event stream — digests match the unsampled run byte-for-byte.
+  for (;;) {
+    const sim::sim_time target = std::min(deadline, next_sample_time());
+    run_until_plain(target);
+    fire_samplers(target);
+    if (target >= deadline) break;
+  }
+  obs::count_peak(obs::counter::sim_time_ms,
+                  static_cast<std::uint64_t>(std::max<sim::sim_time>(
+                      sched_.now(), 0)));
+}
+
+void scenario::run_until_plain(sim::sim_time deadline) {
   if (udp_ != nullptr) {
     // Real-socket mode: the backend owns the clock (wall-paced), the
     // sockets, and the scheduler advance.
@@ -169,6 +196,37 @@ void scenario::run_until(sim::sim_time deadline) {
     shards_->run_until(target);
     sched_.run_until(target);
     if (target >= deadline) break;
+  }
+}
+
+void scenario::set_sampler(std::size_t slot, sim::sim_time period,
+                           std::function<void(sim::sim_time)> fn) {
+  NYLON_EXPECTS(slot < sampler_slots);
+  NYLON_EXPECTS(period > 0);
+  NYLON_EXPECTS(fn != nullptr);
+  samplers_[slot] =
+      sampler_entry{period, sched_.now() + period, std::move(fn)};
+}
+
+void scenario::clear_sampler(std::size_t slot) noexcept {
+  if (slot < sampler_slots) samplers_[slot] = sampler_entry{};
+}
+
+sim::sim_time scenario::next_sample_time() const noexcept {
+  sim::sim_time next = sim::time_never;
+  for (const sampler_entry& s : samplers_) {
+    if (s.period > 0 && s.next < next) next = s.next;
+  }
+  return next;
+}
+
+void scenario::fire_samplers(sim::sim_time t) {
+  for (sampler_entry& s : samplers_) {
+    if (s.period > 0 && s.next <= t) {
+      const sim::sim_time at = s.next;
+      s.next += s.period;
+      s.fn(at);  // observation-only: reads the parked world
+    }
   }
 }
 

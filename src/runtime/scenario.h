@@ -15,6 +15,7 @@
 // same simulated time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -64,6 +65,33 @@ class scenario : private net::shard_router {
   /// GC) at their exact timestamps, and returns with every shard parked
   /// at `deadline`.
   void run_until(sim::sim_time deadline);
+
+  // --- sim-time sampling (obs timelines, workload trajectories) --------------
+
+  /// Sampler slots: the spec-level health timeline and the workload
+  /// engine's trajectory snapshots share the tick machinery but anchor
+  /// and clear independently.
+  static constexpr std::size_t sampler_timeline = 0;
+  static constexpr std::size_t sampler_workload = 1;
+  static constexpr std::size_t sampler_slots = 2;
+
+  /// Installs (or re-anchors) the observation sampler in `slot`: `fn(t)`
+  /// fires every `period` of sim time, first at now() + period. Ticks
+  /// are interleaved into run_until — the engine runs to the tick time,
+  /// parks (all shards, in shard mode), fires `fn`, and resumes — so no
+  /// scheduler event is created and the event stream is untouched: state
+  /// digests are byte-identical with samplers installed or not
+  /// (DESIGN.md "Observability & the determinism contract"). `fn` must
+  /// not draw from shared rngs or reentrantly run_until. The timeline
+  /// slot is observation-only (const reads of the parked world); the
+  /// workload slot may additionally run control-plane actions that were
+  /// due at exactly the tick time — they would have run at the same
+  /// barrier anyway, so the event stream is unchanged.
+  void set_sampler(std::size_t slot, sim::sim_time period,
+                   std::function<void(sim::sim_time)> fn);
+
+  /// Uninstalls the sampler in `slot`; pending ticks are abandoned.
+  void clear_sampler(std::size_t slot) noexcept;
 
   // --- churn -----------------------------------------------------------------
 
@@ -191,6 +219,21 @@ class scenario : private net::shard_router {
   std::size_t upheave_natted_fraction(
       double fraction, const std::function<void(net::node_id)>& upheave);
 
+  /// One installed observation sampler (see set_sampler).
+  struct sampler_entry {
+    sim::sim_time period = 0;  ///< 0 = slot empty
+    sim::sim_time next = 0;
+    std::function<void(sim::sim_time)> fn;
+  };
+
+  /// Earliest pending tick across slots (time_never when none).
+  [[nodiscard]] sim::sim_time next_sample_time() const noexcept;
+  /// Fires every sampler whose tick is due at `t` (slot order).
+  void fire_samplers(sim::sim_time t);
+  /// run_until without sampler interleaving — the original engine
+  /// dispatch, shared by the plain and sampled paths.
+  void run_until_plain(sim::sim_time deadline);
+
   experiment_config cfg_;
   sim::scheduler sched_;  ///< the universe (serial) / control (sharded)
   util::rng rng_;         ///< shared stream (serial) / control stream
@@ -201,6 +244,7 @@ class scenario : private net::shard_router {
   /// Real-socket carrier; null unless config.transport == udp.
   std::unique_ptr<net::udp_backend> udp_;
   std::vector<std::unique_ptr<gossip::peer>> peers_;
+  std::array<sampler_entry, sampler_slots> samplers_;
 };
 
 }  // namespace nylon::runtime

@@ -3,15 +3,23 @@
 #include <cerrno>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <initializer_list>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <span>
+#include <stdexcept>
 
 #include "core/peer_factory.h"
 #include "gossip/policies.h"
 #include "metrics/probe.h"
+#include "obs/counters.h"
+#include "obs/msglog.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "runtime/experiment_config.h"
 #include "runtime/runner.h"
@@ -677,6 +685,60 @@ std::vector<std::pair<std::string, spec_profile>> profiles_from_json(
   return out;
 }
 
+/// One resolved timeline column: a passive probe selector, or (when
+/// `sel.p == nullptr`) a runtime telemetry counter ("obs.<name>").
+struct timeline_column {
+  metrics::probe_selector sel;
+  obs::counter counter = obs::counter::count_;
+};
+
+/// Resolves a timeline column token — "name", "name.<class>",
+/// "name.<stat>" or "obs.<counter>" — rejecting unknown names and
+/// non-passive probes (shared by validate() and run_spec so the two
+/// can never drift).
+timeline_column resolve_timeline_column(const std::string& token) {
+  timeline_column col;
+  const std::size_t dot = token.find('.');
+  const std::string head =
+      token.substr(0, dot == std::string::npos ? token.size() : dot);
+  const std::string part =
+      dot == std::string::npos ? std::string() : token.substr(dot + 1);
+  if (head == "obs") {
+    for (std::size_t i = 0; i < obs::counter_count; ++i) {
+      const auto c = static_cast<obs::counter>(i);
+      if (obs::to_string(c) == part) {
+        col.counter = c;
+        return col;
+      }
+    }
+    bad("timeline column \"" + token + "\": unknown obs counter \"" + part +
+        "\"");
+  }
+  const metrics::probe* p = metrics::find_probe(head);
+  if (p == nullptr) {
+    bad("timeline column \"" + token + "\": unknown probe \"" + head + "\"");
+  }
+  if (!p->passive) {
+    bad("timeline column \"" + token + "\": probe \"" + head +
+        "\" is not passive (it consumes peer rngs), so a mid-run "
+        "evaluation would perturb the simulation");
+  }
+  if (p->kind == metrics::probe_kind::check) {
+    bad("timeline column \"" + token +
+        "\": check probes render verdicts, not scalar series");
+  }
+  const bool wants_stat = p->kind == metrics::probe_kind::distribution;
+  col.sel = metrics::resolve_selector(head, wants_stat ? std::string() : part,
+                                      wants_stat ? part : std::string());
+  return col;
+}
+
+/// The column set a bare `--timeline` uses when the spec declares none.
+std::vector<std::string> default_timeline_columns() {
+  return {"alive_count", "biggest_cluster_pct", "cluster_count",
+          "isolated_count", "drop_count.total"};
+}
+
 }  // namespace
 
 void experiment_spec::validate() const {
@@ -944,6 +1006,20 @@ void experiment_spec::validate() const {
   if (trajectory_sample_periods < 0) {
     bad("\"trajectory_sample_periods\" must be >= 0");
   }
+  if (timeline.enabled) {
+    if (static_eval) {
+      bad("a \"static\" spec has no sim time; drop \"timeline\"");
+    }
+    if (timeline.period_s <= 0) {
+      bad("\"timeline\" needs a positive \"period_s\"");
+    }
+    if (timeline.probes.empty()) {
+      bad("\"timeline\" needs a non-empty \"probes\" array");
+    }
+    for (const std::string& token : timeline.probes) {
+      (void)resolve_timeline_column(token);
+    }
+  }
 }
 
 experiment_spec spec_from_json(const util::json& doc) {
@@ -951,8 +1027,8 @@ experiment_spec spec_from_json(const util::json& doc) {
               {"name", "title", "preamble", "footer", "base", "split", "rows",
                "columns", "probes", "checks", "verdict", "profiles",
                "report_params", "warmup", "workload", "trajectories",
-               "trajectory_sample_periods", "cells", "distributions",
-               "static", "single_seed"},
+               "trajectory_sample_periods", "timeline", "cells",
+               "distributions", "static", "single_seed"},
               "spec");
   experiment_spec spec;
   const util::json* name = doc.find("name");
@@ -1064,6 +1140,25 @@ experiment_spec spec_from_json(const util::json& doc) {
   if (const util::json* n = doc.find("trajectory_sample_periods")) {
     if (!n->is_int()) bad("\"trajectory_sample_periods\" must be an integer");
     spec.trajectory_sample_periods = static_cast<int>(n->as_int());
+  }
+  if (const util::json* t = doc.find("timeline")) {
+    ensure_keys(*t, {"period_s", "probes"}, "timeline");
+    spec.timeline.enabled = true;
+    const util::json* period = t->find("period_s");
+    if (period == nullptr || (!period->is_int() && !period->is_double())) {
+      bad("\"timeline\" needs a numeric \"period_s\"");
+    }
+    spec.timeline.period_s = period->is_int()
+                                 ? static_cast<double>(period->as_int())
+                                 : period->as_double();
+    const util::json* probes = t->find("probes");
+    if (probes == nullptr || !probes->is_array() || probes->size() == 0) {
+      bad("\"timeline\" needs a non-empty \"probes\" array");
+    }
+    for (const util::json& p : probes->array_items()) {
+      if (!p.is_string()) bad("\"timeline\" probes must be strings");
+      spec.timeline.probes.push_back(p.as_string());
+    }
   }
   spec.validate();
   return spec;
@@ -1210,6 +1305,14 @@ util::json spec_to_json(const experiment_spec& spec) {
   if (spec.trajectory_sample_periods != 0) {
     doc["trajectory_sample_periods"] = spec.trajectory_sample_periods;
   }
+  if (spec.timeline.enabled) {
+    util::json t = util::json::object();
+    t["period_s"] = spec.timeline.period_s;
+    util::json probes = util::json::array();
+    for (const std::string& p : spec.timeline.probes) probes.push_back(p);
+    t["probes"] = std::move(probes);
+    doc["timeline"] = std::move(t);
+  }
   return doc;
 }
 
@@ -1242,13 +1345,20 @@ struct spec_execution {
   bool capture_traj = false;    ///< per-seed trajectory capture
   bool capture_checks = false;  ///< per-seed check evaluation
   /// Resolved "checks"-list probes, in list order.
-  std::vector<const metrics::probe*> check_probes;
+  std::vector<const metrics::probe*> check_probes = {};
   /// The cell's workload document with variables resolved (null when the
   /// spec has none); updated by the row loop before each sweep.
   const util::json* workload_doc = nullptr;
+  /// Sim-time health timeline (the spec's block, possibly force-enabled
+  /// or re-period'd by the driver flags).
+  bool capture_timeline = false;
+  double timeline_period_s = 0.0;
+  /// Column tokens, report order.
+  std::vector<std::string> timeline_names = {};
+  std::vector<timeline_column> timeline_cols = {};
 
   [[nodiscard]] bool capturing() const noexcept {
-    return capture_traj || capture_checks;
+    return capture_traj || capture_checks || capture_timeline;
   }
 
   /// Simulates one cell at one seed and evaluates `sels` on the final
@@ -1265,6 +1375,46 @@ struct spec_execution {
     scenario world(cfg);
     sim::sim_time window = 0;
     util::json trajectory;
+
+    // The timeline sampler: ticks interleave into run_until without
+    // creating scheduler events (digest-neutral; scenario.h), evaluate
+    // the passive columns against the live world and mirror them as
+    // Perfetto counter tracks when a trace is recording. `reset_at`
+    // keeps rate probes (bytes/s) honest across the warmup traffic
+    // reset.
+    std::optional<obs::timeline_recorder> recorder;
+    std::vector<const char*> tracks;
+    sim::sim_time reset_at = 0;
+    if (capture_timeline) {
+      recorder.emplace(timeline_period_s, timeline_names);
+      tracks = obs::counter_track_names(timeline_names);
+      const auto period_ms =
+          static_cast<sim::sim_time>(std::llround(timeline_period_s * 1000.0));
+      world.set_sampler(
+          scenario::sampler_timeline, period_ms, [&](sim::sim_time t) {
+            std::vector<double> values;
+            values.reserve(timeline_cols.size());
+            std::optional<metrics::reachability_oracle> oracle;
+            std::optional<metrics::probe_context> tick_ctx;
+            std::optional<obs::counter_snapshot> snap;
+            for (const timeline_column& col : timeline_cols) {
+              if (col.sel.p == nullptr) {
+                if (!snap.has_value()) snap = obs::read_counters();
+                values.push_back(static_cast<double>((*snap)[col.counter]));
+                continue;
+              }
+              if (!tick_ctx.has_value()) {
+                oracle.emplace(world.oracle());
+                tick_ctx.emplace(world, *oracle, t - reset_at);
+                tick_ctx->params = params;
+              }
+              values.push_back(metrics::eval_scalar(col.sel, *tick_ctx));
+            }
+            obs::record_counter_samples(tracks, values);
+            recorder->append(sim::to_seconds(t), std::move(values));
+          });
+    }
+
     if (workload_doc != nullptr) {
       const sim::sim_time period = cfg.gossip.shuffle_period;
       workload::program prog =
@@ -1286,9 +1436,13 @@ struct spec_execution {
       if (warmup > 0) {
         world.run_periods(warmup);
         world.transport().reset_traffic();
+        reset_at = world.scheduler().now();
       }
       world.run_periods(measure);
       window = measure * cfg.gossip.shuffle_period;
+    }
+    if (recorder.has_value()) {
+      world.clear_sampler(scenario::sampler_timeline);
     }
     const metrics::reachability_oracle oracle = world.oracle();
     metrics::probe_context ctx{world, oracle, window};
@@ -1313,17 +1467,18 @@ struct spec_execution {
           entry["detail"] = v.check.detail;
         }
       }
-      if (capture_traj && capture_checks) {
-        util::json both = util::json::object();
-        both["trajectory"] = std::move(trajectory);
-        both["checks"] = std::move(check_results);
-        *capture = std::move(both);
-      } else if (capture_traj) {
+      if (capture_traj && !capture_checks && !capture_timeline) {
+        // Trajectory-only capture keeps the bare-array form older
+        // reports used (digest-pinned).
         *capture = std::move(trajectory);
-      } else if (capture_checks) {
-        util::json only = util::json::object();
-        only["checks"] = std::move(check_results);
-        *capture = std::move(only);
+      } else {
+        util::json parts = util::json::object();
+        if (capture_traj) parts["trajectory"] = std::move(trajectory);
+        if (capture_checks) parts["checks"] = std::move(check_results);
+        if (capture_timeline) {
+          parts["timeline"] = recorder->samples_json();
+        }
+        *capture = std::move(parts);
       }
     }
     return out;
@@ -1624,6 +1779,56 @@ void run_static_spec(const experiment_spec& spec, const spec_options& eff,
   report.add("table", workload::to_json(table));
 }
 
+/// Long-form timeline CSV: one `cell,seed,t_s,<v>,...` line per sample.
+/// `cell` is the row labels joined with '/' (prefixed by the split
+/// table key, suffixed by ":<column>" in columns mode).
+void write_timeline_csv(const std::string& path,
+                        const std::vector<std::string>& columns,
+                        const util::json& cells) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("cannot write timeline CSV \"" + path + "\"");
+  }
+  obs::timeline_recorder::write_csv_header(file, columns);
+  const auto append_double = [](std::string& line, const util::json& v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g",
+                  v.is_int() ? static_cast<double>(v.as_int())
+                             : v.as_double());
+    line += buf;
+  };
+  for (const util::json& entry : cells.array_items()) {
+    std::string label;
+    if (const util::json* table = entry.find("table")) {
+      label += table->as_string();
+      label += '/';
+    }
+    const util::json& row = entry.at("row");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) label += '/';
+      label += row.at(i).as_string();
+    }
+    if (const util::json* column = entry.find("column")) {
+      label += ':';
+      label += column->as_string();
+    }
+    const util::json& per_seed = entry.at("per_seed");
+    for (std::size_t s = 0; s < per_seed.size(); ++s) {
+      for (const util::json& sample : per_seed.at(s).array_items()) {
+        std::string line = label;
+        line += ',';
+        line += std::to_string(s);
+        for (const util::json& v : sample.array_items()) {
+          line += ',';
+          append_double(line, v);
+        }
+        line += '\n';
+        file << line;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 util::json run_spec(const experiment_spec& spec, const spec_options& opt,
@@ -1691,6 +1896,26 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
       exec.check_probes.push_back(metrics::find_probe(c.probe));
     }
 
+    // Effective timeline: the spec's own block, force-enabled by
+    // --timeline (default passive columns when the spec declares none),
+    // period overridable by --timeline-period. Resolving here (not just
+    // in validate()) also vets flag-supplied columns.
+    spec_timeline tl = spec.timeline;
+    if (eff.timeline && !tl.enabled) {
+      tl.enabled = true;
+      tl.probes = default_timeline_columns();
+      tl.period_s = 5.0;
+    }
+    if (tl.enabled && eff.timeline_period_s > 0) {
+      tl.period_s = eff.timeline_period_s;
+    }
+    exec.capture_timeline = tl.enabled;
+    exec.timeline_period_s = tl.period_s;
+    exec.timeline_names = tl.probes;
+    for (const std::string& token : tl.probes) {
+      exec.timeline_cols.push_back(resolve_timeline_column(token));
+    }
+
     // Base config: driver options first (exactly bench::base_config), then
     // the spec's own overrides. '$'-keys accumulate as workload variables,
     // '%'-keys as probe parameters, instead of touching the config.
@@ -1734,8 +1959,10 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     const shared_plan plan = build_shared_plan(spec);
 
     util::json trajectories = util::json::array();
+    util::json timeline_cells = util::json::array();
     util::json cells_json = util::json::array();
     util::json distributions_json = util::json::array();
+    bool msglog_dumped = false;
 
     const std::vector<std::string> split_tokens =
         spec.split.has_value() ? spec.split->axis.values
@@ -1815,10 +2042,12 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
           entry[metric_key] = workload::to_json(aggs[0]);
         };
 
-        const auto record_trajectory = [&](util::json per_seed,
-                                           const std::string& column) {
+        /// Appends one {table?, row, column?, per_seed} entry to `sink`
+        /// (trajectories and timeline cells share the shape).
+        const auto record_series = [&](util::json& sink, util::json per_seed,
+                                       const std::string& column) {
           if (per_seed.is_null()) return;
-          util::json& entry = trajectories.push_back(util::json::object());
+          util::json& entry = sink.push_back(util::json::object());
           if (!table_key.empty()) entry["table"] = table_key;
           util::json row = util::json::array();
           for (const std::string& label : row_labels) row.push_back(label);
@@ -1827,14 +2056,25 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
           entry["per_seed"] = std::move(per_seed);
         };
 
-        /// Splits a captured per-seed array into its trajectory and
-        /// check halves, records check verdicts, and returns the
-        /// trajectory array (null when trajectories are off).
+        /// The trajectory / timeline halves of a captured per-seed
+        /// array (null members when that capture is off).
+        struct capture_halves {
+          util::json traj;
+          util::json timeline;
+        };
+
+        /// Splits a captured per-seed array into its halves and records
+        /// check verdicts. A failed check triggers a one-shot dump of
+        /// the message flight recorder (when `nylon_exp --msglog` armed
+        /// it) so the hop-by-hop forensics land next to the verdict.
         const auto unwrap_captures =
-            [&](util::json per_seed) -> util::json {
-          if (per_seed.is_null() || !exec.capture_checks) return per_seed;
-          util::json traj = exec.capture_traj ? util::json::array()
-                                              : util::json();
+            [&](util::json per_seed) -> capture_halves {
+          capture_halves halves;
+          if (per_seed.is_null()) return halves;
+          if (!exec.capture_checks && !exec.capture_timeline) {
+            halves.traj = std::move(per_seed);  // legacy bare form
+            return halves;
+          }
           const std::size_t seeds = per_seed.size();
           for (std::size_t j = 0; j < spec.checks.size(); ++j) {
             bool passed = true;
@@ -1864,13 +2104,26 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
               entry["failed_seeds"] = std::move(failed_seeds);
             }
             checks_passed = checks_passed && passed;
-          }
-          if (exec.capture_traj) {
-            for (std::size_t s = 0; s < seeds; ++s) {
-              traj.push_back(per_seed.at(s).at("trajectory"));
+            if (!passed && !msglog_dumped && obs::msglog_enabled()) {
+              msglog_dumped = true;
+              std::cerr << "# check \"" << spec.checks[j].name
+                        << "\" failed — sampled message flight records:\n";
+              obs::msglog_dump(std::cerr, 40);
             }
           }
-          return traj;
+          if (exec.capture_traj) {
+            halves.traj = util::json::array();
+            for (std::size_t s = 0; s < seeds; ++s) {
+              halves.traj.push_back(per_seed.at(s).at("trajectory"));
+            }
+          }
+          if (exec.capture_timeline) {
+            halves.timeline = util::json::array();
+            for (std::size_t s = 0; s < seeds; ++s) {
+              halves.timeline.push_back(per_seed.at(s).at("timeline"));
+            }
+          }
+          return halves;
         };
 
         const auto record_distributions =
@@ -1923,8 +2176,11 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
                 if (col_has_vars && spec.workload.has_value()) {
                   exec.workload_doc = &resolved_workload;
                 }
-                record_trajectory(unwrap_captures(std::move(per_seed)),
-                                  subst_views(col.header, eff));
+                auto halves = unwrap_captures(std::move(per_seed));
+                record_series(trajectories, std::move(halves.traj),
+                              subst_views(col.header, eff));
+                record_series(timeline_cells, std::move(halves.timeline),
+                              subst_views(col.header, eff));
                 record_cell(col, aggs);
                 means[j] = aggs[0].stats.mean;
                 cells.push_back(fmt(means[j], col.precision));
@@ -1949,8 +2205,10 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
           const std::vector<seed_aggregate> aggs =
               exec.sweep(row_cfg, plan.selectors, row_params,
                          exec.capturing() ? &per_seed : nullptr);
-          record_trajectory(unwrap_captures(std::move(per_seed)),
-                            std::string());
+          auto halves = unwrap_captures(std::move(per_seed));
+          record_series(trajectories, std::move(halves.traj), std::string());
+          record_series(timeline_cells, std::move(halves.timeline),
+                        std::string());
           record_distributions(aggs);
           std::vector<double> entry_means(spec.probes.size(), 0.0);
           for (std::size_t k = 0; k < spec.probes.size(); ++k) {
@@ -1994,6 +2252,22 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     }
     if (exec.capture_traj && trajectories.size() > 0) {
       report.add("trajectories", std::move(trajectories));
+    }
+    if (exec.capture_timeline) {
+      if (!eff.timeline_csv.empty()) {
+        write_timeline_csv(eff.timeline_csv, exec.timeline_names,
+                           timeline_cells);
+      }
+      util::json block = util::json::object();
+      block["period_s"] = exec.timeline_period_s;
+      util::json cols = util::json::array();
+      cols.push_back(std::string("t_s"));
+      for (const std::string& name : exec.timeline_names) {
+        cols.push_back(name);
+      }
+      block["columns"] = std::move(cols);
+      block["cells"] = std::move(timeline_cells);
+      report.add("timeline", std::move(block));
     }
   }
 

@@ -131,6 +131,22 @@ struct spec_split {
   std::string table_key;  ///< JSON key under "tables"; "{}" replaced
 };
 
+/// Sim-time health timeline ("timeline" key): selected probe columns
+/// evaluated every `period_s` of *simulated* time on every cell run,
+/// recorded per seed and emitted under "timeline" in the JSON report
+/// (plus CSV / Perfetto counter tracks via the driver flags). Columns
+/// are selector tokens — "alive_count", "drop_count.nat_filtered"
+/// (per_class probes take ".<class>"), "in_degree.cv" (distribution
+/// probes take ".<stat>") — or "obs.<counter>" for a runtime telemetry
+/// counter ("obs.arena_bytes_peak"). Only passive (rng-free) probes
+/// may ride a timeline; sampling is observation-only and digest-neutral
+/// (DESIGN.md "Observability & the determinism contract").
+struct spec_timeline {
+  bool enabled = false;
+  double period_s = 0.0;
+  std::vector<std::string> probes;
+};
+
 /// A full declarative study.
 struct experiment_spec {
   std::string name;                  ///< bench_report name ("fig3_stale")
@@ -184,6 +200,8 @@ struct experiment_spec {
   /// > 0: trajectory snapshots every N periods inside phases (otherwise
   /// phase boundaries only).
   int trajectory_sample_periods = 0;
+  /// Sim-time health timeline (see spec_timeline).
+  spec_timeline timeline;
 
   /// Structural validation (axis keys, probe names and selector
   /// kinds, ratio references, warmup literal, workload shape, profile
@@ -224,6 +242,15 @@ struct spec_options {
   std::int64_t latency_max_ms = 50;
   double latency_sigma = 0.25;
   bool trajectories = false;  ///< force-enable trajectory capture
+  /// Force-enable the sim-time health timeline even when the spec does
+  /// not declare one (a default passive column set is used then).
+  bool timeline = false;
+  /// Overrides the timeline sampling period in sim seconds (0 = the
+  /// spec's own period, or 5 s when force-enabled without one).
+  double timeline_period_s = 0.0;
+  /// Writes the timeline as long-form CSV here ("" = off):
+  /// `cell,seed,t_s,<col>,...`, one line per sample.
+  std::string timeline_csv;
   /// Name of the spec profile to apply ("" = none). Unknown names throw.
   std::string profile;
   /// Explicitly-given command-line flags beat profile values; the

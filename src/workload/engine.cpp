@@ -15,6 +15,10 @@ engine::engine(runtime::scenario& world, program prog, engine_options opt)
   phase_rngs_.resize(program_.phases().size());
 }
 
+engine::~engine() {
+  world_.clear_sampler(runtime::scenario::sampler_workload);
+}
+
 const snapshot& engine::final() const {
   NYLON_EXPECTS(!trajectory_.empty());
   return trajectory_.back();
@@ -157,15 +161,25 @@ void engine::compile_phase(std::size_t index, const phase& p,
 
 void engine::drain_until(sim::sim_time until) {
   while (!actions_.empty() && actions_.top().at <= until) {
+    const sim::sim_time at = actions_.top().at;
+    NYLON_ENSURES(at >= world_.scheduler().now());
+    // Advance first, pop after: a sampler tick landing exactly on `at`
+    // fires inside run_until and drains the action itself (so its
+    // snapshot sees the action applied); the queue must still hold it.
+    world_.run_until(at);
+    run_due_actions(at);
+  }
+  world_.run_until(until);
+}
+
+void engine::run_due_actions(sim::sim_time now) {
+  while (!actions_.empty() && actions_.top().at <= now) {
     // priority_queue::top is const; the action is copied out so fn can
     // push further actions while it runs.
     action next = actions_.top();
     actions_.pop();
-    NYLON_ENSURES(next.at >= world_.scheduler().now());
-    world_.run_until(next.at);
     next.fn();
   }
-  world_.run_until(until);
 }
 
 void engine::take_snapshot(std::size_t phase_index, const std::string& label) {
@@ -214,15 +228,30 @@ void engine::run() {
     compile_phase(i, p, start, end);
 
     if (opt_.sample_interval > 0 && p.duration > 0) {
-      for (sim::sim_time s = start; s < end; s += opt_.sample_interval) {
-        drain_until(s);
-        take_snapshot(i, p.label);
-      }
+      // Phase-start sample (the old loop's s == start iteration), then
+      // mid-phase ticks ride the scenario's workload sampler slot — the
+      // one time-series path shared with the obs health timeline. The
+      // tick drains due actions before snapshotting, so a sample at
+      // time t still sees every action at or before t applied.
+      drain_until(start);
+      take_snapshot(i, p.label);
+      cur_phase_ = i;
+      cur_label_ = p.label;
+      sampling_until_ = end;  // the old loop stopped at s < end
+      world_.set_sampler(
+          runtime::scenario::sampler_workload, opt_.sample_interval,
+          [this](sim::sim_time at) {
+            run_due_actions(at);
+            if (at < sampling_until_) take_snapshot(cur_phase_, cur_label_);
+          });
+    } else {
+      world_.clear_sampler(runtime::scenario::sampler_workload);
     }
     drain_until(end);
     if (opt_.snapshot_phase_end) take_snapshot(i, p.label);
     t = end;
   }
+  world_.clear_sampler(runtime::scenario::sampler_workload);
 }
 
 }  // namespace nylon::workload

@@ -38,7 +38,10 @@ struct engine_options {
   /// Take a snapshot when each phase's window closes.
   bool snapshot_phase_end = true;
   /// > 0: also sample every `sample_interval` of simulated time inside
-  /// phases with a duration (trajectories for BENCH_*.json).
+  /// phases with a duration (trajectories for BENCH_*.json). Mid-phase
+  /// samples ride scenario::sampler_workload — the same tick machinery
+  /// as the obs health timeline — so sampling never creates scheduler
+  /// events and digests match the unsampled run.
   sim::sim_time sample_interval = 0;
   /// Collect cluster / view metrics in snapshots. Turning it off makes
   /// snapshots population-counters only (cheap for huge runs).
@@ -50,6 +53,10 @@ class engine {
   /// The scenario must outlive the engine. The program starts at the
   /// scenario's current simulated time, so it can follow manual warm-up.
   engine(runtime::scenario& world, program prog, engine_options opt = {});
+
+  /// Uninstalls the engine's trajectory sampler from the scenario (the
+  /// callback captures `this`, so it must not outlive the engine).
+  ~engine();
 
   /// Runs the whole program to completion.
   void run();
@@ -89,6 +96,11 @@ class engine {
   /// Runs simulation + queued actions up to and including time `until`;
   /// each action runs after every simulation event at or before its time.
   void drain_until(sim::sim_time until);
+  /// Pops and runs every queued action due at or before `now` (the world
+  /// is already parked at `now`). Shared by drain_until and the
+  /// trajectory sampler tick, so a snapshot at time t always sees
+  /// actions at t applied first — the ordering contract above.
+  void run_due_actions(sim::sim_time now);
   void take_snapshot(std::size_t phase_index, const std::string& label);
   util::rng& phase_rng(std::size_t index, const phase& p);
 
@@ -111,6 +123,12 @@ class engine {
   std::function<void(const snapshot&)> observer_;
   std::size_t joined_ = 0;
   std::size_t departed_ = 0;
+  // Live context for the trajectory sampler callback: the phase being
+  // sampled and its window end (the old loop sampled at s < end; the
+  // phase-end snapshot is taken explicitly).
+  std::size_t cur_phase_ = 0;
+  std::string cur_label_;
+  sim::sim_time sampling_until_ = 0;
 };
 
 }  // namespace nylon::workload

@@ -82,6 +82,17 @@ TEST(obs_counters, names_are_stable_snake_case) {
   EXPECT_EQ(to_string(counter::events_executed), "events_executed");
   EXPECT_EQ(to_string(counter::msg_open_hole), "msg_open_hole");
   EXPECT_EQ(to_string(counter::hash_rehashes), "hash_rehashes");
+  EXPECT_EQ(to_string(counter::sim_time_ms), "sim_time_ms");
+  EXPECT_EQ(to_string(counter::nodes_added), "nodes_added");
+  EXPECT_EQ(to_string(counter::nodes_removed), "nodes_removed");
+}
+
+TEST(obs_counters, sim_time_is_a_peak_population_counts_are_sums) {
+  // The timeline's "obs.<counter>" columns and the heartbeat's alive
+  // arithmetic both depend on these aggregation modes.
+  EXPECT_TRUE(is_peak(counter::sim_time_ms));
+  EXPECT_FALSE(is_peak(counter::nodes_added));
+  EXPECT_FALSE(is_peak(counter::nodes_removed));
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// Timeline recorder storage: sample accumulation, JSON shape, long-form
+// CSV, and the Perfetto counter-track mirror (inert while tracing is
+// off). The recorder is plain data, so everything here passes unchanged
+// in NYLON_OBS=0 builds except the live trace mirror, which is gated.
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace nylon::obs {
+namespace {
+
+TEST(obs_timeline, records_rows_and_exports_json_samples) {
+  timeline_recorder rec(5.0, {"alive_count", "biggest_cluster_pct"});
+  EXPECT_TRUE(rec.empty());
+  rec.append(5.0, {60.0, 100.0});
+  rec.append(10.0, {58.0, 96.55});
+  EXPECT_EQ(rec.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.period_s(), 5.0);
+
+  const util::json samples = rec.samples_json();
+  ASSERT_TRUE(samples.is_array());
+  ASSERT_EQ(samples.size(), 2u);
+  ASSERT_EQ(samples.at(0).size(), 3u);  // t_s + one value per column
+  EXPECT_DOUBLE_EQ(samples.at(0).at(0).as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(samples.at(0).at(1).as_double(), 60.0);
+  EXPECT_DOUBLE_EQ(samples.at(1).at(2).as_double(), 96.55);
+}
+
+TEST(obs_timeline, csv_is_long_form_with_cell_and_seed) {
+  const std::vector<std::string> columns = {"alive_count", "drop_count.total"};
+  timeline_recorder rec(2.5, columns);
+  rec.append(2.5, {100.0, 0.0});
+  rec.append(5.0, {97.0, 12.0});
+
+  std::ostringstream out;
+  timeline_recorder::write_csv_header(out, columns);
+  rec.write_csv(out, "50/nylon", 3);
+  EXPECT_EQ(out.str(),
+            "cell,seed,t_s,alive_count,drop_count.total\n"
+            "50/nylon,3,2.5,100,0\n"
+            "50/nylon,3,5,97,12\n");
+}
+
+TEST(obs_timeline, counter_tracks_empty_while_tracing_off) {
+  start_trace();
+  stop_trace();
+  // Tracing off: no track names are interned and the mirror is a no-op.
+  const std::vector<const char*> tracks =
+      counter_track_names({"alive_count"});
+  EXPECT_TRUE(tracks.empty());
+  record_counter_samples(tracks, {60.0});
+  EXPECT_EQ(trace_statistics().counters_recorded, 0u);
+}
+
+TEST(obs_timeline, counter_tracks_mirror_samples_while_tracing) {
+  start_trace();
+  if (!trace_enabled()) return;  // NYLON_OBS=0
+  const std::vector<const char*> tracks =
+      counter_track_names({"alive_count", "obs.arena_bytes_peak"});
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_STREQ(tracks[0], "timeline/alive_count");
+  EXPECT_STREQ(tracks[1], "timeline/obs.arena_bytes_peak");
+  record_counter_samples(tracks, {60.0, 4096.0});
+  stop_trace();
+  EXPECT_EQ(trace_statistics().counters_recorded, 2u);
+  bool saw_alive = false;
+  const util::json doc = trace_to_json();
+  for (const util::json& ev : doc.at("traceEvents").array_items()) {
+    if (ev.at("ph").as_string() != "C") continue;
+    if (ev.at("name").as_string() == "timeline/alive_count") {
+      EXPECT_DOUBLE_EQ(ev.at("args").at("value").as_double(), 60.0);
+      saw_alive = true;
+    }
+  }
+  EXPECT_TRUE(saw_alive);
+}
+
+}  // namespace
+}  // namespace nylon::obs

@@ -121,6 +121,67 @@ TEST(obs_trace, each_thread_gets_its_own_track) {
   EXPECT_TRUE(worker_on_7);
 }
 
+TEST(obs_trace, counter_samples_export_as_counter_events) {
+  start_trace();
+  if (!trace_enabled()) {  // NYLON_OBS=0: record_counter is inert
+    record_counter("timeline/x", 0, 1.0);
+    EXPECT_EQ(trace_statistics().counters_recorded, 0u);
+    return;
+  }
+  record_counter("timeline/alive_count", 10, 60.0);
+  record_counter("timeline/biggest_cluster_pct", 10, 97.5);
+  record_counter("timeline/alive_count", 20, 59.0);
+  stop_trace();
+  EXPECT_EQ(trace_statistics().counters_recorded, 3u);
+
+  // Round-trip through the serializer and parser: the "ph":"C" events a
+  // Perfetto viewer loads are exactly what parse sees.
+  const util::json doc = util::json::parse(trace_to_json().dump_string(0));
+  std::size_t counters = 0;
+  bool saw_pct = false;
+  std::int64_t last_alive_ts = -1;
+  for (const util::json& ev : doc.at("traceEvents").array_items()) {
+    if (ev.at("ph").as_string() != "C") continue;
+    ++counters;
+    EXPECT_EQ(ev.at("pid").as_int(), 1);
+    EXPECT_TRUE(ev.at("ts").is_int());
+    const util::json& args = ev.at("args");
+    ASSERT_TRUE(args.is_object());
+    ASSERT_EQ(args.size(), 1u);
+    if (ev.at("name").as_string() == "timeline/biggest_cluster_pct") {
+      EXPECT_DOUBLE_EQ(args.at("value").as_double(), 97.5);
+      saw_pct = true;
+    }
+    if (ev.at("name").as_string() == "timeline/alive_count") {
+      EXPECT_GT(ev.at("ts").as_int(), last_alive_ts);  // time-ordered
+      last_alive_ts = ev.at("ts").as_int();
+    }
+  }
+  EXPECT_EQ(counters, 3u);
+  EXPECT_TRUE(saw_pct);
+}
+
+TEST(obs_trace, counter_ring_overwrites_oldest_and_counts_drops) {
+  start_trace(/*ring_capacity=*/4);
+  if (!trace_enabled()) return;  // NYLON_OBS=0
+  for (int i = 0; i < 10; ++i) {
+    record_counter("timeline/x", static_cast<std::uint64_t>(i),
+                   static_cast<double>(i));
+  }
+  stop_trace();
+  const trace_stats stats = trace_statistics();
+  EXPECT_EQ(stats.counters_recorded, 4u);
+  EXPECT_EQ(stats.counters_dropped, 6u);
+  // The survivors are the *newest* four samples (ts 6..9), and counter
+  // drops are accounted separately from span drops.
+  EXPECT_EQ(stats.dropped, 0u);
+  const util::json doc = trace_to_json();
+  for (const util::json& ev : doc.at("traceEvents").array_items()) {
+    if (ev.at("ph").as_string() != "C") continue;
+    EXPECT_GE(ev.at("ts").as_int(), 6);
+  }
+}
+
 TEST(obs_trace, restart_clears_previous_spans) {
   start_trace();
   if (!trace_enabled()) return;  // NYLON_OBS=0

@@ -1,0 +1,94 @@
+// The scenario's sim-time sampler slots: tick cadence and anchoring,
+// slot independence, and — the load-bearing property — digest
+// neutrality: run_until splits at tick times without creating scheduler
+// events, so a sampled run is byte-identical to an unsampled one on the
+// serial engine and on every shard count (DESIGN.md "Observability &
+// the determinism contract").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/scenario.h"
+#include "sim/time.h"
+
+namespace nylon::runtime {
+namespace {
+
+experiment_config world_config(std::size_t shards) {
+  experiment_config cfg;
+  cfg.peer_count = 60;
+  cfg.natted_fraction = 0.5;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = 21;
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(scenario_sampler, ticks_fire_on_the_period_grid_from_install_time) {
+  scenario world(world_config(0));
+  const sim::sim_time P = world.config().gossip.shuffle_period;
+  world.run_until(3 * P);  // anchor somewhere past zero
+  std::vector<sim::sim_time> ticks;
+  world.set_sampler(scenario::sampler_timeline, 2 * P,
+                    [&](sim::sim_time t) { ticks.push_back(t); });
+  world.run_until(10 * P);
+  // First tick one period after install, then every period, including a
+  // tick landing exactly on the run_until deadline.
+  const std::vector<sim::sim_time> want = {5 * P, 7 * P, 9 * P};
+  EXPECT_EQ(ticks, want);
+  EXPECT_EQ(world.scheduler().now(), 10 * P);
+
+  // Re-installing re-anchors; clearing stops ticks entirely.
+  world.set_sampler(scenario::sampler_timeline, 2 * P,
+                    [&](sim::sim_time t) { ticks.push_back(t); });
+  world.clear_sampler(scenario::sampler_timeline);
+  ticks.clear();
+  world.run_until(14 * P);
+  EXPECT_TRUE(ticks.empty());
+}
+
+TEST(scenario_sampler, slots_tick_independently_and_in_slot_order) {
+  scenario world(world_config(0));
+  const sim::sim_time P = world.config().gossip.shuffle_period;
+  std::vector<std::pair<int, sim::sim_time>> ticks;
+  world.set_sampler(scenario::sampler_timeline, 3 * P,
+                    [&](sim::sim_time t) { ticks.emplace_back(0, t); });
+  world.set_sampler(scenario::sampler_workload, 2 * P,
+                    [&](sim::sim_time t) { ticks.emplace_back(1, t); });
+  world.run_until(6 * P);
+  // Workload at 2P and 4P, both slots due at 6P — timeline (slot 0)
+  // fires first there.
+  const std::vector<std::pair<int, sim::sim_time>> want = {
+      {1, 2 * P}, {0, 3 * P}, {1, 4 * P}, {0, 6 * P}, {1, 6 * P}};
+  EXPECT_EQ(ticks, want);
+}
+
+void expect_sampling_is_digest_neutral(std::size_t shards) {
+  scenario plain(world_config(shards));
+  scenario sampled(world_config(shards));
+  const sim::sim_time P = plain.config().gossip.shuffle_period;
+  std::size_t ticks = 0;
+  // An off-grid period so ticks split run_until at awkward times.
+  sampled.set_sampler(scenario::sampler_timeline, P / 3 + 1,
+                      [&](sim::sim_time) { ++ticks; });
+  for (int leg = 0; leg < 4; ++leg) {
+    plain.run_periods(5);
+    sampled.run_periods(5);
+  }
+  EXPECT_GT(ticks, 0u);
+  EXPECT_EQ(plain.events_executed(), sampled.events_executed());
+  EXPECT_EQ(plain.state_digest(), sampled.state_digest());
+}
+
+TEST(scenario_sampler, sampling_is_digest_neutral_serial) {
+  expect_sampling_is_digest_neutral(0);
+}
+
+TEST(scenario_sampler, sampling_is_digest_neutral_sharded) {
+  expect_sampling_is_digest_neutral(4);
+}
+
+}  // namespace
+}  // namespace nylon::runtime

@@ -243,6 +243,110 @@ TEST(experiment_spec, runs_end_to_end_and_is_deterministic) {
             "60");
 }
 
+TEST(experiment_spec, timeline_parses_round_trips_and_validates) {
+  const char* text = R"({
+    "name": "tl",
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [50]}],
+    "probes": [{"probe": "stale_pct"}],
+    "timeline": {"period_s": 2.5,
+                 "probes": ["alive_count", "drop_count.nat_filtered",
+                            "in_degree.cv", "obs.arena_bytes_peak"]}
+  })";
+  const experiment_spec spec = parse(text);
+  EXPECT_TRUE(spec.timeline.enabled);
+  EXPECT_DOUBLE_EQ(spec.timeline.period_s, 2.5);
+  ASSERT_EQ(spec.timeline.probes.size(), 4u);
+  const util::json dumped = spec_to_json(spec);
+  EXPECT_EQ(dumped.dump_string(0),
+            spec_to_json(spec_from_json(dumped)).dump_string(0));
+}
+
+TEST(experiment_spec, timeline_misuse_is_a_validation_error) {
+  const auto tl_spec = [](const char* timeline) {
+    return std::string(R"({"name":"x",
+      "rows":[{"axis":"natted_pct","header":"h","values":[50]}],
+      "probes":[{"probe":"stale_pct"}],
+      "timeline":)") + timeline + "}";
+  };
+  // Non-passive probe: the randomness battery consumes peer rngs, so it
+  // must never ride a mid-run timeline.
+  EXPECT_THROW(
+      parse(tl_spec(R"({"period_s":5,"probes":["sample_birthday_p"]})")),
+      contract_error);
+  // Check probes have no scalar view.
+  EXPECT_THROW(
+      parse(tl_spec(R"({"period_s":5,"probes":["check_connected"]})")),
+      contract_error);
+  // Selector misuse and unknown names surface at validation.
+  EXPECT_THROW(parse(tl_spec(R"({"period_s":5,"probes":["drop_count"]})")),
+               contract_error);
+  EXPECT_THROW(parse(tl_spec(R"({"period_s":5,"probes":["no_such"]})")),
+               contract_error);
+  EXPECT_THROW(parse(tl_spec(R"({"period_s":5,"probes":["obs.bogus"]})")),
+               contract_error);
+  // A positive period and at least one column are required.
+  EXPECT_THROW(parse(tl_spec(R"({"period_s":0,"probes":["alive_count"]})")),
+               contract_error);
+  EXPECT_THROW(parse(tl_spec(R"({"period_s":5,"probes":[]})")),
+               contract_error);
+  // Static specs have no sim time to sample.
+  EXPECT_THROW(parse(R"({"name":"x","static":true,
+    "rows":[{"axis":"%a","header":"h","values":["open"]}],
+    "probes":[{"probe":"traversal_prescribed"}],
+    "timeline":{"period_s":5,"probes":["alive_count"]}})"),
+               contract_error);
+}
+
+TEST(experiment_spec, timeline_records_per_seed_series_only_when_enabled) {
+  const char* base = R"({
+    "name": "tl_run",
+    "rows": [{"axis": "natted_pct", "header": "%NAT", "values": [0, 60]}],
+    "probes": [{"probe": "alive_count", "precision": 0}],
+    "workload": {"phases": [{"kind": "steady", "periods": 4}]}
+  })";
+  spec_options opt;
+  opt.peers = 30;
+  opt.rounds = 2;
+  opt.seeds = 2;
+  opt.threads = 1;
+  std::ostringstream plain_out;
+  const util::json plain = run_spec(parse(base), opt, plain_out);
+  EXPECT_EQ(plain.find("timeline"), nullptr);
+
+  // Force-enabled via the driver flag (no spec block): default columns,
+  // identical table output — sampling is observation-only.
+  spec_options tl_opt = opt;
+  tl_opt.timeline = true;
+  tl_opt.timeline_period_s = 5.0;
+  std::ostringstream tl_out;
+  const util::json doc = run_spec(parse(base), tl_opt, tl_out);
+  EXPECT_EQ(plain_out.str(), tl_out.str());
+  ASSERT_NE(doc.find("timeline"), nullptr);
+  const util::json& block = doc.at("timeline");
+  EXPECT_DOUBLE_EQ(block.at("period_s").as_double(), 5.0);
+  EXPECT_EQ(block.at("columns").at(0).as_string(), "t_s");
+  ASSERT_EQ(block.at("cells").size(), 2u);  // one per row
+  const util::json& cell = block.at("cells").at(0);
+  EXPECT_EQ(cell.at("row").at(std::size_t{0}).as_string(), "0");
+  ASSERT_EQ(cell.at("per_seed").size(), 2u);  // one series per seed
+  const util::json& series = cell.at("per_seed").at(0);
+  ASSERT_GT(series.size(), 0u);
+  // Sim time advances monotonically and each sample carries one value
+  // per column.
+  double last_t = 0.0;
+  for (const util::json& sample : series.array_items()) {
+    ASSERT_EQ(sample.size(), block.at("columns").size());
+    EXPECT_GT(sample.at(0).as_double(), last_t);
+    last_t = sample.at(0).as_double();
+  }
+  // Everything else in the report is unchanged by sampling.
+  util::json stripped = util::json::object();
+  for (const auto& [key, value] : doc.object_items()) {
+    if (key != "timeline") stripped[key] = value;
+  }
+  EXPECT_EQ(stripped.dump_string(0), plain.dump_string(0));
+}
+
 TEST(experiment_spec, csv_mode_renders_csv) {
   const experiment_spec spec = parse(kMinimalSpec);
   spec_options opt;
