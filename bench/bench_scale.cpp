@@ -24,9 +24,12 @@
 // contract as it goes — every K >= 1 must produce the identical state
 // digest (the serial engine, K = 0, has its own digest family and is
 // only compared against other K = 0 entries) — and the BENCH JSON gains
-// a results.sweep array carrying the per-K events/s and the speedup
-// curve relative to the first K, which bench/trend.py gates per shard
-// count. A digest mismatch exits non-zero after the JSON is written.
+// a results.sweep array carrying the per-K events/s, the speedup curve
+// relative to the first K, and the per-K epoch statistics (epochs run,
+// mean/max epoch width in sim-ms, events per epoch), which bench/trend.py
+// gates per (shards, window_mode). A digest mismatch exits non-zero after
+// the JSON is written. --window-mode static|adaptive picks the epoch
+// policy; digests are identical either way.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -150,11 +153,22 @@ void print_outcome(const run_outcome& r) {
             << "biggest_cluster_pct   " << r.biggest_cluster_pct << "\n"
             << "state_digest          " << r.digest_hex << "\n"
             << "final_measure_s       " << r.measure_s << "\n";
+  if (r.shards > 0) {
+    std::cout << "epochs                " << r.profile.epochs << "\n"
+              << "epoch_width_ms_mean   " << r.profile.epoch_width_ms_mean
+              << "\n"
+              << "epoch_width_ms_max    " << r.profile.epoch_width_ms_max
+              << "\n"
+              << "events_per_epoch      " << r.profile.events_per_epoch
+              << "\n";
+  }
   if (!r.profile.empty()) {
     for (std::size_t s = 0; s < r.profile.shards.size(); ++s) {
       const obs::shard_profile& sp = r.profile.shards[s];
       std::cout << "shard[" << s << "] work_s=" << sp.work_s
-                << " wait_s=" << sp.wait_s << " events=" << sp.events << "\n";
+                << " wait_s=" << sp.wait_s << " events=" << sp.events
+                << " spin=" << sp.spin_waits << " park=" << sp.park_waits
+                << "\n";
     }
     std::cout << "shard_imbalance       " << r.profile.imbalance() << "\n"
               << "barrier_overhead_pct  "
@@ -175,6 +189,12 @@ util::json outcome_json(const run_outcome& r) {
   results["biggest_cluster_pct"] = r.biggest_cluster_pct;
   results["state_digest"] = r.digest_hex;
   results["final_measure_s"] = r.measure_s;
+  if (r.shards > 0) {
+    results["epochs"] = r.profile.epochs;
+    results["epoch_width_ms_mean"] = r.profile.epoch_width_ms_mean;
+    results["epoch_width_ms_max"] = r.profile.epoch_width_ms_max;
+    results["events_per_epoch"] = r.profile.events_per_epoch;
+  }
   return results;
 }
 
@@ -217,6 +237,11 @@ int main(int argc, char** argv) {
       "sweep-shards", "",
       "comma-separated shard counts; runs the same universe once per K, "
       "asserts digest equality and emits a per-K speedup curve");
+  const auto* window_mode = flags.add_string(
+      "window-mode", "adaptive",
+      "sharded epoch-width policy: adaptive (stride to the next event "
+      "plus lookahead) | static (fixed min-latency window); digests are "
+      "identical either way");
   const auto* profile_name = flags.add_string(
       "profile", "",
       "named parameter preset: 'ci' (n=2000, short churn) or 'million' "
@@ -244,6 +269,11 @@ int main(int argc, char** argv) {
   }
   if (*shards < 0) {
     std::cerr << "--shards must be >= 0 (0 = serial engine)\n"
+              << flags.usage("bench_scale");
+    return 1;
+  }
+  if (*window_mode != "static" && *window_mode != "adaptive") {
+    std::cerr << "--window-mode must be static or adaptive\n"
               << flags.usage("bench_scale");
     return 1;
   }
@@ -279,6 +309,8 @@ int main(int argc, char** argv) {
   cfg.protocol = core::protocol_kind::nylon;
   cfg.gossip.view_size = 15;
   cfg.seed = static_cast<std::uint64_t>(*seed);
+  cfg.window_mode = *window_mode == "static" ? sim::window_mode::static_window
+                                             : sim::window_mode::adaptive;
 
   run_params params;
   params.warmup = *warmup;
@@ -301,6 +333,7 @@ int main(int argc, char** argv) {
     std::cout << "# bench_scale: n=" << cfg.peer_count << " warmup=" << *warmup
               << " churn_rounds=" << *churn_rounds << " arrivals=" << *arrivals
               << "/s rebind=" << *rebind << " shards=" << cfg.shards
+              << (cfg.shards > 0 ? " window_mode=" + *window_mode : "")
               << " seed=" << cfg.seed
               << (profile_name->empty() ? ""
                                         : " (profile " + *profile_name + ")")
@@ -330,6 +363,7 @@ int main(int argc, char** argv) {
   report.param("arrivals_per_sec", *arrivals);
   report.param("rebind_frac", *rebind);
   report.param("shards", outcomes.back().shards);
+  report.param("window_mode", *window_mode);
   if (!sweep.empty()) report.param("sweep_shards", *sweep_flag);
   if (!profile_name->empty()) report.param("profile", *profile_name);
   report.param("seed", static_cast<std::int64_t>(cfg.seed));
@@ -350,6 +384,12 @@ int main(int argc, char** argv) {
       row["speedup_vs_first"] =
           base_eps > 0 ? r.events_per_sec / base_eps : 0.0;
       row["state_digest"] = r.digest_hex;
+      if (r.shards > 0) {
+        row["epochs"] = r.profile.epochs;
+        row["epoch_width_ms_mean"] = r.profile.epoch_width_ms_mean;
+        row["epoch_width_ms_max"] = r.profile.epoch_width_ms_max;
+        row["events_per_epoch"] = r.profile.events_per_epoch;
+      }
       if (!r.profile.empty()) {
         row["imbalance"] = r.profile.imbalance();
         row["barrier_overhead_pct"] = 100.0 * r.profile.barrier_overhead();

@@ -46,6 +46,11 @@ int main(int argc, char** argv) {
       "shards", 0,
       "shards per universe (0 = serial engine; K >= 1 = sharded engine, "
       "byte-identical for every K)");
+  const auto* window_mode = flags.add_string(
+      "window-mode", "adaptive",
+      "sharded epoch-width policy: adaptive (stride to the next event "
+      "plus lookahead) | static (fixed min-latency window); digests are "
+      "identical either way");
   const auto* json = flags.add_string(
       "json", "", "also write machine-readable results to this file");
   const auto* transport = flags.add_string(
@@ -159,6 +164,11 @@ int main(int argc, char** argv) {
               << flags.usage(usage_name);
     return 1;
   }
+  if (*window_mode != "static" && *window_mode != "adaptive") {
+    std::cerr << "--window-mode must be static or adaptive\n"
+              << flags.usage(usage_name);
+    return 1;
+  }
   if (*transport != "sim" && *transport != "sim-frames" && *transport != "udp") {
     std::cerr << "--transport must be sim, sim-frames or udp "
                  "(see --list-transports)\n"
@@ -202,6 +212,7 @@ int main(int argc, char** argv) {
   opt.seed = static_cast<std::uint64_t>(*seed);
   opt.threads = static_cast<int>(*threads);
   opt.shards = static_cast<std::size_t>(*shards);
+  opt.window_mode = *window_mode;
   opt.json = *json;
   opt.transport = *transport;
   opt.udp_time_scale = *udp_time_scale;

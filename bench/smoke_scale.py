@@ -51,12 +51,22 @@ def main():
     for row in sweep:
         assert row["events_executed"] > 0, row
         assert row["events_per_sec"] > 0, row
+        # Per-K epoch statistics (adaptive-window PR): present and sane
+        # for every sharded entry.
+        assert row["epochs"] > 0, row
+        assert row["epoch_width_ms_mean"] > 0, row
+        assert row["epoch_width_ms_max"] >= row["epoch_width_ms_mean"], row
+        assert row["events_per_epoch"] > 0, row
+    # The sweep runs the default adaptive policy and records it for
+    # trend.py's (transport, shards, window_mode) gate key.
+    assert doc["params"]["window_mode"] == "adaptive", doc["params"]
     # The last sweep entry is mirrored into the top-level scalars for
     # single-run consumers; they must agree.
     assert results["state_digest"] == sweep[-1]["state_digest"]
     assert results["events_executed"] == sweep[-1]["events_executed"]
     print(f"ok: shards {SWEEP} -> digest {digests.pop()}, "
-          f"{sweep[-1]['events_executed']} events")
+          f"{sweep[-1]['events_executed']} events, "
+          f"{[row['epochs'] for row in sweep]} epochs per K")
     return 0
 
 

@@ -12,14 +12,20 @@ Files are ordered by modification time (oldest first) unless given
 explicitly, in which case argument order is kept.
 
 Sweep documents (bench_scale --sweep-shards) expand into one row per
-shard count, and the regression gate runs *per (transport, shard count)*:
-for every combination present in the newest document, the newest events/s
-is held against the best ever recorded for the same combination. A
-serial-engine improvement can therefore never mask a sharded-engine
-regression (and vice versa), and a wall-clock-paced udp run can neither
-shadow nor be judged by a sim run's throughput. Exits non-zero when any K in the newest run is more than
---threshold percent below its per-K best; with a single file it just
-prints the rows.
+shard count, and the regression gate runs *per (transport, shard count,
+window mode)*: for every combination present in the newest document, the
+newest events/s is held against the best ever recorded for the same
+combination. A serial-engine improvement can therefore never mask a
+sharded-engine regression (and vice versa), a wall-clock-paced udp run
+can neither shadow nor be judged by a sim run's throughput, and an
+adaptive-window run never swallows a static-window regression (the two
+policies have different events/s by design; artifacts predating the
+window_mode field are all static). Sharded rows also print the epoch
+statistics (epochs run, mean epoch width in sim-ms, events per epoch) so
+a window-policy change shows up as a visible epoch-count shift, not just
+a throughput delta. Exits non-zero when any K in the newest run is more
+than --threshold percent below its per-K best; with a single file it
+just prints the rows.
 """
 
 import argparse
@@ -76,16 +82,24 @@ def load_rows(path):
     # compared against (or shadow the best of) a sim run — the gate keys
     # on (transport, shards).
     transport = doc.get("transport") or params.get("transport") or "sim"
+    # The epoch-width policy (adaptive windows PR) keys the gate the same
+    # way: static and adaptive runs are different performance regimes.
+    # Artifacts predating the field all ran static windows.
+    window_mode = params.get("window_mode") or "static"
 
     def row(shards, entry, imbalance, barrier):
         return {
             "path": path,
             "n": params.get("n"),
             "transport": transport,
+            "window_mode": window_mode if shards else "-",
             "shards": shards,
             "events": entry.get("events_executed"),
             "events_per_sec": entry.get("events_per_sec"),
             "run_wall_s": entry.get("run_wall_s"),
+            "epochs": entry.get("epochs"),
+            "epoch_width_ms_mean": entry.get("epoch_width_ms_mean"),
+            "events_per_epoch": entry.get("events_per_epoch"),
             "imbalance": imbalance,
             "barrier_overhead_pct": barrier,
         }
@@ -127,30 +141,42 @@ def main():
         print("no usable BENCH_scale documents found", file=sys.stderr)
         return 1
 
-    header = (f"{'run':<40} {'n':>8} {'carrier':>10} {'K':>3} {'events':>12} "
-              f"{'events/s':>12} {'vs best':>9} {'imbal':>7} {'barrier':>8}")
+    header = (f"{'run':<40} {'n':>8} {'carrier':>10} {'mode':>8} {'K':>3} "
+              f"{'events':>12} {'events/s':>12} {'vs best':>9} {'epochs':>8} "
+              f"{'ep_w_ms':>8} {'ev/ep':>8} {'imbal':>7} {'barrier':>8}")
     print(header)
     print("-" * len(header))
+
+    def gate_key(row):
+        return (row["transport"], row["shards"], row["window_mode"])
+
     best_by_k = {}
     for row in rows:
         eps = row["events_per_sec"] or 0.0
-        k = (row["transport"], row["shards"])
+        k = gate_key(row)
         if eps > best_by_k.get(k, 0.0):
             best_by_k[k] = eps
     for row in rows:
         eps = row["events_per_sec"] or 0.0
-        best = best_by_k.get((row["transport"], row["shards"]), 0.0)
+        best = best_by_k.get(gate_key(row), 0.0)
         vs_best = f"{100.0 * (eps / best - 1.0):+8.1f}%" if best else "        -"
         label = os.path.relpath(row["path"])
         if len(label) > 40:
             label = "..." + label[-37:]
         k = row["shards"] if row["shards"] is not None else "-"
+        epochs = (f"{row['epochs']:>8}"
+                  if row["epochs"] is not None else f"{'-':>8}")
+        width = (f"{row['epoch_width_ms_mean']:>8.1f}"
+                 if row["epoch_width_ms_mean"] is not None else f"{'-':>8}")
+        ev_ep = (f"{row['events_per_epoch']:>8.1f}"
+                 if row["events_per_epoch"] is not None else f"{'-':>8}")
         imbal = (f"{row['imbalance']:>7.3f}"
                  if row["imbalance"] is not None else f"{'-':>7}")
         barrier = (f"{row['barrier_overhead_pct']:>7.1f}%"
                    if row["barrier_overhead_pct"] is not None else f"{'-':>8}")
-        print(f"{label:<40} {row['n'] or 0:>8} {row['transport']:>10} {k:>3} "
-              f"{row['events'] or 0:>12} {eps:>12.0f} {vs_best} {imbal} "
+        print(f"{label:<40} {row['n'] or 0:>8} {row['transport']:>10} "
+              f"{row['window_mode']:>8} {k:>3} {row['events'] or 0:>12} "
+              f"{eps:>12.0f} {vs_best} {epochs} {width} {ev_ep} {imbal} "
               f"{barrier}")
 
     # Warn-only balance gate (never affects the exit code): the newest
@@ -160,7 +186,7 @@ def main():
     # runners, so a drift there only warns.
     best_balance = {}
     for row in rows:
-        key = (row["transport"], row["shards"])
+        key = gate_key(row)
         for field in ("imbalance", "barrier_overhead_pct"):
             val = row[field]
             if val is None:
@@ -169,7 +195,7 @@ def main():
             if prev is None or val < prev:
                 best_balance[(key, field)] = val
     for row in (r for r in rows if r["path"] == newest_path):
-        key = (row["transport"], row["shards"])
+        key = gate_key(row)
         for field, slack in (("imbalance", 0.05),
                              ("barrier_overhead_pct", 5.0)):
             val = row[field]
@@ -177,23 +203,25 @@ def main():
             if val is None or best is None or val <= best + slack:
                 continue
             print(f"WARNING: newest run at transport={row['transport']} "
-                  f"K={row['shards']} has {field}={val:.3f}, above the "
-                  f"best recorded {best:.3f} for that combination "
-                  f"(warn-only, not a gate failure)", file=sys.stderr)
+                  f"K={row['shards']} mode={row['window_mode']} has "
+                  f"{field}={val:.3f}, above the best recorded {best:.3f} "
+                  f"for that combination (warn-only, not a gate failure)",
+                  file=sys.stderr)
 
     if args.threshold > 0:
         failed = False
         for row in (r for r in rows if r["path"] == newest_path):
             eps = row["events_per_sec"] or 0.0
-            best = best_by_k.get((row["transport"], row["shards"]), 0.0)
+            best = best_by_k.get(gate_key(row), 0.0)
             if best <= 0:
                 continue
             drop = 100.0 * (1.0 - eps / best)
             if drop > args.threshold:
                 print(f"REGRESSION: newest run at transport="
-                      f"{row['transport']} K={row['shards']} is "
-                      f"{drop:.1f}% below the best for that combination "
-                      f"({eps:.0f} vs {best:.0f} events/s)", file=sys.stderr)
+                      f"{row['transport']} K={row['shards']} "
+                      f"mode={row['window_mode']} is {drop:.1f}% below the "
+                      f"best for that combination ({eps:.0f} vs {best:.0f} "
+                      f"events/s)", file=sys.stderr)
                 failed = True
         if failed:
             return 1

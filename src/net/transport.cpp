@@ -97,16 +97,21 @@ void transport::set_shard_router(shard_router* router) {
   node_shards_.clear();
   node_shards_.resize(shard_count_);
   if (router_ != nullptr) {
-    // Cross-shard deliveries must land strictly after the conservative
-    // window; the latency model's floor is the engine's lookahead. The
-    // engine's window is sized from the same floor, so the floor is an
-    // upper bound on any epoch length — which is what the lease sweep's
-    // safety condition needs (see transport.h).
+    // Cross-shard deliveries must land at or after the conservative
+    // window's end; the latency model's floor sizes the engine's static
+    // window and floors its adaptive lookahead, so it must be a real
+    // millisecond (zero-delay packets would race the epoch barrier).
     NYLON_EXPECTS(latency_->min_delay() >= 1);
-    lease_window_ = latency_->min_delay();
-  } else {
-    lease_window_ = 0;
   }
+}
+
+sim::sim_time transport::lookahead() const noexcept {
+  sim::sim_time look = sim::time_never;
+  for (std::size_t c = 0; c < latency_->class_count(); ++c) {
+    if (!latency_->class_live(c)) continue;
+    look = std::min(look, latency_->class_min_delay(c));
+  }
+  return look;
 }
 
 node_id transport::add_node(nat::nat_type type, endpoint_handler& handler) {
@@ -347,13 +352,16 @@ void transport::lease_payload(std::size_t src_shard, sim::sim_time release_at,
 
 void transport::sweep_leases(lease_list& list, sim::sim_time now) {
   list.sends_since_sweep = 0;
-  // Serial (`lease_window_` 0): strictly-earlier events have executed.
-  // Sharded: see the safety argument on payload_lease — the delivery's
-  // epoch is globally complete once the sender's clock has passed
-  // release_at + window.
+  // Serial: strictly-earlier events have executed, so anything released
+  // before `now` is dead. Sharded: only the engine's globally completed
+  // floor bounds the other shards' progress (see payload_lease) — the
+  // relaxed read is safe because the floor is monotone and any stale
+  // value only delays reclamation.
+  const sim::sim_time reclaim_before =
+      router_ != nullptr ? router_->completed_through() + 1 : now;
   std::vector<payload_lease>& items = list.items;
   for (std::size_t i = 0; i < items.size();) {
-    if (items[i].release_at + lease_window_ < now) {
+    if (items[i].release_at < reclaim_before) {
       items[i] = std::move(items.back());  // order is irrelevant here
       items.pop_back();
     } else {

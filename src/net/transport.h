@@ -65,6 +65,12 @@ class shard_router {
   virtual void post(std::size_t src_shard, std::size_t dst_shard,
                     sim::sim_time at, std::uint64_t order_a,
                     std::uint64_t order_b, util::callback fn) = 0;
+  /// Latest sim time through which *every* shard has provably finished
+  /// executing (monotone; may be read mid-epoch from worker threads).
+  /// The payload-lease sweep reclaims against this floor — the clock-
+  /// plus-window bound the serial path uses is unsound under adaptive
+  /// epochs, where one epoch can stride far beyond the latency floor.
+  [[nodiscard]] virtual sim::sim_time completed_through() const noexcept = 0;
 };
 
 /// Why a datagram was not delivered.
@@ -255,6 +261,13 @@ class transport {
   void set_shard_router(shard_router* router);
   [[nodiscard]] bool sharded() const noexcept { return router_ != nullptr; }
 
+  /// Conservative lookahead for the sharded engine's adaptive windows:
+  /// an exact lower bound on the delay of any message schedulable from
+  /// now on — the minimum over the latency model's *live* classes (see
+  /// latency_model::class_live). Queried between epochs, where the
+  /// latency state is barrier-stable.
+  [[nodiscard]] sim::sim_time lookahead() const noexcept;
+
   /// The scheduler `id`'s peer must use for its own timers: its shard's
   /// scheduler when sharded, the universe scheduler otherwise.
   [[nodiscard]] sim::scheduler& scheduler_for(node_id id) noexcept {
@@ -372,10 +385,13 @@ class transport {
   /// the delivery time has provably passed:
   ///  * serial: every event before the current timestamp has executed,
   ///    so a lease with `release_at < now` is dead;
-  ///  * sharded: shards run lockstep epochs of at most `lease_window_`
-  ///    (>= the engine's window, see set_shard_router), so once the
-  ///    sending shard's clock passed `release_at + lease_window_` the
-  ///    delivery's epoch has globally completed.
+  ///  * sharded: the engine publishes the globally completed time floor
+  ///    (router->completed_through()); a lease with
+  ///    `release_at <= floor` has executed on its destination shard no
+  ///    matter how epochs were cut. (The sender's own clock bounds
+  ///    nothing under adaptive windows — one epoch can stride
+  ///    arbitrarily far past the latency floor while a same-epoch
+  ///    delivery on another shard has not run yet.)
   /// Sweeps are amortized over sends; leftover leases die with the
   /// transport (workers parked, so the refcounts are safe to touch).
   struct payload_lease {
@@ -436,9 +452,6 @@ class transport {
   std::vector<counter_block> counters_;
   /// In-flight payload owners, one list per shard (see payload_lease).
   std::vector<lease_list> leases_;
-  /// 0 in serial mode; the latency floor (>= the engine's conservative
-  /// window) in shard mode.
-  sim::sim_time lease_window_ = 0;
 };
 
 }  // namespace nylon::net

@@ -26,6 +26,7 @@ std::string_view to_string(counter c) noexcept {
     case counter::sim_time_ms: return "sim_time_ms";
     case counter::nodes_added: return "nodes_added";
     case counter::nodes_removed: return "nodes_removed";
+    case counter::drain_bytes_peak: return "drain_bytes_peak";
     case counter::count_: break;
   }
   return "?";

@@ -58,6 +58,8 @@ enum class counter : std::uint8_t {
   sim_time_ms,          ///< furthest simulated time reached, in ms (max)
   nodes_added,          ///< transport nodes brought alive
   nodes_removed,        ///< transport nodes departed (alive = added - removed)
+  drain_bytes_peak,     ///< peak bytes in any one shard's cross-shard
+                        ///< drain buffers (scratch + staging lane) (max)
   count_                ///< number of counters (internal)
 };
 
@@ -73,7 +75,8 @@ inline constexpr std::size_t counter_count =
 [[nodiscard]] constexpr bool is_peak(counter c) noexcept {
   return c == counter::queue_peak_depth ||
          c == counter::route_table_peak || c == counter::nat_table_peak ||
-         c == counter::arena_bytes_peak || c == counter::sim_time_ms;
+         c == counter::arena_bytes_peak || c == counter::sim_time_ms ||
+         c == counter::drain_bytes_peak;
 }
 
 /// One coherent read of every counter, aggregated across all registered

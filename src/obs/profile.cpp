@@ -29,6 +29,9 @@ double epoch_profile::barrier_overhead() const noexcept {
 util::json to_json(const epoch_profile& profile) {
   util::json out = util::json::object();
   out["epochs"] = profile.epochs;
+  out["epoch_width_ms_mean"] = profile.epoch_width_ms_mean;
+  out["epoch_width_ms_max"] = profile.epoch_width_ms_max;
+  out["events_per_epoch"] = profile.events_per_epoch;
   out["imbalance"] = profile.imbalance();
   out["barrier_overhead_pct"] = 100.0 * profile.barrier_overhead();
   util::json shards = util::json::array();
@@ -37,6 +40,8 @@ util::json to_json(const epoch_profile& profile) {
     entry["work_s"] = s.work_s;
     entry["wait_s"] = s.wait_s;
     entry["events"] = s.events;
+    entry["spin_waits"] = s.spin_waits;
+    entry["park_waits"] = s.park_waits;
   }
   out["shards"] = std::move(shards);
   return out;

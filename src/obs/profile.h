@@ -18,13 +18,25 @@ struct shard_profile {
   double work_s = 0.0;  ///< executing events + draining inbound channels
   double wait_s = 0.0;  ///< blocked at the mid / finish epoch barriers
   std::uint64_t events = 0;  ///< events executed on this shard
+  /// How this shard's barrier crossings resolved (spin-then-park
+  /// barrier): released while spinning vs after parking on the condvar.
+  std::uint64_t spin_waits = 0;
+  std::uint64_t park_waits = 0;
 };
 
-/// The whole engine's profile. Empty (no shards) in serial mode or when
-/// telemetry is compiled out.
+/// The whole engine's profile. The per-shard wall-clock vector is empty
+/// in serial mode or when telemetry is compiled out; the epoch-size
+/// statistics are deterministic and filled whenever the sharded engine
+/// ran.
 struct epoch_profile {
   std::vector<shard_profile> shards;
   std::uint64_t epochs = 0;
+  /// Epoch widths in sim-ms (grid points per epoch): the direct read on
+  /// how far the window policy strides. Static windows pin both numbers
+  /// at W; adaptive windows stretch over quiet stretches.
+  std::int64_t epoch_width_ms_max = 0;
+  double epoch_width_ms_mean = 0.0;
+  double events_per_epoch = 0.0;
 
   [[nodiscard]] bool empty() const noexcept { return shards.empty(); }
 
@@ -37,8 +49,10 @@ struct epoch_profile {
   [[nodiscard]] double barrier_overhead() const noexcept;
 };
 
-/// {"epochs": ..., "imbalance": ..., "barrier_overhead_pct": ...,
-///  "shards": [{"work_s": ..., "wait_s": ..., "events": ...}, ...]}.
+/// {"epochs": ..., "epoch_width_ms_mean": ..., "epoch_width_ms_max": ...,
+///  "events_per_epoch": ..., "imbalance": ..., "barrier_overhead_pct": ...,
+///  "shards": [{"work_s": ..., "wait_s": ..., "events": ...,
+///              "spin_waits": ..., "park_waits": ...}, ...]}.
 [[nodiscard]] util::json to_json(const epoch_profile& profile);
 
 }  // namespace nylon::obs

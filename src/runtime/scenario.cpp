@@ -47,7 +47,12 @@ scenario::scenario(const experiment_config& cfg) : cfg_(cfg), rng_(cfg.seed) {
     // during an epoch then lands strictly after the epoch barrier.
     const sim::sim_time window = latency->min_delay();
     NYLON_EXPECTS(window >= 1);
-    shards_ = std::make_unique<sim::shard_engine>(cfg_.shards, window);
+    // The lookahead provider defers to the transport (constructed just
+    // below), so adaptive epochs see the live latency-class floor, not a
+    // snapshot taken at build time.
+    shards_ = std::make_unique<sim::shard_engine>(
+        cfg_.shards, window, cfg_.window_mode,
+        [this]() noexcept { return transport_->lookahead(); });
   }
   transport_ = std::make_unique<net::transport>(sched_, rng_,
                                                 std::move(latency), tcfg);
@@ -134,6 +139,10 @@ sim::scheduler& scenario::scheduler_of(std::size_t shard) noexcept {
 
 util::rng& scenario::rng_of(net::node_id id) noexcept {
   return peer_rngs_[id];
+}
+
+sim::sim_time scenario::completed_through() const noexcept {
+  return shards_->completed_through();
 }
 
 void scenario::post(std::size_t src_shard, std::size_t dst_shard,

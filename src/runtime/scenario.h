@@ -203,6 +203,7 @@ class scenario : private net::shard_router {
   [[nodiscard]] sim::scheduler& scheduler_of(
       std::size_t shard) noexcept override;
   [[nodiscard]] util::rng& rng_of(net::node_id id) noexcept override;
+  [[nodiscard]] sim::sim_time completed_through() const noexcept override;
   void post(std::size_t src_shard, std::size_t dst_shard, sim::sim_time at,
             std::uint64_t order_a, std::uint64_t order_b,
             util::callback fn) override;

@@ -225,6 +225,16 @@ std::string apply_setting(experiment_config& cfg, const std::string& key,
     cfg.shards = count_token(key, token, opt);
     return token;
   }
+  if (key == "window_mode") {
+    if (token == "static") {
+      cfg.window_mode = sim::window_mode::static_window;
+    } else if (token == "adaptive") {
+      cfg.window_mode = sim::window_mode::adaptive;
+    } else {
+      bad("unknown window_mode \"" + token + "\" (static | adaptive)");
+    }
+    return token;
+  }
   if (key == "transport") {
     if (token == "sim") {
       cfg.transport = transport_kind::sim;
@@ -1944,6 +1954,7 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     base_cfg.latency_max = sim::millis(eff.latency_max_ms);
     base_cfg.latency_sigma = eff.latency_sigma;
     apply_setting(base_cfg, "transport", eff.transport, eff);
+    apply_setting(base_cfg, "window_mode", eff.window_mode, eff);
     if (eff.udp_time_scale > 0) base_cfg.udp_time_scale = eff.udp_time_scale;
     for (const auto& [key, token] : spec.base) {
       apply_or_var(base_cfg, base_vars, base_params, key, token);
@@ -1953,6 +1964,15 @@ util::json run_spec(const experiment_spec& spec, const spec_options& opt,
     // runs so every pre-existing document stays byte-identical.
     if (base_cfg.transport != transport_kind::sim) {
       report.add("transport", std::string(to_string(base_cfg.transport)));
+    }
+    // Likewise the epoch-width policy, but only for sharded runs — it is
+    // meaningless in serial mode and omitting it there keeps every
+    // pre-existing serial document byte-identical.
+    if (base_cfg.shards > 0) {
+      report.add("window_mode",
+                 base_cfg.window_mode == sim::window_mode::adaptive
+                     ? std::string("adaptive")
+                     : std::string("static"));
     }
 
     // Measurement plan of the shared-run ("probes") mode.

@@ -234,6 +234,7 @@ struct spec_options {
   std::uint64_t seed = 1;
   int threads = 0;          ///< seed-level parallelism (0 = all cores)
   std::size_t shards = 0;   ///< per-universe shards (0 = serial engine)
+  std::string window_mode = "adaptive";  ///< static | adaptive (sharded)
   std::string json;         ///< write BENCH_*.json here ("" = off)
   std::string transport = "sim";  ///< sim | sim-frames | udp
   double udp_time_scale = 0.0;    ///< udp pacing (0 = config default)

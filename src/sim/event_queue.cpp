@@ -84,6 +84,107 @@ void event_queue::retire_front_bucket() noexcept {
   if (cached.t == t) cached.t = time_never;  // bucket no longer exists
 }
 
+void event_queue::push_sorted_batch(std::vector<staged_event>& batch) {
+  const std::size_t n = batch.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const sim_time at = batch[i].at;
+    NYLON_EXPECTS(i == 0 || batch[i - 1].at <= at);  // sorted by time
+    // Resolve the bucket once for the whole same-timestamp run.
+    time_cache_entry& cached =
+        time_cache_[static_cast<std::uint64_t>(at) & (time_cache_size - 1)];
+    const std::uint32_t bindex =
+        cached.t == at ? cached.bucket : bucket_for_new_time(at, cached);
+    // Link the run into a detached chain first: acquire_slot never moves
+    // buckets_, so taking the bucket reference afterwards is safe even
+    // when bucket_for_new_time grew the pool above.
+    std::uint32_t head = no_slot;
+    std::uint32_t tail = no_slot;
+    for (; i < n && batch[i].at == at; ++i) {
+      NYLON_EXPECTS(static_cast<bool>(batch[i].fn));
+      const std::uint32_t slot = acquire_slot();
+      detail::event_slot& s = slab_->slot(slot);
+      s.fn = std::move(batch[i].fn);
+      s.next = no_slot;
+      s.cancelled = false;
+      s.live = true;
+      if (tail == no_slot) {
+        head = slot;
+      } else {
+        slab_->slot(tail).next = slot;
+      }
+      tail = slot;
+      ++queued_;
+    }
+    bucket& b = buckets_[bindex];
+    if (b.tail == no_slot) {
+      b.head = head;
+    } else {
+      slab_->slot(b.tail).next = head;
+    }
+    b.tail = tail;
+  }
+  obs::count_peak(obs::counter::queue_peak_depth, queued_);
+  batch.clear();
+}
+
+void event_queue::stage_sorted(std::vector<staged_event>& batch) {
+  if (batch.empty()) return;
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    NYLON_EXPECTS(canonical_less(batch[i - 1], batch[i]));
+  }
+  if (lane_pos_ == lane_.size()) {
+    // Lane fully consumed: swap storage so the caller's drain buffer
+    // inherits the retired lane capacity (and vice versa) — no epoch
+    // steady state allocates.
+    lane_.clear();
+    lane_.swap(batch);
+  } else {
+    // Merge the un-consumed remainder with the new batch. std::merge is
+    // stable, but the canonical keys are unique by contract, so the
+    // result is the one total order either way.
+    lane_scratch_.clear();
+    lane_scratch_.reserve(lane_.size() - lane_pos_ + batch.size());
+    std::merge(std::make_move_iterator(lane_.begin() +
+                                       static_cast<std::ptrdiff_t>(lane_pos_)),
+               std::make_move_iterator(lane_.end()),
+               std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()),
+               std::back_inserter(lane_scratch_),
+               [](const staged_event& a, const staged_event& b) noexcept {
+                 return canonical_less(a, b);
+               });
+    lane_.swap(lane_scratch_);
+    lane_scratch_.clear();
+    batch.clear();
+  }
+  lane_pos_ = 0;
+  lane_next_ = lane_.front().at;
+  obs::count_peak(obs::counter::queue_peak_depth,
+                  queued_ + (lane_.size() - lane_pos_));
+}
+
+sim_time event_queue::run_lane_front() {
+  staged_event& ev = lane_[lane_pos_];
+  const sim_time at = ev.at;
+  // Move the callback out before running it: it may reenter push (never
+  // stage_sorted — that is the lane contract), and dropping the capture
+  // eagerly releases whatever it owns.
+  util::callback fn = std::move(ev.fn);
+  ++lane_pos_;
+  if (lane_pos_ == lane_.size()) {
+    lane_.clear();
+    lane_pos_ = 0;
+    lane_next_ = time_never;
+  } else {
+    lane_next_ = lane_[lane_pos_].at;
+  }
+  ++executed_;
+  obs::count(obs::counter::events_executed);
+  fn();
+  return at;
+}
+
 void event_queue::skip_cancelled_slow() const noexcept {
   auto* self = const_cast<event_queue*>(this);
   while (!time_heap_.empty()) {

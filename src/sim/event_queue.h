@@ -39,6 +39,25 @@
 
 namespace nylon::sim {
 
+/// One canonically keyed event, used by the bulk-insert and staging APIs
+/// below (and, as `channel_event`, by the cross-shard channels).
+/// `order_a` / `order_b` break ties among equal timestamps; the sharded
+/// transport uses (sender id, per-sender sequence number).
+struct staged_event {
+  sim_time at = 0;
+  std::uint64_t order_a = 0;
+  std::uint64_t order_b = 0;
+  util::callback fn;
+};
+
+/// The canonical (at, order_a, order_b) strict weak order.
+[[nodiscard]] inline bool canonical_less(const staged_event& a,
+                                         const staged_event& b) noexcept {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.order_a != b.order_a) return a.order_a < b.order_a;
+  return a.order_b < b.order_b;
+}
+
 namespace detail {
 
 /// One pooled event. `generation` increments on every recycle so stale
@@ -217,26 +236,66 @@ class event_queue {
     return event_handle(slab_, slot, s.generation);
   }
 
+  /// Bulk FIFO insert: exactly equivalent to pushing each event's
+  /// callback at its time in `batch` order, but events are pre-sorted by
+  /// ascending time (asserted), so each distinct timestamp resolves its
+  /// bucket once per run instead of once per event and the whole run
+  /// links in as one chain. Order keys are ignored — within a timestamp,
+  /// batch order is the FIFO order, as with individual pushes. No
+  /// cancellation handles are issued. `batch` is cleared (capacity kept)
+  /// so the caller can recycle it.
+  void push_sorted_batch(std::vector<staged_event>& batch);
+
+  /// Stages a batch of canonically sorted (see canonical_less; keys
+  /// unique) events into the staging lane. Lane events execute
+  /// interleaved with the queue in timestamp order; at equal timestamps
+  /// queued events run first, then lane events in canonical order. The
+  /// lane is what makes the sharded engine's merged stream independent
+  /// of epoch boundaries: an event's execution slot depends only on its
+  /// canonical key, never on which barrier staged it (bucket FIFO
+  /// appends would order same-timestamp events by drain time instead).
+  /// Must not be called from inside a running callback. `batch` is
+  /// cleared with its capacity kept (often swapped with retired lane
+  /// storage) so drain buffers recycle across epochs.
+  void stage_sorted(std::vector<staged_event>& batch);
+
+  /// Bytes currently reserved by the staging lane and its merge scratch
+  /// (for the drain-buffer peak telemetry).
+  [[nodiscard]] std::size_t lane_reserved_bytes() const noexcept {
+    return (lane_.capacity() + lane_scratch_.capacity()) *
+           sizeof(staged_event);
+  }
+
   /// True when no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const noexcept {
     skip_cancelled();
-    return time_heap_.empty();
+    return time_heap_.empty() && lane_next_ == time_never;
   }
 
   /// Number of queued entries, including logically cancelled ones that
-  /// have not been reclaimed yet.
-  [[nodiscard]] std::size_t raw_size() const noexcept { return queued_; }
+  /// have not been reclaimed yet and un-executed staged-lane events.
+  [[nodiscard]] std::size_t raw_size() const noexcept {
+    return queued_ + (lane_.size() - lane_pos_);
+  }
 
   /// Time of the earliest live event, or `time_never` when empty.
   [[nodiscard]] sim_time next_time() const noexcept {
     skip_cancelled();
-    return time_heap_.empty() ? time_never : time_heap_.front();
+    const sim_time qt = time_heap_.empty() ? time_never : time_heap_.front();
+    return qt < lane_next_ ? qt : lane_next_;
   }
 
   /// Pops and runs the earliest live event; returns its time.
   /// Requires !empty().
   sim_time pop_and_run() {
     skip_cancelled();
+    // Ties go to the queue: local events run before staged (cross-shard)
+    // events sharing their timestamp, a fixed rule both engines and all
+    // epoch partitions agree on.
+    if (lane_next_ <
+        (time_heap_.empty() ? time_never : time_heap_.front())) {
+      return run_lane_front();
+    }
     NYLON_EXPECTS(!time_heap_.empty());
     const sim_time at = time_heap_.front();
     bucket& b = buckets_[front_bucket()];
@@ -337,6 +396,10 @@ class event_queue {
   /// by_time_ and refreshes the direct-mapped cache entry.
   std::uint32_t bucket_for_new_time(sim_time at, time_cache_entry& cached);
 
+  /// Runs the front staged-lane event (requires one strictly earlier
+  /// than every queued event); returns its time.
+  sim_time run_lane_front();
+
   void heap_push(sim_time t) noexcept;
   void heap_pop() noexcept;
   /// Bucket index of the earliest timestamp (cached; requires
@@ -368,6 +431,15 @@ class event_queue {
   std::array<time_cache_entry, time_cache_size> time_cache_;
   std::size_t queued_ = 0;
   std::uint64_t executed_ = 0;
+  /// Staging lane (see stage_sorted): canonically sorted, consumed from
+  /// `lane_pos_`. Storage is recycled — fully consumed lanes swap with
+  /// the next batch, partial ones merge through `lane_scratch_`.
+  std::vector<staged_event> lane_;
+  std::size_t lane_pos_ = 0;
+  std::vector<staged_event> lane_scratch_;
+  /// lane_[lane_pos_].at, cached for the run-loop compare (`time_never`
+  /// when the lane is drained).
+  sim_time lane_next_ = time_never;
 };
 
 }  // namespace nylon::sim

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -38,6 +39,26 @@ class scheduler {
   /// Schedules `fn` to run every `period` (> 0), first at `first`.
   /// The task reschedules itself until its handle is cancelled.
   event_handle every(sim_time first, sim_time period, util::callback fn);
+
+  /// Bulk FIFO insert of events pre-sorted by ascending time (all
+  /// >= now); see event_queue::push_sorted_batch.
+  void push_sorted_batch(std::vector<staged_event>& batch) {
+    NYLON_EXPECTS(batch.empty() || batch.front().at >= now_);
+    queue_.push_sorted_batch(batch);
+  }
+
+  /// Stages canonically sorted cross-shard events (all >= now) into the
+  /// queue's staging lane; see event_queue::stage_sorted. Shard-engine
+  /// barrier use only — never call from inside a running event.
+  void stage_sorted(std::vector<staged_event>& batch) {
+    NYLON_EXPECTS(batch.empty() || batch.front().at >= now_);
+    queue_.stage_sorted(batch);
+  }
+
+  /// Bytes reserved by the staging lane (drain-buffer telemetry).
+  [[nodiscard]] std::size_t lane_reserved_bytes() const noexcept {
+    return queue_.lane_reserved_bytes();
+  }
 
   /// Runs events until the queue is exhausted or `deadline` is passed.
   /// Events with timestamp exactly `deadline` are executed; the clock

@@ -19,9 +19,11 @@
 // between the two; the channel itself is deliberately unsynchronized.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/time.h"
 #include "util/inplace_function.h"
 
@@ -29,14 +31,11 @@ namespace nylon::sim {
 
 /// One buffered cross-shard event. `order_a` / `order_b` are the
 /// canonical tiebreaks among equal timestamps; producers must make
-/// (at, order_a, order_b) unique within one epoch (the transport uses
-/// sender id + a per-sender monotonic sequence).
-struct channel_event {
-  sim_time at = 0;
-  std::uint64_t order_a = 0;
-  std::uint64_t order_b = 0;
-  util::callback fn;
-};
+/// (at, order_a, order_b) unique across all events in flight between
+/// two drains (the transport uses sender id + a per-sender monotonic
+/// sequence). Same layout the event queue's staging lane consumes, so a
+/// drained batch stages without conversion.
+using channel_event = staged_event;
 
 /// FIFO buffer of events from one source shard to one destination shard.
 class shard_channel {
@@ -60,5 +59,16 @@ class shard_channel {
 /// uniqueness, so the result is a total order independent of the input
 /// permutation — the property shard determinism rests on.
 void canonical_sort(std::vector<channel_event>& events);
+
+/// Canonically sorts `events` given as `bounds.size() - 1` contiguous
+/// segments (`bounds` are the segment start offsets plus the end): each
+/// segment — one drained channel's FIFO batch in practice — is sorted in
+/// place, then adjacent segments are pairwise merged until one sorted
+/// run remains. Equivalent to canonical_sort, but k short
+/// almost-independent runs sort and merge cheaper than one cold global
+/// sort at barrier rates. `bounds` is consumed as merge scratch
+/// (contents unspecified afterwards; capacity kept for reuse).
+void canonical_merge_segments(std::vector<channel_event>& events,
+                              std::vector<std::size_t>& bounds);
 
 }  // namespace nylon::sim

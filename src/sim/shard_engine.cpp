@@ -1,13 +1,14 @@
 #include "sim/shard_engine.h"
 
 #include <algorithm>
-#include <barrier>
 #include <chrono>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "obs/counters.h"
 #include "obs/trace.h"
+#include "sim/spin_barrier.h"
 #include "util/contracts.h"
 
 namespace nylon::sim {
@@ -35,10 +36,11 @@ void profile_span(const char* name, profile_clock::time_point from,
 #endif  // NYLON_OBS
 }  // namespace
 
-/// Persistent worker threads, one per shard, woken once per epoch. The
-/// barriers block (futex-based), so oversubscribed runs — more shards
-/// than cores, the common CI shape — degrade gracefully instead of
-/// spinning. Protocol per epoch, K workers + the coordinator:
+/// Persistent worker threads, one per shard, woken once per epoch
+/// through spin-then-park barriers: same-epoch stragglers resolve with a
+/// few microseconds of spinning (no syscall), while parked phases — the
+/// control plane running between epochs, oversubscribed CI runs — fall
+/// back to the condvar. Protocol per epoch, K workers + the coordinator:
 ///
 ///   coordinator: publish target -> arrive(start) ... arrive(finish)
 ///   worker i:    arrive(start) -> run_until(target)
@@ -50,12 +52,20 @@ void profile_span(const char* name, profile_clock::time_point from,
 /// producer must be past its run phase first.
 struct shard_engine::worker_pool {
   explicit worker_pool(shard_engine& engine)
-      : start(static_cast<std::ptrdiff_t>(engine.shard_count() + 1)),
-        mid(static_cast<std::ptrdiff_t>(engine.shard_count())),
-        finish(static_cast<std::ptrdiff_t>(engine.shard_count() + 1)) {
+      : start(engine.shard_count() + 1),
+        mid(engine.shard_count()),
+        finish(engine.shard_count() + 1) {
     threads.reserve(engine.shard_count());
     for (std::size_t i = 0; i < engine.shard_count(); ++i) {
       threads.emplace_back([&engine, this, i] { run_worker(engine, i); });
+    }
+  }
+
+  static void note_wait(shard& s, spin_barrier::wait_kind kind) noexcept {
+    if (kind == spin_barrier::wait_kind::parked) {
+      ++s.park_waits;
+    } else if (kind == spin_barrier::wait_kind::spun) {
+      ++s.spin_waits;
     }
   }
 
@@ -66,6 +76,7 @@ struct shard_engine::worker_pool {
     obs::set_thread_track(static_cast<std::uint32_t>(index),
                           "shard " + std::to_string(index));
 #endif
+    shard& s = *engine.shards_[index];
     for (;;) {
       start.arrive_and_wait();
       if (exiting) return;
@@ -78,7 +89,7 @@ struct shard_engine::worker_pool {
       const auto t0 = profile_clock::now();
 #endif
       try {
-        engine.shards_[index]->sched.run_until(target);
+        s.sched.run_until(target);
       } catch (...) {
         record_error();
       }
@@ -86,7 +97,7 @@ struct shard_engine::worker_pool {
       const auto t1 = profile_clock::now();
       profile_span("epoch:run", t0, t1);
 #endif
-      mid.arrive_and_wait();
+      note_wait(s, mid.arrive_and_wait());
 #if NYLON_OBS
       const auto t2 = profile_clock::now();
       profile_span("barrier:mid", t1, t2);
@@ -100,11 +111,10 @@ struct shard_engine::worker_pool {
       const auto t3 = profile_clock::now();
       profile_span("epoch:drain", t2, t3);
 #endif
-      finish.arrive_and_wait();
+      note_wait(s, finish.arrive_and_wait());
 #if NYLON_OBS
       const auto t4 = profile_clock::now();
       profile_span("barrier:finish", t3, t4);
-      shard& s = *engine.shards_[index];
       s.work_s += profile_seconds(t0, t1) + profile_seconds(t2, t3);
       s.wait_s += profile_seconds(t1, t2) + profile_seconds(t3, t4);
 #endif
@@ -118,22 +128,27 @@ struct shard_engine::worker_pool {
   }
 
   std::vector<std::thread> threads;
-  std::barrier<> start;
-  std::barrier<> mid;
-  std::barrier<> finish;
+  spin_barrier start;
+  spin_barrier mid;
+  spin_barrier finish;
   sim_time target = 0;     ///< published before start, read after it
   bool exiting = false;
   std::atomic_flag error_flag = ATOMIC_FLAG_INIT;
   std::exception_ptr error;
 };
 
-shard_engine::shard_engine(std::size_t shards, sim_time window)
-    : window_(window) {
+shard_engine::shard_engine(std::size_t shards, sim_time window,
+                           window_mode mode, lookahead_fn lookahead)
+    : window_(window), mode_(mode), lookahead_(std::move(lookahead)) {
   NYLON_EXPECTS(shards >= 1);
   NYLON_EXPECTS(window > 0);
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<shard>());
+    // Pre-size the drain path so steady-state barriers never grow it
+    // (the swap with the staging lane recycles whatever it reaches).
+    shards_.back()->drain_scratch.reserve(256);
+    shards_.back()->drain_bounds.reserve(shards + 1);
   }
   channels_.resize(shards * shards);
 }
@@ -156,34 +171,81 @@ void shard_engine::post(std::size_t src, std::size_t dst, sim_time at,
                         std::uint64_t order_a, std::uint64_t order_b,
                         util::callback fn) {
   NYLON_EXPECTS(src < shards_.size() && dst < shards_.size());
-  // Never earlier than the running (or just-finished) epoch's end: an
-  // event strictly inside the window could causally depend on shard
-  // state still being computed. `at == epoch_target_` is the boundary
-  // case — a send from an event sitting exactly on the previous barrier
-  // with minimum latency — and is safe: the barrier drain schedules it
-  // before the destination's clock moves past `at`.
-  NYLON_EXPECTS(at >= epoch_target_);
+  NYLON_EXPECTS(static_cast<bool>(fn));  // lanes cannot skip null events
+  // Never earlier than the running epoch's (exclusive) end: an event
+  // strictly inside the epoch could causally depend on shard state still
+  // being computed. `at == post_floor_` is the boundary case — a
+  // minimum-lookahead send from the epoch's last grid point — and is
+  // safe: the epoch's own barrier stages it before any shard's clock
+  // reaches `at`. While parked the floor is the barrier time itself,
+  // which admits control-plane events at the current instant.
+  NYLON_EXPECTS(at >= post_floor_);
   channel(src, dst).push(channel_event{at, order_a, order_b, std::move(fn)});
 }
 
 void shard_engine::drain_inbound(std::size_t dst) {
-  std::vector<channel_event>& scratch = shards_[dst]->drain_scratch;
+  shard& sh = *shards_[dst];
+  std::vector<channel_event>& scratch = sh.drain_scratch;
+  std::vector<std::size_t>& bounds = sh.drain_bounds;
   scratch.clear();
+  bounds.clear();
   for (std::size_t src = 0; src < shards_.size(); ++src) {
+    bounds.push_back(scratch.size());
     channel(src, dst).drain_into(scratch);
   }
   if (scratch.empty()) return;
-  canonical_sort(scratch);
-  scheduler& sched = shards_[dst]->sched;
-  for (channel_event& ev : scratch) {
-    sched.at(ev.at, std::move(ev.fn));
+  bounds.push_back(scratch.size());
+#if NYLON_OBS
+  if (obs::trace_enabled()) {
+    obs::record_counter("drain/batch_events",
+                        obs::trace_us(std::chrono::steady_clock::now()),
+                        static_cast<double>(scratch.size()));
   }
-  scratch.clear();
+#endif
+  canonical_merge_segments(scratch, bounds);
+  sh.sched.stage_sorted(scratch);
+  obs::count_peak(obs::counter::drain_bytes_peak,
+                  scratch.capacity() * sizeof(channel_event) +
+                      sh.sched.lane_reserved_bytes());
 }
 
-void shard_engine::run_epoch(sim_time target) {
-  epoch_target_ = target;
+sim_time shard_engine::next_epoch_end(sim_time bound) const {
+  if (mode_ == window_mode::static_window) {
+    return std::min(bound, now_ + window_);
+  }
+  // Adaptive: the earliest pending event anywhere (staging lanes
+  // included — the engine cuts epochs on next_event_time, which covers
+  // both) bounds what this epoch can execute; nothing executing at
+  // >= t_min can schedule before t_min + lookahead. Idle shards
+  // contribute time_never and never constrain the stride.
+  sim_time t_min = time_never;
+  for (const auto& s : shards_) {
+    t_min = std::min(t_min, s->sched.next_event_time());
+  }
+  if (t_min >= bound) return bound;  // nothing due before the deadline
+  const sim_time look =
+      lookahead_ ? std::max(window_, lookahead_()) : window_;
+  return std::min(bound, t_min + look);
+}
+
+void shard_engine::run_epoch(sim_time end) {
+  // Everything before this epoch's first grid point has globally
+  // executed; publish it for the transport's lease sweep before any
+  // worker wakes (the start barrier provides the happens-before edge;
+  // mid-epoch readers use the atomic).
+  lease_floor_.store(now_ - 1, std::memory_order_relaxed);
+  post_floor_ = end;
   ++epochs_;
+  width_sum_ += end - now_;
+  width_max_ = std::max(width_max_, end - now_);
+#if NYLON_OBS
+  if (obs::trace_enabled()) {
+    obs::record_counter("epoch/width_ms",
+                        obs::trace_us(profile_clock::now()),
+                        static_cast<double>(end - now_));
+  }
+#endif
+  const sim_time target = end - 1;  // inclusive form for the run loops
   if (shards_.size() == 1) {
     // Inline path: no barriers, so the whole epoch is work time.
 #if NYLON_OBS
@@ -212,21 +274,24 @@ void shard_engine::run_epoch(sim_time target) {
 void shard_engine::run_until(sim_time deadline) {
   NYLON_EXPECTS(deadline >= now_);
   // Flush control-plane posts first: while parked, `post` only requires
-  // at > now(), which can fall inside the first epoch's window — drain
-  // now (single-threaded; nothing is running) so those events reach
-  // their destination queue before it advances.
+  // at >= now(), which can fall inside the first epoch — stage them now
+  // (single-threaded; nothing is running) so they take their canonical
+  // slots before any shard advances.
   for (std::size_t s = 0; s < shards_.size(); ++s) drain_inbound(s);
-  // Always run at least one epoch: events scheduled *at* the current
-  // barrier time (a peer started with zero phase, say) must execute even
-  // when the deadline equals now(), matching scheduler::run_until's
-  // inclusive-deadline semantics.
+  // Epochs are half-open [now_, end) spans of the grid; the final epoch
+  // ends at deadline + 1 so the deadline's own grid point executes,
+  // matching scheduler::run_until's inclusive semantics. Always run at
+  // least one epoch: events scheduled *at* the current barrier time (a
+  // peer started with zero phase, say) must execute even when the
+  // deadline equals now().
+  const sim_time bound = deadline + 1;
   for (;;) {
-    const sim_time target = std::min(deadline, now_ + window_);
-    run_epoch(target);
-    now_ = target;
-    epoch_target_ = target;
+    const sim_time end = next_epoch_end(bound);
+    run_epoch(end);
+    now_ = end - 1;
     if (now_ >= deadline) break;
   }
+  post_floor_ = now_;
 }
 
 std::uint64_t shard_engine::events_executed() const noexcept {
@@ -237,12 +302,22 @@ std::uint64_t shard_engine::events_executed() const noexcept {
 
 obs::epoch_profile shard_engine::profile() const {
   obs::epoch_profile out;
-#if NYLON_OBS
+  // The epoch-size statistics are deterministic facts about the run (the
+  // scale bench reports them even in NYLON_OBS=0 builds); only the
+  // wall-clock shard accounting is telemetry-gated.
   out.epochs = epochs_;
+  out.epoch_width_ms_max = width_max_;
+  out.epoch_width_ms_mean = epoch_width_mean();
+  const std::uint64_t events = events_executed();
+  out.events_per_epoch = epochs_ == 0 ? 0.0
+                                      : static_cast<double>(events) /
+                                            static_cast<double>(epochs_);
+#if NYLON_OBS
   out.shards.reserve(shards_.size());
   for (const auto& s : shards_) {
     out.shards.push_back(obs::shard_profile{s->work_s, s->wait_s,
-                                            s->sched.events_executed()});
+                                            s->sched.events_executed(),
+                                            s->spin_waits, s->park_waits});
   }
 #endif
   return out;

@@ -6,33 +6,54 @@
 // exactly as DESIGN.md requires — the non-atomic slab refcounts and
 // thread-local message pools are untouched. Shards interact only through
 // `post`, which buffers an event into a per-(src, dst) shard_channel;
-// channels are drained at epoch barriers in canonical
-// (time, order_a, order_b) order (see shard_channel.h).
+// channels are drained at epoch barriers into the destination
+// scheduler's *staging lane* in canonical (time, order_a, order_b) order
+// (see shard_channel.h and event_queue::stage_sorted). The lane — not a
+// plain FIFO insert — is what makes the executed stream independent of
+// *which* barrier staged each event: an event's execution slot depends
+// only on its canonical key, so every window policy below replays the
+// byte-identical simulation.
 //
-// Conservative-window synchronization: an epoch never advances any shard
-// more than `window` past the last barrier, and every cross-shard event
-// posted during an epoch must land strictly *after* the epoch's end
-// (`post` asserts it). With `window` <= the minimum cross-shard latency,
-// an event posted mid-epoch can therefore never target the epoch being
-// executed, and draining all channels at each barrier is sufficient for
-// causal delivery.
+// Conservative-window synchronization: epochs are half-open spans
+// [start, end) of the millisecond grid, and every cross-shard event
+// posted during an epoch must land at or after the epoch's end (`post`
+// asserts it). The end is chosen so that no event executing this epoch
+// can schedule into it:
+//
+//  * static mode: end = start + W with W <= the minimum cross-shard
+//    latency — the classic fixed window;
+//  * adaptive mode: end = t_min + L, where t_min is the earliest
+//    pending event across all shards (staging lanes included) and L is
+//    the per-epoch lookahead (>= W; supplied by the transport from its
+//    latency model's live classes). Any event executing this epoch has
+//    timestamp >= t_min, so its sends land at >= t_min + L = end.
+//    Quiet stretches — t_min far ahead, or no events at all — collapse
+//    into one epoch instead of thousands of W-sized ones.
+//
+// Both policies stage a cross event no later than the barrier opening
+// the epoch that executes it, so with the canonical staging lane the
+// executed stream is identical under either (the adaptive-vs-static
+// digest tests pin this).
 //
 // Determinism: given the same initial state and the same sequence of
 // run_until calls, the engine executes the identical event stream
 // regardless of how many worker threads run it — and, when producers
 // follow the canonical-key discipline and keep all shared state reads
 // barrier-stable (see DESIGN.md "Sharded determinism contract"), the
-// stream is also independent of the *number of shards*.
+// stream is also independent of the *number of shards* and of the
+// window policy.
 //
 // Between run_until calls every shard is parked at `now()`; the caller
 // (the control plane: scenario construction, workload actions, metric
 // snapshots) may freely read and mutate world state in that window. The
-// epoch machinery's mutex/condvar handoff provides the happens-before
-// edges between control mutations and worker reads.
+// epoch machinery's barrier handoff provides the happens-before edges
+// between control mutations and worker reads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,11 +64,27 @@
 
 namespace nylon::sim {
 
+/// Epoch-length policy (see the file comment).
+enum class window_mode : std::uint8_t {
+  static_window,  ///< fixed conservative window W per epoch
+  adaptive,       ///< per-epoch lookahead from the pending-event horizon
+};
+
 class shard_engine {
  public:
-  /// `shards` >= 1 clones of the scheduler machinery; `window` > 0 is the
-  /// conservative epoch length (at most the minimum cross-shard latency).
-  shard_engine(std::size_t shards, sim_time window);
+  /// Returns the current conservative lookahead: an exact lower bound on
+  /// the delay of any cross-shard event schedulable from now on. Queried
+  /// once per adaptive epoch, always between epochs (all shards parked).
+  using lookahead_fn = std::function<sim_time()>;
+
+  /// `shards` >= 1 clones of the scheduler machinery; `window` > 0 is
+  /// the static conservative epoch length (at most the minimum
+  /// cross-shard latency) and the floor of every adaptive stride. An
+  /// empty `lookahead` means adaptive epochs use `window` as the
+  /// lookahead (still striding over quiet stretches via t_min).
+  shard_engine(std::size_t shards, sim_time window,
+               window_mode mode = window_mode::static_window,
+               lookahead_fn lookahead = {});
   ~shard_engine();
 
   shard_engine(const shard_engine&) = delete;
@@ -57,6 +94,7 @@ class shard_engine {
     return shards_.size();
   }
   [[nodiscard]] sim_time window() const noexcept { return window_; }
+  [[nodiscard]] window_mode mode() const noexcept { return mode_; }
 
   /// Barrier time: every shard's clock equals this between run_until
   /// calls.
@@ -68,10 +106,11 @@ class shard_engine {
     return shards_[s]->sched;
   }
 
-  /// Buffers `fn` to run on shard `dst` at time `at` (strictly after the
+  /// Buffers `fn` to run on shard `dst` at time `at` (at or after the
   /// current epoch's end), ordered canonically by (at, order_a, order_b)
-  /// against everything else draining into `dst`. Callable from the `src`
-  /// shard's worker mid-epoch, or from the control plane while parked.
+  /// against everything else draining into `dst`. Callable from the
+  /// `src` shard's worker mid-epoch, or from the control plane while
+  /// parked.
   void post(std::size_t src, std::size_t dst, sim_time at,
             std::uint64_t order_a, std::uint64_t order_b, util::callback fn);
 
@@ -84,30 +123,67 @@ class shard_engine {
   /// Total events executed across all shards.
   [[nodiscard]] std::uint64_t events_executed() const noexcept;
 
+  /// Latest simulated time through which *every* shard has provably
+  /// finished executing (monotone; -1 before the first epoch). The
+  /// transport's payload-lease sweep reclaims against this floor — the
+  /// only bound that stays valid under adaptive windows, where a shard
+  /// clock alone says nothing about the other shards' progress. Safe to
+  /// read from worker threads mid-epoch.
+  [[nodiscard]] sim_time completed_through() const noexcept {
+    return lease_floor_.load(std::memory_order_relaxed);
+  }
+
+  /// Lockstep epochs completed so far (deterministic for a fixed window
+  /// policy and run_until sequence).
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  /// Widest single epoch so far, in sim-ms (grid points executed).
+  [[nodiscard]] sim_time epoch_width_max() const noexcept {
+    return width_max_;
+  }
+  /// Mean epoch width in sim-ms; 0 before the first epoch.
+  [[nodiscard]] double epoch_width_mean() const noexcept {
+    return epochs_ == 0 ? 0.0
+                        : static_cast<double>(width_sum_) /
+                              static_cast<double>(epochs_);
+  }
+
   /// Per-shard work/wait wall-clock accounting accumulated across every
-  /// epoch so far (see obs/profile.h). Read it while parked. Empty when
-  /// telemetry is compiled out (NYLON_OBS=0).
+  /// epoch so far, plus the epoch-size statistics above (see
+  /// obs/profile.h). Read it while parked. The per-shard wall numbers
+  /// are empty when telemetry is compiled out (NYLON_OBS=0); the epoch
+  /// statistics are deterministic and always present.
   [[nodiscard]] obs::epoch_profile profile() const;
 
  private:
   struct shard {
     scheduler sched;
-    std::vector<channel_event> drain_scratch;  ///< reused per barrier
-    // Epoch-profiler accumulators (seconds). Written only by this shard's
-    // worker (or the coordinator on the single-shard inline path); read by
-    // the control plane while the engine is parked. Stay zero when
-    // telemetry is compiled out.
+    std::vector<channel_event> drain_scratch;  ///< recycled across epochs
+    std::vector<std::size_t> drain_bounds;     ///< segment-merge scratch
+    // Epoch-profiler accumulators. work/wait are wall-clock seconds,
+    // written only by this shard's worker (or the coordinator on the
+    // single-shard inline path); read by the control plane while the
+    // engine is parked. The wall numbers stay zero when telemetry is
+    // compiled out; the barrier-resolution counts are always maintained
+    // (they cost two adds per epoch).
     double work_s = 0.0;  ///< run_until + drain_inbound
     double wait_s = 0.0;  ///< blocked at the mid / finish barriers
+    std::uint64_t spin_waits = 0;  ///< barrier crossings resolved spinning
+    std::uint64_t park_waits = 0;  ///< crossings that slept on the condvar
   };
 
-  /// Runs one epoch ending at `target`: every shard executes its events
-  /// with timestamp <= target, then every shard drains its inbound
-  /// channels. Inline for one shard, on the worker pool otherwise.
-  void run_epoch(sim_time target);
+  /// Picks the next epoch's exclusive end in (now_, bound], per the
+  /// window policy. `bound` = final deadline + 1.
+  [[nodiscard]] sim_time next_epoch_end(sim_time bound) const;
+
+  /// Runs one epoch over [now_, end): every shard executes its events
+  /// with timestamp < end, then every shard drains its inbound channels
+  /// into its staging lane. Inline for one shard, on the worker pool
+  /// otherwise.
+  void run_epoch(sim_time end);
 
   /// Barrier-side work for shard `dst`: gather the column of channels
-  /// (*, dst) in source-shard order, canonical-sort, and schedule.
+  /// (*, dst) in source-shard order, canonical-merge the per-source
+  /// segments, and stage the batch into the destination's lane.
   void drain_inbound(std::size_t dst);
 
   [[nodiscard]] shard_channel& channel(std::size_t src,
@@ -121,11 +197,19 @@ class shard_engine {
   std::vector<std::unique_ptr<shard>> shards_;
   std::vector<shard_channel> channels_;  ///< K*K, row-major by source
   sim_time window_;
+  window_mode mode_;
+  lookahead_fn lookahead_;
   sim_time now_ = 0;
-  std::uint64_t epochs_ = 0;  ///< lockstep epochs completed
-  /// End of the epoch currently executing (== now_ while parked); the
-  /// lower bound `post` enforces.
-  sim_time epoch_target_ = 0;
+  std::uint64_t epochs_ = 0;   ///< lockstep epochs completed
+  sim_time width_sum_ = 0;     ///< total grid points covered by epochs
+  sim_time width_max_ = 0;
+  /// Lower bound `post` enforces: the running epoch's exclusive end, or
+  /// the parked barrier time between run_until calls.
+  sim_time post_floor_ = 0;
+  /// See completed_through(). Published by the coordinator before each
+  /// epoch's start barrier; workers read it mid-epoch, so it is the one
+  /// atomic in the epoch bookkeeping.
+  std::atomic<sim_time> lease_floor_{-1};
 
   struct worker_pool;  // threads + barriers; built lazily on first use
   std::unique_ptr<worker_pool> pool_;

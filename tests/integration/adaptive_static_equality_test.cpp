@@ -1,0 +1,111 @@
+// Window-policy neutrality guard (DESIGN.md "Sharded determinism
+// contract"): the epoch-width policy is a *performance* knob, never a
+// semantics knob. One universe executed under static conservative
+// windows and under adaptive lookahead windows must produce the
+// identical simulation — state digest, trajectory, event count, drop
+// accounting — for every shard count, because the canonical staging
+// lane makes delivery order a function of (time, sender, send_seq)
+// alone, independent of which epoch barrier a message crossed at.
+// The workload exercises every dynamic at once (churn, partition,
+// rebind, migration) so a digest mismatch anywhere in the pipeline
+// shows up here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/scenario.h"
+#include "sim/shard_engine.h"
+#include "workload/engine.h"
+#include "workload/report.h"
+
+namespace nylon {
+namespace {
+
+struct mode_run {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;
+  std::size_t alive = 0;
+  std::uint64_t epochs = 0;
+  std::string trajectory;
+};
+
+mode_run run_world(std::size_t shards, sim::window_mode mode,
+                   std::uint64_t seed) {
+  runtime::experiment_config cfg;
+  cfg.peer_count = 150;
+  cfg.natted_fraction = 0.6;
+  cfg.protocol = core::protocol_kind::nylon;
+  cfg.gossip.view_size = 8;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.window_mode = mode;
+
+  runtime::scenario world(cfg);
+  const sim::sim_time period = cfg.gossip.shuffle_period;
+
+  workload::session_distribution sessions;
+  sessions.k = workload::session_distribution::kind::pareto;
+  sessions.mean = 6 * period;
+
+  auto prog = workload::program{}
+                  .then(workload::steady(4 * period))
+                  .then(workload::mass_departure(0.2))
+                  .then(workload::steady(2 * period))
+                  .then(workload::nat_rebind(0.4))
+                  .then(workload::partition(0.4))
+                  .then(workload::steady(2 * period))
+                  .then(workload::heal())
+                  .then(workload::nat_migration(0.3))
+                  .then(workload::poisson_churn(4 * period, 3.0, sessions))
+                  .then(workload::steady(2 * period));
+
+  workload::engine_options opt;
+  opt.sample_interval = period;
+  workload::engine eng(world, std::move(prog), opt);
+  eng.run();
+
+  mode_run out;
+  out.digest = world.state_digest();
+  out.events = world.events_executed();
+  out.drops = world.transport().total_drops();
+  out.alive = world.alive_count();
+  out.epochs = world.shard_profile().epochs;
+  out.trajectory = workload::to_json(eng.trajectory()).dump_string(0);
+  return out;
+}
+
+/// Full-workload equality, per shard count: static is the reference
+/// stream, adaptive must reproduce it bit for bit while (for K >= 1
+/// with real gaps in the schedule) running strictly fewer epochs.
+TEST(adaptive_static_equality, identical_for_k_1_2_3_4_8) {
+  for (const std::size_t k :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{8}}) {
+    const mode_run fixed =
+        run_world(k, sim::window_mode::static_window, 2026);
+    const mode_run adaptive = run_world(k, sim::window_mode::adaptive, 2026);
+    EXPECT_GT(fixed.alive, 0u) << "shards=" << k;
+    EXPECT_EQ(adaptive.digest, fixed.digest) << "shards=" << k;
+    EXPECT_EQ(adaptive.events, fixed.events) << "shards=" << k;
+    EXPECT_EQ(adaptive.drops, fixed.drops) << "shards=" << k;
+    EXPECT_EQ(adaptive.alive, fixed.alive) << "shards=" << k;
+    EXPECT_EQ(adaptive.trajectory, fixed.trajectory) << "shards=" << k;
+    // The point of the policy: same simulation, fewer barriers.
+    EXPECT_LT(adaptive.epochs, fixed.epochs) << "shards=" << k;
+  }
+}
+
+/// Adaptive runs are deterministic against themselves (epoch widths are
+/// a pure function of queue state, not of thread timing).
+TEST(adaptive_static_equality, adaptive_repeat_runs_are_identical) {
+  const mode_run a = run_world(4, sim::window_mode::adaptive, 11);
+  const mode_run b = run_world(4, sim::window_mode::adaptive, 11);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.trajectory, b.trajectory);
+}
+
+}  // namespace
+}  // namespace nylon

@@ -1,0 +1,162 @@
+// Adaptive conservative windows: epoch-width computation, lookahead
+// providers, empty-shard striding, the latency-class API the lookahead
+// is built from — and engine-level equality against static windows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/latency.h"
+#include "sim/shard_engine.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace nylon::sim {
+namespace {
+
+/// A quiet schedule under static windows pays one epoch per W: events at
+/// t = 0 and t = 10'000 with W = 10 cost ~1000 epochs. Adaptive strides
+/// straight from one event horizon to the next.
+TEST(adaptive_window, quiet_stretches_collapse_into_few_epochs) {
+  shard_engine fixed(2, 10);
+  shard_engine adaptive(2, 10, window_mode::adaptive);
+  for (shard_engine* eng : {&fixed, &adaptive}) {
+    int fired = 0;
+    eng->shard_scheduler(0).at(0, [&fired] { ++fired; });
+    eng->shard_scheduler(1).at(10000, [&fired] { ++fired; });
+    eng->run_until(10000);
+    EXPECT_EQ(fired, 2);
+  }
+  EXPECT_GE(fixed.epochs(), 1000u);
+  EXPECT_LE(adaptive.epochs(), 4u);
+  EXPECT_GE(adaptive.epoch_width_max(), 9000);
+  EXPECT_GT(adaptive.epoch_width_mean(), fixed.epoch_width_mean());
+}
+
+/// With no events at all, one adaptive epoch crosses the whole span
+/// (t_min = never >= bound), shards empty or not.
+TEST(adaptive_window, empty_shards_cross_in_one_epoch) {
+  shard_engine eng(3, 5, window_mode::adaptive);
+  eng.run_until(100000);
+  EXPECT_EQ(eng.now(), 100000);
+  EXPECT_EQ(eng.epochs(), 1u);
+  EXPECT_EQ(eng.epoch_width_max(), 100001);  // [0, 100000] inclusive
+  EXPECT_EQ(eng.events_executed(), 0u);
+}
+
+/// The lookahead provider widens each stride beyond the static floor:
+/// with events every 20 ms, W = 1 and lookahead L = 50, each epoch spans
+/// t_min + 50 and so covers multiple event times.
+TEST(adaptive_window, lookahead_provider_widens_epochs) {
+  shard_engine narrow(2, 1, window_mode::adaptive);
+  shard_engine wide(2, 1, window_mode::adaptive, [] { return sim_time{50}; });
+  for (shard_engine* eng : {&narrow, &wide}) {
+    int fired = 0;
+    for (sim_time t = 0; t <= 200; t += 20) {
+      eng->shard_scheduler(0).at(t, [&fired] { ++fired; });
+    }
+    eng->run_until(200);
+    EXPECT_EQ(fired, 11);
+  }
+  // narrow: one epoch per event time (stride = t_min + 1);
+  // wide: ~200/50 epochs, as each stride swallows two more event times.
+  EXPECT_GT(narrow.epochs(), 2 * wide.epochs());
+  EXPECT_GE(wide.epoch_width_max(), 50);
+}
+
+/// Identical posts through both policies: the staged lane makes the
+/// delivery stream equal even though the adaptive run crosses in far
+/// fewer epochs and drains several sends at one barrier.
+TEST(adaptive_window, cross_shard_posts_replay_identically) {
+  std::vector<std::int64_t> log_static;
+  std::vector<std::int64_t> log_adaptive;
+  std::uint64_t epochs_static = 0;
+  std::uint64_t epochs_adaptive = 0;
+  for (const window_mode mode :
+       {window_mode::static_window, window_mode::adaptive}) {
+    auto* log = mode == window_mode::adaptive ? &log_adaptive : &log_static;
+    shard_engine eng(2, 10, mode);
+    // Shard 0 emits a burst of cross-shard sends, all landing at the
+    // same destination time from distinct send times — under static
+    // windows they arrive over several drains, under adaptive in one.
+    for (sim_time t = 0; t <= 40; t += 10) {
+      eng.shard_scheduler(0).at(t, [&eng, t, log] {
+        eng.post(0, 1, 100, 7, static_cast<std::uint64_t>(t),
+                 [log, t] { log->push_back(100 + t); });
+        eng.post(0, 1, 200 + t, 7, static_cast<std::uint64_t>(t),
+                 [log, t] { log->push_back(200 + t); });
+      });
+    }
+    eng.run_until(300);
+    EXPECT_EQ(eng.events_executed(), 15u);
+    (mode == window_mode::adaptive ? epochs_adaptive : epochs_static) =
+        eng.epochs();
+  }
+  EXPECT_EQ(log_adaptive, log_static);
+  EXPECT_LT(epochs_adaptive, epochs_static);
+}
+
+/// completed_through never passes the earliest still-running epoch start:
+/// it is the floor the payload-lease sweep reclaims against.
+TEST(adaptive_window, completed_through_trails_the_clock) {
+  shard_engine eng(2, 10, window_mode::adaptive);
+  EXPECT_EQ(eng.completed_through(), -1);
+  int fired = 0;
+  eng.shard_scheduler(0).at(500, [&fired] { ++fired; });
+  eng.run_until(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_LE(eng.completed_through(), eng.now());
+  EXPECT_GE(eng.completed_through(), 0);
+}
+
+// --- the latency-class API the transport's lookahead derives from ------------
+
+TEST(adaptive_window, default_model_is_one_live_class) {
+  net::fixed_latency fixed(50);
+  EXPECT_EQ(fixed.class_count(), 1u);
+  EXPECT_TRUE(fixed.class_live(0));
+  EXPECT_EQ(fixed.class_min_delay(0), fixed.min_delay());
+}
+
+TEST(adaptive_window, lognormal_floor_is_the_millisecond_grid) {
+  net::lognormal_latency model(50, 2.0);
+  EXPECT_EQ(model.min_delay(), 1);
+  EXPECT_EQ(model.class_min_delay(0), 1);
+  util::rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(model.sample(rng), model.min_delay());
+  }
+}
+
+TEST(adaptive_window, mixture_min_is_over_live_classes_only) {
+  net::mixture_latency model({{sim::millis(5), 0.0},    // dead short class
+                              {sim::millis(40), 0.7},
+                              {sim::millis(150), 0.3}});
+  EXPECT_EQ(model.class_count(), 3u);
+  EXPECT_FALSE(model.class_live(0));
+  EXPECT_TRUE(model.class_live(1));
+  EXPECT_TRUE(model.class_live(2));
+  // The dead 5 ms class must not drag the floor down.
+  EXPECT_EQ(model.min_delay(), sim::millis(40));
+  EXPECT_EQ(model.class_min_delay(0), sim::millis(5));
+
+  util::rng rng(11);
+  bool saw_far = false;
+  for (int i = 0; i < 2000; ++i) {
+    const sim_time d = model.sample(rng);
+    EXPECT_TRUE(d == sim::millis(40) || d == sim::millis(150));
+    saw_far = saw_far || d == sim::millis(150);
+  }
+  EXPECT_TRUE(saw_far);
+}
+
+TEST(adaptive_window, mixture_rejects_degenerate_configs) {
+  EXPECT_THROW(net::mixture_latency({}), nylon::contract_error);
+  EXPECT_THROW(net::mixture_latency({{-1, 1.0}}), nylon::contract_error);
+  EXPECT_THROW(net::mixture_latency({{10, 0.0}}),  // no live class
+               nylon::contract_error);
+}
+
+}  // namespace
+}  // namespace nylon::sim
